@@ -1,0 +1,113 @@
+// Microbenchmarks (google-benchmark) of the substrate hot paths: what-if
+// costing, plan construction, learned-utility prediction, reference-tree
+// decoding. These bound the throughput of every experiment harness.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/datasets.h"
+#include "engine/what_if.h"
+#include "gbdt/features.h"
+#include "gbdt/utility_model.h"
+#include "trap/reference_tree.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace trap;
+namespace tc = ::trap::trap;
+
+struct Fixture {
+  Fixture()
+      : schema(catalog::MakeTpcH()),
+        vocab(schema, 8),
+        optimizer(schema),
+        truth(schema),
+        utility(optimizer, truth) {
+    workload::QueryGenerator gen(vocab, workload::GeneratorOptions{}, 3);
+    queries = gen.GeneratePool(64);
+    utility.Train(queries, {engine::IndexConfig()});
+    auto ship = *schema.FindColumn("lineitem", "l_shipdate");
+    auto date = *schema.FindColumn("orders", "o_orderdate");
+    config.Add(engine::Index{{ship}});
+    config.Add(engine::Index{{date}});
+  }
+  catalog::Schema schema;
+  sql::Vocabulary vocab;
+  engine::WhatIfOptimizer optimizer;
+  engine::TrueCostModel truth;
+  gbdt::LearnedUtilityModel utility;
+  std::vector<sql::Query> queries;
+  engine::IndexConfig config;
+};
+
+Fixture& fixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+void BM_WhatIfCostCached(benchmark::State& state) {
+  Fixture& f = fixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.optimizer.QueryCost(f.queries[i++ % f.queries.size()], f.config));
+  }
+}
+BENCHMARK(BM_WhatIfCostCached);
+
+void BM_PlanConstruction(benchmark::State& state) {
+  Fixture& f = fixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.optimizer.Plan(f.queries[i++ % f.queries.size()], f.config));
+  }
+}
+BENCHMARK(BM_PlanConstruction);
+
+void BM_TrueCost(benchmark::State& state) {
+  Fixture& f = fixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.truth.QueryCost(f.queries[i++ % f.queries.size()], f.config));
+  }
+}
+BENCHMARK(BM_TrueCost);
+
+void BM_UtilityPrediction(benchmark::State& state) {
+  Fixture& f = fixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.utility.PredictQueryCost(f.queries[i++ % f.queries.size()], f.config));
+  }
+}
+BENCHMARK(BM_UtilityPrediction);
+
+void BM_PlanFeatureExtraction(benchmark::State& state) {
+  Fixture& f = fixture();
+  std::unique_ptr<engine::PlanNode> plan =
+      f.optimizer.Plan(f.queries[0], f.config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gbdt::ExtractPlanFeatures(*plan));
+  }
+}
+BENCHMARK(BM_PlanFeatureExtraction);
+
+void BM_ReferenceTreeRandomDecode(benchmark::State& state) {
+  Fixture& f = fixture();
+  common::Rng rng(9);
+  size_t i = 0;
+  for (auto _ : state) {
+    tc::ReferenceTree tree(f.queries[i++ % f.queries.size()], f.vocab,
+                           tc::PerturbationConstraint::kSharedTable, 5);
+    while (!tree.Done()) tree.Advance(rng.Choice(tree.LegalTokens()));
+    benchmark::DoNotOptimize(tree.edit_distance());
+  }
+}
+BENCHMARK(BM_ReferenceTreeRandomDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

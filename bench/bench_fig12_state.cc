@@ -1,0 +1,80 @@
+// Fig. 12: IUDR vs. the adopted state representation. Three RL backbones
+// (SWIRL's policy gradient and the two DQN advisors) are each run with the
+// fine-grained state (plan operators + costs + relevance) and the
+// coarse-grained state (column occurrence counts only); TRAP generates the
+// adversarial workloads.
+
+#include <cstdio>
+
+#include "advisor/dqn_advisors.h"
+#include "advisor/swirl.h"
+#include "harness.h"
+
+namespace tc = ::trap::trap;
+using namespace trap;
+
+int main() {
+  bench::BenchEnv env(catalog::MakeTpcH(0.15), 0xfc1);
+  advisor::TuningConstraint storage = env.StorageConstraint();
+  advisor::TuningConstraint count = env.CountConstraint(4);
+
+  struct Variant {
+    std::string label;
+    std::unique_ptr<advisor::LearningAdvisor> advisor;
+    advisor::TuningConstraint constraint;
+  };
+  std::vector<Variant> variants;
+  for (advisor::StateGranularity g :
+       {advisor::StateGranularity::kFine, advisor::StateGranularity::kCoarse}) {
+    const char* gname =
+        g == advisor::StateGranularity::kFine ? "fine" : "coarse";
+    advisor::SwirlOptions swirl;
+    swirl.state = g;
+    swirl.episodes = 400;
+    swirl.max_actions = 64;
+    swirl.seed = 0xc1 ^ static_cast<uint64_t>(g);
+    variants.push_back(Variant{
+        std::string("SWIRL/") + gname,
+        std::make_unique<advisor::SwirlAdvisor>(env.optimizer, swirl),
+        storage});
+    advisor::DqnOptions drl = advisor::DrlIndexDefaults();
+    drl.state = g;
+    drl.episodes = 400;
+    drl.max_actions = 64;
+    drl.seed = 0xc2 ^ static_cast<uint64_t>(g);
+    variants.push_back(Variant{std::string("DRLindex/") + gname,
+                               advisor::MakeDrlIndex(env.optimizer, drl),
+                               count});
+    advisor::DqnOptions dqn = advisor::DqnAdvisorDefaults();
+    dqn.state = g;
+    dqn.episodes = 400;
+    dqn.max_actions = 64;
+    dqn.seed = 0xc3 ^ static_cast<uint64_t>(g);
+    variants.push_back(Variant{std::string("DQN/") + gname,
+                               advisor::MakeDqnAdvisor(env.optimizer, dqn),
+                               count});
+  }
+
+  bench::PrintHeader("Fig. 12 — IUDR vs. state representation (TRAP workloads)");
+  std::printf("%-18s %16s %16s\n", "backbone/state", "ColumnConsistent",
+              "SharedTable");
+  for (Variant& v : variants) {
+    v.advisor->Train(env.training, v.constraint);
+    std::printf("%-18s", v.label.c_str());
+    for (tc::PerturbationConstraint pc :
+         {tc::PerturbationConstraint::kColumnConsistent,
+          tc::PerturbationConstraint::kSharedTable}) {
+      tc::GeneratorConfig config = bench::BenchGeneratorConfig(
+          tc::GenerationMethod::kTrap, pc, 5,
+          0xfc1 ^ std::hash<std::string>{}(v.label) ^
+              (static_cast<uint64_t>(pc) << 8));
+      bench::AssessmentResult r = bench::AssessRobustness(
+          env, v.advisor.get(), nullptr, config, v.constraint, 0.05);
+      std::printf(" %16.4f", r.mean_iudr);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nShape: the coarse-grained state is more vulnerable — it "
+              "cannot see the operator/cost changes a perturbation causes.\n");
+  return 0;
+}

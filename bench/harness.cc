@@ -1,0 +1,138 @@
+#include "harness.h"
+
+#include <cstdio>
+
+#include "advisor/heuristic_advisors.h"
+#include "common/stats.h"
+
+namespace trap::bench {
+
+namespace tc = ::trap::trap;
+
+BenchEnv::BenchEnv(catalog::Schema schema_in, uint64_t seed, int pool_size,
+                   int num_training, int num_tests, int workload_size)
+    : schema(std::move(schema_in)),
+      vocab(schema, 8),
+      optimizer(schema),
+      truth(schema),
+      utility(optimizer, truth),
+      evaluator(optimizer, truth) {
+  workload::GeneratorOptions gopt;
+  gopt.max_tables = 3;
+  gopt.max_filters = 3;
+  workload::QueryGenerator gen(vocab, gopt, seed);
+  pool = gen.GeneratePool(pool_size);
+  common::Rng rng(seed ^ 0x77);
+  for (int i = 0; i < num_training; ++i) {
+    training.push_back(workload::SampleWorkload(pool, workload_size, rng));
+  }
+  for (int i = 0; i < num_tests; ++i) {
+    tests.push_back(workload::SampleWorkload(pool, workload_size, rng));
+  }
+  // Train the learned utility model on the pool under a few configurations.
+  std::vector<engine::IndexConfig> configs;
+  configs.emplace_back();
+  for (int c = 0; c < 2; ++c) {
+    engine::IndexConfig cfg;
+    for (int i = 0; i < 5; ++i) {
+      int g = static_cast<int>(rng.UniformInt(0, schema.num_columns() - 1));
+      cfg.Add(engine::Index{{schema.ColumnFromGlobalIndex(g)}});
+    }
+    configs.push_back(cfg);
+  }
+  utility.Train(pool, configs);
+}
+
+advisor::TuningConstraint BenchEnv::StorageConstraint(double fraction) const {
+  return advisor::TuningConstraint::Storage(
+      static_cast<int64_t>(fraction * static_cast<double>(schema.DataSizeBytes())));
+}
+
+advisor::TuningConstraint BenchEnv::CountConstraint(int n) const {
+  return advisor::TuningConstraint::IndexCount(n, schema.DataSizeBytes() / 2);
+}
+
+tc::GeneratorConfig BenchGeneratorConfig(tc::GenerationMethod method,
+                                         tc::PerturbationConstraint constraint,
+                                         int epsilon, uint64_t seed) {
+  tc::GeneratorConfig config;
+  config.method = method;
+  config.constraint = constraint;
+  config.epsilon = epsilon;
+  config.seed = seed;
+  config.agent.embed_dim = 32;
+  config.agent.hidden_dim = 32;
+  config.agent.transformer = nn::TransformerConfig{32, 2, 64, 1};
+  config.pretrain.num_pairs = 120;
+  config.pretrain.epochs = 2;
+  config.pretrain.seed = seed ^ 0x1;
+  config.rl.epochs = 10;
+  config.rl.workloads_per_epoch = 4;
+  config.rl.theta = 0.05;
+  config.rl.seed = seed ^ 0x2;
+  config.random_attempts = 5;
+  return config;
+}
+
+bool IsNonSargable(BenchEnv& env, const workload::Workload& w,
+                   const advisor::TuningConstraint& constraint, double theta) {
+  // Reference advisors: if neither can reach theta utility, no index serves
+  // this workload and it falls outside the assessment region (Sec. V-A).
+  static thread_local std::unique_ptr<advisor::IndexAdvisor> extend;
+  static thread_local std::unique_ptr<advisor::IndexAdvisor> autoadmin;
+  static thread_local const engine::WhatIfOptimizer* bound = nullptr;
+  if (bound != &env.optimizer) {
+    extend = advisor::MakeExtend(env.optimizer);
+    autoadmin = advisor::MakeAutoAdmin(env.optimizer);
+    bound = &env.optimizer;
+  }
+  for (advisor::IndexAdvisor* ref : {extend.get(), autoadmin.get()}) {
+    if (env.evaluator.IndexUtility(*ref, nullptr, w, constraint) >= theta) {
+      return false;
+    }
+  }
+  return true;
+}
+
+AssessmentResult AssessRobustness(BenchEnv& env, advisor::IndexAdvisor* victim,
+                                  advisor::IndexAdvisor* baseline,
+                                  tc::GeneratorConfig config,
+                                  const advisor::TuningConstraint& constraint,
+                                  double theta) {
+  tc::AdversarialWorkloadGenerator generator(env.vocab, config);
+  generator.Fit(victim, baseline, &env.optimizer, &env.utility, env.pool,
+                env.training, constraint);
+  AssessmentResult result;
+  double sum = 0.0;
+  // Random's 5x generation budget means 5x more perturbed workloads enter
+  // the assessment; trained methods emit one workload per test.
+  int attempts = config.method == ::trap::trap::GenerationMethod::kRandom
+                     ? config.random_attempts
+                     : 1;
+  for (const workload::Workload& w : env.tests) {
+    double u = env.evaluator.IndexUtility(*victim, baseline, w, constraint);
+    if (u <= theta) continue;  // Definition 3.3 requires u(W) > theta
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      workload::Workload perturbed = generator.Generate(w);
+      if (IsNonSargable(env, perturbed, constraint, theta)) {
+        ++result.filtered;
+        continue;
+      }
+      double u_prime =
+          env.evaluator.IndexUtility(*victim, baseline, perturbed, constraint);
+      // IUDR = 1 - u'/u explodes when u is small; clamp per-workload values
+      // so miniature-sample means are not dominated by one ratio blow-up.
+      sum += common::Clamp(advisor::RobustnessEvaluator::Iudr(u, u_prime),
+                           -1.0, 2.0);
+      ++result.eligible;
+    }
+  }
+  result.mean_iudr = result.eligible > 0 ? sum / result.eligible : 0.0;
+  return result;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace trap::bench

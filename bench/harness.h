@@ -1,0 +1,73 @@
+#ifndef TRAP_BENCH_HARNESS_H_
+#define TRAP_BENCH_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/evaluation.h"
+#include "catalog/datasets.h"
+#include "gbdt/utility_model.h"
+#include "trap/perturber.h"
+#include "workload/generator.h"
+
+namespace trap::bench {
+
+// Shared experiment environment for the figure/table benches. Scales are
+// miniature (this machine has one core; the paper used a 24-core Xeon + GPU
+// over days) — the benches reproduce the *shape* of each result, not the
+// absolute numbers; see EXPERIMENTS.md.
+struct BenchEnv {
+  explicit BenchEnv(catalog::Schema schema_in, uint64_t seed = 0xbe7c,
+                    int pool_size = 60, int num_training = 10,
+                    int num_tests = 6, int workload_size = 5);
+
+  catalog::Schema schema;
+  sql::Vocabulary vocab;
+  engine::WhatIfOptimizer optimizer;
+  engine::TrueCostModel truth;
+  std::vector<sql::Query> pool;
+  std::vector<workload::Workload> training;
+  std::vector<workload::Workload> tests;
+  gbdt::LearnedUtilityModel utility;
+  advisor::RobustnessEvaluator evaluator;
+
+  advisor::TuningConstraint StorageConstraint(double fraction = 0.5) const;
+  advisor::TuningConstraint CountConstraint(int n) const;
+};
+
+// Default generator configuration for a method at bench scale.
+::trap::trap::GeneratorConfig BenchGeneratorConfig(
+    ::trap::trap::GenerationMethod method,
+    ::trap::trap::PerturbationConstraint constraint, int epsilon,
+    uint64_t seed);
+
+// Result of assessing one (victim, generator) pair over the test workloads.
+struct AssessmentResult {
+  double mean_iudr = 0.0;
+  int eligible = 0;      // workloads with u(W) > theta
+  int filtered = 0;      // perturbed workloads excluded as non-sargable
+};
+
+// Fits `config` against the victim and measures the mean IUDR over the test
+// workloads (Definition 3.3), excluding non-sargable perturbations: a W'
+// on which even the reference advisors cannot reach theta utility
+// (Section V-A's filtering step).
+AssessmentResult AssessRobustness(BenchEnv& env, advisor::IndexAdvisor* victim,
+                                  advisor::IndexAdvisor* baseline,
+                                  ::trap::trap::GeneratorConfig config,
+                                  const advisor::TuningConstraint& constraint,
+                                  double theta = 0.1);
+
+// True when no reference advisor reaches `theta` utility on `w` — the
+// workload cannot be served by indexes at all.
+bool IsNonSargable(BenchEnv& env, const workload::Workload& w,
+                   const advisor::TuningConstraint& constraint, double theta);
+
+// Prints a section header so the bench output reads like the paper's tables.
+void PrintHeader(const std::string& title);
+
+}  // namespace trap::bench
+
+#endif  // TRAP_BENCH_HARNESS_H_

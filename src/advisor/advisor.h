@@ -1,0 +1,62 @@
+#ifndef TRAP_ADVISOR_ADVISOR_H_
+#define TRAP_ADVISOR_ADVISOR_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/index.h"
+#include "engine/what_if.h"
+#include "workload/workload.h"
+
+namespace trap::advisor {
+
+// Tuning constraint (Table III): advisors are either storage-budgeted or
+// index-count-budgeted. Count-budgeted advisors additionally may not exceed
+// the storage budget, matching the paper's evaluation protocol ("they are
+// allowed to build indexes that don't exceed the same storage budget given").
+struct TuningConstraint {
+  int64_t storage_budget_bytes = 0;  // always enforced
+  int max_indexes = 0;               // 0 = unconstrained count
+
+  static TuningConstraint Storage(int64_t bytes) {
+    TuningConstraint c;
+    c.storage_budget_bytes = bytes;
+    return c;
+  }
+  static TuningConstraint IndexCount(int n, int64_t storage_bytes) {
+    TuningConstraint c;
+    c.storage_budget_bytes = storage_bytes;
+    c.max_indexes = n;
+    return c;
+  }
+};
+
+// Interface implemented by all ten advisors (Definition 3.1): given a
+// workload and a tuning constraint, return a set of indexes. Advisors
+// interact with the engine exclusively through what-if calls.
+class IndexAdvisor {
+ public:
+  virtual ~IndexAdvisor() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual engine::IndexConfig Recommend(const workload::Workload& w,
+                                        const TuningConstraint& constraint) = 0;
+};
+
+// Convenience: weighted workload cost through the what-if optimizer.
+inline double WorkloadCost(const engine::WhatIfOptimizer& optimizer,
+                           const workload::Workload& w,
+                           const engine::IndexConfig& config) {
+  return workload::EstimatedCost(w, optimizer, config);
+}
+
+// True if adding `index` to `config` stays within the constraint.
+bool FitsConstraint(const engine::IndexConfig& config,
+                    const engine::Index& index,
+                    const TuningConstraint& constraint,
+                    const catalog::Schema& schema);
+
+}  // namespace trap::advisor
+
+#endif  // TRAP_ADVISOR_ADVISOR_H_

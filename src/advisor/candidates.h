@@ -1,0 +1,41 @@
+#ifndef TRAP_ADVISOR_CANDIDATES_H_
+#define TRAP_ADVISOR_CANDIDATES_H_
+
+#include <vector>
+
+#include "engine/index.h"
+#include "workload/workload.h"
+
+namespace trap::advisor {
+
+// A column that could plausibly be indexed for a workload, with its number
+// of syntactic appearances (in sargable filters, join keys, GROUP BY and
+// ORDER BY clauses) weighted by query weight.
+struct IndexableColumn {
+  catalog::ColumnId column;
+  double count = 0.0;
+};
+
+// All indexable columns of `w`, ordered by descending count.
+std::vector<IndexableColumn> IndexableColumns(const workload::Workload& w);
+
+// One single-column candidate index per indexable column.
+std::vector<engine::Index> SingleColumnCandidates(const workload::Workload& w);
+
+// Multi-column candidates derived per query (classic candidate generation):
+// per (query, table) the equality-filter columns in selectivity order
+// followed by at most one range column; prefixes of that permutation; an
+// ORDER BY prefix index; join-key-led two-column combinations. Deduplicated;
+// width capped at `max_width`.
+std::vector<engine::Index> MultiColumnCandidates(const workload::Workload& w,
+                                                 const catalog::Schema& schema,
+                                                 int max_width = 3);
+
+// Union of single- and multi-column candidates (dedup).
+std::vector<engine::Index> AllCandidates(const workload::Workload& w,
+                                         const catalog::Schema& schema,
+                                         bool multi_column, int max_width = 3);
+
+}  // namespace trap::advisor
+
+#endif  // TRAP_ADVISOR_CANDIDATES_H_

@@ -1,0 +1,229 @@
+#include "advisor/dqn_advisors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "nn/adam.h"
+#include "nn/layers.h"
+
+namespace trap::advisor {
+namespace {
+
+struct Transition {
+  std::vector<double> state;
+  int action = 0;
+  double reward = 0.0;
+  std::vector<double> next_state;
+  std::vector<bool> next_valid;
+  bool done = false;
+};
+
+// Deep Q-learning over the index-selection episode with experience replay
+// and a periodically synchronized target network.
+class DqnAdvisorBase : public LearningAdvisor {
+ public:
+  DqnAdvisorBase(const engine::WhatIfOptimizer& optimizer, DqnOptions options,
+                 std::string name)
+      : optimizer_(&optimizer), options_(options), name_(std::move(name)),
+        rng_(options.seed) {}
+
+  std::string name() const override { return name_; }
+
+  void Train(const std::vector<workload::Workload>& training,
+             const TuningConstraint& constraint) override {
+    TRAP_CHECK(!training.empty());
+    actions_ = BuildActionSpace(training, optimizer_->schema(),
+                                options_.multi_column,
+                                options_.prune_candidates,
+                                options_.max_actions);
+    encoder_ = std::make_unique<StateEncoder>(options_.state, optimizer_,
+                                              &actions_);
+    int k = actions_.size();
+    qnet_ = nn::Mlp(&store_, {encoder_->dim(), options_.hidden, k}, rng_);
+    target_ = nn::Mlp(&target_store_, {encoder_->dim(), options_.hidden, k},
+                      rng_);
+    target_store_.CopyValuesFrom(store_);
+    opt_ = std::make_unique<nn::Adam>(store_.parameters(),
+                                      options_.learning_rate);
+    opt_->set_max_grad_norm(5.0);
+
+    IndexSelectionEnv env(optimizer_, &actions_);
+    int64_t global_step = 0;
+    for (int ep = 0; ep < options_.episodes; ++ep) {
+      double eps = options_.epsilon_start +
+                   (options_.epsilon_end - options_.epsilon_start) *
+                       static_cast<double>(ep) /
+                       std::max(1, options_.episodes - 1);
+      const workload::Workload& w =
+          training[static_cast<size_t>(rng_.UniformInt(
+              0, static_cast<int64_t>(training.size()) - 1))];
+      env.Reset(&w, constraint);
+      while (!env.Done()) {
+        std::vector<bool> valid = env.ValidActions(false);
+        if (std::none_of(valid.begin(), valid.end(), [](bool b) { return b; })) {
+          break;
+        }
+        std::vector<double> state = encoder_->Encode(w, env.built(), constraint);
+        int a = rng_.Bernoulli(eps) ? RandomValid(valid)
+                                    : GreedyAction(qnet_, state, valid);
+        double r = env.Step(a);
+        bool done = env.Done();
+        std::vector<double> next_state =
+            encoder_->Encode(w, env.built(), constraint);
+        std::vector<bool> next_valid = env.ValidActions(false);
+        replay_.push_back(Transition{std::move(state), a, r,
+                                     std::move(next_state),
+                                     std::move(next_valid), done});
+        if (static_cast<int>(replay_.size()) > options_.replay_capacity) {
+          replay_.pop_front();
+        }
+        if (static_cast<int>(replay_.size()) >= options_.batch_size) {
+          LearnBatch();
+        }
+        if (++global_step % options_.target_sync_interval == 0) {
+          target_store_.CopyValuesFrom(store_);
+        }
+      }
+    }
+    trained_ = true;
+  }
+
+  engine::IndexConfig Recommend(const workload::Workload& w,
+                                const TuningConstraint& constraint) override {
+    TRAP_CHECK_MSG(trained_, "Train must be called first");
+    IndexSelectionEnv env(optimizer_, &actions_);
+    env.Reset(&w, constraint);
+    while (!env.Done()) {
+      std::vector<bool> valid = env.ValidActions(false);
+      if (std::none_of(valid.begin(), valid.end(), [](bool b) { return b; })) {
+        break;
+      }
+      std::vector<double> state = encoder_->Encode(w, env.built(), constraint);
+      int a = GreedyAction(qnet_, state, valid);
+      // Stop early when the best remaining Q-value predicts no improvement
+      // (but always recommend at least one index).
+      if (!env.built().empty() && BestQ(qnet_, state, valid) <= 0.0) break;
+      env.Step(a);
+    }
+    return env.built();
+  }
+
+  const ActionSpace& action_space() const { return actions_; }
+
+ private:
+  int RandomValid(const std::vector<bool>& valid) {
+    std::vector<int> ids;
+    for (size_t i = 0; i < valid.size(); ++i) {
+      if (valid[i]) ids.push_back(static_cast<int>(i));
+    }
+    return ids[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(ids.size()) - 1))];
+  }
+
+  nn::Matrix QValues(const nn::Mlp& net, const std::vector<double>& state) {
+    nn::Graph g;
+    return g.value(net.Forward(g, g.Input(nn::Matrix::RowVector(state))));
+  }
+
+  int GreedyAction(const nn::Mlp& net, const std::vector<double>& state,
+                   const std::vector<bool>& valid) {
+    nn::Matrix q = QValues(net, state);
+    int best = -1;
+    for (int j = 0; j < q.cols(); ++j) {
+      if (!valid[static_cast<size_t>(j)]) continue;
+      if (best < 0 || q.at(0, j) > q.at(0, best)) best = j;
+    }
+    TRAP_CHECK(best >= 0);
+    return best;
+  }
+
+  double BestQ(const nn::Mlp& net, const std::vector<double>& state,
+               const std::vector<bool>& valid) {
+    nn::Matrix q = QValues(net, state);
+    double best = -1e300;
+    for (int j = 0; j < q.cols(); ++j) {
+      if (valid[static_cast<size_t>(j)]) best = std::max(best, q.at(0, j));
+    }
+    return best;
+  }
+
+  void LearnBatch() {
+    nn::Graph g;
+    nn::Graph::VarId loss = g.Input(nn::Matrix(1, 1));
+    for (int b = 0; b < options_.batch_size; ++b) {
+      const Transition& t = replay_[static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(replay_.size()) - 1))];
+      double target = t.reward;
+      if (!t.done) {
+        double best_next = -1e300;
+        bool any = false;
+        nn::Matrix qn = QValues(target_, t.next_state);
+        for (int j = 0; j < qn.cols(); ++j) {
+          if (j < static_cast<int>(t.next_valid.size()) &&
+              t.next_valid[static_cast<size_t>(j)]) {
+            best_next = std::max(best_next, qn.at(0, j));
+            any = true;
+          }
+        }
+        if (any) target += options_.gamma * best_next;
+      }
+      nn::Graph::VarId q =
+          qnet_.Forward(g, g.Input(nn::Matrix::RowVector(t.state)));
+      nn::Graph::VarId qa = g.Pick(q, 0, t.action);
+      nn::Matrix tm(1, 1);
+      tm.at(0, 0) = target;
+      nn::Graph::VarId err = g.Sub(qa, g.Input(tm));
+      loss = g.Add(loss, g.Mul(err, err));
+    }
+    g.Backward(g.Scale(loss, 1.0 / options_.batch_size));
+    opt_->Step();
+  }
+
+  const engine::WhatIfOptimizer* optimizer_;
+  DqnOptions options_;
+  std::string name_;
+  common::Rng rng_;
+
+  ActionSpace actions_;
+  std::unique_ptr<StateEncoder> encoder_;
+  nn::ParameterStore store_;
+  nn::ParameterStore target_store_;
+  nn::Mlp qnet_;
+  nn::Mlp target_;
+  std::unique_ptr<nn::Adam> opt_;
+  std::deque<Transition> replay_;
+  bool trained_ = false;
+};
+
+}  // namespace
+
+DqnOptions DrlIndexDefaults() {
+  DqnOptions o;
+  o.state = StateGranularity::kCoarse;
+  o.multi_column = false;   // DRLindex recommends single-column indexes
+  o.prune_candidates = true;
+  o.seed = 0xd71;
+  return o;
+}
+
+DqnOptions DqnAdvisorDefaults() {
+  DqnOptions o;
+  o.state = StateGranularity::kCoarse;
+  o.multi_column = true;    // rule-generated multi-column candidates
+  o.prune_candidates = true;
+  o.seed = 0xd92;
+  return o;
+}
+
+std::unique_ptr<LearningAdvisor> MakeDrlIndex(
+    const engine::WhatIfOptimizer& optimizer, DqnOptions options) {
+  return std::make_unique<DqnAdvisorBase>(optimizer, options, "DRLindex");
+}
+
+std::unique_ptr<LearningAdvisor> MakeDqnAdvisor(
+    const engine::WhatIfOptimizer& optimizer, DqnOptions options) {
+  return std::make_unique<DqnAdvisorBase>(optimizer, options, "DQN");
+}
+
+}  // namespace trap::advisor

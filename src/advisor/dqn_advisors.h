@@ -1,0 +1,45 @@
+#ifndef TRAP_ADVISOR_DQN_ADVISORS_H_
+#define TRAP_ADVISOR_DQN_ADVISORS_H_
+
+#include <memory>
+
+#include "advisor/rl_common.h"
+
+namespace trap::advisor {
+
+// Shared knobs for the two DQN-based advisors.
+struct DqnOptions {
+  StateGranularity state = StateGranularity::kCoarse;
+  bool multi_column = false;
+  bool prune_candidates = true;   // Fig. 13 switch (DQN advisor)
+  int max_actions = 48;
+  int hidden = 64;
+  double learning_rate = 1e-3;
+  int episodes = 400;
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.05;
+  double gamma = 0.95;
+  int replay_capacity = 4096;
+  int batch_size = 32;
+  int target_sync_interval = 200;  // steps between target-network syncs
+  uint64_t seed = 0xd02;
+};
+
+// DRLindex [Sadri et al., IDEAS'20]: DQN over single-column index actions
+// with a coarse-grained state (column occurrence counts), index-count
+// constrained.
+std::unique_ptr<LearningAdvisor> MakeDrlIndex(
+    const engine::WhatIfOptimizer& optimizer, DqnOptions options = {});
+
+// DQN advisor [Lan et al., CIKM'20]: DQN with heuristic rule-based candidate
+// pruning and single- and multi-column candidates.
+std::unique_ptr<LearningAdvisor> MakeDqnAdvisor(
+    const engine::WhatIfOptimizer& optimizer, DqnOptions options = {});
+
+// Applies the advisor-specific defaults used in the paper's Table III.
+DqnOptions DrlIndexDefaults();
+DqnOptions DqnAdvisorDefaults();
+
+}  // namespace trap::advisor
+
+#endif  // TRAP_ADVISOR_DQN_ADVISORS_H_

@@ -1,0 +1,114 @@
+#include "advisor/evaluation.h"
+
+#include "advisor/dqn_advisors.h"
+#include "advisor/heuristic_advisors.h"
+#include "advisor/mcts.h"
+#include "advisor/swirl.h"
+
+namespace trap::advisor {
+
+RobustnessEvaluator::RobustnessEvaluator(
+    const engine::WhatIfOptimizer& optimizer,
+    const engine::TrueCostModel& truth)
+    : optimizer_(&optimizer), truth_(&truth) {}
+
+double RobustnessEvaluator::IndexUtility(IndexAdvisor& advisor,
+                                         IndexAdvisor* baseline,
+                                         const workload::Workload& w,
+                                         const TuningConstraint& constraint) const {
+  engine::IndexConfig selected = advisor.Recommend(w, constraint);
+  engine::IndexConfig base_config;
+  if (baseline != nullptr) {
+    base_config = baseline->Recommend(w, constraint);
+  }
+  double with_cost = workload::ActualCost(w, *truth_, selected);
+  double base_cost = workload::ActualCost(w, *truth_, base_config);
+  if (base_cost <= 0.0) return 0.0;
+  return 1.0 - with_cost / base_cost;
+}
+
+const std::vector<std::string>& AdvisorSuite::AllNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "Extend",    "DB2Advis", "AutoAdmin", "Drop", "Relaxation",
+      "DTA",       "SWIRL",    "DRLindex",  "DQN",  "MCTS"};
+  return *names;
+}
+
+AdvisorSuite::AdvisorSuite(const engine::WhatIfOptimizer& optimizer,
+                           uint64_t seed)
+    : AdvisorSuite(optimizer, seed, SuiteOptions()) {}
+
+AdvisorSuite::AdvisorSuite(const engine::WhatIfOptimizer& optimizer,
+                           uint64_t seed, SuiteOptions options) {
+  HeuristicOptions heur;
+  advisors_["Extend"] = MakeExtend(optimizer, heur);
+  advisors_["DB2Advis"] = MakeDb2Advis(optimizer, heur);
+  advisors_["AutoAdmin"] = MakeAutoAdmin(optimizer, heur);
+  HeuristicOptions drop_options = heur;
+  drop_options.multi_column = false;  // Drop is single-column by design
+  advisors_["Drop"] = MakeDrop(optimizer, drop_options);
+  advisors_["Relaxation"] = MakeRelaxation(optimizer, heur);
+  advisors_["DTA"] = MakeDta(optimizer, heur);
+
+  SwirlOptions swirl;
+  swirl.seed = seed ^ 0x51;
+  swirl.episodes = options.rl_episodes;
+  swirl.max_actions = options.max_actions;
+  advisors_["SWIRL"] = std::make_unique<SwirlAdvisor>(optimizer, swirl);
+  DqnOptions drl = DrlIndexDefaults();
+  drl.seed = seed ^ 0xd1;
+  drl.episodes = options.rl_episodes;
+  drl.max_actions = options.max_actions;
+  advisors_["DRLindex"] = MakeDrlIndex(optimizer, drl);
+  DqnOptions dqn = DqnAdvisorDefaults();
+  dqn.seed = seed ^ 0xd2;
+  dqn.episodes = options.rl_episodes;
+  dqn.max_actions = options.max_actions;
+  advisors_["DQN"] = MakeDqnAdvisor(optimizer, dqn);
+  MctsOptions mcts;
+  mcts.seed = seed ^ 0x3c;
+  mcts.iterations = options.mcts_iterations;
+  advisors_["MCTS"] = MakeMcts(optimizer, mcts);
+
+  // Baseline pairing of Table III (same constraint type and index type).
+  baseline_["SWIRL"] = "Extend";
+  baseline_["DRLindex"] = "Drop";
+  baseline_["DQN"] = "AutoAdmin";
+  baseline_["MCTS"] = "AutoAdmin";
+}
+
+void AdvisorSuite::TrainLearners(
+    const std::vector<workload::Workload>& training,
+    const TuningConstraint& constraint) {
+  TrainLearners(training, constraint, constraint);
+}
+
+void AdvisorSuite::TrainLearners(
+    const std::vector<workload::Workload>& training,
+    const TuningConstraint& storage_constraint,
+    const TuningConstraint& count_constraint) {
+  for (auto& [name, advisor] : advisors_) {
+    auto* learner = dynamic_cast<LearningAdvisor*>(advisor.get());
+    if (learner == nullptr) continue;
+    learner->Train(training,
+                   name == "SWIRL" ? storage_constraint : count_constraint);
+  }
+}
+
+IndexAdvisor* AdvisorSuite::advisor(const std::string& name) {
+  auto it = advisors_.find(name);
+  TRAP_CHECK_MSG(it != advisors_.end(), name.c_str());
+  return it->second.get();
+}
+
+IndexAdvisor* AdvisorSuite::baseline_for(const std::string& name) {
+  auto it = baseline_.find(name);
+  if (it == baseline_.end()) return nullptr;
+  return advisor(it->second);
+}
+
+bool AdvisorSuite::is_learning(const std::string& name) const {
+  return baseline_.count(name) > 0;
+}
+
+}  // namespace trap::advisor

@@ -1,0 +1,87 @@
+#ifndef TRAP_ADVISOR_EVALUATION_H_
+#define TRAP_ADVISOR_EVALUATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "engine/true_cost.h"
+
+namespace trap::advisor {
+
+// Index utility and IUDR (Definitions 3.2 / 3.3). Costs are measured with
+// the true-cost oracle (the "actual runtime" of this reproduction), while
+// advisors internally rely on what-if estimates — exactly the paper's
+// asymmetry.
+class RobustnessEvaluator {
+ public:
+  RobustnessEvaluator(const engine::WhatIfOptimizer& optimizer,
+                      const engine::TrueCostModel& truth);
+
+  // u(W, d, f) = 1 - c(W, d, f(W)) / c(W, d, Ib(W)); `baseline` == nullptr
+  // means Ib is the empty configuration (heuristic advisors).
+  double IndexUtility(IndexAdvisor& advisor, IndexAdvisor* baseline,
+                      const workload::Workload& w,
+                      const TuningConstraint& constraint) const;
+
+  // IUDR = 1 - u(W') / u(W); higher means a larger performance drop.
+  static double Iudr(double utility_original, double utility_perturbed) {
+    if (utility_original == 0.0) return 0.0;
+    return 1.0 - utility_perturbed / utility_original;
+  }
+
+  const engine::WhatIfOptimizer& optimizer() const { return *optimizer_; }
+  const engine::TrueCostModel& truth() const { return *truth_; }
+
+ private:
+  const engine::WhatIfOptimizer* optimizer_;
+  const engine::TrueCostModel* truth_;
+};
+
+// The ten assessed advisors wired with their Table III configurations and
+// baseline pairings (heuristics against the null set; SWIRL vs Extend,
+// DRLindex vs Drop, DQN and MCTS vs AutoAdmin). Learning-based advisors
+// must be trained once via TrainLearners before assessment.
+class AdvisorSuite {
+ public:
+  // Budget knobs for the learning-based members (benches on small machines
+  // shrink these; the defaults follow the per-advisor option defaults).
+  struct SuiteOptions {
+    int rl_episodes = 300;      // SWIRL / DRLindex / DQN training episodes
+    int max_actions = 48;       // candidate action-space cap
+    int mcts_iterations = 300;
+  };
+
+  explicit AdvisorSuite(const engine::WhatIfOptimizer& optimizer,
+                        uint64_t seed = 0x5417e);
+  AdvisorSuite(const engine::WhatIfOptimizer& optimizer, uint64_t seed,
+               SuiteOptions options);
+
+  // Names in Table III order.
+  static const std::vector<std::string>& AllNames();
+
+  void TrainLearners(const std::vector<workload::Workload>& training,
+                     const TuningConstraint& constraint);
+
+  // Trains each learner under its Table III constraint kind: SWIRL with the
+  // storage budget, DRLindex/DQN with the index-count constraint.
+  void TrainLearners(const std::vector<workload::Workload>& training,
+                     const TuningConstraint& storage_constraint,
+                     const TuningConstraint& count_constraint);
+
+  IndexAdvisor* advisor(const std::string& name);
+  // nullptr when the baseline Ib is the empty configuration.
+  IndexAdvisor* baseline_for(const std::string& name);
+
+  bool is_learning(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<IndexAdvisor>> advisors_;
+  std::map<std::string, std::string> baseline_;  // name -> baseline name
+};
+
+}  // namespace trap::advisor
+
+#endif  // TRAP_ADVISOR_EVALUATION_H_

@@ -1,0 +1,605 @@
+#include "advisor/heuristic_advisors.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "advisor/candidates.h"
+
+namespace trap::advisor {
+namespace {
+
+using engine::Index;
+using engine::IndexConfig;
+using engine::WhatIfOptimizer;
+using workload::Workload;
+
+// Candidates that could ever fit the constraint on their own.
+std::vector<Index> FeasibleCandidates(std::vector<Index> candidates,
+                                      const TuningConstraint& constraint,
+                                      const catalog::Schema& schema) {
+  std::vector<Index> out;
+  for (Index& i : candidates) {
+    if (constraint.storage_budget_bytes <= 0 ||
+        engine::IndexSizeBytes(i, schema) <= constraint.storage_budget_bytes) {
+      out.push_back(std::move(i));
+    }
+  }
+  return out;
+}
+
+// Greedy best configuration for a single query: repeatedly add the candidate
+// with the largest cost reduction, up to `max_indexes` indexes.
+IndexConfig BestConfigForQuery(const WhatIfOptimizer& optimizer,
+                               const sql::Query& q,
+                               const std::vector<Index>& candidates,
+                               int max_indexes) {
+  IndexConfig config;
+  double current = optimizer.QueryCost(q, config);
+  for (int round = 0; round < max_indexes; ++round) {
+    const Index* best = nullptr;
+    double best_cost = current;
+    for (const Index& cand : candidates) {
+      if (config.Contains(cand)) continue;
+      if (cand.table() < 0) continue;
+      IndexConfig next = config;
+      next.Add(cand);
+      double cost = optimizer.QueryCost(q, next);
+      if (cost < best_cost - 1e-9) {
+        best_cost = cost;
+        best = &cand;
+      }
+    }
+    if (best == nullptr) break;
+    config.Add(*best);
+    current = best_cost;
+  }
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Extend
+// ---------------------------------------------------------------------------
+
+class ExtendAdvisor : public IndexAdvisor {
+ public:
+  ExtendAdvisor(const WhatIfOptimizer& optimizer, HeuristicOptions options)
+      : optimizer_(&optimizer), options_(options) {}
+
+  std::string name() const override { return "Extend"; }
+
+  IndexConfig Recommend(const Workload& w,
+                        const TuningConstraint& constraint) override {
+    const catalog::Schema& schema = optimizer_->schema();
+    std::vector<Index> singles =
+        FeasibleCandidates(SingleColumnCandidates(w), constraint, schema);
+    std::vector<IndexableColumn> columns = IndexableColumns(w);
+
+    IndexConfig config;
+    double base_cost = WorkloadCost(*optimizer_, w, IndexConfig());
+    double current = base_cost;
+
+    // Pre-computed isolated benefits for the w/o-interaction ablation.
+    std::map<uint64_t, double> isolated_benefit;
+    auto isolated = [&](const Index& i) {
+      IndexConfig only;
+      only.Add(i);
+      uint64_t key = only.Fingerprint();
+      auto it = isolated_benefit.find(key);
+      if (it != isolated_benefit.end()) return it->second;
+      double b = base_cost - WorkloadCost(*optimizer_, w, only);
+      isolated_benefit.emplace(key, b);
+      return b;
+    };
+
+    while (true) {
+      struct Move {
+        Index add;               // index to add
+        Index remove;            // replaced index (empty columns = none)
+        double ratio = 0.0;
+        double new_cost = 0.0;
+      };
+      std::optional<Move> best;
+
+      auto consider = [&](const Index& add, const Index* remove) {
+        IndexConfig next = config;
+        if (remove != nullptr) next.Remove(*remove);
+        if (!FitsConstraint(next, add, constraint, schema)) return;
+        double extra = static_cast<double>(engine::IndexSizeBytes(add, schema));
+        if (remove != nullptr) {
+          extra -= static_cast<double>(engine::IndexSizeBytes(*remove, schema));
+        }
+        extra = std::max(extra, 1.0);
+        next.Add(add);
+        double benefit, new_cost;
+        if (options_.consider_interaction) {
+          new_cost = WorkloadCost(*optimizer_, w, next);
+          benefit = current - new_cost;
+        } else {
+          benefit = isolated(add) - (remove != nullptr ? isolated(*remove) : 0.0);
+          new_cost = current - benefit;
+        }
+        double ratio = benefit / extra;
+        if (benefit > 1e-9 && (!best.has_value() || ratio > best->ratio)) {
+          best = Move{add, remove != nullptr ? *remove : Index{},
+                      ratio, new_cost};
+        }
+      };
+
+      for (const Index& cand : singles) {
+        if (!config.Contains(cand)) consider(cand, nullptr);
+      }
+      if (options_.multi_column) {
+        // Extension step: append one attribute to a selected index.
+        for (const Index& sel : config.indexes()) {
+          if (sel.NumColumns() >= options_.max_index_width) continue;
+          for (const IndexableColumn& ic : columns) {
+            if (ic.column.table != sel.table()) continue;
+            if (std::find(sel.columns.begin(), sel.columns.end(), ic.column) !=
+                sel.columns.end()) {
+              continue;
+            }
+            Index extended = sel;
+            extended.columns.push_back(ic.column);
+            consider(extended, &sel);
+          }
+        }
+      }
+      if (!best.has_value()) break;
+      if (!best->remove.columns.empty()) config.Remove(best->remove);
+      config.Add(best->add);
+      current = options_.consider_interaction
+                    ? best->new_cost
+                    : WorkloadCost(*optimizer_, w, config);
+    }
+    return config;
+  }
+
+ private:
+  const WhatIfOptimizer* optimizer_;
+  HeuristicOptions options_;
+};
+
+// ---------------------------------------------------------------------------
+// DB2Advis
+// ---------------------------------------------------------------------------
+
+class Db2Advisor : public IndexAdvisor {
+ public:
+  Db2Advisor(const WhatIfOptimizer& optimizer, HeuristicOptions options)
+      : optimizer_(&optimizer), options_(options) {}
+
+  std::string name() const override { return "DB2Advis"; }
+
+  IndexConfig Recommend(const Workload& w,
+                        const TuningConstraint& constraint) override {
+    const catalog::Schema& schema = optimizer_->schema();
+    std::vector<Index> candidates = FeasibleCandidates(
+        AllCandidates(w, schema, options_.multi_column,
+                      options_.max_index_width),
+        constraint, schema);
+    // One-time what-if evaluation with ALL candidates hypothetically built.
+    IndexConfig all(candidates);
+    std::map<uint64_t, double> benefit;  // per-index fingerprint
+    auto fp = [](const Index& i) {
+      IndexConfig c;
+      c.Add(i);
+      return c.Fingerprint();
+    };
+    for (const workload::WorkloadQuery& wq : w.queries) {
+      double base = optimizer_->QueryCost(wq.query, IndexConfig());
+      std::unique_ptr<engine::PlanNode> plan =
+          optimizer_->Plan(wq.query, all);
+      double improvement = std::max(0.0, base - plan->cost) * wq.weight;
+      std::vector<const engine::PlanNode*> nodes;
+      engine::CollectNodes(*plan, &nodes);
+      std::set<uint64_t> used;
+      for (const engine::PlanNode* n : nodes) {
+        if (n->index != nullptr) used.insert(fp(*n->index));
+      }
+      if (used.empty()) continue;
+      for (uint64_t u : used) {
+        benefit[u] += improvement / static_cast<double>(used.size());
+      }
+    }
+    // Greedy knapsack by benefit-per-storage, no re-evaluation.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](const Index& a, const Index& b) {
+                       double ba = benefit.count(fp(a)) ? benefit.at(fp(a)) : 0.0;
+                       double bb = benefit.count(fp(b)) ? benefit.at(fp(b)) : 0.0;
+                       return ba / static_cast<double>(engine::IndexSizeBytes(a, schema)) >
+                              bb / static_cast<double>(engine::IndexSizeBytes(b, schema));
+                     });
+    IndexConfig config;
+    for (const Index& cand : candidates) {
+      double b = benefit.count(fp(cand)) ? benefit.at(fp(cand)) : 0.0;
+      if (b <= 1e-9) continue;
+      if (FitsConstraint(config, cand, constraint, schema)) config.Add(cand);
+    }
+    return config;
+  }
+
+ private:
+  const WhatIfOptimizer* optimizer_;
+  HeuristicOptions options_;
+};
+
+// ---------------------------------------------------------------------------
+// AutoAdmin
+// ---------------------------------------------------------------------------
+
+class AutoAdminAdvisor : public IndexAdvisor {
+ public:
+  AutoAdminAdvisor(const WhatIfOptimizer& optimizer, HeuristicOptions options)
+      : optimizer_(&optimizer), options_(options) {}
+
+  std::string name() const override { return "AutoAdmin"; }
+
+  IndexConfig Recommend(const Workload& w,
+                        const TuningConstraint& constraint) override {
+    const catalog::Schema& schema = optimizer_->schema();
+    // Phase 1: candidate selection — the best configuration per query.
+    std::set<Index> seeds;
+    for (const workload::WorkloadQuery& wq : w.queries) {
+      workload::Workload single;
+      single.queries.push_back(wq);
+      std::vector<Index> per_query = FeasibleCandidates(
+          AllCandidates(single, schema, options_.multi_column,
+                        options_.max_index_width),
+          constraint, schema);
+      IndexConfig best = BestConfigForQuery(*optimizer_, wq.query, per_query,
+                                            /*max_indexes=*/2);
+      for (const Index& i : best.indexes()) seeds.insert(i);
+    }
+    std::vector<Index> candidates(seeds.begin(), seeds.end());
+
+    // Phase 2: greedy enumeration over the workload.
+    IndexConfig config;
+    double base_cost = WorkloadCost(*optimizer_, w, config);
+    double current = base_cost;
+    int limit = constraint.max_indexes > 0 ? constraint.max_indexes
+                                           : static_cast<int>(candidates.size());
+    for (int round = 0; round < limit; ++round) {
+      const Index* best = nullptr;
+      double best_cost = current;
+      for (const Index& cand : candidates) {
+        if (!FitsConstraint(config, cand, constraint, schema)) continue;
+        double cost;
+        if (options_.consider_interaction) {
+          IndexConfig next = config;
+          next.Add(cand);
+          cost = WorkloadCost(*optimizer_, w, next);
+        } else {
+          IndexConfig only;
+          only.Add(cand);
+          cost = current - (base_cost - WorkloadCost(*optimizer_, w, only));
+        }
+        if (cost < best_cost - 1e-9) {
+          best_cost = cost;
+          best = &cand;
+        }
+      }
+      if (best == nullptr) break;
+      config.Add(*best);
+      current = options_.consider_interaction
+                    ? best_cost
+                    : WorkloadCost(*optimizer_, w, config);
+    }
+    return config;
+  }
+
+ private:
+  const WhatIfOptimizer* optimizer_;
+  HeuristicOptions options_;
+};
+
+// ---------------------------------------------------------------------------
+// Drop
+// ---------------------------------------------------------------------------
+
+class DropAdvisor : public IndexAdvisor {
+ public:
+  DropAdvisor(const WhatIfOptimizer& optimizer, HeuristicOptions options)
+      : optimizer_(&optimizer), options_(options) {}
+
+  std::string name() const override { return "Drop"; }
+
+  IndexConfig Recommend(const Workload& w,
+                        const TuningConstraint& constraint) override {
+    const catalog::Schema& schema = optimizer_->schema();
+    std::vector<Index> candidates = FeasibleCandidates(
+        options_.multi_column
+            ? AllCandidates(w, schema, true, options_.max_index_width)
+            : SingleColumnCandidates(w),
+        constraint, schema);
+    IndexConfig config(candidates);
+    double base_cost = WorkloadCost(*optimizer_, w, IndexConfig());
+
+    auto over_constraint = [&]() {
+      if (constraint.max_indexes > 0 && config.size() > constraint.max_indexes) {
+        return true;
+      }
+      return constraint.storage_budget_bytes > 0 &&
+             config.TotalSizeBytes(schema) > constraint.storage_budget_bytes;
+    };
+
+    while (config.size() > 0 && over_constraint()) {
+      const Index* victim = nullptr;
+      double best_cost = 0.0;
+      for (const Index& i : config.indexes()) {
+        double cost;
+        if (options_.consider_interaction) {
+          IndexConfig next = config;
+          next.Remove(i);
+          cost = WorkloadCost(*optimizer_, w, next);
+        } else {
+          IndexConfig only;
+          only.Add(i);
+          cost = base_cost - WorkloadCost(*optimizer_, w, only);
+          // Smaller isolated benefit -> cheaper to drop; encode as cost.
+        }
+        if (victim == nullptr || cost < best_cost) {
+          best_cost = cost;
+          victim = &i;
+        }
+      }
+      Index to_remove = *victim;
+      config.Remove(to_remove);
+    }
+    // Final pruning: drop indexes that provide no benefit at all.
+    while (true) {
+      double current = WorkloadCost(*optimizer_, w, config);
+      const Index* useless = nullptr;
+      for (const Index& i : config.indexes()) {
+        IndexConfig next = config;
+        next.Remove(i);
+        if (WorkloadCost(*optimizer_, w, next) <= current + 1e-9) {
+          useless = &i;
+          break;
+        }
+      }
+      if (useless == nullptr) break;
+      Index to_remove = *useless;
+      config.Remove(to_remove);
+    }
+    return config;
+  }
+
+ private:
+  const WhatIfOptimizer* optimizer_;
+  HeuristicOptions options_;
+};
+
+// ---------------------------------------------------------------------------
+// Relaxation
+// ---------------------------------------------------------------------------
+
+class RelaxationAdvisor : public IndexAdvisor {
+ public:
+  RelaxationAdvisor(const WhatIfOptimizer& optimizer, HeuristicOptions options)
+      : optimizer_(&optimizer), options_(options) {}
+
+  std::string name() const override { return "Relaxation"; }
+
+  IndexConfig Recommend(const Workload& w,
+                        const TuningConstraint& constraint) override {
+    const catalog::Schema& schema = optimizer_->schema();
+    // Start from the union of per-query best configurations.
+    std::set<Index> seeds;
+    for (const workload::WorkloadQuery& wq : w.queries) {
+      workload::Workload single;
+      single.queries.push_back(wq);
+      std::vector<Index> per_query =
+          AllCandidates(single, schema, options_.multi_column,
+                        options_.max_index_width);
+      IndexConfig best =
+          BestConfigForQuery(*optimizer_, wq.query, per_query, 2);
+      for (const Index& i : best.indexes()) seeds.insert(i);
+    }
+    IndexConfig config(std::vector<Index>(seeds.begin(), seeds.end()));
+
+    auto storage = [&]() { return config.TotalSizeBytes(schema); };
+    auto over = [&]() {
+      return (constraint.storage_budget_bytes > 0 &&
+              storage() > constraint.storage_budget_bytes) ||
+             (constraint.max_indexes > 0 &&
+              config.size() > constraint.max_indexes);
+    };
+
+    double current = WorkloadCost(*optimizer_, w, config);
+    while (config.size() > 0 && over()) {
+      struct Relax {
+        IndexConfig next;
+        double score = 0.0;  // penalty per byte saved (lower is better)
+        double new_cost = 0.0;
+      };
+      std::optional<Relax> best;
+      auto consider = [&](IndexConfig next) {
+        int64_t saved = storage() - next.TotalSizeBytes(schema);
+        if (saved <= 0 && constraint.max_indexes == 0) return;
+        if (next.size() >= config.size() && constraint.max_indexes > 0 &&
+            config.size() > constraint.max_indexes) {
+          return;  // must shrink the count when over the count constraint
+        }
+        double new_cost = WorkloadCost(*optimizer_, w, next);
+        double penalty = new_cost - current;
+        double score = penalty / std::max<double>(1.0, static_cast<double>(saved));
+        if (!best.has_value() || score < best->score) {
+          best = Relax{std::move(next), score, new_cost};
+        }
+      };
+      for (const Index& i : config.indexes()) {
+        // Removal.
+        IndexConfig removed = config;
+        removed.Remove(i);
+        consider(removed);
+        // Prefix narrowing.
+        if (i.NumColumns() > 1) {
+          IndexConfig narrowed = config;
+          narrowed.Remove(i);
+          Index prefix = i;
+          prefix.columns.pop_back();
+          narrowed.Add(prefix);
+          consider(narrowed);
+        }
+        // Merging with another index on the same table.
+        for (const Index& j : config.indexes()) {
+          if (i == j || i.table() != j.table()) continue;
+          Index merged = i;
+          for (catalog::ColumnId c : j.columns) {
+            if (std::find(merged.columns.begin(), merged.columns.end(), c) ==
+                merged.columns.end()) {
+              merged.columns.push_back(c);
+            }
+          }
+          if (merged.NumColumns() > options_.max_index_width) continue;
+          IndexConfig mergedcfg = config;
+          mergedcfg.Remove(i);
+          mergedcfg.Remove(j);
+          mergedcfg.Add(merged);
+          consider(mergedcfg);
+        }
+      }
+      if (!best.has_value()) break;
+      config = best->next;
+      current = best->new_cost;
+    }
+    return config;
+  }
+
+ private:
+  const WhatIfOptimizer* optimizer_;
+  HeuristicOptions options_;
+};
+
+// ---------------------------------------------------------------------------
+// DTA (anytime)
+// ---------------------------------------------------------------------------
+
+class DtaAdvisor : public IndexAdvisor {
+ public:
+  DtaAdvisor(const WhatIfOptimizer& optimizer, HeuristicOptions options)
+      : optimizer_(&optimizer), options_(options) {}
+
+  std::string name() const override { return "DTA"; }
+
+  IndexConfig Recommend(const Workload& w,
+                        const TuningConstraint& constraint) override {
+    const catalog::Schema& schema = optimizer_->schema();
+    constexpr int kEvaluationBudget = 4000;  // anytime bound on what-if calls
+    int evaluations = 0;
+
+    std::vector<Index> candidates = FeasibleCandidates(
+        AllCandidates(w, schema, options_.multi_column,
+                      options_.max_index_width),
+        constraint, schema);
+    // Seed with per-query winners so good multi-column indexes surface early.
+    std::set<Index> priority;
+    for (const workload::WorkloadQuery& wq : w.queries) {
+      workload::Workload single;
+      single.queries.push_back(wq);
+      IndexConfig best = BestConfigForQuery(
+          *optimizer_, wq.query,
+          FeasibleCandidates(AllCandidates(single, schema,
+                                           options_.multi_column,
+                                           options_.max_index_width),
+                             constraint, schema),
+          1);
+      for (const Index& i : best.indexes()) priority.insert(i);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](const Index& a, const Index& b) {
+                       return priority.count(a) > priority.count(b);
+                     });
+
+    IndexConfig config;
+    double base_cost = WorkloadCost(*optimizer_, w, config);
+    double current = base_cost;
+    // Greedy additions.
+    while (evaluations < kEvaluationBudget) {
+      const Index* best = nullptr;
+      double best_ratio = 0.0;
+      double best_cost = current;
+      for (const Index& cand : candidates) {
+        if (!FitsConstraint(config, cand, constraint, schema)) continue;
+        if (evaluations >= kEvaluationBudget) break;
+        double cost;
+        if (options_.consider_interaction) {
+          IndexConfig next = config;
+          next.Add(cand);
+          cost = WorkloadCost(*optimizer_, w, next);
+        } else {
+          IndexConfig only;
+          only.Add(cand);
+          cost = current - (base_cost - WorkloadCost(*optimizer_, w, only));
+        }
+        ++evaluations;
+        double ratio = (current - cost) /
+                       static_cast<double>(engine::IndexSizeBytes(cand, schema));
+        if (current - cost > 1e-9 && ratio > best_ratio) {
+          best_ratio = ratio;
+          best_cost = cost;
+          best = &cand;
+        }
+      }
+      if (best == nullptr) break;
+      config.Add(*best);
+      current = options_.consider_interaction
+                    ? best_cost
+                    : WorkloadCost(*optimizer_, w, config);
+    }
+    // One anytime swap pass.
+    for (const Index& sel : std::vector<Index>(config.indexes())) {
+      if (evaluations >= kEvaluationBudget) break;
+      for (const Index& cand : candidates) {
+        if (config.Contains(cand)) continue;
+        IndexConfig next = config;
+        next.Remove(sel);
+        if (!FitsConstraint(next, cand, constraint, schema)) continue;
+        next.Add(cand);
+        double cost = WorkloadCost(*optimizer_, w, next);
+        ++evaluations;
+        if (cost < current - 1e-9) {
+          config = next;
+          current = cost;
+          break;
+        }
+        if (evaluations >= kEvaluationBudget) break;
+      }
+    }
+    return config;
+  }
+
+ private:
+  const WhatIfOptimizer* optimizer_;
+  HeuristicOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<IndexAdvisor> MakeExtend(const WhatIfOptimizer& optimizer,
+                                         HeuristicOptions options) {
+  return std::make_unique<ExtendAdvisor>(optimizer, options);
+}
+std::unique_ptr<IndexAdvisor> MakeDb2Advis(const WhatIfOptimizer& optimizer,
+                                           HeuristicOptions options) {
+  return std::make_unique<Db2Advisor>(optimizer, options);
+}
+std::unique_ptr<IndexAdvisor> MakeAutoAdmin(const WhatIfOptimizer& optimizer,
+                                            HeuristicOptions options) {
+  return std::make_unique<AutoAdminAdvisor>(optimizer, options);
+}
+std::unique_ptr<IndexAdvisor> MakeDrop(const WhatIfOptimizer& optimizer,
+                                       HeuristicOptions options) {
+  return std::make_unique<DropAdvisor>(optimizer, options);
+}
+std::unique_ptr<IndexAdvisor> MakeRelaxation(const WhatIfOptimizer& optimizer,
+                                             HeuristicOptions options) {
+  return std::make_unique<RelaxationAdvisor>(optimizer, options);
+}
+std::unique_ptr<IndexAdvisor> MakeDta(const WhatIfOptimizer& optimizer,
+                                      HeuristicOptions options) {
+  return std::make_unique<DtaAdvisor>(optimizer, options);
+}
+
+}  // namespace trap::advisor

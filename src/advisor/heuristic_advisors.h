@@ -1,0 +1,62 @@
+#ifndef TRAP_ADVISOR_HEURISTIC_ADVISORS_H_
+#define TRAP_ADVISOR_HEURISTIC_ADVISORS_H_
+
+#include <memory>
+
+#include "advisor/advisor.h"
+
+namespace trap::advisor {
+
+// Shared switches for the heuristic advisors, exposing the design choices
+// the paper ablates in Section VI-B:
+//   * consider_interaction (Fig. 14): when true, a candidate's benefit is
+//     re-evaluated under the currently selected configuration; when false,
+//     each index's benefit is computed with only that index built and reused
+//     unchanged across greedy rounds.
+//   * multi_column (Fig. 15): when false, only single-column candidates.
+struct HeuristicOptions {
+  bool consider_interaction = true;
+  bool multi_column = true;
+  int max_index_width = 3;
+};
+
+// Extend [Schlosser et al., ICDE'19]: incremental, storage-budgeted,
+// benefit-per-storage criterion. Starts from single-column candidates and
+// extends already-selected indexes by appending attributes.
+std::unique_ptr<IndexAdvisor> MakeExtend(const engine::WhatIfOptimizer& optimizer,
+                                         HeuristicOptions options = {});
+
+// DB2Advis [Valentin et al., ICDE'00]: derives per-query candidates, costs
+// the workload ONCE with all candidates hypothetically built (the one-time
+// what-if call the paper identifies as its robustness weakness), attributes
+// benefits to the indexes actually used, then packs greedily by
+// benefit-per-storage.
+std::unique_ptr<IndexAdvisor> MakeDb2Advis(const engine::WhatIfOptimizer& optimizer,
+                                           HeuristicOptions options = {});
+
+// AutoAdmin [Chaudhuri & Narasayya, VLDB'97]: per-query candidate selection
+// followed by greedy enumeration under an index-count constraint.
+std::unique_ptr<IndexAdvisor> MakeAutoAdmin(const engine::WhatIfOptimizer& optimizer,
+                                            HeuristicOptions options = {});
+
+// Drop [Whang, 1987]: decremental; starts from all single-column candidates
+// and drops the least useful until the count constraint is met
+// (single-column only by design).
+std::unique_ptr<IndexAdvisor> MakeDrop(const engine::WhatIfOptimizer& optimizer,
+                                       HeuristicOptions options = {});
+
+// Relaxation [Bruno & Chaudhuri, SIGMOD'05]: starts from the union of
+// per-query optimal configurations and relaxes (remove / narrow to prefix /
+// merge) until the storage budget is met, minimizing penalty per byte saved.
+std::unique_ptr<IndexAdvisor> MakeRelaxation(const engine::WhatIfOptimizer& optimizer,
+                                             HeuristicOptions options = {});
+
+// DTA [Chaudhuri & Narasayya, anytime tuning advisor]: seeds with per-query
+// best configurations, then greedy anytime refinement with a bounded number
+// of what-if evaluations.
+std::unique_ptr<IndexAdvisor> MakeDta(const engine::WhatIfOptimizer& optimizer,
+                                      HeuristicOptions options = {});
+
+}  // namespace trap::advisor
+
+#endif  // TRAP_ADVISOR_HEURISTIC_ADVISORS_H_

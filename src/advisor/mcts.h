@@ -1,0 +1,28 @@
+#ifndef TRAP_ADVISOR_MCTS_H_
+#define TRAP_ADVISOR_MCTS_H_
+
+#include <memory>
+
+#include "advisor/advisor.h"
+
+namespace trap::advisor {
+
+// MCTS advisor [Zhou et al. ICDE'22 / Wu et al. SIGMOD'22, UCT variant]:
+// budget-aware Monte-Carlo tree search over index-set states. Actions add
+// one candidate index; rollouts complete the configuration randomly; the
+// value of a terminal configuration is its normalized workload cost
+// reduction. Search runs per workload within a fixed iteration budget.
+struct MctsOptions {
+  int iterations = 300;
+  double exploration = 1.2;  // UCT constant
+  bool multi_column = true;
+  int max_width = 3;
+  uint64_t seed = 0x3c75;
+};
+
+std::unique_ptr<IndexAdvisor> MakeMcts(const engine::WhatIfOptimizer& optimizer,
+                                       MctsOptions options = {});
+
+}  // namespace trap::advisor
+
+#endif  // TRAP_ADVISOR_MCTS_H_

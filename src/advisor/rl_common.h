@@ -1,0 +1,110 @@
+#ifndef TRAP_ADVISOR_RL_COMMON_H_
+#define TRAP_ADVISOR_RL_COMMON_H_
+
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "advisor/candidates.h"
+
+namespace trap::advisor {
+
+// Learning-based advisors are trained once on training workloads and then
+// frozen; robustness assessment probes the frozen policy (Definition 3.3
+// explicitly excludes re-training).
+class LearningAdvisor : public IndexAdvisor {
+ public:
+  virtual void Train(const std::vector<workload::Workload>& training,
+                     const TuningConstraint& constraint) = 0;
+};
+
+// State representation granularity, the design axis of Fig. 12:
+//   kFine   — operator/cost statistics from the workload's current plans
+//             plus per-candidate relevance and progress features (SWIRL);
+//   kCoarse — column-presence counts and built flags only (DRLindex).
+enum class StateGranularity { kFine, kCoarse };
+
+// The fixed action space of a learning-based advisor: one action per
+// candidate index (plus an implicit stop). Built at training time from the
+// training workloads — queries outside this space at assessment time are
+// exactly where robustness problems appear.
+struct ActionSpace {
+  std::vector<engine::Index> candidates;
+
+  int size() const { return static_cast<int>(candidates.size()); }
+};
+
+// Builds an action space from training workloads.
+// `prune_candidates` (Fig. 13): when true, only syntactically relevant
+// candidates (from AllCandidates) enter; when false, the space additionally
+// contains single-column indexes over every schema column (irrelevant
+// actions included), up to `max_actions`.
+ActionSpace BuildActionSpace(const std::vector<workload::Workload>& training,
+                             const catalog::Schema& schema, bool multi_column,
+                             bool prune_candidates, int max_actions,
+                             int max_width = 3);
+
+// Weighted fraction of `w`'s queries for which every column of `candidate`
+// is syntactically relevant (appears among the query's indexable columns).
+double CandidateRelevance(const engine::Index& candidate,
+                          const workload::Workload& w);
+
+// Encodes (workload, built configuration, constraint) into a feature vector.
+class StateEncoder {
+ public:
+  StateEncoder(StateGranularity granularity,
+               const engine::WhatIfOptimizer* optimizer,
+               const ActionSpace* actions);
+
+  int dim() const;
+
+  std::vector<double> Encode(const workload::Workload& w,
+                             const engine::IndexConfig& built,
+                             const TuningConstraint& constraint) const;
+
+  StateGranularity granularity() const { return granularity_; }
+
+ private:
+  StateGranularity granularity_;
+  const engine::WhatIfOptimizer* optimizer_;
+  const ActionSpace* actions_;
+};
+
+// The index-selection episode shared by all RL advisors: starting from the
+// empty configuration, each action builds one candidate; the reward is the
+// workload cost reduction of that step normalized by the no-index cost.
+class IndexSelectionEnv {
+ public:
+  IndexSelectionEnv(const engine::WhatIfOptimizer* optimizer,
+                    const ActionSpace* actions);
+
+  void Reset(const workload::Workload* w, const TuningConstraint& constraint);
+
+  // Valid actions: not built, fits the constraint. If `mask_irrelevant`,
+  // additionally requires positive syntactic relevance to the workload
+  // (SWIRL's invalid action masking).
+  std::vector<bool> ValidActions(bool mask_irrelevant) const;
+
+  // Applies action `a` (index into the action space); returns the reward.
+  double Step(int a);
+
+  bool Done() const;
+  const engine::IndexConfig& built() const { return built_; }
+  const workload::Workload& current_workload() const { return *workload_; }
+  const TuningConstraint& constraint() const { return constraint_; }
+  double base_cost() const { return base_cost_; }
+  double current_cost() const { return current_cost_; }
+
+ private:
+  const engine::WhatIfOptimizer* optimizer_;
+  const ActionSpace* actions_;
+  const workload::Workload* workload_ = nullptr;
+  TuningConstraint constraint_;
+  engine::IndexConfig built_;
+  double base_cost_ = 0.0;
+  double current_cost_ = 0.0;
+  int steps_ = 0;
+};
+
+}  // namespace trap::advisor
+
+#endif  // TRAP_ADVISOR_RL_COMMON_H_

@@ -1,0 +1,189 @@
+#include "advisor/swirl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/adam.h"
+#include "nn/layers.h"
+
+namespace trap::advisor {
+
+namespace {
+
+// Masked sampling / argmax over raw logits (probabilities computed outside
+// the autograd graph; gradients flow through the in-graph log-softmax).
+int SampleMasked(const nn::Matrix& logits, const std::vector<bool>& valid,
+                 common::Rng* rng) {
+  double mx = -1e300;
+  for (int j = 0; j < logits.cols(); ++j) {
+    if (valid[static_cast<size_t>(j)]) mx = std::max(mx, logits.at(0, j));
+  }
+  if (mx == -1e300) return -1;
+  std::vector<double> probs(static_cast<size_t>(logits.cols()), 0.0);
+  double sum = 0.0;
+  for (int j = 0; j < logits.cols(); ++j) {
+    if (valid[static_cast<size_t>(j)]) {
+      probs[static_cast<size_t>(j)] = std::exp(logits.at(0, j) - mx);
+      sum += probs[static_cast<size_t>(j)];
+    }
+  }
+  if (rng == nullptr) {
+    int best = -1;
+    for (int j = 0; j < logits.cols(); ++j) {
+      if (valid[static_cast<size_t>(j)] &&
+          (best < 0 || logits.at(0, j) > logits.at(0, best))) {
+        best = j;
+      }
+    }
+    return best;
+  }
+  double r = rng->Uniform(0.0, sum);
+  double acc = 0.0;
+  for (int j = 0; j < logits.cols(); ++j) {
+    acc += probs[static_cast<size_t>(j)];
+    if (valid[static_cast<size_t>(j)] && r < acc) return j;
+  }
+  for (int j = logits.cols() - 1; j >= 0; --j) {
+    if (valid[static_cast<size_t>(j)]) return j;
+  }
+  return -1;
+}
+
+}  // namespace
+
+struct SwirlAdvisor::Impl {
+  Impl(const engine::WhatIfOptimizer& optimizer, SwirlOptions options)
+      : optimizer(&optimizer), options(options), rng(options.seed) {}
+
+  const engine::WhatIfOptimizer* optimizer;
+  SwirlOptions options;
+  common::Rng rng;
+
+  ActionSpace actions;
+  std::unique_ptr<StateEncoder> encoder;
+  nn::ParameterStore store;
+  nn::Mlp actor;    // state -> K+1 logits (last = stop)
+  nn::Mlp critic;   // state -> value
+  std::unique_ptr<nn::Adam> opt;
+  bool trained = false;
+
+  // Runs one episode; when `sample` the policy is stochastic and the episode
+  // contributes to the policy-gradient update, otherwise greedy.
+  engine::IndexConfig Rollout(const workload::Workload& w,
+                              const TuningConstraint& constraint, bool sample,
+                              double* episode_return) {
+    IndexSelectionEnv env(optimizer, &actions);
+    env.Reset(&w, constraint);
+    int k = actions.size();
+    struct StepRecord {
+      std::vector<double> state;
+      std::vector<bool> valid;
+      int action = -1;
+      double reward = 0.0;
+    };
+    std::vector<StepRecord> steps;
+    double total = 0.0;
+    while (!env.Done()) {
+      std::vector<bool> valid = env.ValidActions(options.action_masking);
+      // The stop action becomes available once at least one index is built
+      // (an empty recommendation is never useful).
+      valid.push_back(!env.built().empty());
+      std::vector<double> state = encoder->Encode(w, env.built(), constraint);
+      // Forward pass outside the training graph for action selection.
+      nn::Graph g;
+      nn::Graph::VarId logits =
+          actor.Forward(g, g.Input(nn::Matrix::RowVector(state)));
+      int a = SampleMasked(g.value(logits), valid, sample ? &rng : nullptr);
+      if (a < 0 || a == k) {
+        if (sample) {
+          steps.push_back(StepRecord{state, valid, k, 0.0});
+        }
+        break;
+      }
+      double r = env.Step(a);
+      total += r;
+      if (sample) steps.push_back(StepRecord{state, valid, a, r});
+    }
+    if (episode_return != nullptr) *episode_return = total;
+
+    if (sample && !steps.empty()) {
+      // Returns-to-go (gamma = 1; episodes are short).
+      std::vector<double> returns(steps.size());
+      double acc = 0.0;
+      for (int i = static_cast<int>(steps.size()) - 1; i >= 0; --i) {
+        acc += steps[static_cast<size_t>(i)].reward;
+        returns[static_cast<size_t>(i)] = acc;
+      }
+      nn::Graph g;
+      nn::Graph::VarId loss = g.Input(nn::Matrix(1, 1));
+      for (size_t i = 0; i < steps.size(); ++i) {
+        const StepRecord& s = steps[i];
+        nn::Graph::VarId x = g.Input(nn::Matrix::RowVector(s.state));
+        nn::Graph::VarId logits = actor.Forward(g, x);
+        // Mask invalid actions with a large negative offset.
+        nn::Matrix mask(1, k + 1);
+        for (int j = 0; j <= k; ++j) {
+          mask.at(0, j) = s.valid[static_cast<size_t>(j)] ? 0.0 : -1e9;
+        }
+        nn::Graph::VarId masked = g.Add(logits, g.Input(mask));
+        nn::Graph::VarId logp_all = g.LogSoftmax(masked);
+        nn::Graph::VarId logp = g.Pick(logp_all, 0, s.action);
+        nn::Graph::VarId value = critic.Forward(g, x);
+        double advantage = returns[i] - g.value(value).at(0, 0);
+        // Actor: -advantage * logp; critic: (value - return)^2.
+        loss = g.Add(loss, g.Scale(logp, -advantage));
+        nn::Matrix target(1, 1);
+        target.at(0, 0) = returns[i];
+        nn::Graph::VarId verr = g.Sub(value, g.Input(target));
+        loss = g.Add(loss, g.Scale(g.Mul(verr, verr), 0.5));
+      }
+      g.Backward(g.Sum(loss));
+      opt->Step();
+    }
+    return env.built();
+  }
+};
+
+SwirlAdvisor::SwirlAdvisor(const engine::WhatIfOptimizer& optimizer,
+                           SwirlOptions options)
+    : impl_(std::make_unique<Impl>(optimizer, options)) {}
+
+SwirlAdvisor::~SwirlAdvisor() = default;
+
+const ActionSpace& SwirlAdvisor::action_space() const { return impl_->actions; }
+
+void SwirlAdvisor::Train(const std::vector<workload::Workload>& training,
+                         const TuningConstraint& constraint) {
+  TRAP_CHECK(!training.empty());
+  Impl& im = *impl_;
+  im.actions = BuildActionSpace(training, im.optimizer->schema(),
+                                im.options.multi_column,
+                                im.options.prune_candidates,
+                                im.options.max_actions);
+  im.encoder = std::make_unique<StateEncoder>(im.options.state, im.optimizer,
+                                              &im.actions);
+  int k = im.actions.size();
+  im.actor = nn::Mlp(&im.store, {im.encoder->dim(), im.options.hidden, k + 1},
+                     im.rng);
+  im.critic = nn::Mlp(&im.store, {im.encoder->dim(), im.options.hidden, 1},
+                      im.rng);
+  im.opt = std::make_unique<nn::Adam>(im.store.parameters(),
+                                      im.options.learning_rate);
+  im.opt->set_max_grad_norm(5.0);
+  for (int ep = 0; ep < im.options.episodes; ++ep) {
+    const workload::Workload& w =
+        training[static_cast<size_t>(im.rng.UniformInt(
+            0, static_cast<int64_t>(training.size()) - 1))];
+    double ret = 0.0;
+    im.Rollout(w, constraint, /*sample=*/true, &ret);
+  }
+  im.trained = true;
+}
+
+engine::IndexConfig SwirlAdvisor::Recommend(const workload::Workload& w,
+                                            const TuningConstraint& constraint) {
+  TRAP_CHECK_MSG(impl_->trained, "SwirlAdvisor::Train must be called first");
+  return impl_->Rollout(w, constraint, /*sample=*/false, nullptr);
+}
+
+}  // namespace trap::advisor

@@ -1,0 +1,102 @@
+#include "analysis/causal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace trap::analysis {
+
+const char* CausalModelName(CausalModel m) {
+  switch (m) {
+    case CausalModel::kRegression: return "Regression";
+    case CausalModel::kAnm: return "ANM";
+    case CausalModel::kCds: return "CDS";
+  }
+  return "?";
+}
+
+namespace {
+
+// Piecewise-constant regression of y on x (bucketed by distinct x values for
+// discrete causes, quantile bins otherwise); returns fitted values.
+std::vector<double> ConditionalMeans(const std::vector<double>& x,
+                                     const std::vector<double>& y) {
+  std::map<double, std::pair<double, int>> groups;
+  for (size_t i = 0; i < x.size(); ++i) {
+    auto& g = groups[x[i]];
+    g.first += y[i];
+    g.second += 1;
+  }
+  std::vector<double> fitted(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const auto& g = groups[x[i]];
+    fitted[i] = g.first / g.second;
+  }
+  return fitted;
+}
+
+double AnmScore(const std::vector<double>& x, const std::vector<double>& y) {
+  // Fit y = f(x) + e_y and x = g(y') + e_x with y quantile-coarsened, then
+  // compare residual-cause dependence: the better (less dependent) direction
+  // wins. The score is signed by the effect direction (mean y at high x vs
+  // low x) so "X increases Y" yields a positive value.
+  std::vector<double> fy = ConditionalMeans(x, y);
+  std::vector<double> res_y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) res_y[i] = y[i] - fy[i];
+  double dep_forward = std::abs(common::PearsonCorrelation(res_y, x));
+
+  // Reverse direction: coarsen y into 4 quantile bins.
+  std::vector<double> ybin(y.size());
+  double q1 = common::Quantile(y, 0.25);
+  double q2 = common::Quantile(y, 0.5);
+  double q3 = common::Quantile(y, 0.75);
+  for (size_t i = 0; i < y.size(); ++i) {
+    ybin[i] = y[i] <= q1 ? 0 : y[i] <= q2 ? 1 : y[i] <= q3 ? 2 : 3;
+  }
+  std::vector<double> fx = ConditionalMeans(ybin, x);
+  std::vector<double> res_x(x.size());
+  for (size_t i = 0; i < x.size(); ++i) res_x[i] = x[i] - fx[i];
+  double dep_reverse = std::abs(common::PearsonCorrelation(res_x, ybin));
+
+  double asym = dep_reverse - dep_forward;  // > 0 favours X -> Y
+  double effect = common::PearsonCorrelation(x, y);
+  double sign = effect >= 0 ? 1.0 : -1.0;
+  // Blend asymmetry with effect strength; keeps the sign of the effect.
+  return sign * std::abs(effect) * (0.5 + common::Clamp(asym + 0.5, 0.0, 1.0));
+}
+
+double CdsScore(const std::vector<double>& x, const std::vector<double>& y) {
+  // 1 - E[Var(Y | X)] / Var(Y), signed by the effect direction: how much of
+  // Y's spread the grouping by X explains.
+  double var_y = common::Variance(y);
+  if (var_y <= 0.0) return 0.0;
+  std::vector<double> fitted = ConditionalMeans(x, y);
+  std::vector<double> residual(y.size());
+  for (size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - fitted[i];
+  double explained = 1.0 - common::Variance(residual) / var_y;
+  double effect = common::PearsonCorrelation(x, y);
+  return (effect >= 0 ? 1.0 : -1.0) * common::Clamp(explained, 0.0, 1.0);
+}
+
+}  // namespace
+
+double CausationScore(CausalModel model, const std::vector<double>& x,
+                      const std::vector<double>& y) {
+  TRAP_CHECK(x.size() == y.size());
+  if (x.size() < 3) return 0.0;
+  if (common::Variance(x) <= 0.0 || common::Variance(y) <= 0.0) return 0.0;
+  switch (model) {
+    case CausalModel::kRegression:
+      return common::PearsonCorrelation(x, y);
+    case CausalModel::kAnm:
+      return AnmScore(x, y);
+    case CausalModel::kCds:
+      return CdsScore(x, y);
+  }
+  return 0.0;
+}
+
+}  // namespace trap::analysis

@@ -1,0 +1,27 @@
+#ifndef TRAP_ANALYSIS_CAUSAL_H_
+#define TRAP_ANALYSIS_CAUSAL_H_
+
+#include <vector>
+
+namespace trap::analysis {
+
+// Lightweight causal-score estimators in the spirit of the causal discovery
+// toolbox used for Fig. 16(a). Each estimates whether X (occurrence of a
+// query-change type, typically binary) is a cause of larger Y (IUDR); a
+// positive score supports "X causes the decrease of index utility".
+enum class CausalModel {
+  kRegression,  // standardized regression coefficient (Pearson)
+  kAnm,         // additive-noise-model asymmetry
+  kCds,         // conditional-distribution shift of Y given X
+};
+
+const char* CausalModelName(CausalModel m);
+
+// Computes the causation score of X -> Y for the chosen model. Returns 0
+// when either variable is constant.
+double CausationScore(CausalModel model, const std::vector<double>& x,
+                      const std::vector<double>& y);
+
+}  // namespace trap::analysis
+
+#endif  // TRAP_ANALYSIS_CAUSAL_H_

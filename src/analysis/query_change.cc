@@ -1,0 +1,89 @@
+#include "analysis/query_change.h"
+
+#include <algorithm>
+#include <set>
+
+namespace trap::analysis {
+
+const char* QueryChangeName(QueryChangeType t) {
+  switch (t) {
+    case QueryChangeType::kResultSetEnlarged: return "ResultSet Size";
+    case QueryChangeType::kUnequalOperator: return "Unequal Operator";
+    case QueryChangeType::kEqToRange: return "Eq-to-Range";
+    case QueryChangeType::kSelectUncovered: return "Select Uncovered";
+    case QueryChangeType::kOrConjunction: return "OR Conjunction";
+    case QueryChangeType::kGroupOrderChanged: return "Group/Order Changed";
+  }
+  return "?";
+}
+
+namespace {
+
+bool SelectCoveredByWhere(const sql::Query& q) {
+  std::set<catalog::ColumnId> where_cols;
+  for (const sql::Predicate& p : q.filters) where_cols.insert(p.column);
+  for (const sql::JoinPredicate& j : q.joins) {
+    where_cols.insert(j.left);
+    where_cols.insert(j.right);
+  }
+  for (const sql::SelectItem& s : q.select) {
+    if (where_cols.count(s.column) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::array<bool, kNumQueryChangeTypes> ClassifyQueryChanges(
+    const sql::Query& original, const sql::Query& perturbed,
+    const engine::CostModel& model) {
+  std::array<bool, kNumQueryChangeTypes> flags{};
+  engine::IndexConfig none;
+
+  double card_before =
+      std::max(1.0, model.Plan(original, none)->cardinality);
+  double card_after = std::max(1.0, model.Plan(perturbed, none)->cardinality);
+  flags[static_cast<size_t>(QueryChangeType::kResultSetEnlarged)] =
+      card_after > 10.0 * card_before;
+
+  bool had_ne = std::any_of(original.filters.begin(), original.filters.end(),
+                            [](const sql::Predicate& p) {
+                              return p.op == sql::CmpOp::kNe;
+                            });
+  bool has_ne = std::any_of(perturbed.filters.begin(), perturbed.filters.end(),
+                            [](const sql::Predicate& p) {
+                              return p.op == sql::CmpOp::kNe;
+                            });
+  flags[static_cast<size_t>(QueryChangeType::kUnequalOperator)] =
+      has_ne && !had_ne;
+
+  // Eq-to-range: a predicate on the same column flipped from = to a range.
+  auto is_range = [](sql::CmpOp op) {
+    return op == sql::CmpOp::kLt || op == sql::CmpOp::kLe ||
+           op == sql::CmpOp::kGt || op == sql::CmpOp::kGe;
+  };
+  bool eq_to_range = false;
+  for (const sql::Predicate& p0 : original.filters) {
+    if (p0.op != sql::CmpOp::kEq) continue;
+    for (const sql::Predicate& p1 : perturbed.filters) {
+      if (p1.column == p0.column && is_range(p1.op)) eq_to_range = true;
+    }
+  }
+  flags[static_cast<size_t>(QueryChangeType::kEqToRange)] = eq_to_range;
+
+  flags[static_cast<size_t>(QueryChangeType::kSelectUncovered)] =
+      SelectCoveredByWhere(original) && !SelectCoveredByWhere(perturbed);
+
+  flags[static_cast<size_t>(QueryChangeType::kOrConjunction)] =
+      original.conjunction == sql::Conjunction::kAnd &&
+      perturbed.conjunction == sql::Conjunction::kOr &&
+      perturbed.filters.size() > 1;
+
+  flags[static_cast<size_t>(QueryChangeType::kGroupOrderChanged)] =
+      original.group_by != perturbed.group_by ||
+      original.order_by != perturbed.order_by;
+
+  return flags;
+}
+
+}  // namespace trap::analysis

@@ -1,0 +1,34 @@
+#ifndef TRAP_ANALYSIS_QUERY_CHANGE_H_
+#define TRAP_ANALYSIS_QUERY_CHANGE_H_
+
+#include <array>
+#include <string>
+
+#include "engine/cost_model.h"
+
+namespace trap::analysis {
+
+// The six SQL-change categories of Section VI-C that are relevant to index
+// performance (and can make a query non-sargable).
+enum class QueryChangeType {
+  kResultSetEnlarged = 0,  // output cardinality dramatically enlarged
+  kUnequalOperator,        // an operator changed to <>
+  kEqToRange,              // an = operator changed to a range
+  kSelectUncovered,        // SELECT columns no longer covered by WHERE
+  kOrConjunction,          // conjunction replaced by OR
+  kGroupOrderChanged,      // GROUP BY / ORDER BY columns changed
+};
+constexpr int kNumQueryChangeTypes = 6;
+
+const char* QueryChangeName(QueryChangeType t);
+
+// Flags each change category observed between an original query and its
+// perturbed variant. Cardinality comparison uses the engine's estimates
+// under the empty index configuration.
+std::array<bool, kNumQueryChangeTypes> ClassifyQueryChanges(
+    const sql::Query& original, const sql::Query& perturbed,
+    const engine::CostModel& model);
+
+}  // namespace trap::analysis
+
+#endif  // TRAP_ANALYSIS_QUERY_CHANGE_H_

@@ -1,0 +1,148 @@
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace trap::analysis {
+
+namespace {
+
+// Binary-searches the Gaussian bandwidth for one point so the conditional
+// distribution hits the target perplexity.
+void ConditionalP(const std::vector<double>& sq_dists, int self,
+                  double perplexity, std::vector<double>* p_row) {
+  const int n = static_cast<int>(sq_dists.size());
+  double lo = 1e-20, hi = 1e20, beta = 1.0;
+  const double target_entropy = std::log(perplexity);
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      (*p_row)[static_cast<size_t>(j)] =
+          j == self ? 0.0 : std::exp(-beta * sq_dists[static_cast<size_t>(j)]);
+      sum += (*p_row)[static_cast<size_t>(j)];
+    }
+    sum = std::max(sum, 1e-12);
+    double entropy = 0.0;
+    for (int j = 0; j < n; ++j) {
+      double p = (*p_row)[static_cast<size_t>(j)] / sum;
+      (*p_row)[static_cast<size_t>(j)] = p;
+      if (p > 1e-12) entropy -= p * std::log(p);
+    }
+    if (std::abs(entropy - target_entropy) < 1e-4) break;
+    if (entropy > target_entropy) {
+      lo = beta;
+      beta = hi > 1e19 ? beta * 2.0 : 0.5 * (beta + hi);
+    } else {
+      hi = beta;
+      beta = lo < 1e-19 ? beta / 2.0 : 0.5 * (beta + lo);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<double, double>> TsneEmbed(
+    const std::vector<std::vector<double>>& data, TsneOptions options) {
+  const int n = static_cast<int>(data.size());
+  TRAP_CHECK(n >= 4);
+  double perplexity = std::min(options.perplexity, (n - 1) / 3.0);
+
+  // Pairwise squared distances.
+  std::vector<std::vector<double>> sq(static_cast<size_t>(n),
+                                      std::vector<double>(static_cast<size_t>(n), 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double d = 0.0;
+      for (size_t k = 0; k < data[static_cast<size_t>(i)].size(); ++k) {
+        double diff = data[static_cast<size_t>(i)][k] - data[static_cast<size_t>(j)][k];
+        d += diff * diff;
+      }
+      sq[static_cast<size_t>(i)][static_cast<size_t>(j)] = d;
+      sq[static_cast<size_t>(j)][static_cast<size_t>(i)] = d;
+    }
+  }
+  // Symmetrized joint probabilities with early exaggeration.
+  std::vector<std::vector<double>> p(static_cast<size_t>(n),
+                                     std::vector<double>(static_cast<size_t>(n), 0.0));
+  std::vector<double> row(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ConditionalP(sq[static_cast<size_t>(i)], i, perplexity, &row);
+    for (int j = 0; j < n; ++j) p[static_cast<size_t>(i)][static_cast<size_t>(j)] = row[static_cast<size_t>(j)];
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double v = (p[static_cast<size_t>(i)][static_cast<size_t>(j)] +
+                  p[static_cast<size_t>(j)][static_cast<size_t>(i)]) /
+                 (2.0 * n);
+      v = std::max(v, 1e-12);
+      p[static_cast<size_t>(i)][static_cast<size_t>(j)] = v;
+      p[static_cast<size_t>(j)][static_cast<size_t>(i)] = v;
+    }
+  }
+
+  common::Rng rng(options.seed);
+  std::vector<std::pair<double, double>> y(static_cast<size_t>(n));
+  for (auto& pt : y) pt = {rng.Gaussian(0, 1e-2), rng.Gaussian(0, 1e-2)};
+  std::vector<std::pair<double, double>> velocity(static_cast<size_t>(n), {0, 0});
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    double exaggeration = iter < options.iterations / 4 ? 4.0 : 1.0;
+    // Low-dimensional affinities (Student-t kernel).
+    std::vector<std::vector<double>> qnum(
+        static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), 0.0));
+    double qsum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        double dx = y[static_cast<size_t>(i)].first - y[static_cast<size_t>(j)].first;
+        double dy = y[static_cast<size_t>(i)].second - y[static_cast<size_t>(j)].second;
+        double v = 1.0 / (1.0 + dx * dx + dy * dy);
+        qnum[static_cast<size_t>(i)][static_cast<size_t>(j)] = v;
+        qnum[static_cast<size_t>(j)][static_cast<size_t>(i)] = v;
+        qsum += 2.0 * v;
+      }
+    }
+    qsum = std::max(qsum, 1e-12);
+    double momentum = iter < 50 ? 0.5 : 0.8;
+    for (int i = 0; i < n; ++i) {
+      double gx = 0.0, gy = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        double q = qnum[static_cast<size_t>(i)][static_cast<size_t>(j)];
+        double coeff =
+            (exaggeration * p[static_cast<size_t>(i)][static_cast<size_t>(j)] - q / qsum) * q;
+        gx += 4.0 * coeff * (y[static_cast<size_t>(i)].first - y[static_cast<size_t>(j)].first);
+        gy += 4.0 * coeff * (y[static_cast<size_t>(i)].second - y[static_cast<size_t>(j)].second);
+      }
+      auto& vel = velocity[static_cast<size_t>(i)];
+      vel.first = momentum * vel.first - options.learning_rate * gx;
+      vel.second = momentum * vel.second - options.learning_rate * gy;
+      // Clip the velocity to keep early exaggeration stable.
+      double step = std::sqrt(vel.first * vel.first + vel.second * vel.second);
+      double cap = 3.0;
+      if (step > cap) {
+        vel.first *= cap / step;
+        vel.second *= cap / step;
+      }
+      y[static_cast<size_t>(i)].first += vel.first;
+      y[static_cast<size_t>(i)].second += vel.second;
+    }
+    // Re-center the embedding.
+    double mx = 0.0, my = 0.0;
+    for (const auto& pt : y) {
+      mx += pt.first;
+      my += pt.second;
+    }
+    mx /= n;
+    my /= n;
+    for (auto& pt : y) {
+      pt.first -= mx;
+      pt.second -= my;
+    }
+  }
+  return y;
+}
+
+}  // namespace trap::analysis

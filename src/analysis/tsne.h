@@ -1,0 +1,25 @@
+#ifndef TRAP_ANALYSIS_TSNE_H_
+#define TRAP_ANALYSIS_TSNE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace trap::analysis {
+
+// Exact t-SNE (van der Maaten & Hinton) to 2 dimensions, used to visualize
+// the encoder representations of queries before/after perturbation
+// (Fig. 17a). Suitable for the few hundred points the figure plots.
+struct TsneOptions {
+  double perplexity = 20.0;
+  int iterations = 300;
+  double learning_rate = 20.0;
+  uint64_t seed = 0x75e;
+};
+
+std::vector<std::pair<double, double>> TsneEmbed(
+    const std::vector<std::vector<double>>& data, TsneOptions options = {});
+
+}  // namespace trap::analysis
+
+#endif  // TRAP_ANALYSIS_TSNE_H_

@@ -1,0 +1,390 @@
+#include "catalog/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace trap::catalog {
+namespace {
+
+using common::HashCombine;
+using common::HashToUnit;
+
+Column IntCol(std::string name, int64_t ndv, double min_v, double max_v,
+              double skew = 0.0, int width = 8) {
+  Column c;
+  c.name = std::move(name);
+  c.type = ColumnType::kInt;
+  c.width_bytes = width;
+  c.num_distinct = std::max<int64_t>(1, ndv);
+  c.min_value = min_v;
+  c.max_value = max_v;
+  c.skew = skew;
+  return c;
+}
+
+Column DoubleCol(std::string name, int64_t ndv, double min_v, double max_v,
+                 double skew = 0.0) {
+  Column c = IntCol(std::move(name), ndv, min_v, max_v, skew, 8);
+  c.type = ColumnType::kDouble;
+  return c;
+}
+
+Column StringCol(std::string name, int64_t ndv, int width, double skew = 0.0) {
+  // String domains are represented by ordinal codes [0, ndv).
+  Column c = IntCol(std::move(name), ndv, 0.0, static_cast<double>(ndv - 1),
+                    skew, width);
+  c.type = ColumnType::kString;
+  return c;
+}
+
+// Key column: NDV == rows, uniform.
+Column KeyCol(std::string name, int64_t rows) {
+  return IntCol(std::move(name), rows, 0.0, static_cast<double>(rows - 1));
+}
+
+// Adds `count` deterministic filler columns to `t`, with stats derived from
+// a hash of (seed, table name, index) so schemas are stable across runs.
+void AddFillerColumns(Table& t, int count, uint64_t seed) {
+  uint64_t tseed = HashCombine(seed, std::hash<std::string>{}(t.name));
+  for (int i = 0; i < count; ++i) {
+    uint64_t h = HashCombine(tseed, static_cast<uint64_t>(i) + 1001);
+    double u0 = HashToUnit(h);
+    double u1 = HashToUnit(HashCombine(h, 7));
+    double u2 = HashToUnit(HashCombine(h, 13));
+    std::string name = common::StrFormat("attr_%02d", i);
+    // NDV spans from tiny categorical domains to near-unique columns.
+    double log_ndv = u0 * std::log10(static_cast<double>(t.num_rows));
+    int64_t ndv = std::max<int64_t>(2, static_cast<int64_t>(std::pow(10.0, log_ndv)));
+    ndv = std::min(ndv, t.num_rows);
+    double skew = u1 < 0.3 ? 0.0 : u1;  // mix of uniform and skewed columns
+    if (u2 < 0.45) {
+      t.columns.push_back(IntCol(name, ndv, 0.0, static_cast<double>(ndv * 4), skew));
+    } else if (u2 < 0.7) {
+      t.columns.push_back(DoubleCol(name, ndv, 0.0, 10000.0 * (u0 + 0.1), skew));
+    } else {
+      int width = 8 + static_cast<int>(u0 * 56.0);
+      t.columns.push_back(StringCol(name, ndv, width, skew));
+    }
+  }
+}
+
+int64_t Scaled(double scale, int64_t rows) {
+  return std::max<int64_t>(1, static_cast<int64_t>(scale * static_cast<double>(rows)));
+}
+
+}  // namespace
+
+Schema MakeTpcH(double scale) {
+  std::vector<Table> tables;
+
+  Table region{"region", 5, {}};
+  region.columns = {KeyCol("r_regionkey", 5), StringCol("r_name", 5, 25),
+                    StringCol("r_comment", 5, 152)};
+
+  Table nation{"nation", 25, {}};
+  nation.columns = {KeyCol("n_nationkey", 25), StringCol("n_name", 25, 25),
+                    IntCol("n_regionkey", 5, 0, 4),
+                    StringCol("n_comment", 25, 152)};
+
+  int64_t supp_rows = Scaled(scale, 10000);
+  Table supplier{"supplier", supp_rows, {}};
+  supplier.columns = {KeyCol("s_suppkey", supp_rows),
+                      StringCol("s_name", supp_rows, 25),
+                      StringCol("s_address", supp_rows, 40),
+                      IntCol("s_nationkey", 25, 0, 24),
+                      StringCol("s_phone", supp_rows, 15),
+                      DoubleCol("s_acctbal", supp_rows / 10, -999.99, 9999.99),
+                      StringCol("s_comment", supp_rows, 101)};
+
+  int64_t part_rows = Scaled(scale, 200000);
+  Table part{"part", part_rows, {}};
+  part.columns = {KeyCol("p_partkey", part_rows),
+                  StringCol("p_name", part_rows, 55),
+                  StringCol("p_mfgr", 5, 25),
+                  StringCol("p_brand", 25, 10),
+                  StringCol("p_type", 150, 25, 0.5),
+                  IntCol("p_size", 50, 1, 50),
+                  StringCol("p_container", 40, 10),
+                  DoubleCol("p_retailprice", 20000, 900.0, 2100.0),
+                  StringCol("p_comment", part_rows, 23)};
+
+  int64_t ps_rows = Scaled(scale, 800000);
+  Table partsupp{"partsupp", ps_rows, {}};
+  partsupp.columns = {IntCol("ps_partkey", part_rows, 0, static_cast<double>(part_rows - 1)),
+                      IntCol("ps_suppkey", supp_rows, 0, static_cast<double>(supp_rows - 1)),
+                      IntCol("ps_availqty", 10000, 1, 9999),
+                      DoubleCol("ps_supplycost", 100000, 1.0, 1000.0),
+                      StringCol("ps_comment", ps_rows, 199)};
+
+  int64_t cust_rows = Scaled(scale, 150000);
+  Table customer{"customer", cust_rows, {}};
+  customer.columns = {KeyCol("c_custkey", cust_rows),
+                      StringCol("c_name", cust_rows, 25),
+                      StringCol("c_address", cust_rows, 40),
+                      IntCol("c_nationkey", 25, 0, 24),
+                      StringCol("c_phone", cust_rows, 15),
+                      DoubleCol("c_acctbal", cust_rows / 2, -999.99, 9999.99),
+                      StringCol("c_mktsegment", 5, 10),
+                      StringCol("c_comment", cust_rows, 117)};
+
+  int64_t ord_rows = Scaled(scale, 1500000);
+  Table orders{"orders", ord_rows, {}};
+  orders.columns = {KeyCol("o_orderkey", ord_rows),
+                    IntCol("o_custkey", cust_rows, 0, static_cast<double>(cust_rows - 1)),
+                    StringCol("o_orderstatus", 3, 1, 1.2),
+                    DoubleCol("o_totalprice", ord_rows / 3, 850.0, 560000.0),
+                    IntCol("o_orderdate", 2406, 0, 2405),
+                    StringCol("o_orderpriority", 5, 15),
+                    StringCol("o_clerk", 1000, 15),
+                    IntCol("o_shippriority", 1, 0, 0),
+                    StringCol("o_comment", ord_rows, 79)};
+
+  int64_t li_rows = Scaled(scale, 6000000);
+  Table lineitem{"lineitem", li_rows, {}};
+  lineitem.columns = {IntCol("l_orderkey", ord_rows, 0, static_cast<double>(ord_rows - 1)),
+                      IntCol("l_partkey", part_rows, 0, static_cast<double>(part_rows - 1)),
+                      IntCol("l_suppkey", supp_rows, 0, static_cast<double>(supp_rows - 1)),
+                      IntCol("l_linenumber", 7, 1, 7),
+                      IntCol("l_quantity", 50, 1, 50),
+                      DoubleCol("l_extendedprice", li_rows / 6, 900.0, 105000.0),
+                      DoubleCol("l_discount", 11, 0.0, 0.10),
+                      DoubleCol("l_tax", 9, 0.0, 0.08),
+                      StringCol("l_returnflag", 3, 1, 0.8),
+                      StringCol("l_linestatus", 2, 1),
+                      IntCol("l_shipdate", 2526, 0, 2525),
+                      IntCol("l_commitdate", 2466, 0, 2465),
+                      IntCol("l_receiptdate", 2555, 0, 2554),
+                      StringCol("l_shipinstruct", 4, 25),
+                      StringCol("l_shipmode", 7, 10),
+                      StringCol("l_comment", li_rows / 2, 44)};
+
+  tables = {region, nation, supplier, customer, part, partsupp, orders, lineitem};
+  // Table indices in `tables` order.
+  const int kRegion = 0, kNation = 1, kSupplier = 2, kCustomer = 3,
+            kPart = 4, kPartsupp = 5, kOrders = 6, kLineitem = 7;
+  std::vector<JoinEdge> edges = {
+      {{kNation, 2}, {kRegion, 0}},     // n_regionkey = r_regionkey
+      {{kSupplier, 3}, {kNation, 0}},   // s_nationkey = n_nationkey
+      {{kCustomer, 3}, {kNation, 0}},   // c_nationkey = n_nationkey
+      {{kPartsupp, 0}, {kPart, 0}},     // ps_partkey = p_partkey
+      {{kPartsupp, 1}, {kSupplier, 0}}, // ps_suppkey = s_suppkey
+      {{kOrders, 1}, {kCustomer, 0}},   // o_custkey = c_custkey
+      {{kLineitem, 0}, {kOrders, 0}},   // l_orderkey = o_orderkey
+      {{kLineitem, 1}, {kPart, 0}},     // l_partkey = p_partkey
+      {{kLineitem, 2}, {kSupplier, 0}}, // l_suppkey = s_suppkey
+  };
+  return Schema("tpch", std::move(tables), std::move(edges));
+}
+
+Schema MakeTpcDs(double scale) {
+  // 25 tables / 429 columns, matching the shape reported in the paper.
+  // Fact tables join into shared dimensions (star/snowflake). Column counts
+  // per table follow the real benchmark closely; non-key columns are
+  // deterministic filler attributes.
+  struct Spec {
+    const char* name;
+    int64_t rows;
+    int columns;  // total including the leading surrogate key
+  };
+  // 25 tables; column counts sum to 429 (24 real TPC-DS tables plus a
+  // catalog_promotion bridge to reach the paper's 25/429 shape).
+  const Spec specs[] = {
+      {"store_sales", 2880000, 23},      {"store_returns", 288000, 20},
+      {"catalog_sales", 1440000, 34},    {"catalog_returns", 144000, 27},
+      {"web_sales", 720000, 34},         {"web_returns", 72000, 24},
+      {"inventory", 11745000, 4},        {"store", 12, 29},
+      {"call_center", 6, 31},            {"catalog_page", 11718, 9},
+      {"web_site", 30, 26},              {"web_page", 60, 14},
+      {"warehouse", 5, 14},              {"customer", 100000, 18},
+      {"customer_address", 50000, 13},   {"customer_demographics", 1920800, 9},
+      {"date_dim", 73049, 28},           {"household_demographics", 7200, 5},
+      {"item", 18000, 22},               {"income_band", 20, 3},
+      {"promotion", 300, 19},            {"reason", 35, 3},
+      {"ship_mode", 20, 6},              {"time_dim", 86400, 10},
+      {"catalog_promotion", 1500, 4},
+  };
+  std::vector<Table> tables;
+  for (const Spec& s : specs) {
+    Table t{s.name, Scaled(scale, s.rows), {}};
+    t.columns.push_back(KeyCol(std::string(s.name) + "_sk", t.num_rows));
+    tables.push_back(std::move(t));
+  }
+
+  auto index_of = [&](const char* name) {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (tables[i].name == name) return static_cast<int>(i);
+    }
+    TRAP_CHECK_MSG(false, name);
+    return -1;
+  };
+
+  // FK columns (added before filler so their positions are stable).
+  std::vector<JoinEdge> edges;
+  auto add_fk = [&](const char* from, const char* fk_name, const char* to) {
+    int f = index_of(from);
+    int d = index_of(to);
+    Table& ft = tables[static_cast<size_t>(f)];
+    int64_t ref_rows = tables[static_cast<size_t>(d)].num_rows;
+    // A FK column's NDV is bounded both by its reference domain and by the
+    // owning table's row count.
+    ft.columns.push_back(IntCol(fk_name, std::min(ref_rows, ft.num_rows), 0.0,
+                                static_cast<double>(ref_rows - 1)));
+    edges.push_back(JoinEdge{
+        ColumnId{f, static_cast<int>(ft.columns.size()) - 1},
+        ColumnId{d, 0}});
+  };
+
+  const char* facts[] = {"store_sales", "store_returns", "catalog_sales",
+                         "catalog_returns", "web_sales", "web_returns"};
+  for (const char* f : facts) {
+    add_fk(f, "sold_date_sk", "date_dim");
+    add_fk(f, "item_sk", "item");
+    add_fk(f, "customer_sk", "customer");
+  }
+  add_fk("store_sales", "store_sk", "store");
+  add_fk("store_returns", "store_sk", "store");
+  add_fk("catalog_sales", "call_center_sk", "call_center");
+  add_fk("catalog_sales", "ship_mode_sk", "ship_mode");
+  add_fk("catalog_sales", "warehouse_sk", "warehouse");
+  add_fk("catalog_returns", "warehouse_sk", "warehouse");
+  add_fk("web_sales", "web_site_sk", "web_site");
+  add_fk("web_sales", "web_page_sk", "web_page");
+  add_fk("web_returns", "web_page_sk", "web_page");
+  add_fk("inventory", "item_sk", "item");
+  add_fk("inventory", "warehouse_sk", "warehouse");
+  add_fk("customer", "customer_address_sk", "customer_address");
+  add_fk("customer", "customer_demographics_sk", "customer_demographics");
+  add_fk("customer", "household_demographics_sk", "household_demographics");
+  add_fk("household_demographics", "income_band_sk", "income_band");
+  add_fk("promotion", "item_sk", "item");
+  add_fk("catalog_promotion", "catalog_page_sk", "catalog_page");
+  add_fk("catalog_promotion", "promotion_sk", "promotion");
+  add_fk("store_sales", "promotion_sk", "promotion");
+  add_fk("catalog_sales", "promotion_sk", "promotion");
+  add_fk("web_sales", "promotion_sk", "promotion");
+  add_fk("store_returns", "reason_sk", "reason");
+  add_fk("catalog_returns", "reason_sk", "reason");
+  add_fk("web_returns", "reason_sk", "reason");
+  add_fk("store_sales", "sold_time_sk", "time_dim");
+  add_fk("web_sales", "sold_time_sk", "time_dim");
+
+  for (const Spec& s : specs) {
+    Table& t = tables[static_cast<size_t>(index_of(s.name))];
+    int filler = s.columns - static_cast<int>(t.columns.size());
+    TRAP_CHECK_MSG(filler >= 0, s.name);
+    AddFillerColumns(t, filler, /*seed=*/0x7dc5u);
+  }
+  return Schema("tpcds", std::move(tables), std::move(edges));
+}
+
+Schema MakeTransaction(double scale) {
+  // Banking OLTP schema: 10 tables, 189 columns.
+  struct Spec {
+    const char* name;
+    int64_t rows;
+    int columns;
+  };
+  const Spec specs[] = {
+      {"customer", 200000, 24},   {"account", 350000, 21},
+      {"card", 280000, 18},       {"branch", 1200, 15},
+      {"transfer", 5000000, 26},  {"payment", 3200000, 22},
+      {"loan", 90000, 23},        {"merchant", 45000, 14},
+      {"atm_withdrawal", 1800000, 12}, {"audit_log", 7000000, 14},
+  };
+  std::vector<Table> tables;
+  for (const Spec& s : specs) {
+    Table t{s.name, Scaled(scale, s.rows), {}};
+    t.columns.push_back(KeyCol(std::string(s.name) + "_id", t.num_rows));
+    tables.push_back(std::move(t));
+  }
+  auto index_of = [&](const char* name) {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (tables[i].name == name) return static_cast<int>(i);
+    }
+    TRAP_CHECK_MSG(false, name);
+    return -1;
+  };
+  std::vector<JoinEdge> edges;
+  auto add_fk = [&](const char* from, const char* fk_name, const char* to) {
+    int f = index_of(from);
+    int d = index_of(to);
+    Table& ft = tables[static_cast<size_t>(f)];
+    int64_t ref_rows = tables[static_cast<size_t>(d)].num_rows;
+    // A FK column's NDV is bounded both by its reference domain and by the
+    // owning table's row count.
+    ft.columns.push_back(IntCol(fk_name, std::min(ref_rows, ft.num_rows), 0.0,
+                                static_cast<double>(ref_rows - 1)));
+    edges.push_back(JoinEdge{
+        ColumnId{f, static_cast<int>(ft.columns.size()) - 1},
+        ColumnId{d, 0}});
+  };
+  add_fk("account", "customer_id", "customer");
+  add_fk("account", "branch_id", "branch");
+  add_fk("card", "account_id", "account");
+  add_fk("transfer", "src_account_id", "account");
+  add_fk("transfer", "branch_id", "branch");
+  add_fk("payment", "card_id", "card");
+  add_fk("payment", "merchant_id", "merchant");
+  add_fk("loan", "customer_id", "customer");
+  add_fk("loan", "branch_id", "branch");
+  add_fk("atm_withdrawal", "card_id", "card");
+  add_fk("audit_log", "account_id", "account");
+
+  for (const Spec& s : specs) {
+    Table& t = tables[static_cast<size_t>(index_of(s.name))];
+    int filler = s.columns - static_cast<int>(t.columns.size());
+    TRAP_CHECK_MSG(filler >= 0, s.name);
+    AddFillerColumns(t, filler, /*seed=*/0xbadcu);
+  }
+  return Schema("transaction", std::move(tables), std::move(edges));
+}
+
+Schema MakeLargeSynthetic(int num_columns, uint64_t seed) {
+  TRAP_CHECK(num_columns >= 40);
+  common::Rng rng(seed);
+  // Partition columns into tables of 8..40 columns, star-joined to the first
+  // (fact) tables.
+  std::vector<int> table_cols;
+  int remaining = num_columns;
+  while (remaining > 0) {
+    int c = static_cast<int>(rng.UniformInt(8, 40));
+    c = std::min(c, remaining);
+    if (remaining - c > 0 && remaining - c < 8) c = remaining;  // avoid tiny tail
+    table_cols.push_back(c);
+    remaining -= c;
+  }
+  std::vector<Table> tables;
+  for (size_t i = 0; i < table_cols.size(); ++i) {
+    int64_t rows = static_cast<int64_t>(
+        std::pow(10.0, rng.Uniform(3.5, 6.5)));
+    Table t{common::StrFormat("t%02zu", i), rows, {}};
+    t.columns.push_back(KeyCol(t.name + "_id", rows));
+    tables.push_back(std::move(t));
+  }
+  std::vector<JoinEdge> edges;
+  // Chain + random star edges so every table is reachable.
+  for (size_t i = 1; i < tables.size(); ++i) {
+    int target = static_cast<int>(rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+    Table& ft = tables[i];
+    int64_t ref_rows = tables[static_cast<size_t>(target)].num_rows;
+    ft.columns.push_back(IntCol(common::StrFormat("fk_%02d", target),
+                                std::min(ref_rows, ft.num_rows), 0.0,
+                                static_cast<double>(ref_rows - 1)));
+    edges.push_back(JoinEdge{
+        ColumnId{static_cast<int>(i), static_cast<int>(ft.columns.size()) - 1},
+        ColumnId{target, 0}});
+  }
+  for (size_t i = 0; i < tables.size(); ++i) {
+    int filler = table_cols[i] - static_cast<int>(tables[i].columns.size());
+    if (filler > 0) AddFillerColumns(tables[i], filler, seed);
+  }
+  return Schema(common::StrFormat("synthetic_%d", num_columns),
+                std::move(tables), std::move(edges));
+}
+
+}  // namespace trap::catalog

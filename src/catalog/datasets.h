@@ -1,0 +1,30 @@
+#ifndef TRAP_CATALOG_DATASETS_H_
+#define TRAP_CATALOG_DATASETS_H_
+
+#include "catalog/schema.h"
+
+namespace trap::catalog {
+
+// Builders for the evaluation schemas used in the paper (Section V-A).
+// Tuple data is modelled as statistics only; the statistics are deterministic
+// functions of the schema definition, so every run sees the same "database".
+
+// TPC-H-like OLAP schema: 8 tables, 61 columns, snowflake join graph.
+// `scale` multiplies the base row counts (scale=1 corresponds to ~SF1 shapes).
+Schema MakeTpcH(double scale = 1.0);
+
+// TPC-DS-like OLAP schema: 25 tables, 429 columns, star joins from multiple
+// fact tables into shared dimensions.
+Schema MakeTpcDs(double scale = 1.0);
+
+// TRANSACTION: a banking OLTP-style schema with 10 tables and 189 columns,
+// mirroring the paper's real-world workload (accounts, cards, transfers...).
+Schema MakeTransaction(double scale = 1.0);
+
+// Large synthetic schemas for the scalability study (Fig. 10): real-world
+// complex databases with `num_columns` total columns in [809, 1265].
+Schema MakeLargeSynthetic(int num_columns, uint64_t seed);
+
+}  // namespace trap::catalog
+
+#endif  // TRAP_CATALOG_DATASETS_H_

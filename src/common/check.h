@@ -1,0 +1,30 @@
+#ifndef TRAP_COMMON_CHECK_H_
+#define TRAP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking for library code. The project does not use C++
+// exceptions (fallible operations return std::optional or Status); TRAP_CHECK
+// is for conditions that indicate a programming error, and aborts with a
+// source location so the failure is immediately diagnosable.
+
+#define TRAP_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "TRAP_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define TRAP_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "TRAP_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, (msg));                        \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // TRAP_COMMON_CHECK_H_

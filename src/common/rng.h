@@ -1,0 +1,106 @@
+#ifndef TRAP_COMMON_RNG_H_
+#define TRAP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace trap::common {
+
+// Deterministic random number generator. All randomness in the library flows
+// through explicitly seeded Rng instances so that every experiment is
+// reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Returns a uniformly distributed integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    TRAP_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Returns a uniformly distributed double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Returns a normally distributed double.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  // Returns true with probability `p`.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  // Samples an index in [0, weights.size()) proportionally to `weights`.
+  // All weights must be non-negative and at least one must be positive.
+  int WeightedIndex(const std::vector<double>& weights) {
+    TRAP_CHECK(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+      TRAP_CHECK(w >= 0.0);
+      total += w;
+    }
+    TRAP_CHECK(total > 0.0);
+    double r = Uniform(0.0, total);
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return static_cast<int>(i);
+    }
+    return static_cast<int>(weights.size()) - 1;
+  }
+
+  // Shuffles `items` in place (Fisher-Yates).
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Picks a uniformly random element of `items`, which must be non-empty.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    TRAP_CHECK(!items.empty());
+    return items[static_cast<size_t>(
+        UniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  // Forks a child generator whose stream is independent of subsequent draws
+  // from this generator. Useful for giving each subsystem its own stream.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+// A deterministic 64-bit mix of two values; used to derive stable
+// pseudo-random per-entity factors (e.g. per-(table, column) correlation
+// coefficients) without consuming Rng state.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  uint64_t x = a + 0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Maps a 64-bit hash to a double in [0, 1).
+inline double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace trap::common
+
+#endif  // TRAP_COMMON_RNG_H_

@@ -1,0 +1,68 @@
+#ifndef TRAP_COMMON_STATS_H_
+#define TRAP_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace trap::common {
+
+// Small numeric helpers shared across modules.
+
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+inline double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+inline double StdDev(const std::vector<double>& xs) {
+  return std::sqrt(Variance(xs));
+}
+
+// Pearson correlation; returns 0 when either side is constant.
+inline double PearsonCorrelation(const std::vector<double>& xs,
+                                 const std::vector<double>& ys) {
+  TRAP_CHECK(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  double mx = Mean(xs);
+  double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+// Clamps `x` into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return std::max(lo, std::min(hi, x));
+}
+
+// Returns the q-quantile (q in [0, 1]) of a copy of `xs`.
+inline double Quantile(std::vector<double> xs, double q) {
+  TRAP_CHECK(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+  double pos = Clamp(q, 0.0, 1.0) * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace trap::common
+
+#endif  // TRAP_COMMON_STATS_H_

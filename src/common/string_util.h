@@ -1,0 +1,25 @@
+#ifndef TRAP_COMMON_STRING_UTIL_H_
+#define TRAP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trap::common {
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits `s` on any run of whitespace; empty tokens are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace trap::common
+
+#endif  // TRAP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,365 @@
+#include "engine/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "engine/selectivity.h"
+
+namespace trap::engine {
+
+namespace {
+
+// Result of matching a conjunctive predicate list against an index prefix.
+struct PrefixMatch {
+  double selectivity = 1.0;  // combined selectivity of matched predicates
+  int matched_predicates = 0;
+};
+
+bool IsRangeOp(sql::CmpOp op) {
+  return op == sql::CmpOp::kLt || op == sql::CmpOp::kLe ||
+         op == sql::CmpOp::kGt || op == sql::CmpOp::kGe;
+}
+
+// Standard B-tree prefix rule: equality predicates extend the usable prefix;
+// the first range-matched column closes it. `<>` never matches; OR
+// conjunctions never match (handled by the caller).
+PrefixMatch MatchIndexPrefix(const Index& index,
+                             const std::vector<sql::Predicate>& preds,
+                             const catalog::Schema& schema) {
+  PrefixMatch m;
+  for (catalog::ColumnId col : index.columns) {
+    bool matched_eq = false;
+    for (const sql::Predicate& p : preds) {
+      if (p.column == col && p.op == sql::CmpOp::kEq) {
+        m.selectivity *= PredicateSelectivity(p, schema);
+        ++m.matched_predicates;
+        matched_eq = true;
+        break;
+      }
+    }
+    if (matched_eq) continue;
+    bool matched_range = false;
+    for (const sql::Predicate& p : preds) {
+      if (p.column == col && IsRangeOp(p.op)) {
+        m.selectivity *= PredicateSelectivity(p, schema);
+        ++m.matched_predicates;
+        matched_range = true;  // both bounds of an interval may match
+      }
+    }
+    // A range predicate consumes the final usable column.
+    break;
+  }
+  return m;
+}
+
+// Columns of table `t` referenced anywhere in `q`.
+std::vector<catalog::ColumnId> ReferencedOnTable(const sql::Query& q, int t) {
+  std::vector<catalog::ColumnId> out;
+  for (catalog::ColumnId c : q.ReferencedColumns()) {
+    if (c.table == t) out.push_back(c);
+  }
+  return out;
+}
+
+bool IndexCovers(const Index& index,
+                 const std::vector<catalog::ColumnId>& needed) {
+  for (catalog::ColumnId c : needed) {
+    if (std::find(index.columns.begin(), index.columns.end(), c) ==
+        index.columns.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// True if `order_by` (restricted to one table) is a prefix of the index.
+bool IndexProvidesOrder(const Index& index,
+                        const std::vector<catalog::ColumnId>& order_by) {
+  if (order_by.empty() || order_by.size() > index.columns.size()) return false;
+  for (size_t i = 0; i < order_by.size(); ++i) {
+    if (!(index.columns[i] == order_by[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CostModel::CostModel(const catalog::Schema& schema, CostParams params)
+    : schema_(&schema), params_(params) {}
+
+double CostModel::TablePages(int t) const {
+  const catalog::Table& tab = schema_->table(t);
+  int64_t width = 0;
+  for (const catalog::Column& c : tab.columns) width += c.width_bytes;
+  double pages = static_cast<double>(tab.num_rows) *
+                 static_cast<double>(width) / params_.page_size_bytes;
+  return std::max(1.0, std::ceil(pages));
+}
+
+double CostModel::BTreeDescendCost(int64_t rows) const {
+  double levels = std::log2(std::max<double>(2.0, static_cast<double>(rows)));
+  return levels * params_.cpu_operator_cost * 50.0;
+}
+
+CostModel::AccessPath CostModel::BestAccessPath(const sql::Query& q, int t,
+                                                const IndexConfig& config) const {
+  const catalog::Table& tab = schema_->table(t);
+  double rows = static_cast<double>(tab.num_rows);
+  std::vector<sql::Predicate> preds = FiltersOnTable(q, t);
+  double out_sel = TableFilterSelectivity(q, t, *schema_);
+  double out_card = std::max(1.0, rows * out_sel);
+  double pages = TablePages(t);
+  int n_preds = static_cast<int>(preds.size());
+
+  AccessPath best;
+  best.node = std::make_unique<PlanNode>();
+  best.node->type = PlanNodeType::kSeqScan;
+  best.node->table = t;
+  best.node->cardinality = out_card;
+  best.node->cost = pages * params_.seq_page_cost +
+                    rows * params_.cpu_tuple_cost +
+                    rows * n_preds * params_.cpu_operator_cost;
+  best.provides_order = false;
+
+  // ORDER BY columns, usable for sort avoidance only in single-table plans.
+  std::vector<catalog::ColumnId> order_cols;
+  if (q.tables.size() == 1 && q.group_by.empty()) order_cols = q.order_by;
+
+  const bool sargable_conj = q.conjunction == sql::Conjunction::kAnd;
+  std::vector<catalog::ColumnId> needed = ReferencedOnTable(q, t);
+
+  for (const Index& index : config.indexes()) {
+    if (index.table() != t) continue;
+    PrefixMatch match;
+    if (sargable_conj) match = MatchIndexPrefix(index, preds, *schema_);
+    bool provides_order = IndexProvidesOrder(index, order_cols);
+    if (match.matched_predicates == 0 && !provides_order) continue;
+
+    double matched_sel =
+        match.matched_predicates > 0 ? match.selectivity : 1.0;
+    double rows_fetched = std::max(1.0, rows * matched_sel);
+    bool covering = IndexCovers(index, needed);
+    double index_width = 16.0;
+    for (catalog::ColumnId c : index.columns) {
+      index_width += schema_->column(c).width_bytes;
+    }
+    double index_pages = std::max(
+        1.0, std::ceil(rows * index_width / params_.page_size_bytes));
+
+    double cost = BTreeDescendCost(tab.num_rows);
+    cost += matched_sel * index_pages * params_.seq_page_cost;
+    cost += rows_fetched * params_.cpu_index_tuple_cost;
+    cost += rows_fetched * n_preds * params_.cpu_operator_cost;
+    PlanNodeType type = PlanNodeType::kIndexOnlyScan;
+    if (!covering) {
+      type = PlanNodeType::kIndexScan;
+      double pages_fetched = std::min(rows_fetched, pages);
+      cost += pages_fetched * params_.random_page_cost;
+    }
+    if (cost < best.node->cost) {
+      best.node = std::make_unique<PlanNode>();
+      best.node->type = type;
+      best.node->table = t;
+      best.node->index = &index;
+      best.node->cardinality = out_card;
+      best.node->cost = cost;
+      best.provides_order = provides_order;
+    }
+  }
+  return best;
+}
+
+std::optional<CostModel::ProbePlan> CostModel::BestProbe(
+    const sql::Query& q, int inner_table, catalog::ColumnId inner_key,
+    const IndexConfig& config) const {
+  const catalog::Table& tab = schema_->table(inner_table);
+  double rows = static_cast<double>(tab.num_rows);
+  std::vector<catalog::ColumnId> needed = ReferencedOnTable(q, inner_table);
+  std::vector<sql::Predicate> preds = FiltersOnTable(q, inner_table);
+  double matched_per_probe =
+      rows / DistinctAfter(rows, schema_->column(inner_key));
+
+  std::optional<ProbePlan> best;
+  for (const Index& index : config.indexes()) {
+    if (index.table() != inner_table) continue;
+    if (!(index.columns[0] == inner_key)) continue;
+    bool covering = IndexCovers(index, needed);
+    double per_row = BTreeDescendCost(tab.num_rows);
+    per_row += matched_per_probe * params_.cpu_index_tuple_cost;
+    per_row += matched_per_probe * static_cast<double>(preds.size()) *
+               params_.cpu_operator_cost;
+    if (!covering) {
+      per_row += matched_per_probe * params_.random_page_cost;
+    }
+    if (!best.has_value() || per_row < best->cost_per_row) {
+      best = ProbePlan{&index, per_row};
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<PlanNode> CostModel::Plan(const sql::Query& q,
+                                          const IndexConfig& config) const {
+  TRAP_CHECK(!q.tables.empty());
+
+  // Per-table filtered cardinalities (for join NDV scaling).
+  std::map<int, double> filtered_card;
+  for (int t : q.tables) {
+    double rows = static_cast<double>(schema_->table(t).num_rows);
+    filtered_card[t] =
+        std::max(1.0, rows * TableFilterSelectivity(q, t, *schema_));
+  }
+
+  std::unique_ptr<PlanNode> current;
+  bool current_provides_order = false;
+
+  if (q.tables.size() == 1) {
+    AccessPath p = BestAccessPath(q, q.tables[0], config);
+    current = std::move(p.node);
+    current_provides_order = p.provides_order;
+  } else {
+    // Greedy left-deep join: start from the smallest filtered relation, then
+    // repeatedly attach the connected relation with the cheapest join step.
+    std::set<int> joined;
+    std::vector<sql::JoinPredicate> remaining = q.joins;
+    int start = q.tables[0];
+    for (int t : q.tables) {
+      if (filtered_card[t] < filtered_card[start]) start = t;
+    }
+    AccessPath sp = BestAccessPath(q, start, config);
+    current = std::move(sp.node);
+    joined.insert(start);
+
+    while (joined.size() < q.tables.size()) {
+      // Candidate join edges with exactly one endpoint joined.
+      int best_edge = -1;
+      double best_cost = 0.0;
+      double best_card = 0.0;
+      bool best_is_inlj = false;
+      std::unique_ptr<PlanNode> best_inner;
+      const Index* best_probe_index = nullptr;
+
+      for (size_t e = 0; e < remaining.size(); ++e) {
+        const sql::JoinPredicate& j = remaining[e];
+        bool left_in = joined.count(j.left.table) > 0;
+        bool right_in = joined.count(j.right.table) > 0;
+        if (left_in == right_in) continue;
+        catalog::ColumnId outer_key = left_in ? j.left : j.right;
+        catalog::ColumnId inner_key = left_in ? j.right : j.left;
+        int inner_table = inner_key.table;
+
+        double dv_outer = DistinctAfter(filtered_card[outer_key.table],
+                                        schema_->column(outer_key));
+        double dv_inner = DistinctAfter(filtered_card[inner_table],
+                                        schema_->column(inner_key));
+        double out_card = std::max(
+            1.0, current->cardinality * filtered_card[inner_table] /
+                     std::max(dv_outer, dv_inner));
+
+        // Hash join with the inner's best standalone access path.
+        AccessPath inner_path = BestAccessPath(q, inner_table, config);
+        double hash_cost = current->cost + inner_path.node->cost +
+                           inner_path.node->cardinality *
+                               params_.cpu_tuple_cost * 2.0 +
+                           current->cardinality * params_.cpu_tuple_cost +
+                           out_card * params_.cpu_tuple_cost * 0.5;
+
+        double step_cost = hash_cost;
+        bool is_inlj = false;
+        const Index* probe_index = nullptr;
+        std::optional<ProbePlan> probe =
+            BestProbe(q, inner_table, inner_key, config);
+        if (probe.has_value()) {
+          double inlj_cost =
+              current->cost + current->cardinality * probe->cost_per_row +
+              out_card * params_.cpu_tuple_cost;
+          if (inlj_cost < hash_cost) {
+            step_cost = inlj_cost;
+            is_inlj = true;
+            probe_index = probe->index;
+          }
+        }
+
+        if (best_edge < 0 || step_cost < best_cost) {
+          best_edge = static_cast<int>(e);
+          best_cost = step_cost;
+          best_card = out_card;
+          best_is_inlj = is_inlj;
+          best_inner = std::move(inner_path.node);
+          best_probe_index = probe_index;
+        }
+      }
+      TRAP_CHECK_MSG(best_edge >= 0, "join graph disconnected");
+
+      const sql::JoinPredicate& j = remaining[static_cast<size_t>(best_edge)];
+      int inner_table = joined.count(j.left.table) > 0 ? j.right.table
+                                                       : j.left.table;
+      auto join = std::make_unique<PlanNode>();
+      join->cardinality = best_card;
+      join->cost = best_cost;
+      if (best_is_inlj) {
+        join->type = PlanNodeType::kIndexNestedLoopJoin;
+        // Inner side shown as an index scan driven by the probe.
+        auto inner = std::make_unique<PlanNode>();
+        inner->type = PlanNodeType::kIndexScan;
+        inner->table = inner_table;
+        inner->index = best_probe_index;
+        inner->cardinality = best_card;
+        inner->cost = best_cost - current->cost;
+        join->AddChild(std::move(current));
+        join->AddChild(std::move(inner));
+      } else {
+        join->type = PlanNodeType::kHashJoin;
+        join->AddChild(std::move(current));
+        join->AddChild(std::move(best_inner));
+      }
+      current = std::move(join);
+      joined.insert(inner_table);
+      remaining.erase(remaining.begin() + best_edge);
+      current_provides_order = false;
+    }
+  }
+
+  bool any_agg =
+      std::any_of(q.select.begin(), q.select.end(), [](const sql::SelectItem& s) {
+        return s.agg != sql::AggFunc::kNone;
+      });
+  if (!q.group_by.empty() || any_agg) {
+    double groups = 1.0;
+    for (catalog::ColumnId c : q.group_by) {
+      groups *= DistinctAfter(current->cardinality, schema_->column(c));
+    }
+    groups = std::min(groups, current->cardinality);
+    groups = std::max(groups, 1.0);
+    auto agg = std::make_unique<PlanNode>();
+    agg->type = PlanNodeType::kHashAggregate;
+    agg->cardinality = groups;
+    agg->cost = current->cost +
+                current->cardinality * params_.cpu_operator_cost * 1.5 +
+                groups * params_.cpu_tuple_cost;
+    agg->AddChild(std::move(current));
+    current = std::move(agg);
+    current_provides_order = false;
+  }
+
+  if (!q.order_by.empty() && !current_provides_order) {
+    double n = std::max(2.0, current->cardinality);
+    auto sort = std::make_unique<PlanNode>();
+    sort->type = PlanNodeType::kSort;
+    sort->cardinality = current->cardinality;
+    sort->cost = current->cost + n * std::log2(n) * params_.cpu_operator_cost * 2.0;
+    sort->AddChild(std::move(current));
+    current = std::move(sort);
+  }
+  return current;
+}
+
+double CostModel::QueryCost(const sql::Query& q,
+                            const IndexConfig& config) const {
+  return Plan(q, config)->cost;
+}
+
+}  // namespace trap::engine

@@ -1,0 +1,86 @@
+#ifndef TRAP_ENGINE_COST_MODEL_H_
+#define TRAP_ENGINE_COST_MODEL_H_
+
+#include <memory>
+
+#include "catalog/schema.h"
+#include "engine/index.h"
+#include "engine/plan.h"
+#include "sql/query.h"
+
+namespace trap::engine {
+
+// Cost-model constants, PostgreSQL-flavoured.
+struct CostParams {
+  double seq_page_cost = 1.0;
+  double random_page_cost = 4.0;
+  double cpu_tuple_cost = 0.01;
+  double cpu_index_tuple_cost = 0.005;
+  double cpu_operator_cost = 0.0025;
+  double page_size_bytes = 8192.0;
+};
+
+// Analytical System-R-style optimizer and cost model. Produces a physical
+// plan for a SPAJ query under a hypothetical index configuration:
+//
+//   * per-table access paths: sequential scan vs (covering) index scan,
+//     with prefix-based predicate matching (equalities extend the prefix,
+//     the first range predicate closes it);
+//   * greedy smallest-relation-first left-deep join ordering, choosing
+//     between hash join and index nested-loop join per step;
+//   * hash aggregation for GROUP BY; explicit sort for ORDER BY unless a
+//     single-table plan already scans an index whose prefix is the ORDER BY
+//     column list.
+//
+// Predicates under an OR conjunction and `<>` predicates are not sargable:
+// the model falls back to filtering above a sequential scan, which is what
+// makes the paper's six query-change types (Section VI-C) hurt index
+// utility.
+class CostModel {
+ public:
+  explicit CostModel(const catalog::Schema& schema, CostParams params = {});
+
+  // Builds the minimum-cost plan for `q` given `config`.
+  std::unique_ptr<PlanNode> Plan(const sql::Query& q,
+                                 const IndexConfig& config) const;
+
+  // Total estimated cost of the best plan (root cumulative cost).
+  double QueryCost(const sql::Query& q, const IndexConfig& config) const;
+
+  const catalog::Schema& schema() const { return *schema_; }
+  const CostParams& params() const { return params_; }
+
+  // Heap pages of table `t`.
+  double TablePages(int t) const;
+
+ private:
+  struct AccessPath {
+    std::unique_ptr<PlanNode> node;
+    // True if the path emits rows in index order matching a prefix of the
+    // query's ORDER BY (only meaningful for single-table queries).
+    bool provides_order = false;
+  };
+
+  // Cheapest access path for table `t` under `q`'s filters.
+  AccessPath BestAccessPath(const sql::Query& q, int t,
+                            const IndexConfig& config) const;
+
+  // Index-nested-loop probe cost per outer row (std::nullopt if no usable
+  // index on the inner join key).
+  struct ProbePlan {
+    const Index* index = nullptr;
+    double cost_per_row = 0.0;
+  };
+  std::optional<ProbePlan> BestProbe(const sql::Query& q, int inner_table,
+                                     catalog::ColumnId inner_key,
+                                     const IndexConfig& config) const;
+
+  double BTreeDescendCost(int64_t rows) const;
+
+  const catalog::Schema* schema_;
+  CostParams params_;
+};
+
+}  // namespace trap::engine
+
+#endif  // TRAP_ENGINE_COST_MODEL_H_

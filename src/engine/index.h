@@ -1,0 +1,71 @@
+#ifndef TRAP_ENGINE_INDEX_H_
+#define TRAP_ENGINE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace trap::engine {
+
+using catalog::ColumnId;
+
+// A (possibly multi-column) B-tree index over one table. Column order is
+// significant: predicates match the index by prefix.
+struct Index {
+  std::vector<ColumnId> columns;  // non-empty, all on the same table
+
+  int table() const {
+    TRAP_CHECK(!columns.empty());
+    return columns[0].table;
+  }
+  int NumColumns() const { return static_cast<int>(columns.size()); }
+  bool IsSingleColumn() const { return columns.size() == 1; }
+
+  // True if `other` is a strict or equal prefix of this index.
+  bool HasPrefix(const Index& other) const;
+
+  friend bool operator==(const Index&, const Index&) = default;
+  friend auto operator<=>(const Index&, const Index&) = default;
+};
+
+// Estimated on-disk size of the index in bytes (B-tree entry overhead plus
+// key widths, times a fill-factor slack).
+int64_t IndexSizeBytes(const Index& index, const catalog::Schema& schema);
+
+std::string IndexName(const Index& index, const catalog::Schema& schema);
+
+// A set of indexes, kept sorted and deduplicated so configurations hash and
+// compare canonically.
+class IndexConfig {
+ public:
+  IndexConfig() = default;
+  explicit IndexConfig(std::vector<Index> indexes);
+
+  // Adds `index` if not already present; returns true if added.
+  bool Add(const Index& index);
+  // Removes `index` if present; returns true if removed.
+  bool Remove(const Index& index);
+  bool Contains(const Index& index) const;
+
+  const std::vector<Index>& indexes() const { return indexes_; }
+  int size() const { return static_cast<int>(indexes_.size()); }
+  bool empty() const { return indexes_.empty(); }
+
+  int64_t TotalSizeBytes(const catalog::Schema& schema) const;
+
+  // Stable 64-bit fingerprint for caching.
+  uint64_t Fingerprint() const;
+
+  std::string ToString(const catalog::Schema& schema) const;
+
+  friend bool operator==(const IndexConfig&, const IndexConfig&) = default;
+
+ private:
+  std::vector<Index> indexes_;  // sorted, unique
+};
+
+}  // namespace trap::engine
+
+#endif  // TRAP_ENGINE_INDEX_H_

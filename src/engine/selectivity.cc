@@ -1,0 +1,93 @@
+#include "engine/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace trap::engine {
+
+namespace {
+constexpr double kMinSelectivity = 1e-9;
+}  // namespace
+
+double PredicateSelectivity(const sql::Predicate& pred,
+                            const catalog::Schema& schema) {
+  const catalog::Column& col = schema.column(pred.column);
+  double ndv = static_cast<double>(col.num_distinct);
+  double eq_sel = 1.0 / ndv;
+  // Skewed columns make a random equality literal more selective on average
+  // for rare values but we model the common case (frequent values dominate
+  // query logs): boost equality selectivity with skew.
+  double skew_boost = 1.0 + common::Clamp(col.skew, 0.0, 2.0);
+  double span = col.max_value - col.min_value;
+  double frac;  // fraction of the domain below the literal
+  if (span <= 0.0) {
+    frac = 0.5;
+  } else {
+    frac = common::Clamp((pred.value.numeric - col.min_value) / span, 0.0, 1.0);
+  }
+  double sel;
+  switch (pred.op) {
+    case sql::CmpOp::kEq:
+      sel = eq_sel * skew_boost;
+      break;
+    case sql::CmpOp::kNe:
+      sel = 1.0 - eq_sel * skew_boost;
+      break;
+    case sql::CmpOp::kLt:
+    case sql::CmpOp::kLe:
+      sel = frac;
+      break;
+    case sql::CmpOp::kGt:
+    case sql::CmpOp::kGe:
+      sel = 1.0 - frac;
+      break;
+    default:
+      sel = 0.5;
+  }
+  return common::Clamp(sel, kMinSelectivity, 1.0);
+}
+
+std::vector<sql::Predicate> FiltersOnTable(const sql::Query& q, int t) {
+  std::vector<sql::Predicate> out;
+  for (const sql::Predicate& p : q.filters) {
+    if (p.column.table == t) out.push_back(p);
+  }
+  return out;
+}
+
+double TableFilterSelectivity(const sql::Query& q, int t,
+                              const catalog::Schema& schema) {
+  std::vector<sql::Predicate> preds = FiltersOnTable(q, t);
+  if (preds.empty()) return 1.0;
+  if (q.conjunction == sql::Conjunction::kAnd) {
+    double sel = 1.0;
+    for (const sql::Predicate& p : preds) {
+      sel *= PredicateSelectivity(p, schema);
+    }
+    return common::Clamp(sel, kMinSelectivity, 1.0);
+  }
+  // OR: inclusion-exclusion assuming independence.
+  double not_sel = 1.0;
+  for (const sql::Predicate& p : preds) {
+    not_sel *= 1.0 - PredicateSelectivity(p, schema);
+  }
+  return common::Clamp(1.0 - not_sel, kMinSelectivity, 1.0);
+}
+
+bool IsSargable(const sql::Predicate& pred, sql::Conjunction conjunction) {
+  if (conjunction == sql::Conjunction::kOr) return false;
+  return pred.op != sql::CmpOp::kNe;
+}
+
+double DistinctAfter(double rows, const catalog::Column& col) {
+  // Cardinality of distinct values surviving a restriction to `rows` rows,
+  // via the standard "balls into bins" approximation.
+  double ndv = static_cast<double>(col.num_distinct);
+  if (rows <= 0.0) return 1.0;
+  double expected = ndv * (1.0 - std::pow(1.0 - 1.0 / ndv, rows));
+  return std::max(1.0, std::min(expected, rows));
+}
+
+}  // namespace trap::engine

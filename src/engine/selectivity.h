@@ -1,0 +1,37 @@
+#ifndef TRAP_ENGINE_SELECTIVITY_H_
+#define TRAP_ENGINE_SELECTIVITY_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "sql/query.h"
+
+namespace trap::engine {
+
+// Estimated fraction of a table's rows satisfying `pred`, from the column's
+// statistics (uniformity within the domain, equality via NDV, skew boost for
+// equality on skewed columns). Always in (0, 1].
+double PredicateSelectivity(const sql::Predicate& pred,
+                            const catalog::Schema& schema);
+
+// Combined selectivity of the filter predicates of `q` that fall on table
+// `t`, under the query's conjunction. AND multiplies (attribute value
+// independence); OR adds with the inclusion-exclusion cap.
+double TableFilterSelectivity(const sql::Query& q, int t,
+                              const catalog::Schema& schema);
+
+// A predicate is sargable when an index can serve it: =, <, <=, >, >= under
+// an AND conjunction. `<>` is never sargable; under OR nothing is (the engine
+// does not implement bitmap-OR index plans, matching the paper's
+// "OR Conjunction" non-sargable change type).
+bool IsSargable(const sql::Predicate& pred, sql::Conjunction conjunction);
+
+// The filter predicates of `q` on table `t`, in query order.
+std::vector<sql::Predicate> FiltersOnTable(const sql::Query& q, int t);
+
+// Estimated distinct count of `col` in a relation of `rows` rows.
+double DistinctAfter(double rows, const catalog::Column& col);
+
+}  // namespace trap::engine
+
+#endif  // TRAP_ENGINE_SELECTIVITY_H_

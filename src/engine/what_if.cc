@@ -1,0 +1,28 @@
+#include "engine/what_if.h"
+
+#include "common/rng.h"
+
+namespace trap::engine {
+
+WhatIfOptimizer::WhatIfOptimizer(const catalog::Schema& schema,
+                                 CostParams params)
+    : model_(schema, params) {}
+
+double WhatIfOptimizer::QueryCost(const sql::Query& q,
+                                  const IndexConfig& config) const {
+  ++num_calls_;
+  uint64_t key = common::HashCombine(sql::Fingerprint(q), config.Fingerprint());
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  ++num_misses_;
+  double cost = model_.QueryCost(q, config);
+  cache_.emplace(key, cost);
+  return cost;
+}
+
+std::unique_ptr<PlanNode> WhatIfOptimizer::Plan(const sql::Query& q,
+                                                const IndexConfig& config) const {
+  return model_.Plan(q, config);
+}
+
+}  // namespace trap::engine

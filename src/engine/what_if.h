@@ -1,0 +1,47 @@
+#ifndef TRAP_ENGINE_WHAT_IF_H_
+#define TRAP_ENGINE_WHAT_IF_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "engine/cost_model.h"
+
+namespace trap::engine {
+
+// Hypothetical-index ("what-if") interface: the only channel through which
+// index advisors and TRAP interact with the database engine, mirroring the
+// what-if calls of the paper's PostgreSQL setup. Costs are memoized on
+// (query fingerprint, configuration fingerprint), since advisors probe the
+// same query under many configurations.
+class WhatIfOptimizer {
+ public:
+  explicit WhatIfOptimizer(const catalog::Schema& schema,
+                           CostParams params = {});
+
+  // Estimated cost of `q` under hypothetical configuration `config`.
+  double QueryCost(const sql::Query& q, const IndexConfig& config) const;
+
+  // The plan behind the estimate (uncached). PlanNode::index pointers borrow
+  // from `config`, which must outlive the returned plan.
+  std::unique_ptr<PlanNode> Plan(const sql::Query& q,
+                                 const IndexConfig& config) const;
+
+  const catalog::Schema& schema() const { return model_.schema(); }
+  const CostModel& cost_model() const { return model_; }
+
+  // Number of what-if calls answered (including cache hits) — the paper's
+  // efficiency discussions count optimizer invocations.
+  int64_t num_calls() const { return num_calls_; }
+  int64_t num_cache_misses() const { return num_misses_; }
+  void ResetCounters() { num_calls_ = num_misses_ = 0; }
+
+ private:
+  CostModel model_;
+  mutable std::unordered_map<uint64_t, double> cache_;
+  mutable int64_t num_calls_ = 0;
+  mutable int64_t num_misses_ = 0;
+};
+
+}  // namespace trap::engine
+
+#endif  // TRAP_ENGINE_WHAT_IF_H_

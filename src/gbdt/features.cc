@@ -1,0 +1,46 @@
+#include "gbdt/features.h"
+
+#include <cmath>
+
+namespace trap::gbdt {
+
+namespace {
+
+struct WeightedSums {
+  double cost = 0.0;  // g3
+  double card = 0.0;  // g4
+};
+
+// Computes g3/g4 of Eq. 5 bottom-up and accumulates all four field vectors.
+WeightedSums Accumulate(const engine::PlanNode& node,
+                        std::vector<double>* features) {
+  WeightedSums g;
+  if (node.children.empty()) {
+    g.cost = node.cost;
+    g.card = node.cardinality;
+  } else {
+    for (const auto& child : node.children) {
+      WeightedSums cg = Accumulate(*child, features);
+      g.cost += child->height * cg.cost;
+      g.card += child->height * cg.card;
+    }
+  }
+  int type = static_cast<int>(node.type);
+  int l = engine::kNumPlanNodeTypes;
+  (*features)[static_cast<size_t>(0 * l + type)] += node.cost;
+  (*features)[static_cast<size_t>(1 * l + type)] += node.cardinality;
+  (*features)[static_cast<size_t>(2 * l + type)] += g.cost;
+  (*features)[static_cast<size_t>(3 * l + type)] += g.card;
+  return g;
+}
+
+}  // namespace
+
+std::vector<double> ExtractPlanFeatures(const engine::PlanNode& root) {
+  std::vector<double> features(kPlanFeatureDim, 0.0);
+  Accumulate(root, &features);
+  for (double& f : features) f = std::log1p(std::max(0.0, f));
+  return features;
+}
+
+}  // namespace trap::gbdt

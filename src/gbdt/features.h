@@ -1,0 +1,26 @@
+#ifndef TRAP_GBDT_FEATURES_H_
+#define TRAP_GBDT_FEATURES_H_
+
+#include <vector>
+
+#include "engine/plan.h"
+
+namespace trap::gbdt {
+
+// Plan featurization of Fig. 4 / Eq. 5: the feature vector is the
+// concatenation of four field vectors over the L node types,
+//
+//   f1 (Cost-Sum):      sum of node costs per type
+//   f2 (Cardinality-Sum): sum of node cardinalities per type
+//   f3 (Cost-Weighted-Sum): g3(leaf) = cost, g3(j) = sum_k h_k * g3(k)
+//   f4 (Cardinality-Weighted-Sum): likewise with cardinality at the leaves
+//
+// yielding f in R^{4 x L} with L = kNumPlanNodeTypes. Values are
+// log1p-compressed (the paper applies a log transformation [63]).
+constexpr int kPlanFeatureDim = 4 * engine::kNumPlanNodeTypes;
+
+std::vector<double> ExtractPlanFeatures(const engine::PlanNode& root);
+
+}  // namespace trap::gbdt
+
+#endif  // TRAP_GBDT_FEATURES_H_

@@ -1,0 +1,91 @@
+#include "gbdt/utility_model.h"
+
+#include <cmath>
+
+#include "gbdt/features.h"
+
+namespace trap::gbdt {
+
+LearnedUtilityModel::LearnedUtilityModel(
+    const engine::WhatIfOptimizer& optimizer,
+    const engine::TrueCostModel& truth, GbdtRegressor::Options options)
+    : optimizer_(&optimizer), truth_(&truth), model_(options) {}
+
+void LearnedUtilityModel::Train(
+    const std::vector<sql::Query>& queries,
+    const std::vector<engine::IndexConfig>& configs) {
+  TRAP_CHECK(!queries.empty());
+  TRAP_CHECK(!configs.empty());
+  std::vector<std::vector<double>> features;
+  std::vector<double> labels;     // log-space correction: log1p(actual) - log1p(estimate)
+  std::vector<double> estimates;  // raw optimizer estimates
+  for (const sql::Query& q : queries) {
+    for (const engine::IndexConfig& config : configs) {
+      std::unique_ptr<engine::PlanNode> plan = optimizer_->Plan(q, config);
+      std::vector<double> f = ExtractPlanFeatures(*plan);
+      f.push_back(std::log1p(plan->cost));  // estimate itself is a feature
+      features.push_back(std::move(f));
+      labels.push_back(std::log1p(truth_->PlanCost(*plan, q, config)) -
+                       std::log1p(plan->cost));
+      estimates.push_back(plan->cost);
+    }
+  }
+  size_t n = labels.size();
+  size_t train_n = std::max<size_t>(1, n - n / 5);
+  std::vector<std::vector<double>> train_x(features.begin(),
+                                           features.begin() + static_cast<long>(train_n));
+  std::vector<double> train_y(labels.begin(), labels.begin() + static_cast<long>(train_n));
+  model_.Fit(train_x, train_y);
+
+  if (train_n < n) {
+    std::vector<std::vector<double>> test_x(features.begin() + static_cast<long>(train_n),
+                                            features.end());
+    std::vector<double> test_y(labels.begin() + static_cast<long>(train_n), labels.end());
+    // Holdout metrics in absolute (log-cost) space.
+    double opt_err = 0.0, model_err = 0.0;
+    double mean_log_actual = 0.0;
+    std::vector<double> log_actuals(test_y.size());
+    std::vector<double> log_preds(test_y.size());
+    for (size_t i = 0; i < test_y.size(); ++i) {
+      double est = estimates[train_n + i];
+      double actual = std::expm1(test_y[i] + std::log1p(est));
+      double pred =
+          std::expm1(model_.Predict(test_x[i]) + std::log1p(est));
+      log_actuals[i] = std::log1p(actual);
+      log_preds[i] = std::log1p(std::max(0.0, pred));
+      mean_log_actual += log_actuals[i];
+      opt_err += std::abs(est - actual) / std::max(1.0, actual);
+      model_err += std::abs(pred - actual) / std::max(1.0, actual);
+    }
+    mean_log_actual /= static_cast<double>(test_y.size());
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (size_t i = 0; i < test_y.size(); ++i) {
+      ss_res += (log_actuals[i] - log_preds[i]) * (log_actuals[i] - log_preds[i]);
+      ss_tot += (log_actuals[i] - mean_log_actual) *
+                (log_actuals[i] - mean_log_actual);
+    }
+    holdout_r2_ = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    optimizer_error_ = opt_err / static_cast<double>(test_y.size());
+    model_error_ = model_err / static_cast<double>(test_y.size());
+  }
+}
+
+double LearnedUtilityModel::PredictQueryCost(
+    const sql::Query& q, const engine::IndexConfig& config) const {
+  std::unique_ptr<engine::PlanNode> plan = optimizer_->Plan(q, config);
+  std::vector<double> f = ExtractPlanFeatures(*plan);
+  f.push_back(std::log1p(plan->cost));
+  return std::max(0.0,
+                  std::expm1(model_.Predict(f) + std::log1p(plan->cost)));
+}
+
+double LearnedUtilityModel::PredictWorkloadCost(
+    const workload::Workload& w, const engine::IndexConfig& config) const {
+  double total = 0.0;
+  for (const workload::WorkloadQuery& wq : w.queries) {
+    total += wq.weight * PredictQueryCost(wq.query, config);
+  }
+  return total;
+}
+
+}  // namespace trap::gbdt

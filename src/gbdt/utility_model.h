@@ -1,0 +1,63 @@
+#ifndef TRAP_GBDT_UTILITY_MODEL_H_
+#define TRAP_GBDT_UTILITY_MODEL_H_
+
+#include <vector>
+
+#include "engine/true_cost.h"
+#include "engine/what_if.h"
+#include "gbdt/gbdt.h"
+#include "workload/workload.h"
+
+namespace trap::gbdt {
+
+// The paper's Learned Index Utility model (Section IV-B): a gradient-boosted
+// regressor over plan features predicting the *actual* cost c(W, d, I),
+// trained on randomly generated-and-executed queries. It replaces the
+// optimizer's estimate when computing TRAP's reward, giving a more accurate
+// signal of real performance drops (ablated in Fig. 8a).
+//
+// Formulation: the regressor learns a log-space correction over the
+// optimizer's estimate (label = log1p(actual) - log1p(estimate), with the
+// estimate appended to the Fig. 4 plan features), the standard residual
+// formulation for learned cost refinement; the predicted actual cost is then
+// expm1(correction + log1p(estimate)).
+class LearnedUtilityModel {
+ public:
+  LearnedUtilityModel(const engine::WhatIfOptimizer& optimizer,
+                      const engine::TrueCostModel& truth,
+                      GbdtRegressor::Options options = GbdtRegressor::Options());
+
+  // Builds the training set D = <f, y>: each query is planned under each
+  // configuration; f = plan features, y = log-transformed actual cost.
+  // The final 20% of (query, config) pairs are held out to report fit.
+  void Train(const std::vector<sql::Query>& queries,
+             const std::vector<engine::IndexConfig>& configs);
+
+  // Predicted actual cost of one query under `config`.
+  double PredictQueryCost(const sql::Query& q,
+                          const engine::IndexConfig& config) const;
+
+  // Weighted workload prediction.
+  double PredictWorkloadCost(const workload::Workload& w,
+                             const engine::IndexConfig& config) const;
+
+  bool trained() const { return model_.trained(); }
+  double holdout_r2() const { return holdout_r2_; }
+
+  // Mean relative error of the raw optimizer estimate vs truth on the same
+  // holdout — the gap the learned model closes.
+  double optimizer_holdout_error() const { return optimizer_error_; }
+  double model_holdout_error() const { return model_error_; }
+
+ private:
+  const engine::WhatIfOptimizer* optimizer_;
+  const engine::TrueCostModel* truth_;
+  GbdtRegressor model_;
+  double holdout_r2_ = 0.0;
+  double optimizer_error_ = 0.0;
+  double model_error_ = 0.0;
+};
+
+}  // namespace trap::gbdt
+
+#endif  // TRAP_GBDT_UTILITY_MODEL_H_

@@ -1,0 +1,44 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace trap::nn {
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {}
+
+void Adam::Step() {
+  ++t_;
+  if (max_grad_norm_ > 0.0) {
+    double sq = 0.0;
+    for (Parameter* p : params_) {
+      for (int i = 0; i < p->grad.size(); ++i) {
+        sq += p->grad.data()[i] * p->grad.data()[i];
+      }
+    }
+    double norm = std::sqrt(sq);
+    if (norm > max_grad_norm_) {
+      double scale = max_grad_norm_ / norm;
+      for (Parameter* p : params_) {
+        for (int i = 0; i < p->grad.size(); ++i) p->grad.data()[i] *= scale;
+      }
+    }
+  }
+  double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (Parameter* p : params_) {
+    for (int i = 0; i < p->value.size(); ++i) {
+      double gi = p->grad.data()[i];
+      p->m.data()[i] = beta1_ * p->m.data()[i] + (1.0 - beta1_) * gi;
+      p->v.data()[i] = beta2_ * p->v.data()[i] + (1.0 - beta2_) * gi * gi;
+      double mhat = p->m.data()[i] / bc1;
+      double vhat = p->v.data()[i] / bc2;
+      p->value.data()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    p->grad.Zero();
+  }
+}
+
+}  // namespace trap::nn

@@ -1,0 +1,101 @@
+#ifndef TRAP_NN_GRAPH_H_
+#define TRAP_NN_GRAPH_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace trap::nn {
+
+// A trainable parameter: value plus accumulated gradient. Parameters are
+// owned by layers/models; Graph borrows them for the duration of one
+// forward/backward pass.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+  // Adam moments (managed by the optimizer).
+  Matrix m;
+  Matrix v;
+
+  explicit Parameter(int rows, int cols)
+      : value(rows, cols), grad(rows, cols), m(rows, cols), v(rows, cols) {}
+};
+
+// Reverse-mode autograd on a tape. One Graph instance is one forward pass;
+// Backward() propagates into Parameter::grad. Keeping the engine explicit
+// and minimal (a dozen ops) gives exact gradients for the GRU
+// encoder-decoder, the attention mechanism, and the transformer baselines
+// without hand-derived backward passes.
+class Graph {
+ public:
+  using VarId = int;
+
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  // Leaf holding a constant (no gradient).
+  VarId Input(Matrix value);
+  // Leaf bound to a trainable parameter (gradient accumulated on Backward).
+  VarId Param(Parameter* p);
+  // Row-gather from a parameter matrix: out[i, :] = p->value[ids[i], :].
+  // Gradients scatter back into the gathered rows only (sparse update).
+  VarId Gather(Parameter* p, std::vector<int> ids);
+
+  VarId MatMul(VarId a, VarId b);
+  VarId Transpose(VarId a);
+  // Elementwise add; `b` may also be a 1-row matrix broadcast over a's rows.
+  VarId Add(VarId a, VarId b);
+  VarId Sub(VarId a, VarId b);
+  VarId Mul(VarId a, VarId b);  // elementwise (Hadamard)
+  VarId Scale(VarId a, double s);
+  VarId Tanh(VarId a);
+  VarId Sigmoid(VarId a);
+  VarId Relu(VarId a);
+  // Row-wise softmax.
+  VarId Softmax(VarId a);
+  // Row-wise log-softmax (numerically stable).
+  VarId LogSoftmax(VarId a);
+  // Concatenate along columns: [a, b] (same row count).
+  VarId ConcatCols(VarId a, VarId b);
+  // 1x1 matrix picking element (r, c) of `a`.
+  VarId Pick(VarId a, int r, int c);
+  // 1x1 sum of all elements.
+  VarId Sum(VarId a);
+  // 1x1 mean of all elements.
+  VarId Mean(VarId a);
+  // Row-wise layer normalization with learnable gain/bias parameters
+  // (gain/bias are 1xC parameters).
+  VarId LayerNorm(VarId a, Parameter* gain, Parameter* bias);
+
+  const Matrix& value(VarId id) const;
+
+  // Back-propagates d(loss)/d(everything) from `loss`, which must be 1x1.
+  // Parameter gradients are *accumulated* (call ZeroGrad on the optimizer
+  // side between steps).
+  void Backward(VarId loss);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;
+    std::vector<VarId> inputs;
+    std::function<void(Graph&, Node&)> backward;  // may be empty for leaves
+    Parameter* param = nullptr;                   // for Param leaves
+    std::vector<int> gather_ids;                  // for Gather leaves
+  };
+
+  VarId AddNode(Matrix value, std::vector<VarId> inputs,
+                std::function<void(Graph&, Node&)> backward);
+  Node& node(VarId id) { return *nodes_[static_cast<size_t>(id)]; }
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace trap::nn
+
+#endif  // TRAP_NN_GRAPH_H_

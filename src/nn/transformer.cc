@@ -1,0 +1,79 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+namespace trap::nn {
+
+TransformerEncoderLayer::TransformerEncoderLayer(ParameterStore* store,
+                                                 const TransformerConfig& cfg,
+                                                 common::Rng& rng)
+    : cfg_(cfg),
+      wo_(store, cfg.dim, cfg.dim, rng),
+      ff1_(store, cfg.dim, cfg.ff_dim, rng),
+      ff2_(store, cfg.ff_dim, cfg.dim, rng),
+      ln1_gain_(store->CreateConst(1, cfg.dim, 1.0)),
+      ln1_bias_(store->CreateZero(1, cfg.dim)),
+      ln2_gain_(store->CreateConst(1, cfg.dim, 1.0)),
+      ln2_bias_(store->CreateZero(1, cfg.dim)) {
+  TRAP_CHECK(cfg.dim % cfg.num_heads == 0);
+  int head_dim = cfg.dim / cfg.num_heads;
+  for (int h = 0; h < cfg.num_heads; ++h) {
+    wq_.emplace_back(store, cfg.dim, head_dim, rng);
+    wk_.emplace_back(store, cfg.dim, head_dim, rng);
+    wv_.emplace_back(store, cfg.dim, head_dim, rng);
+  }
+}
+
+Graph::VarId TransformerEncoderLayer::Forward(Graph& g, Graph::VarId x) const {
+  int head_dim = cfg_.dim / cfg_.num_heads;
+  Graph::VarId normed = g.LayerNorm(x, ln1_gain_, ln1_bias_);
+  // Multi-head self-attention; heads concatenated along columns.
+  Graph::VarId heads = -1;
+  for (int h = 0; h < cfg_.num_heads; ++h) {
+    Graph::VarId q = wq_[static_cast<size_t>(h)].Forward(g, normed);
+    Graph::VarId k = wk_[static_cast<size_t>(h)].Forward(g, normed);
+    Graph::VarId v = wv_[static_cast<size_t>(h)].Forward(g, normed);
+    Graph::VarId scores =
+        g.Scale(g.MatMul(q, g.Transpose(k)), 1.0 / std::sqrt(head_dim));
+    Graph::VarId attn = g.Softmax(scores);
+    Graph::VarId out = g.MatMul(attn, v);
+    heads = (heads < 0) ? out : g.ConcatCols(heads, out);
+  }
+  Graph::VarId attn_out = wo_.Forward(g, heads);
+  Graph::VarId x1 = g.Add(x, attn_out);  // residual
+  // Feed-forward block.
+  Graph::VarId normed2 = g.LayerNorm(x1, ln2_gain_, ln2_bias_);
+  Graph::VarId ff = ff2_.Forward(g, g.Relu(ff1_.Forward(g, normed2)));
+  return g.Add(x1, ff);
+}
+
+TransformerEncoder::TransformerEncoder(ParameterStore* store,
+                                       const TransformerConfig& cfg,
+                                       common::Rng& rng)
+    : cfg_(cfg) {
+  for (int i = 0; i < cfg.num_layers; ++i) {
+    layers_.emplace_back(store, cfg, rng);
+  }
+}
+
+Graph::VarId TransformerEncoder::Forward(Graph& g, Graph::VarId x) const {
+  Graph::VarId h = x;
+  for (const TransformerEncoderLayer& layer : layers_) {
+    h = layer.Forward(g, h);
+  }
+  return h;
+}
+
+Matrix PositionalEncoding(int n, int dim) {
+  Matrix pe(n, dim);
+  for (int pos = 0; pos < n; ++pos) {
+    for (int i = 0; i < dim; ++i) {
+      double angle =
+          pos / std::pow(10000.0, 2.0 * (i / 2) / static_cast<double>(dim));
+      pe.at(pos, i) = (i % 2 == 0) ? std::sin(angle) : std::cos(angle);
+    }
+  }
+  return pe;
+}
+
+}  // namespace trap::nn

@@ -1,0 +1,258 @@
+#include "sql/query.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace trap::sql {
+namespace {
+
+void AddUnique(std::vector<ColumnId>& cols, ColumnId id) {
+  if (std::find(cols.begin(), cols.end(), id) == cols.end()) {
+    cols.push_back(id);
+  }
+}
+
+bool SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+bool Query::UsesTable(int t) const {
+  return std::find(tables.begin(), tables.end(), t) != tables.end();
+}
+
+std::vector<ColumnId> Query::ReferencedColumns() const {
+  std::vector<ColumnId> cols;
+  for (const SelectItem& s : select) AddUnique(cols, s.column);
+  for (const JoinPredicate& j : joins) {
+    AddUnique(cols, j.left);
+    AddUnique(cols, j.right);
+  }
+  for (const Predicate& p : filters) AddUnique(cols, p.column);
+  for (ColumnId c : group_by) AddUnique(cols, c);
+  for (ColumnId c : order_by) AddUnique(cols, c);
+  return cols;
+}
+
+std::vector<ColumnId> Query::NonJoinColumns() const {
+  std::vector<ColumnId> cols;
+  for (const SelectItem& s : select) AddUnique(cols, s.column);
+  for (const Predicate& p : filters) AddUnique(cols, p.column);
+  for (ColumnId c : group_by) AddUnique(cols, c);
+  for (ColumnId c : order_by) AddUnique(cols, c);
+  return cols;
+}
+
+bool ValidateQuery(const Query& q, const catalog::Schema& schema,
+                   std::string* error) {
+  if (q.select.empty()) return SetError(error, "empty SELECT payload");
+  if (q.tables.empty()) return SetError(error, "empty FROM clause");
+  for (int t : q.tables) {
+    if (t < 0 || t >= schema.num_tables()) {
+      return SetError(error, "table index out of range");
+    }
+  }
+  for (size_t i = 1; i < q.tables.size(); ++i) {
+    if (q.tables[i] <= q.tables[i - 1]) {
+      return SetError(error, "FROM tables not strictly ascending");
+    }
+  }
+  for (ColumnId c : q.ReferencedColumns()) {
+    if (c.table < 0 || c.table >= schema.num_tables()) {
+      return SetError(error, "column table out of range");
+    }
+    const catalog::Table& tab = schema.table(c.table);
+    if (c.column < 0 || c.column >= static_cast<int>(tab.columns.size())) {
+      return SetError(error, "column index out of range");
+    }
+    if (!q.UsesTable(c.table)) {
+      return SetError(error,
+                      "column references table missing from FROM: " +
+                          schema.QualifiedName(c));
+    }
+  }
+  // Each join predicate must correspond to a schema join edge.
+  for (const JoinPredicate& j : q.joins) {
+    bool found = false;
+    for (const catalog::JoinEdge& e : schema.join_edges()) {
+      if ((e.left == j.left && e.right == j.right) ||
+          (e.left == j.right && e.right == j.left)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return SetError(error, "join predicate not in join graph");
+  }
+  // Multi-table queries must be connected by join predicates.
+  if (q.tables.size() > 1) {
+    if (q.joins.size() + 1 < q.tables.size()) {
+      return SetError(error, "join predicates do not connect FROM tables");
+    }
+  }
+  // No repeated column within a clause.
+  auto has_dup = [](std::vector<ColumnId> cols) {
+    std::sort(cols.begin(), cols.end());
+    return std::adjacent_find(cols.begin(), cols.end()) != cols.end();
+  };
+  {
+    std::vector<ColumnId> sel;
+    for (const SelectItem& s : q.select) sel.push_back(s.column);
+    if (has_dup(sel)) return SetError(error, "duplicate column in SELECT");
+  }
+  if (has_dup(q.group_by)) return SetError(error, "duplicate column in GROUP BY");
+  if (has_dup(q.order_by)) return SetError(error, "duplicate column in ORDER BY");
+  // If any aggregate is present, bare select columns must be grouped.
+  bool any_agg = std::any_of(q.select.begin(), q.select.end(),
+                             [](const SelectItem& s) { return s.agg != AggFunc::kNone; });
+  if (any_agg) {
+    for (const SelectItem& s : q.select) {
+      if (s.agg == AggFunc::kNone &&
+          std::find(q.group_by.begin(), q.group_by.end(), s.column) ==
+              q.group_by.end()) {
+        return SetError(error, "ungrouped bare column with aggregates");
+      }
+    }
+  }
+  // Predicate literal types must match column types.
+  for (const Predicate& p : q.filters) {
+    if (p.value.type != schema.column(p.column).type) {
+      return SetError(error, "literal type mismatch for " +
+                                 schema.QualifiedName(p.column));
+    }
+  }
+  return true;
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "<>";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone: return "";
+    case AggFunc::kCount: return "count";
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kAvg: return "avg";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+  }
+  return "?";
+}
+
+uint64_t Fingerprint(const Query& q) {
+  using common::HashCombine;
+  uint64_t h = 0x9e3779b9ULL;
+  auto mix = [&h](uint64_t v) { h = HashCombine(h, v); };
+  auto mix_col = [&mix](ColumnId c) {
+    mix(static_cast<uint64_t>(c.table) * 131071 +
+        static_cast<uint64_t>(c.column));
+  };
+  for (const SelectItem& s : q.select) {
+    mix(static_cast<uint64_t>(s.agg));
+    mix_col(s.column);
+  }
+  mix(0x11);
+  for (int t : q.tables) mix(static_cast<uint64_t>(t));
+  mix(0x22);
+  for (const JoinPredicate& j : q.joins) {
+    mix_col(j.left);
+    mix_col(j.right);
+  }
+  mix(0x33);
+  for (const Predicate& p : q.filters) {
+    mix_col(p.column);
+    mix(static_cast<uint64_t>(p.op));
+    // Hash the literal at fixed precision so equal values hash equally.
+    mix(static_cast<uint64_t>(
+        static_cast<int64_t>(std::llround(p.value.numeric * 4096.0))));
+  }
+  mix(static_cast<uint64_t>(q.conjunction));
+  mix(0x44);
+  for (ColumnId c : q.group_by) mix_col(c);
+  mix(0x55);
+  for (ColumnId c : q.order_by) mix_col(c);
+  return h;
+}
+
+std::string ToSqlLiteral(const Value& v, const catalog::Column& column) {
+  switch (v.type) {
+    case catalog::ColumnType::kInt:
+      return common::StrFormat("%lld", static_cast<long long>(v.numeric));
+    case catalog::ColumnType::kDouble:
+      return common::StrFormat("%.4f", v.numeric);
+    case catalog::ColumnType::kString:
+      return common::StrFormat("'%s_%lld'", column.name.c_str(),
+                               static_cast<long long>(v.numeric));
+  }
+  return "?";
+}
+
+std::string ToSql(const Query& q, const catalog::Schema& schema) {
+  std::vector<std::string> sel;
+  for (const SelectItem& s : q.select) {
+    if (s.agg == AggFunc::kNone) {
+      sel.push_back(schema.QualifiedName(s.column));
+    } else {
+      sel.push_back(common::StrFormat("%s(%s)", AggFuncName(s.agg),
+                                      schema.QualifiedName(s.column).c_str()));
+    }
+  }
+  std::vector<std::string> from;
+  for (int t : q.tables) from.push_back(schema.table(t).name);
+  std::string out = "SELECT " + common::Join(sel, ", ") + " FROM " +
+                    common::Join(from, ", ");
+  std::vector<std::string> where;
+  for (const JoinPredicate& j : q.joins) {
+    where.push_back(schema.QualifiedName(j.left) + " = " +
+                    schema.QualifiedName(j.right));
+  }
+  const char* conj = q.conjunction == Conjunction::kAnd ? " AND " : " OR ";
+  std::vector<std::string> filts;
+  for (const Predicate& p : q.filters) {
+    filts.push_back(common::StrFormat(
+        "%s %s %s", schema.QualifiedName(p.column).c_str(), CmpOpName(p.op),
+        ToSqlLiteral(p.value, schema.column(p.column)).c_str()));
+  }
+  if (!where.empty() || !filts.empty()) {
+    out += " WHERE ";
+    // Join predicates are always AND-ed; the user conjunction applies to the
+    // filter block, parenthesized when it is OR.
+    std::string filter_block = common::Join(filts, conj);
+    if (q.conjunction == Conjunction::kOr && filts.size() > 1) {
+      filter_block = "(" + filter_block + ")";
+    }
+    if (!where.empty() && !filts.empty()) {
+      out += common::Join(where, " AND ") + " AND " + filter_block;
+    } else if (!where.empty()) {
+      out += common::Join(where, " AND ");
+    } else {
+      out += filter_block;
+    }
+  }
+  if (!q.group_by.empty()) {
+    std::vector<std::string> g;
+    for (ColumnId c : q.group_by) g.push_back(schema.QualifiedName(c));
+    out += " GROUP BY " + common::Join(g, ", ");
+  }
+  if (!q.order_by.empty()) {
+    std::vector<std::string> o;
+    for (ColumnId c : q.order_by) o.push_back(schema.QualifiedName(c));
+    out += " ORDER BY " + common::Join(o, ", ");
+  }
+  return out;
+}
+
+}  // namespace trap::sql

@@ -1,0 +1,96 @@
+#ifndef TRAP_SQL_QUERY_H_
+#define TRAP_SQL_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "sql/value.h"
+
+namespace trap::sql {
+
+using catalog::ColumnId;
+
+// Comparison operators permitted in filter predicates.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// Aggregate functions; kNone denotes a bare column in the SELECT payload.
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+// Conjunction connecting filter predicates in the WHERE clause.
+enum class Conjunction { kAnd, kOr };
+
+// A single-column filter predicate `column op value`.
+struct Predicate {
+  ColumnId column;
+  CmpOp op = CmpOp::kEq;
+  Value value;
+
+  friend bool operator==(const Predicate&, const Predicate&) = default;
+};
+
+// An equi-join predicate `left = right`; always drawn from the schema's join
+// graph and never modified by perturbation.
+struct JoinPredicate {
+  ColumnId left;
+  ColumnId right;
+
+  friend bool operator==(const JoinPredicate&, const JoinPredicate&) = default;
+};
+
+// A SELECT payload item, optionally aggregated.
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  ColumnId column;
+
+  friend bool operator==(const SelectItem&, const SelectItem&) = default;
+};
+
+// A Select-Project-Aggregate-Join (SPAJ) query, the query class used
+// throughout the paper's evaluation. The join graph (tables + joins) is the
+// immutable backbone; perturbations touch payloads, filters, ordering and
+// grouping only.
+struct Query {
+  std::vector<SelectItem> select;
+  std::vector<int> tables;             // table indices, ascending
+  std::vector<JoinPredicate> joins;
+  std::vector<Predicate> filters;
+  Conjunction conjunction = Conjunction::kAnd;
+  std::vector<ColumnId> group_by;
+  std::vector<ColumnId> order_by;
+
+  friend bool operator==(const Query&, const Query&) = default;
+
+  // True if table `t` is referenced by the FROM clause.
+  bool UsesTable(int t) const;
+
+  // All columns referenced anywhere in the query (select payload, joins,
+  // filters, grouping, ordering), deduplicated, in first-use order.
+  std::vector<ColumnId> ReferencedColumns() const;
+
+  // Columns referenced outside of join predicates (the set the
+  // Column-Consistent perturbation may draw from).
+  std::vector<ColumnId> NonJoinColumns() const;
+};
+
+// Structural validity against a schema: every referenced table is in
+// `tables`, every join edge exists in the schema's join graph, SELECT is
+// non-empty, GROUP BY covers bare select columns when aggregates are present,
+// and no clause repeats a column.
+bool ValidateQuery(const Query& q, const catalog::Schema& schema,
+                   std::string* error = nullptr);
+
+const char* CmpOpName(CmpOp op);    // "=", "<>", "<", "<=", ">", ">="
+const char* AggFuncName(AggFunc f); // "count", ...
+
+// Stable 64-bit structural fingerprint of a query (used as a cache key by
+// the what-if optimizer and the learned utility model).
+uint64_t Fingerprint(const Query& q);
+
+// Renders the query as SQL text.
+std::string ToSql(const Query& q, const catalog::Schema& schema);
+
+}  // namespace trap::sql
+
+#endif  // TRAP_SQL_QUERY_H_

@@ -1,0 +1,220 @@
+#include "sql/tokenizer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace trap::sql {
+
+std::vector<Token> ToTokens(const Query& q, const Vocabulary& vocab) {
+  std::vector<Token> out;
+  out.push_back(Token::Reserved(ReservedWord::kSelect));
+  for (const SelectItem& s : q.select) {
+    if (s.agg != AggFunc::kNone) out.push_back(Token::Aggregator(s.agg));
+    out.push_back(Token::Column(s.column));
+  }
+  out.push_back(Token::Reserved(ReservedWord::kFrom));
+  for (int t : q.tables) out.push_back(Token::Table(t));
+  if (!q.joins.empty() || !q.filters.empty()) {
+    out.push_back(Token::Reserved(ReservedWord::kWhere));
+    for (size_t i = 0; i < q.joins.size(); ++i) {
+      if (i > 0) out.push_back(Token::Reserved(ReservedWord::kJoinAnd));
+      out.push_back(Token::Column(q.joins[i].left));
+      out.push_back(Token::Operator(CmpOp::kEq));
+      out.push_back(Token::Column(q.joins[i].right));
+    }
+    if (!q.joins.empty() && !q.filters.empty()) {
+      out.push_back(Token::Reserved(ReservedWord::kJoinAnd));
+    }
+    for (size_t i = 0; i < q.filters.size(); ++i) {
+      if (i > 0) out.push_back(Token::Conj(q.conjunction));
+      const Predicate& p = q.filters[i];
+      out.push_back(Token::Column(p.column));
+      out.push_back(Token::Operator(p.op));
+      out.push_back(Token::ValueTok(p.column,
+                                    vocab.NearestBucket(p.column, p.value)));
+    }
+  }
+  if (!q.group_by.empty()) {
+    out.push_back(Token::Reserved(ReservedWord::kGroupBy));
+    for (ColumnId c : q.group_by) out.push_back(Token::Column(c));
+  }
+  if (!q.order_by.empty()) {
+    out.push_back(Token::Reserved(ReservedWord::kOrderBy));
+    for (ColumnId c : q.order_by) out.push_back(Token::Column(c));
+  }
+  return out;
+}
+
+std::vector<int> ToTokenIds(const Query& q, const Vocabulary& vocab) {
+  std::vector<int> ids;
+  for (const Token& t : ToTokens(q, vocab)) ids.push_back(vocab.TokenToId(t));
+  return ids;
+}
+
+namespace {
+
+// Cursor over a token sequence.
+class Scanner {
+ public:
+  explicit Scanner(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  bool Done() const { return pos_ >= tokens_.size(); }
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool AtReserved(ReservedWord w) const {
+    return !Done() && Peek().type == TokenType::kReserved && Peek().reserved == w;
+  }
+
+ private:
+  const std::vector<Token>& tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Query> FromTokens(const std::vector<Token>& tokens,
+                                const Vocabulary& vocab) {
+  Scanner s(tokens);
+  Query q;
+  if (!s.AtReserved(ReservedWord::kSelect)) return std::nullopt;
+  s.Next();
+  // SELECT payload.
+  while (!s.Done() && !s.AtReserved(ReservedWord::kFrom)) {
+    SelectItem item;
+    if (s.Peek().type == TokenType::kAggregator) {
+      item.agg = s.Next().agg;
+      if (s.Done() || s.Peek().type != TokenType::kColumn) return std::nullopt;
+    }
+    if (s.Peek().type != TokenType::kColumn) return std::nullopt;
+    item.column = s.Next().column;
+    q.select.push_back(item);
+  }
+  if (q.select.empty() || !s.AtReserved(ReservedWord::kFrom)) return std::nullopt;
+  s.Next();
+  while (!s.Done() && s.Peek().type == TokenType::kTable) {
+    q.tables.push_back(s.Next().table);
+  }
+  if (q.tables.empty()) return std::nullopt;
+  // WHERE clause.
+  if (s.AtReserved(ReservedWord::kWhere)) {
+    s.Next();
+    bool in_filters = false;
+    bool first_pred = true;
+    std::vector<Conjunction> conjs;
+    while (!s.Done() && !s.AtReserved(ReservedWord::kGroupBy) &&
+           !s.AtReserved(ReservedWord::kOrderBy)) {
+      if (!first_pred) {
+        // Separator: JoinAnd (still in join block or transitioning) or a
+        // conjunction token (filter block).
+        if (s.AtReserved(ReservedWord::kJoinAnd)) {
+          s.Next();
+        } else if (s.Peek().type == TokenType::kConjunction) {
+          conjs.push_back(s.Next().conjunction);
+          in_filters = true;
+        } else {
+          return std::nullopt;
+        }
+      }
+      first_pred = false;
+      // A predicate: COLUMN OP (COLUMN | VALUE).
+      if (s.Done() || s.Peek().type != TokenType::kColumn) return std::nullopt;
+      ColumnId left = s.Next().column;
+      if (s.Done() || s.Peek().type != TokenType::kOperator) return std::nullopt;
+      CmpOp op = s.Next().op;
+      if (s.Done()) return std::nullopt;
+      if (s.Peek().type == TokenType::kColumn) {
+        if (in_filters || op != CmpOp::kEq) return std::nullopt;
+        q.joins.push_back(JoinPredicate{left, s.Next().column});
+      } else if (s.Peek().type == TokenType::kValue) {
+        Token v = s.Next();
+        if (!(v.column == left)) return std::nullopt;
+        q.filters.push_back(
+            Predicate{left, op, vocab.BucketValue(left, v.value_bucket)});
+        in_filters = true;
+      } else {
+        return std::nullopt;
+      }
+    }
+    if (!conjs.empty()) {
+      // All filter separators must agree (the reference tree forces this).
+      for (Conjunction c : conjs) {
+        if (c != conjs[0]) return std::nullopt;
+      }
+      q.conjunction = conjs[0];
+    }
+  }
+  if (s.AtReserved(ReservedWord::kGroupBy)) {
+    s.Next();
+    while (!s.Done() && s.Peek().type == TokenType::kColumn) {
+      q.group_by.push_back(s.Next().column);
+    }
+    if (q.group_by.empty()) return std::nullopt;
+  }
+  if (s.AtReserved(ReservedWord::kOrderBy)) {
+    s.Next();
+    while (!s.Done() && s.Peek().type == TokenType::kColumn) {
+      q.order_by.push_back(s.Next().column);
+    }
+    if (q.order_by.empty()) return std::nullopt;
+  }
+  if (!s.Done()) return std::nullopt;
+  return q;
+}
+
+std::string TokenToString(const Token& t, const catalog::Schema& schema) {
+  switch (t.type) {
+    case TokenType::kSpecial:
+      switch (t.special) {
+        case SpecialToken::kPad: return "<pad>";
+        case SpecialToken::kBos: return "<bos>";
+        case SpecialToken::kEos: return "<eos>";
+        case SpecialToken::kStop: return "<stop>";
+      }
+      return "<?>";
+    case TokenType::kReserved:
+      switch (t.reserved) {
+        case ReservedWord::kSelect: return "SELECT";
+        case ReservedWord::kFrom: return "FROM";
+        case ReservedWord::kWhere: return "WHERE";
+        case ReservedWord::kGroupBy: return "GROUP BY";
+        case ReservedWord::kOrderBy: return "ORDER BY";
+        case ReservedWord::kJoinAnd: return "AND";
+      }
+      return "?";
+    case TokenType::kTable:
+      return schema.table(t.table).name;
+    case TokenType::kColumn:
+      return schema.QualifiedName(t.column);
+    case TokenType::kAggregator:
+      return AggFuncName(t.agg);
+    case TokenType::kOperator:
+      return CmpOpName(t.op);
+    case TokenType::kValue:
+      return common::StrFormat("%s@v%d",
+                               schema.QualifiedName(t.column).c_str(),
+                               t.value_bucket);
+    case TokenType::kConjunction:
+      return t.conjunction == Conjunction::kAnd ? "AND" : "OR";
+  }
+  return "?";
+}
+
+int EditDistance(const std::vector<Token>& a, const std::vector<Token>& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<int> prev(m + 1);
+  std::vector<int> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace trap::sql

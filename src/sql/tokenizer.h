@@ -1,0 +1,36 @@
+#ifndef TRAP_SQL_TOKENIZER_H_
+#define TRAP_SQL_TOKENIZER_H_
+
+#include <optional>
+#include <vector>
+
+#include "sql/query.h"
+#include "sql/tokens.h"
+#include "sql/vocabulary.h"
+
+namespace trap::sql {
+
+// Linearizes a query into the token sequence the sequence-to-sequence agent
+// consumes:
+//
+//   SELECT (agg? col)+ FROM table+
+//   [WHERE join (AND join)* [AND] (col op value (CONJ col op value)*)?]
+//   [GROUP BY col+] [ORDER BY col+]
+//
+// Literals are snapped to the vocabulary's nearest bucket, so
+// FromTokens(ToTokens(q)) == q holds whenever q's literals are bucket values.
+std::vector<Token> ToTokens(const Query& q, const Vocabulary& vocab);
+
+// Reconstructs a query from a token sequence. Returns std::nullopt when the
+// sequence is structurally malformed (e.g. mixed filter conjunctions or a
+// literal bound to the wrong column) -- the Constraint-Aware Reference Tree
+// never produces such sequences, but baselines without it may.
+std::optional<Query> FromTokens(const std::vector<Token>& tokens,
+                                const Vocabulary& vocab);
+
+// Convenience: token ids for a query under `vocab`.
+std::vector<int> ToTokenIds(const Query& q, const Vocabulary& vocab);
+
+}  // namespace trap::sql
+
+#endif  // TRAP_SQL_TOKENIZER_H_

@@ -1,0 +1,112 @@
+#ifndef TRAP_SQL_TOKENS_H_
+#define TRAP_SQL_TOKENS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "sql/query.h"
+
+namespace trap::sql {
+
+// SQL is modelled at the granularity the paper perturbs: one token per
+// column reference, literal, operator, aggregator, conjunction, table name or
+// keyword. The edit distance of Definition 3.4 counts these tokens.
+
+enum class ReservedWord {
+  kSelect,
+  kFrom,
+  kWhere,
+  kGroupBy,  // "GROUP BY" is a single structural token
+  kOrderBy,  // likewise "ORDER BY"
+  kJoinAnd,  // the non-modifiable AND between join predicates
+};
+
+enum class TokenType {
+  kSpecial,      // PAD / BOS / EOS / STOP (sequence-model plumbing)
+  kReserved,     // ReservedWord
+  kTable,        // payload: table index
+  kColumn,       // payload: ColumnId
+  kAggregator,   // payload: AggFunc (kCount..kMax)
+  kOperator,     // payload: CmpOp
+  kValue,        // payload: (ColumnId, bucket index)
+  kConjunction,  // payload: Conjunction (AND / OR between filter predicates)
+};
+
+enum class SpecialToken { kPad = 0, kBos = 1, kEos = 2, kStop = 3 };
+
+struct Token {
+  TokenType type = TokenType::kSpecial;
+  SpecialToken special = SpecialToken::kPad;
+  ReservedWord reserved = ReservedWord::kSelect;
+  int table = -1;
+  ColumnId column;   // for kColumn and kValue
+  AggFunc agg = AggFunc::kNone;
+  CmpOp op = CmpOp::kEq;
+  Conjunction conjunction = Conjunction::kAnd;
+  int value_bucket = -1;  // for kValue
+
+  friend bool operator==(const Token&, const Token&) = default;
+
+  static Token Special(SpecialToken s) {
+    Token t;
+    t.type = TokenType::kSpecial;
+    t.special = s;
+    return t;
+  }
+  static Token Reserved(ReservedWord w) {
+    Token t;
+    t.type = TokenType::kReserved;
+    t.reserved = w;
+    return t;
+  }
+  static Token Table(int table) {
+    Token t;
+    t.type = TokenType::kTable;
+    t.table = table;
+    return t;
+  }
+  static Token Column(ColumnId c) {
+    Token t;
+    t.type = TokenType::kColumn;
+    t.column = c;
+    return t;
+  }
+  static Token Aggregator(AggFunc f) {
+    Token t;
+    t.type = TokenType::kAggregator;
+    t.agg = f;
+    return t;
+  }
+  static Token Operator(CmpOp op) {
+    Token t;
+    t.type = TokenType::kOperator;
+    t.op = op;
+    return t;
+  }
+  static Token ValueTok(ColumnId c, int bucket) {
+    Token t;
+    t.type = TokenType::kValue;
+    t.column = c;
+    t.value_bucket = bucket;
+    return t;
+  }
+  static Token Conj(Conjunction c) {
+    Token t;
+    t.type = TokenType::kConjunction;
+    t.conjunction = c;
+    return t;
+  }
+};
+
+// Human-readable rendering (diagnostics / tests).
+std::string TokenToString(const Token& t, const catalog::Schema& schema);
+
+// Levenshtein distance over token sequences; the distance metric k(q, q') of
+// Definition 3.4.
+int EditDistance(const std::vector<Token>& a, const std::vector<Token>& b);
+
+}  // namespace trap::sql
+
+#endif  // TRAP_SQL_TOKENS_H_

@@ -1,0 +1,34 @@
+#ifndef TRAP_SQL_VALUE_H_
+#define TRAP_SQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/schema.h"
+
+namespace trap::sql {
+
+// A predicate literal. Numeric columns carry the literal directly; string
+// columns are dictionary-encoded against the column's ordinal domain
+// [0, num_distinct), which is how the statistics-only catalog models strings.
+struct Value {
+  catalog::ColumnType type = catalog::ColumnType::kInt;
+  double numeric = 0.0;  // int values are stored exactly (|v| < 2^53)
+
+  static Value Int(int64_t v) {
+    return Value{catalog::ColumnType::kInt, static_cast<double>(v)};
+  }
+  static Value Double(double v) { return Value{catalog::ColumnType::kDouble, v}; }
+  static Value StringCode(int64_t ordinal) {
+    return Value{catalog::ColumnType::kString, static_cast<double>(ordinal)};
+  }
+
+  friend bool operator==(const Value&, const Value&) = default;
+};
+
+// Renders a value as a SQL literal, using the column for string rendering.
+std::string ToSqlLiteral(const Value& v, const catalog::Column& column);
+
+}  // namespace trap::sql
+
+#endif  // TRAP_SQL_VALUE_H_

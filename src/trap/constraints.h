@@ -1,0 +1,32 @@
+#ifndef TRAP_TRAP_CONSTRAINTS_H_
+#define TRAP_TRAP_CONSTRAINTS_H_
+
+namespace trap::trap {
+
+// The three perturbation constraints of Section III (Table I). They differ
+// in which token types may be modified:
+//   kValueOnly        — predicate literals only (template parameter drift);
+//   kColumnConsistent — columns (drawn from the original query's column set)
+//                       and literals;
+//   kSharedTable      — columns over the same table schema, literals,
+//                       conjunctions, operators and aggregators, plus new
+//                       payload items and predicates.
+// Join predicates (the join graph) are never modified.
+enum class PerturbationConstraint {
+  kValueOnly,
+  kColumnConsistent,
+  kSharedTable,
+};
+
+inline const char* ConstraintName(PerturbationConstraint c) {
+  switch (c) {
+    case PerturbationConstraint::kValueOnly: return "ValueOnly";
+    case PerturbationConstraint::kColumnConsistent: return "ColumnConsistent";
+    case PerturbationConstraint::kSharedTable: return "SharedTable";
+  }
+  return "?";
+}
+
+}  // namespace trap::trap
+
+#endif  // TRAP_TRAP_CONSTRAINTS_H_

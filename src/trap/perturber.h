@@ -1,0 +1,88 @@
+#ifndef TRAP_TRAP_PERTURBER_H_
+#define TRAP_TRAP_PERTURBER_H_
+
+#include <memory>
+#include <string>
+
+#include "trap/training.h"
+
+namespace trap::trap {
+
+// The four workload generation methods compared in Section V-B, plus the
+// transformer variants of Fig. 7 / Table IV.
+enum class GenerationMethod {
+  kRandom,       // random tree-legal perturbations (5x attempts allowed)
+  kGru,          // decoder-only GRU, RL only
+  kSeq2Seq,      // Bi-GRU encoder + GRU decoder, no attention, RL only
+  kTrap,         // full TRAP: attention + pretraining + learned utility
+  kTransformer,  // transformer-encoder variant (PLM stand-in), RL only
+};
+
+const char* MethodName(GenerationMethod m);
+
+// Transformer configurations standing in for the pre-trained language models
+// of Table IV ("Bert", "Bart", "CodeBert", "StarEncoder"); sizes scale with
+// the original models' relative parameter counts.
+AgentOptions PlmAgentOptions(const std::string& plm_name, uint64_t seed);
+
+struct GeneratorConfig {
+  GenerationMethod method = GenerationMethod::kTrap;
+  PerturbationConstraint constraint = PerturbationConstraint::kSharedTable;
+  int epsilon = 5;
+  AgentOptions agent;        // dims/encoder filled in by the method unless
+                             // method == kTransformer (caller supplies)
+  PretrainOptions pretrain;  // used by kTrap
+  bool pretrain_enabled = true;  // Fig. 8(b): kTrap without phase 1
+  RlOptions rl;
+  int random_attempts = 5;   // Random generates 5x more queries (Sec. V-B)
+  int model_attempts = 3;    // trained methods: greedy + (k-1) sampled
+                             // candidates, scored by estimated IUDR
+  uint64_t seed = 0xace;
+};
+
+// End-to-end adversarial workload generator: construct, Fit against a victim
+// index advisor, then Generate perturbed workloads. All methods share the
+// Constraint-Aware Reference Tree, so every produced query is valid and
+// within the edit budget.
+class AdversarialWorkloadGenerator {
+ public:
+  AdversarialWorkloadGenerator(const sql::Vocabulary& vocab,
+                               GeneratorConfig config);
+  ~AdversarialWorkloadGenerator();
+
+  // Trains the generator against `victim` (no-op policy training for
+  // kRandom, which still uses the utility model to pick its best attempt).
+  // `pretrain_pool` feeds phase-1; `training` feeds the RL phase.
+  void Fit(advisor::IndexAdvisor* victim, advisor::IndexAdvisor* victim_baseline,
+           const engine::WhatIfOptimizer* optimizer,
+           const gbdt::LearnedUtilityModel* utility,
+           const std::vector<sql::Query>& pretrain_pool,
+           const std::vector<workload::Workload>& training,
+           advisor::TuningConstraint tuning);
+
+  // Produces the perturbation-based adversarial workload W' for W.
+  workload::Workload Generate(const workload::Workload& w);
+
+  // Introspection for the benches.
+  int64_t NumParameters() const;
+  const RlTrace& rl_trace() const { return rl_trace_; }
+  const std::vector<double>& pretrain_trace() const { return pretrain_trace_; }
+  TrapAgent* agent();  // nullptr for kRandom
+
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  workload::Workload RandomPerturb(const workload::Workload& w);
+
+  const sql::Vocabulary* vocab_;
+  GeneratorConfig config_;
+  common::Rng rng_;
+  std::unique_ptr<TrapAgent> agent_;
+  std::unique_ptr<RlTrainer> trainer_;
+  RlTrace rl_trace_;
+  std::vector<double> pretrain_trace_;
+};
+
+}  // namespace trap::trap
+
+#endif  // TRAP_TRAP_PERTURBER_H_

@@ -1,0 +1,97 @@
+#ifndef TRAP_TRAP_TRAINING_H_
+#define TRAP_TRAP_TRAINING_H_
+
+#include <vector>
+
+#include "advisor/evaluation.h"
+#include "gbdt/utility_model.h"
+#include "trap/agent.h"
+
+namespace trap::trap {
+
+// ---------------------------------------------------------------------------
+// Phase 1: index-advisor-independent pretraining (Section IV-C, Eq. 7).
+// ---------------------------------------------------------------------------
+
+struct PretrainOptions {
+  int num_pairs = 1000;  // synthetic (q, q') pairs; the paper uses 20k
+  int epochs = 3;
+  double learning_rate = 1e-3;
+  uint64_t seed = 0x9e7;
+};
+
+// Builds a synthetic corpus Q = {(q, q')} by randomly perturbing pool
+// queries through the reference tree, then maximizes the likelihood of
+// generating q' from q under the legitimate-vocabulary masking. Returns the
+// mean negative log-likelihood per epoch (decreasing when learning works).
+std::vector<double> Pretrain(TrapAgent& agent,
+                             const std::vector<sql::Query>& pool,
+                             PerturbationConstraint constraint, int epsilon,
+                             const PretrainOptions& options);
+
+// ---------------------------------------------------------------------------
+// Phase 2: reinforced perturbation policy learning (Section IV-B, Eq. 6).
+// ---------------------------------------------------------------------------
+
+struct RlOptions {
+  int epochs = 20;  // the paper trains 100 RL epochs; scaled by benches
+  int workloads_per_epoch = 6;
+  double learning_rate = 1e-3;
+  double theta = 0.1;              // utility threshold for usable workloads
+  bool use_learned_utility = true; // false = raw what-if reward (Fig. 8a)
+  bool self_critic = true;         // subtract the greedy-decode baseline
+  uint64_t seed = 0x9e8;
+};
+
+struct RlTrace {
+  // Mean (estimated) IUDR of sampled perturbations per epoch.
+  std::vector<double> mean_reward_per_epoch;
+};
+
+// Trains the agent to generate workloads that degrade one victim advisor
+// (opaque-box: only Recommend() is called). The reward is the IUDR computed
+// with the learned index utility model, or with raw what-if estimates when
+// ablated.
+class RlTrainer {
+ public:
+  RlTrainer(TrapAgent* agent, advisor::IndexAdvisor* victim,
+            advisor::IndexAdvisor* victim_baseline,
+            const engine::WhatIfOptimizer* optimizer,
+            const gbdt::LearnedUtilityModel* utility,
+            PerturbationConstraint constraint, int epsilon,
+            advisor::TuningConstraint tuning, RlOptions options);
+
+  RlTrace Train(const std::vector<workload::Workload>& training);
+
+  // Greedy adversarial perturbation of a workload with the trained policy.
+  workload::Workload Perturb(const workload::Workload& w) const;
+
+  // Stochastic perturbation (policy sampling) — used for best-of-k
+  // generation at assessment time.
+  workload::Workload PerturbSampled(const workload::Workload& w,
+                                    common::Rng& rng) const;
+
+  // Estimated IUDR of perturbing `w` into `perturbed` from the victim's
+  // perspective (used as the reward signal).
+  double EstimatedIudr(const workload::Workload& w,
+                       const workload::Workload& perturbed) const;
+
+ private:
+  double EstimatedUtility(const workload::Workload& w) const;
+  double CostOf(const workload::Workload& w,
+                const engine::IndexConfig& config) const;
+
+  TrapAgent* agent_;
+  advisor::IndexAdvisor* victim_;
+  advisor::IndexAdvisor* baseline_;
+  const engine::WhatIfOptimizer* optimizer_;
+  const gbdt::LearnedUtilityModel* utility_;
+  PerturbationConstraint constraint_;
+  int epsilon_;
+  advisor::TuningConstraint tuning_;
+  RlOptions options_;
+};
+
+}  // namespace trap::trap
+
+#endif  // TRAP_TRAP_TRAINING_H_

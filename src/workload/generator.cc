@@ -1,0 +1,190 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <set>
+
+namespace trap::workload {
+
+double EstimatedCost(const Workload& w, const engine::WhatIfOptimizer& optimizer,
+                     const engine::IndexConfig& config) {
+  double total = 0.0;
+  for (const WorkloadQuery& wq : w.queries) {
+    total += wq.weight * optimizer.QueryCost(wq.query, config);
+  }
+  return total;
+}
+
+double ActualCost(const Workload& w, const engine::TrueCostModel& truth,
+                  const engine::IndexConfig& config) {
+  double total = 0.0;
+  for (const WorkloadQuery& wq : w.queries) {
+    total += wq.weight * truth.QueryCost(wq.query, config);
+  }
+  return total;
+}
+
+QueryGenerator::QueryGenerator(const sql::Vocabulary& vocab,
+                               GeneratorOptions options, uint64_t seed)
+    : vocab_(&vocab), options_(options), rng_(seed) {}
+
+sql::Query QueryGenerator::Generate() {
+  const catalog::Schema& schema = vocab_->schema();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    sql::Query q;
+    // 1. Grow a connected table set along the join graph.
+    int want_tables = static_cast<int>(
+        rng_.UniformInt(options_.min_tables, options_.max_tables));
+    std::set<int> tables;
+    int start = static_cast<int>(rng_.UniformInt(0, schema.num_tables() - 1));
+    tables.insert(start);
+    while (static_cast<int>(tables.size()) < want_tables) {
+      std::vector<catalog::JoinEdge> frontier;
+      for (const catalog::JoinEdge& e : schema.join_edges()) {
+        bool li = tables.count(e.left.table) > 0;
+        bool ri = tables.count(e.right.table) > 0;
+        if (li != ri) frontier.push_back(e);
+      }
+      if (frontier.empty()) break;  // isolated component; accept fewer tables
+      const catalog::JoinEdge& e = rng_.Choice(frontier);
+      q.joins.push_back(sql::JoinPredicate{e.left, e.right});
+      tables.insert(e.left.table);
+      tables.insert(e.right.table);
+    }
+    q.tables.assign(tables.begin(), tables.end());
+
+    auto random_column = [&]() {
+      int t = q.tables[static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(q.tables.size()) - 1))];
+      const catalog::Table& tab = schema.table(t);
+      int c = static_cast<int>(
+          rng_.UniformInt(0, static_cast<int64_t>(tab.columns.size()) - 1));
+      return catalog::ColumnId{t, c};
+    };
+
+    // 2. SELECT payload (distinct columns).
+    int payload = static_cast<int>(rng_.UniformInt(1, options_.max_payload));
+    std::set<catalog::ColumnId> used;
+    for (int i = 0; i < payload * 3 &&
+                    static_cast<int>(q.select.size()) < payload; ++i) {
+      catalog::ColumnId c = random_column();
+      if (used.insert(c).second) {
+        q.select.push_back(sql::SelectItem{sql::AggFunc::kNone, c});
+      }
+    }
+    if (q.select.empty()) continue;
+
+    // 3. Aggregation: aggregate a suffix of the payload; bare columns become
+    // the GROUP BY.
+    if (rng_.Bernoulli(options_.aggregate_prob) && q.select.size() >= 2) {
+      int num_agg = static_cast<int>(
+          rng_.UniformInt(1, static_cast<int64_t>(q.select.size()) - 1));
+      for (size_t i = q.select.size() - static_cast<size_t>(num_agg);
+           i < q.select.size(); ++i) {
+        const catalog::Column& col = schema.column(q.select[i].column);
+        if (col.type == catalog::ColumnType::kString) {
+          q.select[i].agg = rng_.Bernoulli(0.5) ? sql::AggFunc::kCount
+                                                : sql::AggFunc::kMax;
+        } else {
+          static const sql::AggFunc kNumericAggs[] = {
+              sql::AggFunc::kCount, sql::AggFunc::kSum, sql::AggFunc::kAvg,
+              sql::AggFunc::kMin, sql::AggFunc::kMax};
+          q.select[i].agg =
+              kNumericAggs[rng_.UniformInt(0, 4)];
+        }
+      }
+      for (const sql::SelectItem& s : q.select) {
+        if (s.agg == sql::AggFunc::kNone) q.group_by.push_back(s.column);
+      }
+    }
+
+    // 4. Filter predicates on distinct columns.
+    int want_filters = static_cast<int>(
+        rng_.UniformInt(options_.min_filters, options_.max_filters));
+    std::set<catalog::ColumnId> filter_cols;
+    for (int i = 0; i < want_filters * 3 &&
+                    static_cast<int>(q.filters.size()) < want_filters; ++i) {
+      catalog::ColumnId c = random_column();
+      if (!filter_cols.insert(c).second) continue;
+      sql::CmpOp op = sql::CmpOp::kEq;
+      double r = rng_.Uniform();
+      if (r < options_.not_equal_prob) {
+        op = sql::CmpOp::kNe;
+      } else if (r < options_.not_equal_prob + options_.range_prob) {
+        static const sql::CmpOp kRanges[] = {sql::CmpOp::kLt, sql::CmpOp::kLe,
+                                             sql::CmpOp::kGt, sql::CmpOp::kGe};
+        op = kRanges[rng_.UniformInt(0, 3)];
+      }
+      int bucket = static_cast<int>(
+          rng_.UniformInt(0, vocab_->values_per_column() - 1));
+      q.filters.push_back(sql::Predicate{c, op, vocab_->BucketValue(c, bucket)});
+    }
+    if (q.filters.size() > 1 && rng_.Bernoulli(options_.or_conjunction_prob)) {
+      q.conjunction = sql::Conjunction::kOr;
+    }
+
+    // 5. ORDER BY: for grouped queries restricted to grouping columns.
+    if (rng_.Bernoulli(options_.order_by_prob)) {
+      std::vector<catalog::ColumnId> candidates;
+      if (!q.group_by.empty()) {
+        candidates = q.group_by;
+      } else {
+        for (const sql::SelectItem& s : q.select) {
+          if (s.agg == sql::AggFunc::kNone) candidates.push_back(s.column);
+        }
+      }
+      if (!candidates.empty()) {
+        rng_.Shuffle(candidates);
+        int n = static_cast<int>(rng_.UniformInt(
+            1, std::min<int64_t>(2, static_cast<int64_t>(candidates.size()))));
+        q.order_by.assign(candidates.begin(), candidates.begin() + n);
+      }
+    }
+
+    if (sql::ValidateQuery(q, schema)) return q;
+  }
+  TRAP_CHECK_MSG(false, "query generation failed to converge");
+  return sql::Query{};
+}
+
+std::vector<sql::Query> QueryGenerator::GeneratePool(int n) {
+  std::vector<sql::Query> pool;
+  pool.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) pool.push_back(Generate());
+  return pool;
+}
+
+Workload SampleWorkload(const std::vector<sql::Query>& pool, int size,
+                        common::Rng& rng) {
+  TRAP_CHECK(!pool.empty());
+  TRAP_CHECK(size >= 1);
+  Workload w;
+  if (size <= static_cast<int>(pool.size())) {
+    std::vector<int> order(pool.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    rng.Shuffle(order);
+    for (int i = 0; i < size; ++i) {
+      w.queries.push_back(WorkloadQuery{pool[static_cast<size_t>(order[static_cast<size_t>(i)])], 1.0});
+    }
+  } else {
+    for (int i = 0; i < size; ++i) {
+      w.queries.push_back(WorkloadQuery{rng.Choice(pool), 1.0});
+    }
+  }
+  return w;
+}
+
+uint64_t TemplateSignature(const sql::Query& q) {
+  sql::Query stripped = q;
+  for (sql::Predicate& p : stripped.filters) {
+    p.value.numeric = 0.0;
+  }
+  return sql::Fingerprint(stripped);
+}
+
+int CountTemplates(const std::vector<sql::Query>& queries) {
+  std::set<uint64_t> sigs;
+  for (const sql::Query& q : queries) sigs.insert(TemplateSignature(q));
+  return static_cast<int>(sigs.size());
+}
+
+}  // namespace trap::workload

@@ -1,0 +1,66 @@
+#ifndef TRAP_WORKLOAD_GENERATOR_H_
+#define TRAP_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sql/query.h"
+#include "sql/vocabulary.h"
+#include "workload/workload.h"
+
+namespace trap::workload {
+
+// Knobs for the synthetic SPAJ query generator (Section V-A: "we follow the
+// method in [19], [38] ... which synthesizes additional
+// Select-Project-Aggregate-Join queries according to a meaningful join
+// graph").
+struct GeneratorOptions {
+  int min_tables = 1;
+  int max_tables = 4;
+  int min_filters = 1;
+  int max_filters = 4;
+  int max_payload = 4;
+  double aggregate_prob = 0.35;   // query uses aggregates (+ GROUP BY)
+  double order_by_prob = 0.40;
+  double or_conjunction_prob = 0.04;
+  double not_equal_prob = 0.05;   // per-filter chance of `<>`
+  double range_prob = 0.35;       // per-filter chance of a range operator
+};
+
+// Generates random but semantically meaningful SPAJ queries over a schema's
+// join graph. All literals are drawn from the vocabulary's bucket values so
+// queries tokenize loss-lessly; every generated query passes ValidateQuery.
+class QueryGenerator {
+ public:
+  QueryGenerator(const sql::Vocabulary& vocab, GeneratorOptions options,
+                 uint64_t seed);
+
+  sql::Query Generate();
+
+  // A pool of `n` distinct-ish queries.
+  std::vector<sql::Query> GeneratePool(int n);
+
+  const catalog::Schema& schema() const { return vocab_->schema(); }
+
+ private:
+  const sql::Vocabulary* vocab_;
+  GeneratorOptions options_;
+  common::Rng rng_;
+};
+
+// Samples a workload of `size` queries (unit weight) from `pool`, without
+// replacement when possible.
+Workload SampleWorkload(const std::vector<sql::Query>& pool, int size,
+                        common::Rng& rng);
+
+// Template analysis for Fig. 1: queries sharing a template differ only in
+// predicate literals. Returns the signature of the query with literals
+// erased.
+uint64_t TemplateSignature(const sql::Query& q);
+
+// Number of distinct templates in a bag of queries.
+int CountTemplates(const std::vector<sql::Query>& queries);
+
+}  // namespace trap::workload
+
+#endif  // TRAP_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,37 @@
+#ifndef TRAP_WORKLOAD_WORKLOAD_H_
+#define TRAP_WORKLOAD_WORKLOAD_H_
+
+#include <vector>
+
+#include "engine/true_cost.h"
+#include "engine/what_if.h"
+#include "sql/query.h"
+
+namespace trap::workload {
+
+// A query with an associated weight e (the paper assigns unit frequencies,
+// Definition 3.1 / Section V-A).
+struct WorkloadQuery {
+  sql::Query query;
+  double weight = 1.0;
+};
+
+// A workload W = {(q, e)}.
+struct Workload {
+  std::vector<WorkloadQuery> queries;
+
+  int size() const { return static_cast<int>(queries.size()); }
+  bool empty() const { return queries.empty(); }
+};
+
+// Weighted estimated cost c(W, d, I) via what-if calls.
+double EstimatedCost(const Workload& w, const engine::WhatIfOptimizer& optimizer,
+                     const engine::IndexConfig& config);
+
+// Weighted "actual runtime" cost via the true-cost oracle.
+double ActualCost(const Workload& w, const engine::TrueCostModel& truth,
+                  const engine::IndexConfig& config);
+
+}  // namespace trap::workload
+
+#endif  // TRAP_WORKLOAD_WORKLOAD_H_

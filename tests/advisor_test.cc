@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "advisor/candidates.h"
+#include "advisor/dqn_advisors.h"
+#include "advisor/evaluation.h"
+#include "advisor/heuristic_advisors.h"
+#include "advisor/mcts.h"
+#include "advisor/swirl.h"
+#include "catalog/datasets.h"
+#include "workload/generator.h"
+
+namespace trap::advisor {
+namespace {
+
+using catalog::MakeTpcH;
+using engine::Index;
+using engine::IndexConfig;
+using workload::GeneratorOptions;
+using workload::QueryGenerator;
+using workload::Workload;
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  AdvisorTest()
+      : schema_(MakeTpcH(0.2)),
+        vocab_(schema_, 8),
+        optimizer_(schema_),
+        truth_(schema_) {
+    GeneratorOptions opt;
+    opt.max_tables = 3;
+    opt.max_filters = 3;
+    QueryGenerator gen(vocab_, opt, 101);
+    pool_ = gen.GeneratePool(60);
+    common::Rng rng(5);
+    for (int i = 0; i < 6; ++i) {
+      training_.push_back(workload::SampleWorkload(pool_, 6, rng));
+    }
+    test_workload_ = workload::SampleWorkload(pool_, 8, rng);
+  }
+
+  TuningConstraint StorageConstraint() const {
+    return TuningConstraint::Storage(schema_.DataSizeBytes() / 2);
+  }
+  TuningConstraint CountConstraint(int n) const {
+    return TuningConstraint::IndexCount(n, schema_.DataSizeBytes() / 2);
+  }
+
+  double Cost(const Workload& w, const IndexConfig& c) const {
+    return WorkloadCost(optimizer_, w, c);
+  }
+
+  catalog::Schema schema_;
+  sql::Vocabulary vocab_;
+  engine::WhatIfOptimizer optimizer_;
+  engine::TrueCostModel truth_;
+  std::vector<sql::Query> pool_;
+  std::vector<Workload> training_;
+  Workload test_workload_;
+};
+
+TEST_F(AdvisorTest, IndexableColumnsOrderedByCount) {
+  std::vector<IndexableColumn> cols = IndexableColumns(test_workload_);
+  ASSERT_FALSE(cols.empty());
+  for (size_t i = 1; i < cols.size(); ++i) {
+    EXPECT_GE(cols[i - 1].count, cols[i].count);
+  }
+}
+
+TEST_F(AdvisorTest, MultiColumnCandidatesRespectWidth) {
+  std::vector<Index> cands = MultiColumnCandidates(test_workload_, schema_, 2);
+  for (const Index& i : cands) {
+    EXPECT_GE(i.NumColumns(), 2);
+    EXPECT_LE(i.NumColumns(), 2);
+    for (catalog::ColumnId c : i.columns) {
+      EXPECT_EQ(c.table, i.table());
+    }
+  }
+}
+
+TEST_F(AdvisorTest, CandidatesAreDeduplicated) {
+  std::vector<Index> cands = AllCandidates(test_workload_, schema_, true, 3);
+  std::set<Index> unique(cands.begin(), cands.end());
+  EXPECT_EQ(unique.size(), cands.size());
+}
+
+TEST_F(AdvisorTest, FitsConstraintChecksCountAndStorage) {
+  IndexConfig config;
+  Index idx{{*schema_.FindColumn("lineitem", "l_shipdate")}};
+  TuningConstraint one = CountConstraint(1);
+  EXPECT_TRUE(FitsConstraint(config, idx, one, schema_));
+  config.Add(idx);
+  Index idx2{{*schema_.FindColumn("lineitem", "l_quantity")}};
+  EXPECT_FALSE(FitsConstraint(config, idx2, one, schema_));
+  // Tiny storage budget rejects everything.
+  TuningConstraint tiny = TuningConstraint::Storage(10);
+  EXPECT_FALSE(FitsConstraint(IndexConfig(), idx, tiny, schema_));
+}
+
+// -- heuristic advisors ------------------------------------------------------
+
+TEST_F(AdvisorTest, ExtendReducesCostWithinBudget) {
+  auto advisor = MakeExtend(optimizer_);
+  TuningConstraint c = StorageConstraint();
+  IndexConfig config = advisor->Recommend(test_workload_, c);
+  EXPECT_FALSE(config.empty());
+  EXPECT_LE(config.TotalSizeBytes(schema_), c.storage_budget_bytes);
+  EXPECT_LT(Cost(test_workload_, config),
+            Cost(test_workload_, IndexConfig()));
+}
+
+TEST_F(AdvisorTest, ExtendProducesMultiColumnIndexes) {
+  auto advisor = MakeExtend(optimizer_);
+  // Aggregate over several workloads: extension steps should fire somewhere.
+  bool any_multi = false;
+  for (const Workload& w : training_) {
+    IndexConfig config = advisor->Recommend(w, StorageConstraint());
+    for (const Index& i : config.indexes()) {
+      if (i.NumColumns() > 1) any_multi = true;
+    }
+  }
+  EXPECT_TRUE(any_multi);
+}
+
+TEST_F(AdvisorTest, Db2AdvisReducesCostWithinBudget) {
+  auto advisor = MakeDb2Advis(optimizer_);
+  TuningConstraint c = StorageConstraint();
+  IndexConfig config = advisor->Recommend(test_workload_, c);
+  EXPECT_FALSE(config.empty());
+  EXPECT_LE(config.TotalSizeBytes(schema_), c.storage_budget_bytes);
+  EXPECT_LT(Cost(test_workload_, config), Cost(test_workload_, IndexConfig()));
+}
+
+TEST_F(AdvisorTest, AutoAdminRespectsIndexCount) {
+  auto advisor = MakeAutoAdmin(optimizer_);
+  TuningConstraint c = CountConstraint(3);
+  IndexConfig config = advisor->Recommend(test_workload_, c);
+  EXPECT_LE(config.size(), 3);
+  EXPECT_LT(Cost(test_workload_, config), Cost(test_workload_, IndexConfig()));
+}
+
+TEST_F(AdvisorTest, DropReturnsSingleColumnWithinCount) {
+  auto advisor = MakeDrop(optimizer_, [] {
+    HeuristicOptions o;
+    o.multi_column = false;
+    return o;
+  }());
+  TuningConstraint c = CountConstraint(3);
+  IndexConfig config = advisor->Recommend(test_workload_, c);
+  EXPECT_LE(config.size(), 3);
+  for (const Index& i : config.indexes()) {
+    EXPECT_TRUE(i.IsSingleColumn());
+  }
+  EXPECT_LT(Cost(test_workload_, config), Cost(test_workload_, IndexConfig()));
+}
+
+TEST_F(AdvisorTest, RelaxationMeetsStorageBudget) {
+  auto advisor = MakeRelaxation(optimizer_);
+  // Use a tight budget to force actual relaxation moves.
+  TuningConstraint c = TuningConstraint::Storage(schema_.DataSizeBytes() / 20);
+  IndexConfig config = advisor->Recommend(test_workload_, c);
+  EXPECT_LE(config.TotalSizeBytes(schema_), c.storage_budget_bytes);
+}
+
+TEST_F(AdvisorTest, DtaReducesCostWithinBudget) {
+  auto advisor = MakeDta(optimizer_);
+  TuningConstraint c = StorageConstraint();
+  IndexConfig config = advisor->Recommend(test_workload_, c);
+  EXPECT_FALSE(config.empty());
+  EXPECT_LE(config.TotalSizeBytes(schema_), c.storage_budget_bytes);
+  EXPECT_LT(Cost(test_workload_, config), Cost(test_workload_, IndexConfig()));
+}
+
+TEST_F(AdvisorTest, DtaAtLeastAsGoodAsSingleColumnGreedy) {
+  auto dta = MakeDta(optimizer_);
+  HeuristicOptions single_only;
+  single_only.multi_column = false;
+  auto extend_single = MakeExtend(optimizer_, single_only);
+  TuningConstraint c = StorageConstraint();
+  double dta_cost = Cost(test_workload_, dta->Recommend(test_workload_, c));
+  double single_cost =
+      Cost(test_workload_, extend_single->Recommend(test_workload_, c));
+  EXPECT_LE(dta_cost, single_cost * 1.05);
+}
+
+TEST_F(AdvisorTest, InteractionSwitchChangesBehaviour) {
+  HeuristicOptions with;
+  with.consider_interaction = true;
+  HeuristicOptions without;
+  without.consider_interaction = false;
+  auto a = MakeExtend(optimizer_, with);
+  auto b = MakeExtend(optimizer_, without);
+  // Across several workloads the two settings must diverge at least once,
+  // and interaction-aware selection must never be (meaningfully) worse.
+  bool diverged = false;
+  for (const Workload& w : training_) {
+    IndexConfig ca = a->Recommend(w, StorageConstraint());
+    IndexConfig cb = b->Recommend(w, StorageConstraint());
+    if (!(ca == cb)) diverged = true;
+    EXPECT_LE(Cost(w, ca), Cost(w, cb) * 1.01);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST_F(AdvisorTest, MultiColumnSwitchChangesCandidates) {
+  HeuristicOptions single;
+  single.multi_column = false;
+  auto a = MakeExtend(optimizer_, HeuristicOptions{});
+  auto b = MakeExtend(optimizer_, single);
+  for (const Workload& w : training_) {
+    IndexConfig cb = b->Recommend(w, StorageConstraint());
+    for (const Index& i : cb.indexes()) EXPECT_TRUE(i.IsSingleColumn());
+  }
+  (void)a;
+}
+
+// -- learning advisors -------------------------------------------------------
+
+TEST_F(AdvisorTest, SwirlTrainsAndImproves) {
+  SwirlOptions opt;
+  opt.episodes = 80;
+  opt.max_actions = 24;
+  SwirlAdvisor advisor(optimizer_, opt);
+  advisor.Train(training_, StorageConstraint());
+  IndexConfig config = advisor.Recommend(test_workload_, StorageConstraint());
+  EXPECT_LE(config.TotalSizeBytes(schema_),
+            StorageConstraint().storage_budget_bytes);
+  EXPECT_LT(Cost(test_workload_, config), Cost(test_workload_, IndexConfig()));
+}
+
+TEST_F(AdvisorTest, SwirlRecommendIsDeterministic) {
+  SwirlOptions opt;
+  opt.episodes = 40;
+  opt.max_actions = 16;
+  SwirlAdvisor advisor(optimizer_, opt);
+  advisor.Train(training_, StorageConstraint());
+  IndexConfig a = advisor.Recommend(test_workload_, StorageConstraint());
+  IndexConfig b = advisor.Recommend(test_workload_, StorageConstraint());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(AdvisorTest, DrlIndexRespectsCountAndSingleColumn) {
+  DqnOptions opt = DrlIndexDefaults();
+  opt.episodes = 60;
+  opt.max_actions = 16;
+  auto advisor = MakeDrlIndex(optimizer_, opt);
+  advisor->Train(training_, CountConstraint(3));
+  IndexConfig config = advisor->Recommend(test_workload_, CountConstraint(3));
+  EXPECT_LE(config.size(), 3);
+  for (const Index& i : config.indexes()) EXPECT_TRUE(i.IsSingleColumn());
+}
+
+TEST_F(AdvisorTest, DqnAdvisorImprovesCost) {
+  DqnOptions opt = DqnAdvisorDefaults();
+  opt.episodes = 60;
+  opt.max_actions = 24;
+  auto advisor = MakeDqnAdvisor(optimizer_, opt);
+  advisor->Train(training_, CountConstraint(4));
+  IndexConfig config = advisor->Recommend(test_workload_, CountConstraint(4));
+  EXPECT_LE(config.size(), 4);
+  EXPECT_LT(Cost(test_workload_, config),
+            Cost(test_workload_, IndexConfig()) * 1.0001);
+}
+
+TEST_F(AdvisorTest, MctsImprovesCostWithinCount) {
+  MctsOptions opt;
+  opt.iterations = 150;
+  auto advisor = MakeMcts(optimizer_, opt);
+  IndexConfig config = advisor->Recommend(test_workload_, CountConstraint(4));
+  EXPECT_LE(config.size(), 4);
+  EXPECT_LT(Cost(test_workload_, config), Cost(test_workload_, IndexConfig()));
+}
+
+// -- evaluation --------------------------------------------------------------
+
+TEST_F(AdvisorTest, UtilityPositiveForGoodAdvisor) {
+  RobustnessEvaluator evaluator(optimizer_, truth_);
+  auto extend = MakeExtend(optimizer_);
+  double u = evaluator.IndexUtility(*extend, nullptr, test_workload_,
+                                    StorageConstraint());
+  EXPECT_GT(u, 0.0);
+  EXPECT_LT(u, 1.0);
+}
+
+TEST_F(AdvisorTest, IudrFormula) {
+  EXPECT_DOUBLE_EQ(RobustnessEvaluator::Iudr(0.5, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(RobustnessEvaluator::Iudr(0.5, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(RobustnessEvaluator::Iudr(0.4, 0.6), 1.0 - 1.5);
+  EXPECT_EQ(RobustnessEvaluator::Iudr(0.0, 0.3), 0.0);
+}
+
+TEST_F(AdvisorTest, SuiteHasTenAdvisorsWithBaselines) {
+  EXPECT_EQ(AdvisorSuite::AllNames().size(), 10u);
+  AdvisorSuite suite(optimizer_);
+  for (const std::string& name : AdvisorSuite::AllNames()) {
+    EXPECT_NE(suite.advisor(name), nullptr);
+    EXPECT_EQ(suite.advisor(name)->name(), name);
+  }
+  EXPECT_EQ(suite.baseline_for("Extend"), nullptr);
+  ASSERT_NE(suite.baseline_for("SWIRL"), nullptr);
+  EXPECT_EQ(suite.baseline_for("SWIRL")->name(), "Extend");
+  EXPECT_EQ(suite.baseline_for("DRLindex")->name(), "Drop");
+  EXPECT_EQ(suite.baseline_for("DQN")->name(), "AutoAdmin");
+  EXPECT_EQ(suite.baseline_for("MCTS")->name(), "AutoAdmin");
+  EXPECT_TRUE(suite.is_learning("SWIRL"));
+  EXPECT_FALSE(suite.is_learning("DTA"));
+}
+
+}  // namespace
+}  // namespace trap::advisor

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/causal.h"
+#include "analysis/outliers.h"
+#include "analysis/query_change.h"
+#include "analysis/tsne.h"
+#include "catalog/datasets.h"
+#include "common/rng.h"
+
+namespace trap::analysis {
+namespace {
+
+using catalog::MakeTpcH;
+
+class QueryChangeTest : public ::testing::Test {
+ protected:
+  QueryChangeTest() : schema_(MakeTpcH()), model_(schema_) {}
+
+  sql::Query BaseQuery() {
+    sql::Query q;
+    auto ship = *schema_.FindColumn("lineitem", "l_shipdate");
+    auto qty = *schema_.FindColumn("lineitem", "l_quantity");
+    q.select = {sql::SelectItem{sql::AggFunc::kNone, ship}};
+    q.tables = {*schema_.FindTable("lineitem")};
+    q.filters = {sql::Predicate{ship, sql::CmpOp::kEq, sql::Value::Int(100)},
+                 sql::Predicate{qty, sql::CmpOp::kEq, sql::Value::Int(25)}};
+    return q;
+  }
+
+  catalog::Schema schema_;
+  engine::CostModel model_;
+};
+
+TEST_F(QueryChangeTest, IdenticalQueriesHaveNoFlags) {
+  sql::Query q = BaseQuery();
+  auto flags = ClassifyQueryChanges(q, q, model_);
+  for (bool f : flags) EXPECT_FALSE(f);
+}
+
+TEST_F(QueryChangeTest, DetectsUnequalOperator) {
+  sql::Query q = BaseQuery();
+  sql::Query p = q;
+  p.filters[0].op = sql::CmpOp::kNe;
+  auto flags = ClassifyQueryChanges(q, p, model_);
+  EXPECT_TRUE(flags[static_cast<size_t>(QueryChangeType::kUnequalOperator)]);
+  // != massively enlarges the result set too.
+  EXPECT_TRUE(flags[static_cast<size_t>(QueryChangeType::kResultSetEnlarged)]);
+}
+
+TEST_F(QueryChangeTest, DetectsEqToRange) {
+  sql::Query q = BaseQuery();
+  sql::Query p = q;
+  p.filters[1].op = sql::CmpOp::kGe;
+  auto flags = ClassifyQueryChanges(q, p, model_);
+  EXPECT_TRUE(flags[static_cast<size_t>(QueryChangeType::kEqToRange)]);
+}
+
+TEST_F(QueryChangeTest, DetectsOrConjunction) {
+  sql::Query q = BaseQuery();
+  sql::Query p = q;
+  p.conjunction = sql::Conjunction::kOr;
+  auto flags = ClassifyQueryChanges(q, p, model_);
+  EXPECT_TRUE(flags[static_cast<size_t>(QueryChangeType::kOrConjunction)]);
+}
+
+TEST_F(QueryChangeTest, DetectsSelectUncovered) {
+  sql::Query q = BaseQuery();  // select l_shipdate, filtered on l_shipdate
+  sql::Query p = q;
+  p.select[0].column = *schema_.FindColumn("lineitem", "l_comment");
+  auto flags = ClassifyQueryChanges(q, p, model_);
+  EXPECT_TRUE(flags[static_cast<size_t>(QueryChangeType::kSelectUncovered)]);
+}
+
+TEST_F(QueryChangeTest, DetectsGroupOrderChange) {
+  sql::Query q = BaseQuery();
+  q.order_by = {q.select[0].column};
+  sql::Query p = q;
+  p.order_by = {*schema_.FindColumn("lineitem", "l_quantity")};
+  auto flags = ClassifyQueryChanges(q, p, model_);
+  EXPECT_TRUE(flags[static_cast<size_t>(QueryChangeType::kGroupOrderChanged)]);
+}
+
+TEST(CausalTest, PositiveCauseGetsPositiveScoreFromAllModels) {
+  common::Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 400; ++i) {
+    double cause = rng.Bernoulli(0.4) ? 1.0 : 0.0;
+    x.push_back(cause);
+    y.push_back(0.6 * cause + rng.Gaussian(0.0, 0.25));
+  }
+  for (CausalModel m :
+       {CausalModel::kRegression, CausalModel::kAnm, CausalModel::kCds}) {
+    EXPECT_GT(CausationScore(m, x, y), 0.1) << CausalModelName(m);
+  }
+}
+
+TEST(CausalTest, NegativeCauseGetsNegativeScore) {
+  common::Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 400; ++i) {
+    double cause = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    x.push_back(cause);
+    y.push_back(-0.8 * cause + rng.Gaussian(0.0, 0.2));
+  }
+  for (CausalModel m :
+       {CausalModel::kRegression, CausalModel::kAnm, CausalModel::kCds}) {
+    EXPECT_LT(CausationScore(m, x, y), -0.1) << CausalModelName(m);
+  }
+}
+
+TEST(CausalTest, IndependentVariablesScoreNearZero) {
+  common::Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(rng.Bernoulli(0.5) ? 1.0 : 0.0);
+    y.push_back(rng.Gaussian());
+  }
+  for (CausalModel m :
+       {CausalModel::kRegression, CausalModel::kAnm, CausalModel::kCds}) {
+    EXPECT_LT(std::abs(CausationScore(m, x, y)), 0.12) << CausalModelName(m);
+  }
+}
+
+TEST(CausalTest, ConstantInputScoresZero) {
+  std::vector<double> x(50, 1.0);
+  std::vector<double> y(50, 0.0);
+  for (size_t i = 0; i < y.size(); ++i) y[i] = static_cast<double>(i);
+  EXPECT_EQ(CausationScore(CausalModel::kRegression, x, y), 0.0);
+}
+
+class OutlierTest : public ::testing::TestWithParam<OutlierDetector> {};
+
+TEST_P(OutlierTest, FlagsInjectedOutliers) {
+  common::Rng rng(11);
+  std::vector<std::vector<double>> data;
+  // 190 inliers near origin, 10 far outliers.
+  for (int i = 0; i < 190; ++i) {
+    data.push_back({rng.Gaussian(0, 1), rng.Gaussian(0, 1)});
+  }
+  for (int i = 0; i < 10; ++i) {
+    data.push_back({rng.Gaussian(12, 0.5), rng.Gaussian(-12, 0.5)});
+  }
+  std::vector<bool> flags = DetectOutliers(GetParam(), data, 0.05);
+  int true_positive = 0;
+  for (int i = 190; i < 200; ++i) {
+    if (flags[static_cast<size_t>(i)]) ++true_positive;
+  }
+  EXPECT_GE(true_positive, 8) << OutlierDetectorName(GetParam());
+}
+
+TEST_P(OutlierTest, FlagsRequestedFraction) {
+  common::Rng rng(13);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back({rng.Gaussian(), rng.Gaussian(), rng.Gaussian()});
+  }
+  std::vector<bool> flags = DetectOutliers(GetParam(), data, 0.1);
+  int count = 0;
+  for (bool f : flags) count += f ? 1 : 0;
+  EXPECT_EQ(count, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDetectors, OutlierTest,
+                         ::testing::Values(OutlierDetector::kIsolationForest,
+                                           OutlierDetector::kLof,
+                                           OutlierDetector::kOneClass),
+                         [](const auto& info) {
+                           return OutlierDetectorName(info.param);
+                         });
+
+TEST(TsneTest, SeparatesWellSeparatedClusters) {
+  common::Rng rng(17);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 30; ++i) {
+    data.push_back({rng.Gaussian(0, 0.3), rng.Gaussian(0, 0.3),
+                    rng.Gaussian(0, 0.3)});
+  }
+  for (int i = 0; i < 30; ++i) {
+    data.push_back({rng.Gaussian(8, 0.3), rng.Gaussian(8, 0.3),
+                    rng.Gaussian(8, 0.3)});
+  }
+  TsneOptions opt;
+  opt.iterations = 250;
+  std::vector<std::pair<double, double>> y = TsneEmbed(data, opt);
+  // Mean intra-cluster distance must be far below inter-cluster distance.
+  auto dist = [&](int a, int b) {
+    double dx = y[static_cast<size_t>(a)].first - y[static_cast<size_t>(b)].first;
+    double dy = y[static_cast<size_t>(a)].second - y[static_cast<size_t>(b)].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  double intra = 0.0, inter = 0.0;
+  int intra_n = 0, inter_n = 0;
+  for (int a = 0; a < 60; ++a) {
+    for (int b = a + 1; b < 60; ++b) {
+      if ((a < 30) == (b < 30)) {
+        intra += dist(a, b);
+        ++intra_n;
+      } else {
+        inter += dist(a, b);
+        ++inter_n;
+      }
+    }
+  }
+  EXPECT_LT(intra / intra_n, 0.5 * inter / inter_n);
+}
+
+TEST(TsneTest, DeterministicForSeed) {
+  common::Rng rng(19);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 20; ++i) data.push_back({rng.Gaussian(), rng.Gaussian()});
+  auto a = TsneEmbed(data);
+  auto b = TsneEmbed(data);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+  }
+}
+
+}  // namespace
+}  // namespace trap::analysis

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/datasets.h"
+#include "catalog/schema.h"
+
+namespace trap::catalog {
+namespace {
+
+TEST(SchemaTest, GlobalColumnIndexRoundTrip) {
+  Schema s = MakeTpcH();
+  for (int t = 0; t < s.num_tables(); ++t) {
+    for (int c = 0; c < static_cast<int>(s.table(t).columns.size()); ++c) {
+      ColumnId id{t, c};
+      int g = s.GlobalColumnIndex(id);
+      EXPECT_EQ(s.ColumnFromGlobalIndex(g), id);
+    }
+  }
+}
+
+TEST(SchemaTest, GlobalIndicesAreDense) {
+  Schema s = MakeTpcH();
+  std::set<int> seen;
+  for (int t = 0; t < s.num_tables(); ++t) {
+    for (int c = 0; c < static_cast<int>(s.table(t).columns.size()); ++c) {
+      seen.insert(s.GlobalColumnIndex(ColumnId{t, c}));
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), s.num_columns());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), s.num_columns() - 1);
+}
+
+TEST(SchemaTest, FindTableAndColumn) {
+  Schema s = MakeTpcH();
+  ASSERT_TRUE(s.FindTable("lineitem").has_value());
+  EXPECT_FALSE(s.FindTable("nope").has_value());
+  auto col = s.FindColumn("lineitem", "l_shipdate");
+  ASSERT_TRUE(col.has_value());
+  EXPECT_EQ(s.column(*col).name, "l_shipdate");
+  EXPECT_FALSE(s.FindColumn("lineitem", "zzz").has_value());
+}
+
+TEST(SchemaTest, QualifiedName) {
+  Schema s = MakeTpcH();
+  auto col = s.FindColumn("orders", "o_orderdate");
+  ASSERT_TRUE(col.has_value());
+  EXPECT_EQ(s.QualifiedName(*col), "orders.o_orderdate");
+}
+
+TEST(TpchTest, ShapeMatchesPaper) {
+  Schema s = MakeTpcH();
+  EXPECT_EQ(s.num_tables(), 8);
+  EXPECT_EQ(s.num_columns(), 61);
+  EXPECT_EQ(s.join_edges().size(), 9u);
+}
+
+TEST(TpcdsTest, ShapeMatchesPaper) {
+  Schema s = MakeTpcDs();
+  EXPECT_EQ(s.num_tables(), 25);
+  EXPECT_EQ(s.num_columns(), 429);
+  EXPECT_GT(s.join_edges().size(), 20u);
+}
+
+TEST(TransactionTest, ShapeMatchesPaper) {
+  Schema s = MakeTransaction();
+  EXPECT_EQ(s.num_tables(), 10);
+  EXPECT_EQ(s.num_columns(), 189);
+}
+
+TEST(DatasetTest, JoinEdgesConnectAllTables) {
+  for (const Schema& s :
+       {MakeTpcH(), MakeTpcDs(), MakeTransaction()}) {
+    // Union-find over tables via join edges: the join graph must be
+    // connected so multi-table SPAJ queries can always be generated.
+    std::vector<int> parent(static_cast<size_t>(s.num_tables()));
+    for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+    std::function<int(int)> find = [&](int x) {
+      while (parent[static_cast<size_t>(x)] != x) x = parent[static_cast<size_t>(x)];
+      return x;
+    };
+    for (const JoinEdge& e : s.join_edges()) {
+      parent[static_cast<size_t>(find(e.left.table))] = find(e.right.table);
+    }
+    std::set<int> roots;
+    for (int t = 0; t < s.num_tables(); ++t) roots.insert(find(t));
+    EXPECT_EQ(roots.size(), 1u) << s.name();
+  }
+}
+
+TEST(DatasetTest, StatisticsAreSane) {
+  for (const Schema& s :
+       {MakeTpcH(), MakeTpcDs(), MakeTransaction(),
+        MakeLargeSynthetic(809, 1)}) {
+    for (int t = 0; t < s.num_tables(); ++t) {
+      const Table& tab = s.table(t);
+      EXPECT_GT(tab.num_rows, 0) << tab.name;
+      for (const Column& c : tab.columns) {
+        EXPECT_GE(c.num_distinct, 1) << tab.name << "." << c.name;
+        EXPECT_LE(c.num_distinct, tab.num_rows) << tab.name << "." << c.name;
+        EXPECT_LE(c.min_value, c.max_value) << tab.name << "." << c.name;
+        EXPECT_GT(c.width_bytes, 0);
+      }
+    }
+  }
+}
+
+TEST(DatasetTest, ScaleAffectsRowCounts) {
+  Schema s1 = MakeTpcH(1.0);
+  Schema s2 = MakeTpcH(2.0);
+  auto li1 = s1.FindTable("lineitem");
+  auto li2 = s2.FindTable("lineitem");
+  EXPECT_EQ(s2.table(*li2).num_rows, 2 * s1.table(*li1).num_rows);
+}
+
+TEST(DatasetTest, LargeSyntheticColumnCountExact) {
+  for (int cols : {809, 1024, 1265}) {
+    Schema s = MakeLargeSynthetic(cols, 7);
+    EXPECT_EQ(s.num_columns(), cols);
+  }
+}
+
+TEST(DatasetTest, LargeSyntheticDeterministicForSeed) {
+  Schema a = MakeLargeSynthetic(900, 5);
+  Schema b = MakeLargeSynthetic(900, 5);
+  ASSERT_EQ(a.num_tables(), b.num_tables());
+  for (int t = 0; t < a.num_tables(); ++t) {
+    EXPECT_EQ(a.table(t).num_rows, b.table(t).num_rows);
+    EXPECT_EQ(a.table(t).columns.size(), b.table(t).columns.size());
+  }
+}
+
+TEST(DatasetTest, DataSizeBytesPositive) {
+  Schema s = MakeTpcH();
+  EXPECT_GT(s.DataSizeBytes(), 0);
+}
+
+}  // namespace
+}  // namespace trap::catalog

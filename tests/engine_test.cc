@@ -1,0 +1,405 @@
+#include <gtest/gtest.h>
+
+#include "catalog/datasets.h"
+#include "engine/cost_model.h"
+#include "engine/index.h"
+#include "engine/plan.h"
+#include "engine/selectivity.h"
+#include "engine/true_cost.h"
+#include "engine/what_if.h"
+
+namespace trap::engine {
+namespace {
+
+using catalog::ColumnId;
+using catalog::MakeTpcH;
+using catalog::Schema;
+using sql::CmpOp;
+using sql::Conjunction;
+using sql::Predicate;
+using sql::Query;
+using sql::SelectItem;
+using sql::Value;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : schema_(MakeTpcH()) {}
+
+  ColumnId Col(const char* table, const char* col) const {
+    auto c = schema_.FindColumn(table, col);
+    TRAP_CHECK(c.has_value());
+    return *c;
+  }
+
+  // Single-table scan query over lineitem with one selective predicate.
+  Query LineitemQuery(CmpOp op = CmpOp::kEq) const {
+    Query q;
+    ColumnId ship = Col("lineitem", "l_shipdate");
+    ColumnId qty = Col("lineitem", "l_quantity");
+    q.select = {SelectItem{sql::AggFunc::kNone, qty},
+                SelectItem{sql::AggFunc::kNone, ship}};
+    q.tables = {*schema_.FindTable("lineitem")};
+    q.filters = {Predicate{ship, op, Value::Int(100)}};
+    return q;
+  }
+
+  Schema schema_;
+};
+
+TEST_F(EngineTest, IndexSizeGrowsWithColumns) {
+  Index one{{Col("lineitem", "l_shipdate")}};
+  Index two{{Col("lineitem", "l_shipdate"), Col("lineitem", "l_quantity")}};
+  EXPECT_GT(IndexSizeBytes(two, schema_), IndexSizeBytes(one, schema_));
+}
+
+TEST_F(EngineTest, IndexPrefixDetection) {
+  Index one{{Col("lineitem", "l_shipdate")}};
+  Index two{{Col("lineitem", "l_shipdate"), Col("lineitem", "l_quantity")}};
+  EXPECT_TRUE(two.HasPrefix(one));
+  EXPECT_FALSE(one.HasPrefix(two));
+  EXPECT_TRUE(one.HasPrefix(one));
+}
+
+TEST_F(EngineTest, IndexConfigAddRemoveContains) {
+  IndexConfig cfg;
+  Index a{{Col("orders", "o_orderdate")}};
+  Index b{{Col("lineitem", "l_shipdate")}};
+  EXPECT_TRUE(cfg.Add(a));
+  EXPECT_FALSE(cfg.Add(a));  // duplicate
+  EXPECT_TRUE(cfg.Add(b));
+  EXPECT_EQ(cfg.size(), 2);
+  EXPECT_TRUE(cfg.Contains(a));
+  EXPECT_TRUE(cfg.Remove(a));
+  EXPECT_FALSE(cfg.Remove(a));
+  EXPECT_FALSE(cfg.Contains(a));
+}
+
+TEST_F(EngineTest, IndexConfigFingerprintCanonical) {
+  Index a{{Col("orders", "o_orderdate")}};
+  Index b{{Col("lineitem", "l_shipdate")}};
+  IndexConfig c1;
+  c1.Add(a);
+  c1.Add(b);
+  IndexConfig c2;
+  c2.Add(b);
+  c2.Add(a);
+  EXPECT_EQ(c1.Fingerprint(), c2.Fingerprint());
+  c2.Remove(a);
+  EXPECT_NE(c1.Fingerprint(), c2.Fingerprint());
+}
+
+TEST_F(EngineTest, ColumnOrderDistinguishesIndexes) {
+  Index ab{{Col("lineitem", "l_shipdate"), Col("lineitem", "l_quantity")}};
+  Index ba{{Col("lineitem", "l_quantity"), Col("lineitem", "l_shipdate")}};
+  IndexConfig c1;
+  c1.Add(ab);
+  IndexConfig c2;
+  c2.Add(ba);
+  EXPECT_NE(c1.Fingerprint(), c2.Fingerprint());
+}
+
+TEST_F(EngineTest, EqualitySelectivityUsesNdv) {
+  Predicate p{Col("lineitem", "l_linenumber"), CmpOp::kEq, Value::Int(3)};
+  double sel = PredicateSelectivity(p, schema_);
+  EXPECT_GT(sel, 1.0 / 7 * 0.9);
+  EXPECT_LE(sel, 1.0);
+}
+
+TEST_F(EngineTest, RangeSelectivityMonotonicInLiteral) {
+  ColumnId ship = Col("lineitem", "l_shipdate");
+  double prev = 0.0;
+  for (int v : {100, 500, 1000, 2000}) {
+    Predicate p{ship, CmpOp::kLt, Value::Int(v)};
+    double sel = PredicateSelectivity(p, schema_);
+    EXPECT_GE(sel, prev);
+    prev = sel;
+  }
+}
+
+TEST_F(EngineTest, ComplementaryOperatorsSumToOne) {
+  ColumnId ship = Col("lineitem", "l_shipdate");
+  Predicate lt{ship, CmpOp::kLt, Value::Int(700)};
+  Predicate ge{ship, CmpOp::kGe, Value::Int(700)};
+  EXPECT_NEAR(PredicateSelectivity(lt, schema_) +
+                  PredicateSelectivity(ge, schema_),
+              1.0, 1e-6);
+}
+
+TEST_F(EngineTest, OrSelectivityAtLeastAnd) {
+  Query q = LineitemQuery();
+  q.filters.push_back(Predicate{Col("lineitem", "l_quantity"), CmpOp::kLt,
+                                Value::Int(10)});
+  int li = q.tables[0];
+  double and_sel = TableFilterSelectivity(q, li, schema_);
+  q.conjunction = Conjunction::kOr;
+  double or_sel = TableFilterSelectivity(q, li, schema_);
+  EXPECT_GE(or_sel, and_sel);
+}
+
+TEST_F(EngineTest, SargabilityRules) {
+  Predicate eq{Col("lineitem", "l_quantity"), CmpOp::kEq, Value::Int(1)};
+  Predicate ne{Col("lineitem", "l_quantity"), CmpOp::kNe, Value::Int(1)};
+  EXPECT_TRUE(IsSargable(eq, Conjunction::kAnd));
+  EXPECT_FALSE(IsSargable(ne, Conjunction::kAnd));
+  EXPECT_FALSE(IsSargable(eq, Conjunction::kOr));
+}
+
+TEST_F(EngineTest, SelectiveIndexBeatsSeqScan) {
+  CostModel model(schema_);
+  Query q = LineitemQuery(CmpOp::kEq);
+  IndexConfig none;
+  IndexConfig with;
+  with.Add(Index{{Col("lineitem", "l_shipdate")}});
+  double c0 = model.QueryCost(q, none);
+  double c1 = model.QueryCost(q, with);
+  EXPECT_LT(c1, c0 * 0.5);
+  // And the chosen plan actually uses the index.
+  std::unique_ptr<PlanNode> plan = model.Plan(q, with);
+  std::vector<const PlanNode*> nodes;
+  CollectNodes(*plan, &nodes);
+  bool uses_index = false;
+  for (const PlanNode* n : nodes) {
+    if (n->type == PlanNodeType::kIndexScan ||
+        n->type == PlanNodeType::kIndexOnlyScan) {
+      uses_index = true;
+    }
+  }
+  EXPECT_TRUE(uses_index);
+}
+
+TEST_F(EngineTest, UnselectivePredicateKeepsSeqScan) {
+  CostModel model(schema_);
+  Query q = LineitemQuery(CmpOp::kGe);
+  q.filters[0].value = Value::Int(0);  // matches everything
+  IndexConfig with;
+  with.Add(Index{{Col("lineitem", "l_shipdate")}});
+  std::unique_ptr<PlanNode> plan = model.Plan(q, with);
+  EXPECT_EQ(plan->type, PlanNodeType::kSeqScan);
+}
+
+TEST_F(EngineTest, CoveringIndexUsesIndexOnlyScan) {
+  CostModel model(schema_);
+  Query q = LineitemQuery(CmpOp::kEq);
+  IndexConfig narrow;
+  narrow.Add(Index{{Col("lineitem", "l_shipdate")}});
+  IndexConfig covering;
+  covering.Add(Index{{Col("lineitem", "l_shipdate"),
+                      Col("lineitem", "l_quantity")}});
+  double c_narrow = model.QueryCost(q, narrow);
+  double c_cover = model.QueryCost(q, covering);
+  EXPECT_LT(c_cover, c_narrow);
+  std::unique_ptr<PlanNode> plan = model.Plan(q, covering);
+  EXPECT_EQ(plan->type, PlanNodeType::kIndexOnlyScan);
+}
+
+TEST_F(EngineTest, MultiColumnPrefixBeatsSingleColumnForTwoPredicates) {
+  CostModel model(schema_);
+  Query q = LineitemQuery(CmpOp::kEq);
+  q.filters.push_back(Predicate{Col("lineitem", "l_quantity"), CmpOp::kEq,
+                                Value::Int(25)});
+  IndexConfig single;
+  single.Add(Index{{Col("lineitem", "l_shipdate")}});
+  IndexConfig multi;
+  multi.Add(Index{{Col("lineitem", "l_shipdate"),
+                   Col("lineitem", "l_quantity")}});
+  EXPECT_LT(model.QueryCost(q, multi), model.QueryCost(q, single));
+}
+
+TEST_F(EngineTest, RangeClosesIndexPrefix) {
+  CostModel model(schema_);
+  Query q = LineitemQuery(CmpOp::kLt);  // range on l_shipdate
+  q.filters[0].value = Value::Int(120);
+  q.filters.push_back(Predicate{Col("lineitem", "l_quantity"), CmpOp::kEq,
+                                Value::Int(25)});
+  // (shipdate, quantity): range on first column closes the prefix, so the
+  // equality on quantity cannot be used; (quantity, shipdate) uses both.
+  IndexConfig range_first;
+  range_first.Add(Index{{Col("lineitem", "l_shipdate"),
+                         Col("lineitem", "l_quantity")}});
+  IndexConfig eq_first;
+  eq_first.Add(Index{{Col("lineitem", "l_quantity"),
+                      Col("lineitem", "l_shipdate")}});
+  EXPECT_LT(model.QueryCost(q, eq_first), model.QueryCost(q, range_first));
+}
+
+TEST_F(EngineTest, NotEqualGetsNoIndexBenefit) {
+  CostModel model(schema_);
+  Query q = LineitemQuery(CmpOp::kNe);
+  IndexConfig with;
+  with.Add(Index{{Col("lineitem", "l_shipdate")}});
+  IndexConfig none;
+  EXPECT_DOUBLE_EQ(model.QueryCost(q, with), model.QueryCost(q, none));
+}
+
+TEST_F(EngineTest, OrConjunctionGetsNoIndexBenefit) {
+  CostModel model(schema_);
+  Query q = LineitemQuery(CmpOp::kEq);
+  q.filters.push_back(Predicate{Col("lineitem", "l_quantity"), CmpOp::kEq,
+                                Value::Int(25)});
+  q.conjunction = Conjunction::kOr;
+  IndexConfig with;
+  with.Add(Index{{Col("lineitem", "l_shipdate")}});
+  with.Add(Index{{Col("lineitem", "l_quantity")}});
+  IndexConfig none;
+  EXPECT_DOUBLE_EQ(model.QueryCost(q, with), model.QueryCost(q, none));
+}
+
+TEST_F(EngineTest, JoinQueryBuildsJoinPlan) {
+  CostModel model(schema_);
+  Query q;
+  q.select = {SelectItem{sql::AggFunc::kNone, Col("orders", "o_orderdate")}};
+  q.tables = {*schema_.FindTable("customer"), *schema_.FindTable("orders")};
+  std::sort(q.tables.begin(), q.tables.end());
+  q.joins = {sql::JoinPredicate{Col("orders", "o_custkey"),
+                                Col("customer", "c_custkey")}};
+  q.filters = {Predicate{Col("customer", "c_mktsegment"), CmpOp::kEq,
+                         Value::StringCode(2)}};
+  IndexConfig none;
+  std::unique_ptr<PlanNode> plan = model.Plan(q, none);
+  std::vector<const PlanNode*> nodes;
+  CollectNodes(*plan, &nodes);
+  bool has_join = false;
+  for (const PlanNode* n : nodes) {
+    if (n->type == PlanNodeType::kHashJoin ||
+        n->type == PlanNodeType::kIndexNestedLoopJoin) {
+      has_join = true;
+    }
+  }
+  EXPECT_TRUE(has_join);
+}
+
+TEST_F(EngineTest, IndexOnJoinKeyEnablesIndexNestedLoop) {
+  CostModel model(schema_);
+  Query q;
+  // Selective filter on customer makes the outer side tiny; an index on the
+  // orders join key should then flip the join to INLJ and cut cost.
+  q.select = {SelectItem{sql::AggFunc::kNone, Col("orders", "o_orderdate")}};
+  q.tables = {*schema_.FindTable("customer"), *schema_.FindTable("orders")};
+  std::sort(q.tables.begin(), q.tables.end());
+  q.joins = {sql::JoinPredicate{Col("orders", "o_custkey"),
+                                Col("customer", "c_custkey")}};
+  q.filters = {Predicate{Col("customer", "c_custkey"), CmpOp::kEq,
+                         Value::Int(77)}};
+  IndexConfig with;
+  with.Add(Index{{Col("orders", "o_custkey")}});
+  with.Add(Index{{Col("customer", "c_custkey")}});
+  IndexConfig none;
+  double c0 = model.QueryCost(q, none);
+  double c1 = model.QueryCost(q, with);
+  EXPECT_LT(c1, c0 * 0.2);
+  std::unique_ptr<PlanNode> plan = model.Plan(q, with);
+  std::vector<const PlanNode*> nodes;
+  CollectNodes(*plan, &nodes);
+  bool has_inlj = false;
+  for (const PlanNode* n : nodes) {
+    if (n->type == PlanNodeType::kIndexNestedLoopJoin) has_inlj = true;
+  }
+  EXPECT_TRUE(has_inlj);
+}
+
+TEST_F(EngineTest, OrderByIndexAvoidsSort) {
+  CostModel model(schema_);
+  Query q;
+  ColumnId date = Col("orders", "o_orderdate");
+  ColumnId price = Col("orders", "o_totalprice");
+  q.select = {SelectItem{sql::AggFunc::kNone, date},
+              SelectItem{sql::AggFunc::kNone, price}};
+  q.tables = {*schema_.FindTable("orders")};
+  q.order_by = {date};
+  IndexConfig none;
+  IndexConfig with;
+  with.Add(Index{{date, price}});
+  std::unique_ptr<PlanNode> p0 = model.Plan(q, none);
+  EXPECT_EQ(p0->type, PlanNodeType::kSort);
+  std::unique_ptr<PlanNode> p1 = model.Plan(q, with);
+  EXPECT_NE(p1->type, PlanNodeType::kSort);
+  EXPECT_LT(p1->cost, p0->cost);
+}
+
+TEST_F(EngineTest, GroupByAddsAggregateAndShrinksCardinality) {
+  CostModel model(schema_);
+  Query q;
+  ColumnId status = Col("orders", "o_orderstatus");
+  q.select = {SelectItem{sql::AggFunc::kNone, status},
+              SelectItem{sql::AggFunc::kCount, Col("orders", "o_orderkey")}};
+  q.tables = {*schema_.FindTable("orders")};
+  q.group_by = {status};
+  IndexConfig none;
+  std::unique_ptr<PlanNode> plan = model.Plan(q, none);
+  EXPECT_EQ(plan->type, PlanNodeType::kHashAggregate);
+  EXPECT_LE(plan->cardinality, 3.5);  // |o_orderstatus| = 3
+}
+
+TEST_F(EngineTest, PlanHeightsAreConsistent) {
+  CostModel model(schema_);
+  Query q = LineitemQuery();
+  q.order_by = {Col("lineitem", "l_quantity")};
+  IndexConfig none;
+  std::unique_ptr<PlanNode> plan = model.Plan(q, none);
+  // Sort above SeqScan: height 2 over 1.
+  EXPECT_EQ(plan->type, PlanNodeType::kSort);
+  EXPECT_EQ(plan->height, 2);
+  ASSERT_EQ(plan->children.size(), 1u);
+  EXPECT_EQ(plan->children[0]->height, 1);
+  EXPECT_GE(plan->cost, plan->children[0]->cost);
+}
+
+TEST_F(EngineTest, WhatIfCachesRepeatedCalls) {
+  WhatIfOptimizer optimizer(schema_);
+  Query q = LineitemQuery();
+  IndexConfig none;
+  double c1 = optimizer.QueryCost(q, none);
+  double c2 = optimizer.QueryCost(q, none);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(optimizer.num_calls(), 2);
+  EXPECT_EQ(optimizer.num_cache_misses(), 1);
+}
+
+TEST_F(EngineTest, TrueCostDivergesButCorrelates) {
+  WhatIfOptimizer optimizer(schema_);
+  TrueCostModel truth(schema_);
+  IndexConfig none;
+  IndexConfig with;
+  with.Add(Index{{Col("lineitem", "l_shipdate")}});
+  Query q = LineitemQuery();
+  double est = optimizer.QueryCost(q, with);
+  double act = truth.QueryCost(q, with);
+  EXPECT_NE(est, act);  // systematic divergence
+  // Ordering is preserved: indexes that help by a lot in estimate also help
+  // in truth.
+  EXPECT_LT(truth.QueryCost(q, with), truth.QueryCost(q, none));
+}
+
+TEST_F(EngineTest, TrueCostDeterministic) {
+  TrueCostModel truth(schema_);
+  Query q = LineitemQuery();
+  IndexConfig none;
+  EXPECT_EQ(truth.QueryCost(q, none), truth.QueryCost(q, none));
+}
+
+TEST_F(EngineTest, TrueCostRatioStaysBounded) {
+  TrueCostModel truth(schema_);
+  CostModel model(schema_);
+  Query q = LineitemQuery();
+  IndexConfig none;
+  double ratio = truth.QueryCost(q, none) / model.QueryCost(q, none);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST_F(EngineTest, TrueCostNoFilterNoCorrelation) {
+  TrueCostModel truth(schema_);
+  CostModel model(schema_);
+  // A filter-free sequential scan has bias 1.0, so only the +/-5% noise
+  // separates truth from estimate.
+  Query q;
+  q.select = {SelectItem{sql::AggFunc::kNone, Col("lineitem", "l_quantity")}};
+  q.tables = {*schema_.FindTable("lineitem")};
+  IndexConfig none;
+  double ratio = truth.QueryCost(q, none) / model.QueryCost(q, none);
+  EXPECT_GT(ratio, 0.94);
+  EXPECT_LT(ratio, 1.06);
+}
+
+}  // namespace
+}  // namespace trap::engine

@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/adam.h"
+#include "nn/graph.h"
+#include "nn/layers.h"
+#include "nn/transformer.h"
+
+namespace trap::nn {
+namespace {
+
+// Checks d(loss)/d(param) for every element of `p` against central finite
+// differences of `loss_fn` (which must build a fresh graph and return the
+// scalar loss). `build_and_backward` must run forward+backward accumulating
+// into p->grad.
+void CheckParameterGradient(Parameter* p,
+                            const std::function<double()>& loss_fn,
+                            const std::function<void()>& build_and_backward,
+                            double tol = 1e-6) {
+  p->grad.Zero();
+  build_and_backward();
+  Matrix analytic = p->grad;
+  const double eps = 1e-5;
+  for (int i = 0; i < p->value.size(); ++i) {
+    double orig = p->value.data()[i];
+    p->value.data()[i] = orig + eps;
+    double up = loss_fn();
+    p->value.data()[i] = orig - eps;
+    double down = loss_fn();
+    p->value.data()[i] = orig;
+    double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric,
+                tol * std::max(1.0, std::abs(numeric)))
+        << "param element " << i;
+  }
+}
+
+TEST(GraphTest, MatMulForward) {
+  Graph g;
+  Matrix a(2, 3);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(0, 2) = 3;
+  a.at(1, 0) = 4; a.at(1, 1) = 5; a.at(1, 2) = 6;
+  Matrix b(3, 2);
+  b.at(0, 0) = 7; b.at(1, 0) = 8; b.at(2, 0) = 9;
+  b.at(0, 1) = 1; b.at(1, 1) = 2; b.at(2, 1) = 3;
+  auto c = g.MatMul(g.Input(a), g.Input(b));
+  EXPECT_DOUBLE_EQ(g.value(c).at(0, 0), 1 * 7 + 2 * 8 + 3 * 9);
+  EXPECT_DOUBLE_EQ(g.value(c).at(1, 1), 4 * 1 + 5 * 2 + 6 * 3);
+}
+
+TEST(GraphTest, AddBroadcastsRow) {
+  Graph g;
+  Matrix a(2, 2);
+  a.Fill(1.0);
+  Matrix b(1, 2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 7;
+  auto c = g.Add(g.Input(a), g.Input(b));
+  EXPECT_DOUBLE_EQ(g.value(c).at(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(g.value(c).at(1, 1), 8.0);
+}
+
+TEST(GraphTest, SoftmaxRowsSumToOne) {
+  Graph g;
+  common::Rng rng(3);
+  Matrix a(3, 5);
+  for (int i = 0; i < a.size(); ++i) a.data()[i] = rng.Gaussian();
+  auto s = g.Softmax(g.Input(a));
+  for (int i = 0; i < 3; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 5; ++j) sum += g.value(s).at(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(GraphTest, LogSoftmaxMatchesSoftmax) {
+  Graph g;
+  Matrix a(1, 4);
+  a.at(0, 0) = 0.1; a.at(0, 1) = -2.0; a.at(0, 2) = 3.0; a.at(0, 3) = 0.0;
+  auto ls = g.LogSoftmax(g.Input(a));
+  auto sm = g.Softmax(g.Input(a));
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(std::exp(g.value(ls).at(0, j)), g.value(sm).at(0, j), 1e-12);
+  }
+}
+
+// Parameterized gradient check across ops: builds loss = Sum(op(x W)) for a
+// variety of ops and validates dW numerically.
+class OpGradientTest
+    : public ::testing::TestWithParam<
+          std::pair<const char*,
+                    std::function<Graph::VarId(Graph&, Graph::VarId)>>> {};
+
+TEST_P(OpGradientTest, MatchesFiniteDifference) {
+  auto [name, op] = GetParam();
+  (void)name;
+  common::Rng rng(11);
+  ParameterStore store;
+  Parameter* w = store.Create(3, 4, rng);
+  Matrix x(2, 3);
+  for (int i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian(0.0, 0.7);
+
+  auto loss_value = [&]() {
+    Graph g;
+    auto y = op(g, g.MatMul(g.Input(x), g.Param(w)));
+    return g.value(g.Sum(g.Mul(y, y))).at(0, 0);
+  };
+  auto run = [&]() {
+    Graph g;
+    auto y = op(g, g.MatMul(g.Input(x), g.Param(w)));
+    g.Backward(g.Sum(g.Mul(y, y)));
+  };
+  CheckParameterGradient(w, loss_value, run, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OpGradientTest,
+    ::testing::Values(
+        std::make_pair("identity",
+                       std::function<Graph::VarId(Graph&, Graph::VarId)>(
+                           [](Graph& g, Graph::VarId v) { (void)g; return v; })),
+        std::make_pair("tanh",
+                       std::function<Graph::VarId(Graph&, Graph::VarId)>(
+                           [](Graph& g, Graph::VarId v) { return g.Tanh(v); })),
+        std::make_pair("sigmoid",
+                       std::function<Graph::VarId(Graph&, Graph::VarId)>(
+                           [](Graph& g, Graph::VarId v) { return g.Sigmoid(v); })),
+        std::make_pair("relu",
+                       std::function<Graph::VarId(Graph&, Graph::VarId)>(
+                           [](Graph& g, Graph::VarId v) { return g.Relu(v); })),
+        std::make_pair("softmax",
+                       std::function<Graph::VarId(Graph&, Graph::VarId)>(
+                           [](Graph& g, Graph::VarId v) { return g.Softmax(v); })),
+        std::make_pair("logsoftmax",
+                       std::function<Graph::VarId(Graph&, Graph::VarId)>(
+                           [](Graph& g, Graph::VarId v) { return g.LogSoftmax(v); })),
+        std::make_pair("transpose",
+                       std::function<Graph::VarId(Graph&, Graph::VarId)>(
+                           [](Graph& g, Graph::VarId v) { return g.Transpose(v); })),
+        std::make_pair("scale",
+                       std::function<Graph::VarId(Graph&, Graph::VarId)>(
+                           [](Graph& g, Graph::VarId v) { return g.Scale(v, -1.7); }))),
+    [](const auto& info) { return info.param.first; });
+
+TEST(GradientTest, GatherScattersGradientsSparsely) {
+  common::Rng rng(5);
+  ParameterStore store;
+  Parameter* table = store.Create(6, 3, rng);
+  std::vector<int> ids = {4, 1, 4};  // repeated row: gradients must add
+  auto loss_value = [&]() {
+    Graph g;
+    auto e = g.Gather(table, ids);
+    return g.value(g.Sum(g.Mul(e, e))).at(0, 0);
+  };
+  auto run = [&]() {
+    Graph g;
+    auto e = g.Gather(table, ids);
+    g.Backward(g.Sum(g.Mul(e, e)));
+  };
+  CheckParameterGradient(table, loss_value, run);
+  // Rows never gathered must have zero gradient.
+  table->grad.Zero();
+  run();
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(table->grad.at(0, c), 0.0);
+    EXPECT_EQ(table->grad.at(2, c), 0.0);
+    EXPECT_EQ(table->grad.at(3, c), 0.0);
+    EXPECT_EQ(table->grad.at(5, c), 0.0);
+  }
+}
+
+TEST(GradientTest, GruCellGradient) {
+  common::Rng rng(7);
+  ParameterStore store;
+  GruCell cell(&store, 3, 4, rng);
+  Matrix x(1, 3);
+  Matrix h(1, 4);
+  for (int i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  for (int i = 0; i < h.size(); ++i) h.data()[i] = rng.Gaussian(0.0, 0.5);
+
+  for (Parameter* p : store.parameters()) {
+    auto loss_value = [&]() {
+      Graph g;
+      auto out = cell.Step(g, g.Input(x), g.Input(h));
+      return g.value(g.Sum(g.Mul(out, out))).at(0, 0);
+    };
+    auto run = [&]() {
+      Graph g;
+      auto out = cell.Step(g, g.Input(x), g.Input(h));
+      g.Backward(g.Sum(g.Mul(out, out)));
+    };
+    CheckParameterGradient(p, loss_value, run, 1e-5);
+  }
+}
+
+TEST(GradientTest, LayerNormGradient) {
+  common::Rng rng(13);
+  ParameterStore store;
+  Parameter* w = store.Create(3, 4, rng);
+  Parameter* gain = store.CreateConst(1, 4, 1.0);
+  Parameter* bias = store.CreateZero(1, 4);
+  // Perturb gain/bias so their gradients are non-trivial.
+  for (int i = 0; i < 4; ++i) {
+    gain->value.at(0, i) = 1.0 + 0.1 * i;
+    bias->value.at(0, i) = 0.05 * i;
+  }
+  Matrix x(2, 3);
+  for (int i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  for (Parameter* p : {w, gain, bias}) {
+    auto loss_value = [&]() {
+      Graph g;
+      auto y = g.LayerNorm(g.MatMul(g.Input(x), g.Param(w)), gain, bias);
+      return g.value(g.Sum(g.Mul(y, y))).at(0, 0);
+    };
+    auto run = [&]() {
+      Graph g;
+      auto y = g.LayerNorm(g.MatMul(g.Input(x), g.Param(w)), gain, bias);
+      g.Backward(g.Sum(g.Mul(y, y)));
+    };
+    CheckParameterGradient(p, loss_value, run, 1e-4);
+  }
+}
+
+TEST(GradientTest, TransformerLayerGradient) {
+  common::Rng rng(17);
+  ParameterStore store;
+  TransformerConfig cfg;
+  cfg.dim = 8;
+  cfg.num_heads = 2;
+  cfg.ff_dim = 16;
+  cfg.num_layers = 1;
+  TransformerEncoder enc(&store, cfg, rng);
+  Matrix x(3, 8);
+  for (int i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian(0.0, 0.5);
+  // Spot-check a few parameters (full sweep is slow).
+  std::vector<Parameter*> params = store.parameters();
+  for (size_t pi : {size_t{0}, params.size() / 2, params.size() - 1}) {
+    Parameter* p = params[pi];
+    auto loss_value = [&]() {
+      Graph g;
+      auto y = enc.Forward(g, g.Input(x));
+      return g.value(g.Sum(g.Mul(y, y))).at(0, 0);
+    };
+    auto run = [&]() {
+      Graph g;
+      auto y = enc.Forward(g, g.Input(x));
+      g.Backward(g.Sum(g.Mul(y, y)));
+    };
+    CheckParameterGradient(p, loss_value, run, 1e-4);
+  }
+}
+
+TEST(LayersTest, LinearShapesAndParamCount) {
+  common::Rng rng(19);
+  ParameterStore store;
+  Linear lin(&store, 5, 3, rng);
+  EXPECT_EQ(store.NumParameters(), 5 * 3 + 3);
+  Graph g;
+  Matrix x(2, 5);
+  auto y = lin.Forward(g, g.Input(x));
+  EXPECT_EQ(g.value(y).rows(), 2);
+  EXPECT_EQ(g.value(y).cols(), 3);
+}
+
+TEST(LayersTest, MlpReducesLossOnToyRegression) {
+  common::Rng rng(23);
+  ParameterStore store;
+  Mlp mlp(&store, {2, 16, 1}, rng);
+  Adam opt(store.parameters(), 0.01);
+  // Learn f(x) = x0 - 2*x1.
+  auto sample_loss = [&](bool train) {
+    double total = 0.0;
+    for (int i = 0; i < 32; ++i) {
+      Matrix x(1, 2);
+      x.at(0, 0) = rng.Uniform(-1, 1);
+      x.at(0, 1) = rng.Uniform(-1, 1);
+      double target = x.at(0, 0) - 2.0 * x.at(0, 1);
+      Graph g;
+      auto pred = mlp.Forward(g, g.Input(x));
+      Matrix t(1, 1);
+      t.at(0, 0) = target;
+      auto diff = g.Sub(pred, g.Input(t));
+      auto loss = g.Sum(g.Mul(diff, diff));
+      total += g.value(loss).at(0, 0);
+      if (train) {
+        g.Backward(loss);
+        opt.Step();
+      }
+    }
+    return total / 32.0;
+  };
+  double initial = sample_loss(false);
+  for (int epoch = 0; epoch < 30; ++epoch) sample_loss(true);
+  double trained = sample_loss(false);
+  EXPECT_LT(trained, initial * 0.15);
+}
+
+TEST(AdamTest, GradientClippingBoundsNorm) {
+  common::Rng rng(29);
+  ParameterStore store;
+  Parameter* p = store.Create(2, 2, rng);
+  Adam opt(store.parameters(), 0.1);
+  opt.set_max_grad_norm(1.0);
+  p->grad.Fill(100.0);
+  Matrix before = p->value;
+  opt.Step();
+  // With clipped norm 1 and lr 0.1, no element can move more than ~0.1/|g|.
+  for (int i = 0; i < p->value.size(); ++i) {
+    EXPECT_LT(std::abs(p->value.data()[i] - before.data()[i]), 0.2);
+  }
+}
+
+TEST(TransformerTest, PositionalEncodingBounds) {
+  Matrix pe = PositionalEncoding(10, 8);
+  for (int i = 0; i < pe.size(); ++i) {
+    EXPECT_LE(std::abs(pe.data()[i]), 1.0);
+  }
+  // Different positions yield different encodings.
+  bool differs = false;
+  for (int c = 0; c < 8; ++c) {
+    if (pe.at(1, c) != pe.at(2, c)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ParameterStoreTest, CopyValuesFrom) {
+  common::Rng rng(31);
+  ParameterStore a;
+  ParameterStore b;
+  Parameter* pa = a.Create(2, 3, rng);
+  Parameter* pb = b.Create(2, 3, rng);
+  EXPECT_NE(pa->value.at(0, 0), pb->value.at(0, 0));
+  b.CopyValuesFrom(a);
+  for (int i = 0; i < pa->value.size(); ++i) {
+    EXPECT_EQ(pa->value.data()[i], pb->value.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace trap::nn

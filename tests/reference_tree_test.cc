@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "catalog/datasets.h"
+#include "sql/tokenizer.h"
+#include "trap/reference_tree.h"
+#include "workload/generator.h"
+
+namespace trap::trap {
+namespace {
+
+using catalog::MakeTpcH;
+
+class ReferenceTreeTest
+    : public ::testing::TestWithParam<PerturbationConstraint> {
+ protected:
+  ReferenceTreeTest() : schema_(MakeTpcH()), vocab_(schema_, 8) {}
+
+  catalog::Schema schema_;
+  sql::Vocabulary vocab_;
+};
+
+// Drives the tree with a policy that always keeps the original token (and
+// stops at extensions): the output must equal the original token sequence.
+TEST_P(ReferenceTreeTest, KeepOriginalPolicyIsIdentity) {
+  workload::QueryGenerator gen(vocab_, workload::GeneratorOptions{}, 301);
+  for (int i = 0; i < 50; ++i) {
+    sql::Query q = gen.Generate();
+    ReferenceTree tree(q, vocab_, GetParam(), 5);
+    while (!tree.Done()) {
+      tree.Advance(tree.OriginalTokenId());
+    }
+    EXPECT_EQ(tree.edit_distance(), 0);
+    EXPECT_EQ(tree.output(), sql::ToTokens(q, vocab_));
+    EXPECT_EQ(tree.Materialize(), q);
+  }
+}
+
+// Random policy: every materialized query is valid, within budget, and
+// tokenizes back consistently.
+TEST_P(ReferenceTreeTest, RandomPolicyProducesValidQueriesWithinBudget) {
+  workload::QueryGenerator gen(vocab_, workload::GeneratorOptions{}, 307);
+  common::Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    sql::Query q = gen.Generate();
+    int epsilon = static_cast<int>(rng.UniformInt(0, 8));
+    ReferenceTree tree(q, vocab_, GetParam(), epsilon);
+    while (!tree.Done()) {
+      const std::vector<int>& legal = tree.LegalTokens();
+      ASSERT_FALSE(legal.empty());
+      tree.Advance(rng.Choice(legal));
+    }
+    EXPECT_LE(tree.edit_distance(), epsilon);
+    sql::Query out = tree.Materialize();
+    std::string err;
+    EXPECT_TRUE(sql::ValidateQuery(out, schema_, &err))
+        << err << "\noriginal: " << sql::ToSql(q, schema_)
+        << "\nperturbed: " << sql::ToSql(out, schema_);
+    // Definition 3.4's distance metric: token-level edit distance <= eps.
+    EXPECT_LE(sql::EditDistance(sql::ToTokens(q, vocab_), tree.output()),
+              epsilon)
+        << sql::ToSql(q, schema_) << " -> " << sql::ToSql(out, schema_);
+  }
+}
+
+TEST_P(ReferenceTreeTest, ZeroBudgetForcesIdentity) {
+  workload::QueryGenerator gen(vocab_, workload::GeneratorOptions{}, 311);
+  common::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    sql::Query q = gen.Generate();
+    ReferenceTree tree(q, vocab_, GetParam(), 0);
+    while (!tree.Done()) {
+      const std::vector<int>& legal = tree.LegalTokens();
+      tree.Advance(rng.Choice(legal));  // any legal choice
+    }
+    EXPECT_EQ(tree.Materialize(), q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConstraints, ReferenceTreeTest,
+    ::testing::Values(PerturbationConstraint::kValueOnly,
+                      PerturbationConstraint::kColumnConsistent,
+                      PerturbationConstraint::kSharedTable),
+    [](const auto& info) { return ConstraintName(info.param); });
+
+class TreeBehaviourTest : public ::testing::Test {
+ protected:
+  TreeBehaviourTest() : schema_(MakeTpcH()), vocab_(schema_, 8) {}
+
+  sql::Query FilterQuery(int num_filters) {
+    sql::Query q;
+    auto qty = *schema_.FindColumn("lineitem", "l_quantity");
+    auto disc = *schema_.FindColumn("lineitem", "l_discount");
+    auto ship = *schema_.FindColumn("lineitem", "l_shipdate");
+    q.select = {sql::SelectItem{sql::AggFunc::kNone, qty}};
+    q.tables = {*schema_.FindTable("lineitem")};
+    std::vector<catalog::ColumnId> cols = {ship, disc, qty};
+    for (int i = 0; i < num_filters; ++i) {
+      q.filters.push_back(sql::Predicate{cols[static_cast<size_t>(i)],
+                                         sql::CmpOp::kGt,
+                                         vocab_.BucketValue(cols[static_cast<size_t>(i)], 2)});
+    }
+    return q;
+  }
+
+  catalog::Schema schema_;
+  sql::Vocabulary vocab_;
+};
+
+TEST_F(TreeBehaviourTest, ValueOnlyRestrictsModificationsToValues) {
+  sql::Query q = FilterQuery(2);
+  ReferenceTree tree(q, vocab_, PerturbationConstraint::kValueOnly, 5);
+  while (!tree.Done()) {
+    const std::vector<int>& legal = tree.LegalTokens();
+    sql::Token orig = vocab_.IdToToken(tree.OriginalTokenId());
+    if (orig.type != sql::TokenType::kValue) {
+      EXPECT_EQ(legal.size(), 1u);
+    }
+    tree.Advance(tree.OriginalTokenId());
+  }
+}
+
+TEST_F(TreeBehaviourTest, ValueOnlyOffersAllBucketsOfColumn) {
+  sql::Query q = FilterQuery(1);
+  ReferenceTree tree(q, vocab_, PerturbationConstraint::kValueOnly, 5);
+  bool saw_value_slot = false;
+  while (!tree.Done()) {
+    sql::Token orig = vocab_.IdToToken(tree.OriginalTokenId());
+    if (orig.type == sql::TokenType::kValue) {
+      saw_value_slot = true;
+      EXPECT_EQ(tree.LegalTokens().size(),
+                static_cast<size_t>(vocab_.values_per_column()));
+    }
+    tree.Advance(tree.OriginalTokenId());
+  }
+  EXPECT_TRUE(saw_value_slot);
+}
+
+TEST_F(TreeBehaviourTest, ColumnRebindUpdatesValueRegion) {
+  sql::Query q = FilterQuery(1);  // single filter on l_shipdate
+  auto ship = *schema_.FindColumn("lineitem", "l_shipdate");
+  auto tax = *schema_.FindColumn("lineitem", "l_tax");
+  ReferenceTree st(q, vocab_, PerturbationConstraint::kSharedTable, 5);
+  bool rebound = false;
+  bool checked_value = false;
+  while (!st.Done()) {
+    sql::Token orig = vocab_.IdToToken(st.OriginalTokenId());
+    // The filter column slot is the one whose original is l_shipdate.
+    if (orig.type == sql::TokenType::kColumn && orig.column == ship &&
+        !rebound) {
+      int id = vocab_.ColumnTokenId(tax);
+      const std::vector<int>& legal = st.LegalTokens();
+      ASSERT_TRUE(std::find(legal.begin(), legal.end(), id) != legal.end());
+      st.Advance(id);
+      rebound = true;
+      continue;
+    }
+    if (orig.type == sql::TokenType::kValue && rebound) {
+      // The legitimate vocabulary must now be l_tax's value region
+      // (Algorithm 1's look-ahead: ?#value instantiated by the new column).
+      checked_value = true;
+      for (int id : st.LegalTokens()) {
+        sql::Token t = vocab_.IdToToken(id);
+        EXPECT_EQ(t.type, sql::TokenType::kValue);
+        EXPECT_EQ(t.column, tax);
+      }
+    }
+    st.Advance(st.LegalTokens()[0]);
+  }
+  EXPECT_TRUE(rebound);
+  EXPECT_TRUE(checked_value);
+  sql::Query out = st.Materialize();
+  std::string err;
+  EXPECT_TRUE(sql::ValidateQuery(out, schema_, &err)) << err;
+  ASSERT_EQ(out.filters.size(), 1u);
+  EXPECT_EQ(out.filters[0].column, tax);
+}
+
+TEST_F(TreeBehaviourTest, ConjunctionFlipForcesConsistency) {
+  sql::Query q = FilterQuery(3);  // two conjunction slots
+  ReferenceTree tree(q, vocab_, PerturbationConstraint::kSharedTable, 5);
+  bool flipped = false;
+  while (!tree.Done()) {
+    sql::Token orig = vocab_.IdToToken(tree.OriginalTokenId());
+    if (orig.type == sql::TokenType::kConjunction && !flipped) {
+      int or_id = vocab_.TokenToId(sql::Token::Conj(sql::Conjunction::kOr));
+      const std::vector<int>& legal = tree.LegalTokens();
+      ASSERT_TRUE(std::find(legal.begin(), legal.end(), or_id) != legal.end());
+      tree.Advance(or_id);
+      flipped = true;
+      continue;
+    }
+    if (orig.type == sql::TokenType::kConjunction && flipped) {
+      // Forced: only OR is legal now.
+      ASSERT_EQ(tree.LegalTokens().size(), 1u);
+      sql::Token t = vocab_.IdToToken(tree.LegalTokens()[0]);
+      EXPECT_EQ(t.conjunction, sql::Conjunction::kOr);
+    }
+    tree.Advance(tree.LegalTokens()[0]);
+  }
+  ASSERT_TRUE(flipped);
+  EXPECT_EQ(tree.Materialize().conjunction, sql::Conjunction::kOr);
+  // Flip cost was pre-paid: 1 + number of forced later conjunctions.
+  EXPECT_EQ(tree.edit_distance(), 2);
+}
+
+TEST_F(TreeBehaviourTest, ConjunctionFlipBlockedWhenBudgetTooSmall) {
+  sql::Query q = FilterQuery(3);
+  // Flipping costs 1 + 1 forced = 2; budget 1 must not offer OR.
+  ReferenceTree tree(q, vocab_, PerturbationConstraint::kSharedTable, 1);
+  while (!tree.Done()) {
+    sql::Token orig = vocab_.IdToToken(tree.OriginalTokenId());
+    if (orig.type == sql::TokenType::kConjunction) {
+      for (int id : tree.LegalTokens()) {
+        EXPECT_EQ(vocab_.IdToToken(id).conjunction, sql::Conjunction::kAnd);
+      }
+    }
+    tree.Advance(tree.OriginalTokenId());
+  }
+}
+
+TEST_F(TreeBehaviourTest, SharedTableCanAddPredicateCostingFour) {
+  sql::Query q = FilterQuery(1);
+  ReferenceTree tree(q, vocab_, PerturbationConstraint::kSharedTable, 4);
+  bool extended = false;
+  while (!tree.Done()) {
+    const std::vector<int>& legal = tree.LegalTokens();
+    // At the WHERE extension marker, a conjunction separator is offered.
+    if (!extended && legal.size() > 1) {
+      int sep = -1;
+      for (int id : legal) {
+        sql::Token t = vocab_.IdToToken(id);
+        if (t.type == sql::TokenType::kConjunction) sep = id;
+      }
+      if (sep >= 0 && tree.edit_distance() == 0) {
+        tree.Advance(sep);
+        // column -> op -> value follow.
+        tree.Advance(tree.LegalTokens()[0]);
+        tree.Advance(tree.LegalTokens()[0]);
+        tree.Advance(tree.LegalTokens()[0]);
+        extended = true;
+        continue;
+      }
+    }
+    tree.Advance(tree.OriginalTokenId());
+  }
+  ASSERT_TRUE(extended);
+  EXPECT_EQ(tree.edit_distance(), 4);
+  sql::Query out = tree.Materialize();
+  EXPECT_EQ(out.filters.size(), 2u);
+  EXPECT_TRUE(sql::ValidateQuery(out, schema_));
+}
+
+TEST_F(TreeBehaviourTest, NoPredicateExtensionUnderSmallBudget) {
+  sql::Query q = FilterQuery(1);
+  ReferenceTree tree(q, vocab_, PerturbationConstraint::kSharedTable, 3);
+  while (!tree.Done()) {
+    for (int id : tree.LegalTokens()) {
+      sql::Token t = vocab_.IdToToken(id);
+      // No conjunction separator may be offered with budget < 4.
+      if (tree.edit_distance() == 0) {
+        EXPECT_NE(t.type == sql::TokenType::kConjunction &&
+                      vocab_.IdToToken(tree.OriginalTokenId()).type ==
+                          sql::TokenType::kSpecial,
+                  true);
+      }
+    }
+    tree.Advance(tree.OriginalTokenId());
+  }
+}
+
+}  // namespace
+}  // namespace trap::trap

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include "catalog/datasets.h"
+#include "sql/query.h"
+#include "sql/tokenizer.h"
+#include "sql/vocabulary.h"
+
+namespace trap::sql {
+namespace {
+
+using catalog::ColumnId;
+using catalog::MakeTpcH;
+using catalog::Schema;
+
+// A representative two-table SPAJ query over TPC-H used by several tests.
+Query SampleQuery(const Schema& s) {
+  int orders = *s.FindTable("orders");
+  int lineitem = *s.FindTable("lineitem");
+  ColumnId o_orderkey = *s.FindColumn("orders", "o_orderkey");
+  ColumnId o_orderdate = *s.FindColumn("orders", "o_orderdate");
+  ColumnId o_totalprice = *s.FindColumn("orders", "o_totalprice");
+  ColumnId l_orderkey = *s.FindColumn("lineitem", "l_orderkey");
+  ColumnId l_quantity = *s.FindColumn("lineitem", "l_quantity");
+
+  Query q;
+  q.select = {SelectItem{AggFunc::kNone, o_orderdate},
+              SelectItem{AggFunc::kSum, o_totalprice}};
+  q.tables = {orders, lineitem};
+  if (orders > lineitem) std::swap(q.tables[0], q.tables[1]);
+  q.joins = {JoinPredicate{l_orderkey, o_orderkey}};
+  q.filters = {Predicate{l_quantity, CmpOp::kGt, Value::Int(24)},
+               Predicate{o_orderdate, CmpOp::kLt, Value::Int(1200)}};
+  q.group_by = {o_orderdate};
+  q.order_by = {o_orderdate};
+  return q;
+}
+
+TEST(QueryTest, ValidateAcceptsSampleQuery) {
+  Schema s = MakeTpcH();
+  Query q = SampleQuery(s);
+  std::string err;
+  EXPECT_TRUE(ValidateQuery(q, s, &err)) << err;
+}
+
+TEST(QueryTest, ValidateRejectsEmptySelect) {
+  Schema s = MakeTpcH();
+  Query q = SampleQuery(s);
+  q.select.clear();
+  EXPECT_FALSE(ValidateQuery(q, s));
+}
+
+TEST(QueryTest, ValidateRejectsColumnFromMissingTable) {
+  Schema s = MakeTpcH();
+  Query q = SampleQuery(s);
+  q.filters.push_back(Predicate{*s.FindColumn("part", "p_size"), CmpOp::kEq,
+                                Value::Int(10)});
+  EXPECT_FALSE(ValidateQuery(q, s));
+}
+
+TEST(QueryTest, ValidateRejectsBogusJoin) {
+  Schema s = MakeTpcH();
+  Query q = SampleQuery(s);
+  // orders.o_orderdate = lineitem.l_quantity is not a join edge.
+  q.joins = {JoinPredicate{*s.FindColumn("orders", "o_orderdate"),
+                           *s.FindColumn("lineitem", "l_quantity")}};
+  EXPECT_FALSE(ValidateQuery(q, s));
+}
+
+TEST(QueryTest, ValidateRejectsDisconnectedTables) {
+  Schema s = MakeTpcH();
+  Query q = SampleQuery(s);
+  q.joins.clear();
+  EXPECT_FALSE(ValidateQuery(q, s));
+}
+
+TEST(QueryTest, ValidateRejectsDuplicateSelectColumn) {
+  Schema s = MakeTpcH();
+  Query q = SampleQuery(s);
+  q.select.push_back(q.select[0]);
+  EXPECT_FALSE(ValidateQuery(q, s));
+}
+
+TEST(QueryTest, ValidateRejectsUngroupedBareColumn) {
+  Schema s = MakeTpcH();
+  Query q = SampleQuery(s);
+  q.group_by.clear();
+  EXPECT_FALSE(ValidateQuery(q, s));
+}
+
+TEST(QueryTest, ValidateRejectsTypeMismatchedLiteral) {
+  Schema s = MakeTpcH();
+  Query q = SampleQuery(s);
+  q.filters[0].value = Value::Double(1.5);  // l_quantity is an int column
+  EXPECT_FALSE(ValidateQuery(q, s));
+}
+
+TEST(QueryTest, ReferencedColumnsDeduplicates) {
+  Schema s = MakeTpcH();
+  Query q = SampleQuery(s);
+  // o_orderdate appears in SELECT, filter, GROUP BY and ORDER BY.
+  std::vector<ColumnId> cols = q.ReferencedColumns();
+  int count = 0;
+  for (ColumnId c : cols) {
+    if (c == *s.FindColumn("orders", "o_orderdate")) ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST(QueryTest, ToSqlContainsAllParts) {
+  Schema s = MakeTpcH();
+  Query q = SampleQuery(s);
+  std::string sql = ToSql(q, s);
+  EXPECT_NE(sql.find("SELECT"), std::string::npos);
+  EXPECT_NE(sql.find("sum(orders.o_totalprice)"), std::string::npos);
+  EXPECT_NE(sql.find("FROM"), std::string::npos);
+  EXPECT_NE(sql.find("WHERE"), std::string::npos);
+  EXPECT_NE(sql.find("lineitem.l_orderkey = orders.o_orderkey"),
+            std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY orders.o_orderdate"), std::string::npos);
+  EXPECT_NE(sql.find("ORDER BY orders.o_orderdate"), std::string::npos);
+}
+
+TEST(QueryTest, ToSqlOrConjunctionParenthesized) {
+  Schema s = MakeTpcH();
+  Query q = SampleQuery(s);
+  q.conjunction = Conjunction::kOr;
+  std::string sql = ToSql(q, s);
+  EXPECT_NE(sql.find(" OR "), std::string::npos);
+  EXPECT_NE(sql.find("("), std::string::npos);
+}
+
+TEST(VocabularyTest, SizeAccountsForAllRegions) {
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 8);
+  int expected = 4 + 6 + 5 + 6 + 2 + s.num_tables() + s.num_columns() +
+                 8 * s.num_columns();
+  EXPECT_EQ(v.size(), expected);
+}
+
+TEST(VocabularyTest, TokenIdRoundTripWholeVocabulary) {
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 4);
+  for (int id = 0; id < v.size(); ++id) {
+    Token t = v.IdToToken(id);
+    EXPECT_EQ(v.TokenToId(t), id);
+  }
+}
+
+TEST(VocabularyTest, BucketValuesAreMonotonic) {
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 8);
+  ColumnId price = *s.FindColumn("orders", "o_totalprice");
+  double prev = -1e30;
+  for (int b = 0; b < 8; ++b) {
+    double val = v.BucketValue(price, b).numeric;
+    EXPECT_GT(val, prev);
+    prev = val;
+  }
+}
+
+TEST(VocabularyTest, NearestBucketIsValueLevelInverse) {
+  // Small integer domains can yield duplicate bucket literals, so bucket
+  // indices need not round-trip, but bucket *values* must: snapping a bucket
+  // literal to its nearest bucket must reproduce the same literal.
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 8);
+  for (int g = 0; g < s.num_columns(); ++g) {
+    ColumnId c = s.ColumnFromGlobalIndex(g);
+    for (int b = 0; b < 8; ++b) {
+      Value val = v.BucketValue(c, b);
+      EXPECT_EQ(v.BucketValue(c, v.NearestBucket(c, val)), val)
+          << s.QualifiedName(c) << " bucket " << b;
+    }
+  }
+}
+
+TEST(VocabularyTest, BucketValueTypeMatchesColumn) {
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 8);
+  ColumnId name = *s.FindColumn("customer", "c_name");
+  EXPECT_EQ(v.BucketValue(name, 0).type, catalog::ColumnType::kString);
+  ColumnId bal = *s.FindColumn("customer", "c_acctbal");
+  EXPECT_EQ(v.BucketValue(bal, 0).type, catalog::ColumnType::kDouble);
+}
+
+TEST(TokenizerTest, RoundTripSampleQuery) {
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 8);
+  Query q = SampleQuery(s);
+  // Snap literals to buckets first so the round trip is exact.
+  for (Predicate& p : q.filters) {
+    p.value = v.BucketValue(p.column, v.NearestBucket(p.column, p.value));
+  }
+  std::vector<Token> toks = ToTokens(q, v);
+  std::optional<Query> back = FromTokens(toks, v);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, q);
+}
+
+TEST(TokenizerTest, RoundTripMinimalQuery) {
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 8);
+  Query q;
+  q.select = {SelectItem{AggFunc::kNone, *s.FindColumn("region", "r_name")}};
+  q.tables = {*s.FindTable("region")};
+  std::vector<Token> toks = ToTokens(q, v);
+  std::optional<Query> back = FromTokens(toks, v);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, q);
+}
+
+TEST(TokenizerTest, RoundTripOrConjunction) {
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 8);
+  Query q;
+  ColumnId qty = *s.FindColumn("lineitem", "l_quantity");
+  ColumnId disc = *s.FindColumn("lineitem", "l_discount");
+  ColumnId tax = *s.FindColumn("lineitem", "l_tax");
+  q.select = {SelectItem{AggFunc::kNone, qty}};
+  q.tables = {*s.FindTable("lineitem")};
+  q.conjunction = Conjunction::kOr;
+  q.filters = {Predicate{qty, CmpOp::kGt, v.BucketValue(qty, 3)},
+               Predicate{disc, CmpOp::kEq, v.BucketValue(disc, 1)},
+               Predicate{tax, CmpOp::kLe, v.BucketValue(tax, 5)}};
+  std::optional<Query> back = FromTokens(ToTokens(q, v), v);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->conjunction, Conjunction::kOr);
+  EXPECT_EQ(*back, q);
+}
+
+TEST(TokenizerTest, FromTokensRejectsMixedConjunctions) {
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 8);
+  Query q;
+  ColumnId qty = *s.FindColumn("lineitem", "l_quantity");
+  ColumnId disc = *s.FindColumn("lineitem", "l_discount");
+  ColumnId tax = *s.FindColumn("lineitem", "l_tax");
+  q.select = {SelectItem{AggFunc::kNone, qty}};
+  q.tables = {*s.FindTable("lineitem")};
+  q.filters = {Predicate{qty, CmpOp::kGt, v.BucketValue(qty, 3)},
+               Predicate{disc, CmpOp::kEq, v.BucketValue(disc, 1)},
+               Predicate{tax, CmpOp::kLe, v.BucketValue(tax, 5)}};
+  std::vector<Token> toks = ToTokens(q, v);
+  // Flip one of the two conjunction separators.
+  bool flipped = false;
+  for (Token& t : toks) {
+    if (t.type == TokenType::kConjunction && !flipped) {
+      t.conjunction = Conjunction::kOr;
+      flipped = true;
+    }
+  }
+  ASSERT_TRUE(flipped);
+  EXPECT_FALSE(FromTokens(toks, v).has_value());
+}
+
+TEST(TokenizerTest, FromTokensRejectsValueBoundToWrongColumn) {
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 8);
+  Query q = SampleQuery(s);
+  std::vector<Token> toks = ToTokens(q, v);
+  for (Token& t : toks) {
+    if (t.type == TokenType::kValue) {
+      t.column = *s.FindColumn("part", "p_size");
+      break;
+    }
+  }
+  EXPECT_FALSE(FromTokens(toks, v).has_value());
+}
+
+TEST(TokenizerTest, FromTokensRejectsTruncatedSequence) {
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 8);
+  Query q = SampleQuery(s);
+  std::vector<Token> toks = ToTokens(q, v);
+  toks.pop_back();  // drop last ORDER BY column -> empty ORDER BY
+  // Removing the only ORDER BY column makes the clause empty.
+  EXPECT_FALSE(FromTokens(toks, v).has_value());
+}
+
+TEST(EditDistanceTest, IdenticalIsZero) {
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 8);
+  Query q = SampleQuery(s);
+  std::vector<Token> toks = ToTokens(q, v);
+  EXPECT_EQ(EditDistance(toks, toks), 0);
+}
+
+TEST(EditDistanceTest, SingleSubstitutionIsOne) {
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 8);
+  Query q = SampleQuery(s);
+  std::vector<Token> a = ToTokens(q, v);
+  std::vector<Token> b = a;
+  for (Token& t : b) {
+    if (t.type == TokenType::kValue) {
+      t.value_bucket = (t.value_bucket + 1) % 8;
+      break;
+    }
+  }
+  EXPECT_EQ(EditDistance(a, b), 1);
+}
+
+TEST(EditDistanceTest, InsertionCountsOne) {
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 8);
+  Query q = SampleQuery(s);
+  std::vector<Token> a = ToTokens(q, v);
+  std::vector<Token> b = a;
+  b.push_back(Token::Column(*s.FindColumn("orders", "o_totalprice")));
+  EXPECT_EQ(EditDistance(a, b), 1);
+}
+
+TEST(EditDistanceTest, SymmetricAndTriangle) {
+  Schema s = MakeTpcH();
+  Vocabulary v(s, 8);
+  Query q = SampleQuery(s);
+  std::vector<Token> a = ToTokens(q, v);
+  std::vector<Token> b = a;
+  b.resize(b.size() - 2);
+  std::vector<Token> c = a;
+  c[0] = Token::Reserved(ReservedWord::kWhere);
+  EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+  EXPECT_LE(EditDistance(a, c),
+            EditDistance(a, b) + EditDistance(b, c));
+}
+
+}  // namespace
+}  // namespace trap::sql

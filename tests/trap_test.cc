@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "advisor/heuristic_advisors.h"
+#include "catalog/datasets.h"
+#include "sql/tokenizer.h"
+#include "trap/agent.h"
+#include "trap/perturber.h"
+#include "trap/training.h"
+#include "workload/generator.h"
+
+namespace trap::trap {
+namespace {
+
+using catalog::MakeTpcH;
+
+class TrapTest : public ::testing::Test {
+ protected:
+  TrapTest()
+      : schema_(MakeTpcH(0.2)),
+        vocab_(schema_, 8),
+        optimizer_(schema_),
+        truth_(schema_) {
+    workload::GeneratorOptions opt;
+    opt.max_tables = 2;
+    opt.max_filters = 3;
+    workload::QueryGenerator gen(vocab_, opt, 909);
+    pool_ = gen.GeneratePool(40);
+    common::Rng rng(3);
+    for (int i = 0; i < 4; ++i) {
+      training_.push_back(workload::SampleWorkload(pool_, 4, rng));
+    }
+    test_ = workload::SampleWorkload(pool_, 4, rng);
+  }
+
+  AgentOptions SmallAgent(EncoderKind enc, bool attention) const {
+    AgentOptions a;
+    a.encoder = enc;
+    a.attention = attention;
+    a.embed_dim = 24;
+    a.hidden_dim = 24;
+    a.transformer = nn::TransformerConfig{24, 2, 48, 1};
+    a.seed = 21;
+    return a;
+  }
+
+  advisor::TuningConstraint Constraint() const {
+    return advisor::TuningConstraint::Storage(schema_.DataSizeBytes() / 2);
+  }
+
+  catalog::Schema schema_;
+  sql::Vocabulary vocab_;
+  engine::WhatIfOptimizer optimizer_;
+  engine::TrueCostModel truth_;
+  std::vector<sql::Query> pool_;
+  std::vector<workload::Workload> training_;
+  workload::Workload test_;
+};
+
+TEST_F(TrapTest, AgentGreedyEpisodeProducesValidQuery) {
+  for (EncoderKind enc :
+       {EncoderKind::kNone, EncoderKind::kBiGru, EncoderKind::kTransformer}) {
+    TrapAgent agent(vocab_, SmallAgent(enc, enc != EncoderKind::kNone));
+    for (int i = 0; i < 5; ++i) {
+      ReferenceTree tree(pool_[static_cast<size_t>(i)], vocab_,
+                         PerturbationConstraint::kSharedTable, 5);
+      TrapAgent::EpisodeResult r = agent.RunEpisode(
+          nullptr, std::move(tree), TrapAgent::Mode::kGreedy, nullptr);
+      std::optional<sql::Query> q = sql::FromTokens(r.output, vocab_);
+      ASSERT_TRUE(q.has_value());
+      EXPECT_TRUE(sql::ValidateQuery(*q, schema_));
+      EXPECT_LE(r.edit_distance, 5);
+    }
+  }
+}
+
+TEST_F(TrapTest, AgentSampledEpisodeIsReproducibleWithSameRng) {
+  TrapAgent agent(vocab_, SmallAgent(EncoderKind::kBiGru, true));
+  common::Rng r1(7), r2(7);
+  ReferenceTree t1(pool_[0], vocab_, PerturbationConstraint::kSharedTable, 5);
+  ReferenceTree t2(pool_[0], vocab_, PerturbationConstraint::kSharedTable, 5);
+  auto a = agent.RunEpisode(nullptr, std::move(t1), TrapAgent::Mode::kSample, &r1);
+  auto b = agent.RunEpisode(nullptr, std::move(t2), TrapAgent::Mode::kSample, &r2);
+  EXPECT_EQ(a.choices, b.choices);
+}
+
+TEST_F(TrapTest, ForcedNllMatchesEpisodeLogProb) {
+  TrapAgent agent(vocab_, SmallAgent(EncoderKind::kBiGru, true));
+  common::Rng rng(11);
+  ReferenceTree tree(pool_[1], vocab_, PerturbationConstraint::kSharedTable, 5);
+  auto sample = agent.RunEpisode(nullptr, std::move(tree),
+                                 TrapAgent::Mode::kSample, &rng);
+  nn::Graph g;
+  nn::Graph::VarId nll = agent.ForcedNll(
+      g, ReferenceTree(pool_[1], vocab_, PerturbationConstraint::kSharedTable, 5),
+      sample.choices);
+  EXPECT_NEAR(g.value(nll).at(0, 0), -sample.total_log_prob, 1e-9);
+}
+
+TEST_F(TrapTest, PretrainingReducesNll) {
+  TrapAgent agent(vocab_, SmallAgent(EncoderKind::kBiGru, true));
+  PretrainOptions opt;
+  opt.num_pairs = 60;
+  opt.epochs = 4;
+  opt.seed = 5;
+  std::vector<double> trace =
+      Pretrain(agent, pool_, PerturbationConstraint::kSharedTable, 5, opt);
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_LT(trace.back(), trace.front());
+}
+
+TEST_F(TrapTest, ReinitDecoderKeepsEncoderParameters) {
+  TrapAgent agent(vocab_, SmallAgent(EncoderKind::kBiGru, true));
+  // Snapshot first parameter (embedding = encoder side) and last (output
+  // head = decoder side).
+  std::vector<nn::Parameter*> params = agent.store().parameters();
+  double enc_before = params.front()->value.at(0, 0);
+  nn::Matrix dec_before = params.back()->value;
+  agent.ReinitDecoder();
+  EXPECT_EQ(params.front()->value.at(0, 0), enc_before);
+  bool changed = false;
+  for (int i = 0; i < dec_before.size(); ++i) {
+    if (params.back()->value.data()[i] != dec_before.data()[i]) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST_F(TrapTest, GruAgentHasFewerParametersThanTransformer) {
+  TrapAgent gru(vocab_, SmallAgent(EncoderKind::kNone, false));
+  TrapAgent trap(vocab_, SmallAgent(EncoderKind::kBiGru, true));
+  TrapAgent plm(vocab_, PlmAgentOptions("Bert", 3));
+  EXPECT_LT(gru.NumParameters(), trap.NumParameters());
+  EXPECT_LT(trap.NumParameters(), plm.NumParameters());
+}
+
+TEST_F(TrapTest, RlTrainingImprovesEstimatedIudr) {
+  gbdt::LearnedUtilityModel utility(optimizer_, truth_);
+  utility.Train(pool_, {engine::IndexConfig()});
+  auto victim = advisor::MakeExtend(optimizer_);
+
+  TrapAgent agent(vocab_, SmallAgent(EncoderKind::kBiGru, true));
+  RlOptions rl;
+  rl.epochs = 6;
+  rl.workloads_per_epoch = 3;
+  rl.theta = 0.05;
+  rl.seed = 77;
+  RlTrainer trainer(&agent, victim.get(), nullptr, &optimizer_, &utility,
+                    PerturbationConstraint::kSharedTable, 5, Constraint(), rl);
+  RlTrace trace = trainer.Train(training_);
+  ASSERT_EQ(trace.mean_reward_per_epoch.size(), 6u);
+
+  // The trained policy's perturbation should carry positive estimated IUDR
+  // on at least one training workload.
+  double best = -1e9;
+  for (const workload::Workload& w : training_) {
+    best = std::max(best, trainer.EstimatedIudr(w, trainer.Perturb(w)));
+  }
+  EXPECT_GT(best, 0.0);
+}
+
+TEST_F(TrapTest, GeneratorMethodsProduceValidBudgetedWorkloads) {
+  gbdt::LearnedUtilityModel utility(optimizer_, truth_);
+  utility.Train(pool_, {engine::IndexConfig()});
+  auto victim = advisor::MakeExtend(optimizer_);
+
+  for (GenerationMethod m :
+       {GenerationMethod::kRandom, GenerationMethod::kGru,
+        GenerationMethod::kSeq2Seq, GenerationMethod::kTrap}) {
+    GeneratorConfig cfg;
+    cfg.method = m;
+    cfg.constraint = PerturbationConstraint::kColumnConsistent;
+    cfg.epsilon = 4;
+    cfg.agent = SmallAgent(EncoderKind::kBiGru, true);
+    cfg.pretrain.num_pairs = 30;
+    cfg.pretrain.epochs = 1;
+    cfg.rl.epochs = 2;
+    cfg.rl.workloads_per_epoch = 2;
+    cfg.rl.theta = 0.0;
+    cfg.seed = 13;
+    AdversarialWorkloadGenerator gen(vocab_, cfg);
+    gen.Fit(victim.get(), nullptr, &optimizer_, &utility, pool_, training_,
+            Constraint());
+    workload::Workload out = gen.Generate(test_);
+    ASSERT_EQ(out.size(), test_.size()) << MethodName(m);
+    for (int i = 0; i < out.size(); ++i) {
+      const sql::Query& pq = out.queries[static_cast<size_t>(i)].query;
+      EXPECT_TRUE(sql::ValidateQuery(pq, schema_)) << MethodName(m);
+      int dist = sql::EditDistance(
+          sql::ToTokens(test_.queries[static_cast<size_t>(i)].query, vocab_),
+          sql::ToTokens(pq, vocab_));
+      EXPECT_LE(dist, cfg.epsilon) << MethodName(m);
+    }
+  }
+}
+
+TEST_F(TrapTest, EncodeQueryVectorHasExpectedDimension) {
+  TrapAgent agent(vocab_, SmallAgent(EncoderKind::kBiGru, true));
+  std::vector<int> ids = sql::ToTokenIds(pool_[0], vocab_);
+  std::vector<double> v = agent.EncodeQueryVector(ids);
+  EXPECT_EQ(v.size(), 24u);
+  // Deterministic.
+  EXPECT_EQ(agent.EncodeQueryVector(ids), v);
+}
+
+TEST_F(TrapTest, PlmOptionsScaleWithModel) {
+  int64_t bert = TrapAgent(vocab_, PlmAgentOptions("Bert", 1)).NumParameters();
+  int64_t bart = TrapAgent(vocab_, PlmAgentOptions("Bart", 1)).NumParameters();
+  EXPECT_GT(bart, bert);
+}
+
+}  // namespace
+}  // namespace trap::trap

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/common")
+subdirs("src/sql")
+subdirs("src/catalog")
+subdirs("src/engine")
+subdirs("src/workload")
+subdirs("src/advisor")
+subdirs("src/nn")
+subdirs("src/gbdt")
+subdirs("src/trap")
+subdirs("src/analysis")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_scalability.cc" "bench/CMakeFiles/bench_fig10_scalability.dir/bench_fig10_scalability.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_scalability.dir/bench_fig10_scalability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/trap_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/trap/CMakeFiles/trap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/advisor/CMakeFiles/trap_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/trap_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/trap_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/trap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/trap_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/trap_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/trap_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/trap_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_state.dir/bench_fig12_state.cc.o"
+  "CMakeFiles/bench_fig12_state.dir/bench_fig12_state.cc.o.d"
+  "bench_fig12_state"
+  "bench_fig12_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

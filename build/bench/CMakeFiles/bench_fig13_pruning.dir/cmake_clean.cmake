@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_pruning.dir/bench_fig13_pruning.cc.o"
+  "CMakeFiles/bench_fig13_pruning.dir/bench_fig13_pruning.cc.o.d"
+  "bench_fig13_pruning"
+  "bench_fig13_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_interaction.dir/bench_fig14_interaction.cc.o"
+  "CMakeFiles/bench_fig14_interaction.dir/bench_fig14_interaction.cc.o.d"
+  "bench_fig14_interaction"
+  "bench_fig14_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

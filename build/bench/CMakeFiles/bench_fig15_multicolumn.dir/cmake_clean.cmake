@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_multicolumn.dir/bench_fig15_multicolumn.cc.o"
+  "CMakeFiles/bench_fig15_multicolumn.dir/bench_fig15_multicolumn.cc.o.d"
+  "bench_fig15_multicolumn"
+  "bench_fig15_multicolumn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_multicolumn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_querychange.dir/bench_fig16_querychange.cc.o"
+  "CMakeFiles/bench_fig16_querychange.dir/bench_fig16_querychange.cc.o.d"
+  "bench_fig16_querychange"
+  "bench_fig16_querychange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_querychange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

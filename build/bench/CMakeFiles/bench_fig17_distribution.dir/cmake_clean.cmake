@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_distribution.dir/bench_fig17_distribution.cc.o"
+  "CMakeFiles/bench_fig17_distribution.dir/bench_fig17_distribution.cc.o.d"
+  "bench_fig17_distribution"
+  "bench_fig17_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_templates.dir/bench_fig1_templates.cc.o"
+  "CMakeFiles/bench_fig1_templates.dir/bench_fig1_templates.cc.o.d"
+  "bench_fig1_templates"
+  "bench_fig1_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

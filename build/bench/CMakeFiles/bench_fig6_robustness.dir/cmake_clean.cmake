@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_robustness.dir/bench_fig6_robustness.cc.o"
+  "CMakeFiles/bench_fig6_robustness.dir/bench_fig6_robustness.cc.o.d"
+  "bench_fig6_robustness"
+  "bench_fig6_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

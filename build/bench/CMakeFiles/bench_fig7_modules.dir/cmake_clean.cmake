@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_modules.dir/bench_fig7_modules.cc.o"
+  "CMakeFiles/bench_fig7_modules.dir/bench_fig7_modules.cc.o.d"
+  "bench_fig7_modules"
+  "bench_fig7_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

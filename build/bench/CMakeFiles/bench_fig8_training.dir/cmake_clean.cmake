@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_training.dir/bench_fig8_training.cc.o"
+  "CMakeFiles/bench_fig8_training.dir/bench_fig8_training.cc.o.d"
+  "bench_fig8_training"
+  "bench_fig8_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/trap_bench_harness.dir/harness.cc.o.d"
+  "libtrap_bench_harness.a"
+  "libtrap_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_bakeoff.dir/advisor_bakeoff.cpp.o"
+  "CMakeFiles/advisor_bakeoff.dir/advisor_bakeoff.cpp.o.d"
+  "advisor_bakeoff"
+  "advisor_bakeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_bakeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for advisor_bakeoff.
+# This may be replaced when dependencies are built.

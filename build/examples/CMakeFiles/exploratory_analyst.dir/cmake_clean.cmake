@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploratory_analyst.dir/exploratory_analyst.cpp.o"
+  "CMakeFiles/exploratory_analyst.dir/exploratory_analyst.cpp.o.d"
+  "exploratory_analyst"
+  "exploratory_analyst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploratory_analyst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exploratory_analyst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exploratory_analyst.
+# This may be replaced when dependencies are built.

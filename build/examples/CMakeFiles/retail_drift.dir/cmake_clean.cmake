@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_drift.dir/retail_drift.cpp.o"
+  "CMakeFiles/retail_drift.dir/retail_drift.cpp.o.d"
+  "retail_drift"
+  "retail_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

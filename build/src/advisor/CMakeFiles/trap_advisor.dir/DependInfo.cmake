@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/candidates.cc" "src/advisor/CMakeFiles/trap_advisor.dir/candidates.cc.o" "gcc" "src/advisor/CMakeFiles/trap_advisor.dir/candidates.cc.o.d"
+  "/root/repo/src/advisor/dqn_advisors.cc" "src/advisor/CMakeFiles/trap_advisor.dir/dqn_advisors.cc.o" "gcc" "src/advisor/CMakeFiles/trap_advisor.dir/dqn_advisors.cc.o.d"
+  "/root/repo/src/advisor/evaluation.cc" "src/advisor/CMakeFiles/trap_advisor.dir/evaluation.cc.o" "gcc" "src/advisor/CMakeFiles/trap_advisor.dir/evaluation.cc.o.d"
+  "/root/repo/src/advisor/heuristic_advisors.cc" "src/advisor/CMakeFiles/trap_advisor.dir/heuristic_advisors.cc.o" "gcc" "src/advisor/CMakeFiles/trap_advisor.dir/heuristic_advisors.cc.o.d"
+  "/root/repo/src/advisor/mcts.cc" "src/advisor/CMakeFiles/trap_advisor.dir/mcts.cc.o" "gcc" "src/advisor/CMakeFiles/trap_advisor.dir/mcts.cc.o.d"
+  "/root/repo/src/advisor/rl_common.cc" "src/advisor/CMakeFiles/trap_advisor.dir/rl_common.cc.o" "gcc" "src/advisor/CMakeFiles/trap_advisor.dir/rl_common.cc.o.d"
+  "/root/repo/src/advisor/swirl.cc" "src/advisor/CMakeFiles/trap_advisor.dir/swirl.cc.o" "gcc" "src/advisor/CMakeFiles/trap_advisor.dir/swirl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/trap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/trap_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/trap_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/trap_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/trap_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/trap_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

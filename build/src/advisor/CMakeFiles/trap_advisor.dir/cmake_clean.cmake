@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_advisor.dir/candidates.cc.o"
+  "CMakeFiles/trap_advisor.dir/candidates.cc.o.d"
+  "CMakeFiles/trap_advisor.dir/dqn_advisors.cc.o"
+  "CMakeFiles/trap_advisor.dir/dqn_advisors.cc.o.d"
+  "CMakeFiles/trap_advisor.dir/evaluation.cc.o"
+  "CMakeFiles/trap_advisor.dir/evaluation.cc.o.d"
+  "CMakeFiles/trap_advisor.dir/heuristic_advisors.cc.o"
+  "CMakeFiles/trap_advisor.dir/heuristic_advisors.cc.o.d"
+  "CMakeFiles/trap_advisor.dir/mcts.cc.o"
+  "CMakeFiles/trap_advisor.dir/mcts.cc.o.d"
+  "CMakeFiles/trap_advisor.dir/rl_common.cc.o"
+  "CMakeFiles/trap_advisor.dir/rl_common.cc.o.d"
+  "CMakeFiles/trap_advisor.dir/swirl.cc.o"
+  "CMakeFiles/trap_advisor.dir/swirl.cc.o.d"
+  "libtrap_advisor.a"
+  "libtrap_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrap_advisor.a"
+)

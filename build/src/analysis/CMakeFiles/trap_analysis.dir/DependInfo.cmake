@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/causal.cc" "src/analysis/CMakeFiles/trap_analysis.dir/causal.cc.o" "gcc" "src/analysis/CMakeFiles/trap_analysis.dir/causal.cc.o.d"
+  "/root/repo/src/analysis/outliers.cc" "src/analysis/CMakeFiles/trap_analysis.dir/outliers.cc.o" "gcc" "src/analysis/CMakeFiles/trap_analysis.dir/outliers.cc.o.d"
+  "/root/repo/src/analysis/query_change.cc" "src/analysis/CMakeFiles/trap_analysis.dir/query_change.cc.o" "gcc" "src/analysis/CMakeFiles/trap_analysis.dir/query_change.cc.o.d"
+  "/root/repo/src/analysis/tsne.cc" "src/analysis/CMakeFiles/trap_analysis.dir/tsne.cc.o" "gcc" "src/analysis/CMakeFiles/trap_analysis.dir/tsne.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/trap_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/trap_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/trap_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

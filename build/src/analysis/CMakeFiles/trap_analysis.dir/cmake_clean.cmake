@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_analysis.dir/causal.cc.o"
+  "CMakeFiles/trap_analysis.dir/causal.cc.o.d"
+  "CMakeFiles/trap_analysis.dir/outliers.cc.o"
+  "CMakeFiles/trap_analysis.dir/outliers.cc.o.d"
+  "CMakeFiles/trap_analysis.dir/query_change.cc.o"
+  "CMakeFiles/trap_analysis.dir/query_change.cc.o.d"
+  "CMakeFiles/trap_analysis.dir/tsne.cc.o"
+  "CMakeFiles/trap_analysis.dir/tsne.cc.o.d"
+  "libtrap_analysis.a"
+  "libtrap_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_catalog.dir/datasets.cc.o"
+  "CMakeFiles/trap_catalog.dir/datasets.cc.o.d"
+  "CMakeFiles/trap_catalog.dir/schema.cc.o"
+  "CMakeFiles/trap_catalog.dir/schema.cc.o.d"
+  "libtrap_catalog.a"
+  "libtrap_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

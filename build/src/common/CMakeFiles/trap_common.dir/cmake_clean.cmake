@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_common.dir/string_util.cc.o"
+  "CMakeFiles/trap_common.dir/string_util.cc.o.d"
+  "libtrap_common.a"
+  "libtrap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

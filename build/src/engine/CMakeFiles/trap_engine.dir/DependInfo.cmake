@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cost_model.cc" "src/engine/CMakeFiles/trap_engine.dir/cost_model.cc.o" "gcc" "src/engine/CMakeFiles/trap_engine.dir/cost_model.cc.o.d"
+  "/root/repo/src/engine/index.cc" "src/engine/CMakeFiles/trap_engine.dir/index.cc.o" "gcc" "src/engine/CMakeFiles/trap_engine.dir/index.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/engine/CMakeFiles/trap_engine.dir/plan.cc.o" "gcc" "src/engine/CMakeFiles/trap_engine.dir/plan.cc.o.d"
+  "/root/repo/src/engine/selectivity.cc" "src/engine/CMakeFiles/trap_engine.dir/selectivity.cc.o" "gcc" "src/engine/CMakeFiles/trap_engine.dir/selectivity.cc.o.d"
+  "/root/repo/src/engine/true_cost.cc" "src/engine/CMakeFiles/trap_engine.dir/true_cost.cc.o" "gcc" "src/engine/CMakeFiles/trap_engine.dir/true_cost.cc.o.d"
+  "/root/repo/src/engine/what_if.cc" "src/engine/CMakeFiles/trap_engine.dir/what_if.cc.o" "gcc" "src/engine/CMakeFiles/trap_engine.dir/what_if.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/trap_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/trap_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_engine.dir/cost_model.cc.o"
+  "CMakeFiles/trap_engine.dir/cost_model.cc.o.d"
+  "CMakeFiles/trap_engine.dir/index.cc.o"
+  "CMakeFiles/trap_engine.dir/index.cc.o.d"
+  "CMakeFiles/trap_engine.dir/plan.cc.o"
+  "CMakeFiles/trap_engine.dir/plan.cc.o.d"
+  "CMakeFiles/trap_engine.dir/selectivity.cc.o"
+  "CMakeFiles/trap_engine.dir/selectivity.cc.o.d"
+  "CMakeFiles/trap_engine.dir/true_cost.cc.o"
+  "CMakeFiles/trap_engine.dir/true_cost.cc.o.d"
+  "CMakeFiles/trap_engine.dir/what_if.cc.o"
+  "CMakeFiles/trap_engine.dir/what_if.cc.o.d"
+  "libtrap_engine.a"
+  "libtrap_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

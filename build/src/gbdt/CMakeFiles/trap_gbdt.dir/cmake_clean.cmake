@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_gbdt.dir/features.cc.o"
+  "CMakeFiles/trap_gbdt.dir/features.cc.o.d"
+  "CMakeFiles/trap_gbdt.dir/gbdt.cc.o"
+  "CMakeFiles/trap_gbdt.dir/gbdt.cc.o.d"
+  "CMakeFiles/trap_gbdt.dir/utility_model.cc.o"
+  "CMakeFiles/trap_gbdt.dir/utility_model.cc.o.d"
+  "libtrap_gbdt.a"
+  "libtrap_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

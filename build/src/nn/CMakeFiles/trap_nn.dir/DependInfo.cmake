@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cc" "src/nn/CMakeFiles/trap_nn.dir/adam.cc.o" "gcc" "src/nn/CMakeFiles/trap_nn.dir/adam.cc.o.d"
+  "/root/repo/src/nn/graph.cc" "src/nn/CMakeFiles/trap_nn.dir/graph.cc.o" "gcc" "src/nn/CMakeFiles/trap_nn.dir/graph.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/trap_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/trap_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/nn/CMakeFiles/trap_nn.dir/transformer.cc.o" "gcc" "src/nn/CMakeFiles/trap_nn.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

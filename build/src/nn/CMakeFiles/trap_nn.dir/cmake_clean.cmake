@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_nn.dir/adam.cc.o"
+  "CMakeFiles/trap_nn.dir/adam.cc.o.d"
+  "CMakeFiles/trap_nn.dir/graph.cc.o"
+  "CMakeFiles/trap_nn.dir/graph.cc.o.d"
+  "CMakeFiles/trap_nn.dir/layers.cc.o"
+  "CMakeFiles/trap_nn.dir/layers.cc.o.d"
+  "CMakeFiles/trap_nn.dir/transformer.cc.o"
+  "CMakeFiles/trap_nn.dir/transformer.cc.o.d"
+  "libtrap_nn.a"
+  "libtrap_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/query.cc" "src/sql/CMakeFiles/trap_sql.dir/query.cc.o" "gcc" "src/sql/CMakeFiles/trap_sql.dir/query.cc.o.d"
+  "/root/repo/src/sql/tokenizer.cc" "src/sql/CMakeFiles/trap_sql.dir/tokenizer.cc.o" "gcc" "src/sql/CMakeFiles/trap_sql.dir/tokenizer.cc.o.d"
+  "/root/repo/src/sql/vocabulary.cc" "src/sql/CMakeFiles/trap_sql.dir/vocabulary.cc.o" "gcc" "src/sql/CMakeFiles/trap_sql.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/trap_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

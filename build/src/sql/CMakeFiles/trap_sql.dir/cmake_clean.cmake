@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_sql.dir/query.cc.o"
+  "CMakeFiles/trap_sql.dir/query.cc.o.d"
+  "CMakeFiles/trap_sql.dir/tokenizer.cc.o"
+  "CMakeFiles/trap_sql.dir/tokenizer.cc.o.d"
+  "CMakeFiles/trap_sql.dir/vocabulary.cc.o"
+  "CMakeFiles/trap_sql.dir/vocabulary.cc.o.d"
+  "libtrap_sql.a"
+  "libtrap_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_core.dir/agent.cc.o"
+  "CMakeFiles/trap_core.dir/agent.cc.o.d"
+  "CMakeFiles/trap_core.dir/perturber.cc.o"
+  "CMakeFiles/trap_core.dir/perturber.cc.o.d"
+  "CMakeFiles/trap_core.dir/reference_tree.cc.o"
+  "CMakeFiles/trap_core.dir/reference_tree.cc.o.d"
+  "CMakeFiles/trap_core.dir/training.cc.o"
+  "CMakeFiles/trap_core.dir/training.cc.o.d"
+  "libtrap_core.a"
+  "libtrap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

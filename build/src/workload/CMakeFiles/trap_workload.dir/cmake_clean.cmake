@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_workload.dir/generator.cc.o"
+  "CMakeFiles/trap_workload.dir/generator.cc.o.d"
+  "libtrap_workload.a"
+  "libtrap_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbdt_test.dir/gbdt_test.cc.o"
+  "CMakeFiles/gbdt_test.dir/gbdt_test.cc.o.d"
+  "gbdt_test"
+  "gbdt_test.pdb"
+  "gbdt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbdt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

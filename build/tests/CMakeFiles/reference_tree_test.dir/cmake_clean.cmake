@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_tree_test.dir/reference_tree_test.cc.o"
+  "CMakeFiles/reference_tree_test.dir/reference_tree_test.cc.o.d"
+  "reference_tree_test"
+  "reference_tree_test.pdb"
+  "reference_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

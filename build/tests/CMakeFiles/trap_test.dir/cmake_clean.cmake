@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_test.dir/trap_test.cc.o"
+  "CMakeFiles/trap_test.dir/trap_test.cc.o.d"
+  "trap_test"
+  "trap_test.pdb"
+  "trap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,10 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "catalog/datasets.h"
+#include "common/thread_pool.h"
 #include "engine/what_if.h"
 #include "gbdt/features.h"
 #include "gbdt/utility_model.h"
+#include "harness.h"
 #include "trap/reference_tree.h"
 #include "workload/generator.h"
 
@@ -108,6 +113,77 @@ void BM_ReferenceTreeRandomDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_ReferenceTreeRandomDecode);
 
+// Workload-costing section: the parallel candidate-benefit sweep that every
+// advisor greedy round funnels through, measured cold-cache under an
+// explicit 1-thread pool vs a 4-thread pool (and the TRAP_THREADS-sized
+// global pool). Costs must be bit-identical across thread counts.
+void WorkloadCostingSection() {
+  Fixture& f = fixture();
+  bench::PrintHeader("Workload costing — serial vs parallel sweep");
+
+  workload::Workload w;
+  for (const sql::Query& q : f.queries) {
+    w.queries.push_back(workload::WorkloadQuery{q, 1.0});
+  }
+  // One single-column candidate configuration per schema column — the shape
+  // of an advisor's first greedy round.
+  std::vector<engine::IndexConfig> configs;
+  for (int g = 0; g < f.schema.num_columns(); ++g) {
+    engine::IndexConfig cfg;
+    cfg.Add(engine::Index{{f.schema.ColumnFromGlobalIndex(g)}});
+    configs.push_back(cfg);
+  }
+
+  auto timed_sweep = [&](common::ThreadPool* pool) {
+    f.optimizer.ClearCache();
+    f.optimizer.ResetCounters();
+    auto start = std::chrono::steady_clock::now();
+    std::vector<double> costs = f.optimizer.WorkloadCosts(w, configs, pool);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return std::make_pair(seconds, std::move(costs));
+  };
+
+  common::ThreadPool serial_pool(1);
+  common::ThreadPool quad_pool(4);
+  auto [serial_sec, serial_costs] = timed_sweep(&serial_pool);
+  int64_t serial_misses = f.optimizer.num_cache_misses();
+  auto [quad_sec, quad_costs] = timed_sweep(&quad_pool);
+  int64_t quad_misses = f.optimizer.num_cache_misses();
+  auto [global_sec, global_costs] = timed_sweep(nullptr);
+
+  bool identical = serial_costs == quad_costs && serial_costs == global_costs;
+  double speedup = quad_sec > 0.0 ? serial_sec / quad_sec : 0.0;
+  std::printf("pairs costed:        %zu (%zu queries x %zu configs)\n",
+              w.queries.size() * configs.size(), w.queries.size(),
+              configs.size());
+  std::printf("1 thread:            %.4f s\n", serial_sec);
+  std::printf("4 threads:           %.4f s  (speedup %.2fx)\n", quad_sec,
+              speedup);
+  std::printf("global pool (%d):     %.4f s\n",
+              common::GlobalPool().num_threads(), global_sec);
+  std::printf("costs bit-identical: %s; misses %lld vs %lld\n",
+              identical ? "yes" : "NO — BUG",
+              static_cast<long long>(serial_misses),
+              static_cast<long long>(quad_misses));
+
+  bench::BenchReport report("engine_micro");
+  report.RecordPhase("workload_cost_serial", serial_sec);
+  report.RecordPhase("workload_cost_4_threads", quad_sec);
+  report.RecordPhase("workload_cost_global_pool", global_sec);
+  report.RecordMetric("speedup_4_vs_1", speedup);
+  report.RecordMetric("costs_identical", identical ? 1.0 : 0.0);
+  report.RecordMetric("what_if_pairs",
+                      static_cast<double>(w.queries.size() * configs.size()));
+  report.Write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  WorkloadCostingSection();
+  return 0;
+}

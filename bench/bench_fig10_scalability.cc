@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "advisor/heuristic_advisors.h"
+#include "common/string_util.h"
 #include "harness.h"
 
 namespace tc = ::trap::trap;
@@ -14,6 +15,7 @@ using namespace trap;
 
 int main() {
   bench::PrintHeader("Fig. 10 — scalability on large schemas (vs. Extend)");
+  bench::BenchReport report("fig10_scalability");
   std::printf("%-10s %8s %10s %10s %10s %14s\n", "columns", "vocab",
               "Random", "Seq2Seq", "TRAP", "gen time(s)");
   for (int columns : {809, 1024, 1265}) {
@@ -40,10 +42,19 @@ int main() {
                        std::chrono::steady_clock::now() - start)
                        .count();
       if (m == tc::GenerationMethod::kTrap) gen_seconds = sec;
+      report.RecordPhase(
+          common::StrFormat("assess/%d_columns/method_%d", columns,
+                            static_cast<int>(m)),
+          sec);
+      report.RecordMetric(
+          common::StrFormat("iudr/%d_columns/method_%d", columns,
+                            static_cast<int>(m)),
+          r.mean_iudr);
       std::printf(" %10.4f", r.mean_iudr);
     }
     std::printf(" %14.1f\n", gen_seconds);
   }
+  report.Write();
   std::printf("\nTRAP keeps finding loopholes as the column count grows; the "
               "tree masking keeps the per-step candidate set small even "
               "though the global vocabulary scales with the schema.\n");

@@ -89,24 +89,28 @@ int main(int argc, char** argv) {
   // batch (200 queries at this scale; the paper used 1000).
   Shared& s = shared();
   bench::PrintHeader("Table IV — efficiency of generation modules");
+  bench::BenchReport report("table4_efficiency");
   std::printf("%-12s %12s %18s\n", "module", "#params", "time 200 queries(s)");
   for (const ModuleSpec& spec : Modules()) {
     tc::TrapAgent agent(s.vocab, spec.options);
     common::Rng rng(7);
-    auto start = std::chrono::steady_clock::now();
-    for (int i = 0; i < 200; ++i) {
-      const sql::Query& q = s.pool[static_cast<size_t>(i) % s.pool.size()];
-      tc::ReferenceTree tree(q, s.vocab,
-                             tc::PerturbationConstraint::kSharedTable, 5);
-      (void)agent.RunEpisode(nullptr, std::move(tree),
-                             tc::TrapAgent::Mode::kGreedy, &rng);
-    }
-    double sec = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - start)
-                     .count();
+    double sec = report.TimePhase(
+        std::string("generate_200/") + spec.name, [&] {
+          for (int i = 0; i < 200; ++i) {
+            const sql::Query& q =
+                s.pool[static_cast<size_t>(i) % s.pool.size()];
+            tc::ReferenceTree tree(q, s.vocab,
+                                   tc::PerturbationConstraint::kSharedTable, 5);
+            (void)agent.RunEpisode(nullptr, std::move(tree),
+                                   tc::TrapAgent::Mode::kGreedy, &rng);
+          }
+        });
+    report.RecordMetric(std::string("params/") + spec.name,
+                        static_cast<double>(agent.NumParameters()));
     std::printf("%-12s %12lld %18.3f\n", spec.name,
                 static_cast<long long>(agent.NumParameters()), sec);
   }
+  report.Write();
   std::printf("\nAs in Table IV: TRAP stays within ~2x of the plain GRU's "
               "cost while the transformer variants carry 1-2 orders of "
               "magnitude more parameters and a multiple of the generation "

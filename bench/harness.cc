@@ -1,9 +1,12 @@
 #include "harness.h"
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "advisor/heuristic_advisors.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace trap::bench {
 
@@ -78,20 +81,17 @@ bool IsNonSargable(BenchEnv& env, const workload::Workload& w,
                    const advisor::TuningConstraint& constraint, double theta) {
   // Reference advisors: if neither can reach theta utility, no index serves
   // this workload and it falls outside the assessment region (Sec. V-A).
-  static thread_local std::unique_ptr<advisor::IndexAdvisor> extend;
-  static thread_local std::unique_ptr<advisor::IndexAdvisor> autoadmin;
-  static thread_local const engine::WhatIfOptimizer* bound = nullptr;
-  if (bound != &env.optimizer) {
-    extend = advisor::MakeExtend(env.optimizer);
-    autoadmin = advisor::MakeAutoAdmin(env.optimizer);
-    bound = &env.optimizer;
-  }
-  for (advisor::IndexAdvisor* ref : {extend.get(), autoadmin.get()}) {
-    if (env.evaluator.IndexUtility(*ref, nullptr, w, constraint) >= theta) {
-      return false;
-    }
-  }
-  return true;
+  // The two references are independent (heuristics are stateless across
+  // Recommend calls and the what-if optimizer is thread-safe), so both
+  // utilities are evaluated in parallel.
+  std::unique_ptr<advisor::IndexAdvisor> refs[] = {
+      advisor::MakeExtend(env.optimizer),
+      advisor::MakeAutoAdmin(env.optimizer)};
+  double utilities[2] = {0.0, 0.0};
+  common::ParallelFor(2, [&](size_t i) {
+    utilities[i] = env.evaluator.IndexUtility(*refs[i], nullptr, w, constraint);
+  });
+  return utilities[0] < theta && utilities[1] < theta;
 }
 
 AssessmentResult AssessRobustness(BenchEnv& env, advisor::IndexAdvisor* victim,
@@ -133,6 +133,55 @@ AssessmentResult AssessRobustness(BenchEnv& env, advisor::IndexAdvisor* victim,
 
 void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+BenchReport::BenchReport(std::string bench_name)
+    : name_(std::move(bench_name)),
+      threads_(common::GlobalPool().num_threads()) {}
+
+double BenchReport::TimePhase(const std::string& phase,
+                              const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  RecordPhase(phase, seconds);
+  return seconds;
+}
+
+void BenchReport::RecordPhase(const std::string& phase, double seconds) {
+  phases_.push_back(Phase{phase, seconds});
+}
+
+void BenchReport::RecordMetric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+std::string BenchReport::Write() const {
+  std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) return "";
+  out << "{\n  \"bench\": \"" << name_ << "\",\n";
+  out << "  \"threads\": " << threads_ << ",\n";
+  out << "  \"phases\": [";
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", phases_[i].seconds);
+    out << "    {\"name\": \"" << phases_[i].name
+        << "\", \"seconds\": " << buf << "}";
+  }
+  out << "\n  ],\n  \"metrics\": {";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", metrics_[i].second);
+    out << "    \"" << metrics_[i].first << "\": " << buf;
+  }
+  out << "\n  }\n}\n";
+  std::printf("[bench json] wrote %s (threads=%d)\n", path.c_str(), threads_);
+  return path;
 }
 
 }  // namespace trap::bench

@@ -68,6 +68,38 @@ bool IsNonSargable(BenchEnv& env, const workload::Workload& w,
 // Prints a section header so the bench output reads like the paper's tables.
 void PrintHeader(const std::string& title);
 
+// Per-phase wall-clock + thread-count recorder. Benches time their phases
+// through this and write a BENCH_<name>.json next to the binary's working
+// directory so successive runs capture the perf trajectory (threads used,
+// seconds per phase, derived metrics such as parallel speedup).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  // Times fn() and records it under `phase`; returns elapsed seconds.
+  double TimePhase(const std::string& phase, const std::function<void()>& fn);
+  // Records an externally measured phase duration.
+  void RecordPhase(const std::string& phase, double seconds);
+  // Records a scalar metric (speedups, costs, counters).
+  void RecordMetric(const std::string& key, double value);
+
+  int threads() const { return threads_; }
+
+  // Writes BENCH_<name>.json into the current directory and returns the
+  // path written.
+  std::string Write() const;
+
+ private:
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+  };
+  std::string name_;
+  int threads_;
+  std::vector<Phase> phases_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 }  // namespace trap::bench
 
 #endif  // TRAP_BENCH_HARNESS_H_

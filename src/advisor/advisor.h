@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "engine/index.h"
 #include "engine/what_if.h"
@@ -44,11 +45,24 @@ class IndexAdvisor {
                                         const TuningConstraint& constraint) = 0;
 };
 
-// Convenience: weighted workload cost through the what-if optimizer.
+// Convenience: weighted workload cost through the what-if optimizer
+// (queries costed in parallel on the global pool).
 inline double WorkloadCost(const engine::WhatIfOptimizer& optimizer,
                            const workload::Workload& w,
                            const engine::IndexConfig& config) {
   return workload::EstimatedCost(w, optimizer, config);
+}
+
+// Parallel candidate-benefit sweep: workload cost under each candidate
+// configuration, all (query, config) what-if calls fanned out at once. The
+// greedy rounds of the heuristic advisors funnel through this — per round
+// they probe every remaining candidate, which is embarrassingly parallel.
+// Entry k corresponds to configs[k]; values are bit-identical to evaluating
+// each configuration serially.
+inline std::vector<double> WorkloadCosts(
+    const engine::WhatIfOptimizer& optimizer, const workload::Workload& w,
+    const std::vector<engine::IndexConfig>& configs) {
+  return optimizer.WorkloadCosts(w, configs);
 }
 
 // True if adding `index` to `config` stays within the constraint.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "advisor/candidates.h"
+#include "common/thread_pool.h"
 
 namespace trap::advisor {
 namespace {
@@ -29,7 +31,8 @@ std::vector<Index> FeasibleCandidates(std::vector<Index> candidates,
 }
 
 // Greedy best configuration for a single query: repeatedly add the candidate
-// with the largest cost reduction, up to `max_indexes` indexes.
+// with the largest cost reduction, up to `max_indexes` indexes. Each round
+// probes every remaining candidate in one parallel what-if sweep.
 IndexConfig BestConfigForQuery(const WhatIfOptimizer& optimizer,
                                const sql::Query& q,
                                const std::vector<Index>& candidates,
@@ -37,17 +40,23 @@ IndexConfig BestConfigForQuery(const WhatIfOptimizer& optimizer,
   IndexConfig config;
   double current = optimizer.QueryCost(q, config);
   for (int round = 0; round < max_indexes; ++round) {
-    const Index* best = nullptr;
-    double best_cost = current;
+    std::vector<const Index*> probed;
+    std::vector<IndexConfig> nexts;
     for (const Index& cand : candidates) {
       if (config.Contains(cand)) continue;
       if (cand.table() < 0) continue;
       IndexConfig next = config;
       next.Add(cand);
-      double cost = optimizer.QueryCost(q, next);
-      if (cost < best_cost - 1e-9) {
-        best_cost = cost;
-        best = &cand;
+      probed.push_back(&cand);
+      nexts.push_back(std::move(next));
+    }
+    std::vector<double> costs = optimizer.QueryCosts(q, nexts);
+    const Index* best = nullptr;
+    double best_cost = current;
+    for (size_t i = 0; i < probed.size(); ++i) {
+      if (costs[i] < best_cost - 1e-9) {
+        best_cost = costs[i];
+        best = probed[i];
       }
     }
     if (best == nullptr) break;
@@ -93,13 +102,17 @@ class ExtendAdvisor : public IndexAdvisor {
     };
 
     while (true) {
+      // Enumerate legal moves first, then cost every resulting
+      // configuration in one parallel what-if sweep; the sequential
+      // selection below scans the results in enumeration order, so the
+      // chosen move is identical to the old one-at-a-time loop.
       struct Move {
         Index add;               // index to add
         Index remove;            // replaced index (empty columns = none)
-        double ratio = 0.0;
-        double new_cost = 0.0;
+        double extra = 1.0;      // storage delta, bytes (>= 1)
       };
-      std::optional<Move> best;
+      std::vector<Move> moves;
+      std::vector<IndexConfig> nexts;
 
       auto consider = [&](const Index& add, const Index* remove) {
         IndexConfig next = config;
@@ -111,19 +124,8 @@ class ExtendAdvisor : public IndexAdvisor {
         }
         extra = std::max(extra, 1.0);
         next.Add(add);
-        double benefit, new_cost;
-        if (options_.consider_interaction) {
-          new_cost = WorkloadCost(*optimizer_, w, next);
-          benefit = current - new_cost;
-        } else {
-          benefit = isolated(add) - (remove != nullptr ? isolated(*remove) : 0.0);
-          new_cost = current - benefit;
-        }
-        double ratio = benefit / extra;
-        if (benefit > 1e-9 && (!best.has_value() || ratio > best->ratio)) {
-          best = Move{add, remove != nullptr ? *remove : Index{},
-                      ratio, new_cost};
-        }
+        moves.push_back(Move{add, remove != nullptr ? *remove : Index{}, extra});
+        nexts.push_back(std::move(next));
       };
 
       for (const Index& cand : singles) {
@@ -145,11 +147,39 @@ class ExtendAdvisor : public IndexAdvisor {
           }
         }
       }
+
+      std::vector<double> move_costs;
+      if (options_.consider_interaction) {
+        move_costs = WorkloadCosts(*optimizer_, w, nexts);
+      }
+
+      std::optional<size_t> best;
+      double best_ratio = 0.0;
+      double best_new_cost = 0.0;
+      for (size_t i = 0; i < moves.size(); ++i) {
+        double benefit, new_cost;
+        if (options_.consider_interaction) {
+          new_cost = move_costs[i];
+          benefit = current - new_cost;
+        } else {
+          benefit = isolated(moves[i].add) -
+                    (!moves[i].remove.columns.empty() ? isolated(moves[i].remove)
+                                                      : 0.0);
+          new_cost = current - benefit;
+        }
+        double ratio = benefit / moves[i].extra;
+        if (benefit > 1e-9 && (!best.has_value() || ratio > best_ratio)) {
+          best = i;
+          best_ratio = ratio;
+          best_new_cost = new_cost;
+        }
+      }
       if (!best.has_value()) break;
-      if (!best->remove.columns.empty()) config.Remove(best->remove);
-      config.Add(best->add);
+      const Move& chosen = moves[*best];
+      if (!chosen.remove.columns.empty()) config.Remove(chosen.remove);
+      config.Add(chosen.add);
       current = options_.consider_interaction
-                    ? best->new_cost
+                    ? best_new_cost
                     : WorkloadCost(*optimizer_, w, config);
     }
     return config;
@@ -186,20 +216,29 @@ class Db2Advisor : public IndexAdvisor {
       c.Add(i);
       return c.Fingerprint();
     };
-    for (const workload::WorkloadQuery& wq : w.queries) {
+    // Per-query planning is independent; fan it out and merge the benefit
+    // attributions serially in query order (deterministic accumulation).
+    struct QueryShare {
+      double improvement = 0.0;
+      std::set<uint64_t> used;
+    };
+    std::vector<QueryShare> shares(w.queries.size());
+    common::ParallelFor(w.queries.size(), [&](size_t qi) {
+      const workload::WorkloadQuery& wq = w.queries[qi];
       double base = optimizer_->QueryCost(wq.query, IndexConfig());
       std::unique_ptr<engine::PlanNode> plan =
           optimizer_->Plan(wq.query, all);
-      double improvement = std::max(0.0, base - plan->cost) * wq.weight;
+      shares[qi].improvement = std::max(0.0, base - plan->cost) * wq.weight;
       std::vector<const engine::PlanNode*> nodes;
       engine::CollectNodes(*plan, &nodes);
-      std::set<uint64_t> used;
       for (const engine::PlanNode* n : nodes) {
-        if (n->index != nullptr) used.insert(fp(*n->index));
+        if (n->index != nullptr) shares[qi].used.insert(fp(*n->index));
       }
-      if (used.empty()) continue;
-      for (uint64_t u : used) {
-        benefit[u] += improvement / static_cast<double>(used.size());
+    });
+    for (const QueryShare& share : shares) {
+      if (share.used.empty()) continue;
+      for (uint64_t u : share.used) {
+        benefit[u] += share.improvement / static_cast<double>(share.used.size());
       }
     }
     // Greedy knapsack by benefit-per-storage, no re-evaluation.
@@ -260,23 +299,34 @@ class AutoAdminAdvisor : public IndexAdvisor {
     int limit = constraint.max_indexes > 0 ? constraint.max_indexes
                                            : static_cast<int>(candidates.size());
     for (int round = 0; round < limit; ++round) {
-      const Index* best = nullptr;
-      double best_cost = current;
+      // Probe every fitting candidate in one parallel sweep, then pick the
+      // winner scanning the results in candidate order (identical to the
+      // old serial loop).
+      std::vector<const Index*> probed;
+      std::vector<IndexConfig> evals;
       for (const Index& cand : candidates) {
         if (!FitsConstraint(config, cand, constraint, schema)) continue;
-        double cost;
+        probed.push_back(&cand);
         if (options_.consider_interaction) {
           IndexConfig next = config;
           next.Add(cand);
-          cost = WorkloadCost(*optimizer_, w, next);
+          evals.push_back(std::move(next));
         } else {
           IndexConfig only;
           only.Add(cand);
-          cost = current - (base_cost - WorkloadCost(*optimizer_, w, only));
+          evals.push_back(std::move(only));
         }
+      }
+      std::vector<double> eval_costs = WorkloadCosts(*optimizer_, w, evals);
+      const Index* best = nullptr;
+      double best_cost = current;
+      for (size_t i = 0; i < probed.size(); ++i) {
+        double cost = options_.consider_interaction
+                          ? eval_costs[i]
+                          : current - (base_cost - eval_costs[i]);
         if (cost < best_cost - 1e-9) {
           best_cost = cost;
-          best = &cand;
+          best = probed[i];
         }
       }
       if (best == nullptr) break;
@@ -324,37 +374,53 @@ class DropAdvisor : public IndexAdvisor {
     };
 
     while (config.size() > 0 && over_constraint()) {
-      const Index* victim = nullptr;
-      double best_cost = 0.0;
+      // One parallel sweep over every drop candidate per round.
+      std::vector<IndexConfig> evals;
+      evals.reserve(static_cast<size_t>(config.size()));
       for (const Index& i : config.indexes()) {
-        double cost;
         if (options_.consider_interaction) {
           IndexConfig next = config;
           next.Remove(i);
-          cost = WorkloadCost(*optimizer_, w, next);
+          evals.push_back(std::move(next));
         } else {
           IndexConfig only;
           only.Add(i);
-          cost = base_cost - WorkloadCost(*optimizer_, w, only);
-          // Smaller isolated benefit -> cheaper to drop; encode as cost.
+          evals.push_back(std::move(only));
         }
+      }
+      std::vector<double> eval_costs = WorkloadCosts(*optimizer_, w, evals);
+      const Index* victim = nullptr;
+      double best_cost = 0.0;
+      for (size_t k = 0; k < evals.size(); ++k) {
+        // Smaller isolated benefit -> cheaper to drop; encode as cost.
+        double cost = options_.consider_interaction
+                          ? eval_costs[k]
+                          : base_cost - eval_costs[k];
         if (victim == nullptr || cost < best_cost) {
           best_cost = cost;
-          victim = &i;
+          victim = &config.indexes()[k];
         }
       }
       Index to_remove = *victim;
       config.Remove(to_remove);
     }
-    // Final pruning: drop indexes that provide no benefit at all.
+    // Final pruning: drop indexes that provide no benefit at all. The old
+    // loop stopped at the first useless index; sweeping all of them in
+    // parallel and taking the first match picks the same victim.
     while (true) {
       double current = WorkloadCost(*optimizer_, w, config);
-      const Index* useless = nullptr;
+      std::vector<IndexConfig> evals;
+      evals.reserve(static_cast<size_t>(config.size()));
       for (const Index& i : config.indexes()) {
         IndexConfig next = config;
         next.Remove(i);
-        if (WorkloadCost(*optimizer_, w, next) <= current + 1e-9) {
-          useless = &i;
+        evals.push_back(std::move(next));
+      }
+      std::vector<double> eval_costs = WorkloadCosts(*optimizer_, w, evals);
+      const Index* useless = nullptr;
+      for (size_t k = 0; k < evals.size(); ++k) {
+        if (eval_costs[k] <= current + 1e-9) {
+          useless = &config.indexes()[k];
           break;
         }
       }
@@ -408,12 +474,11 @@ class RelaxationAdvisor : public IndexAdvisor {
 
     double current = WorkloadCost(*optimizer_, w, config);
     while (config.size() > 0 && over()) {
-      struct Relax {
-        IndexConfig next;
-        double score = 0.0;  // penalty per byte saved (lower is better)
-        double new_cost = 0.0;
-      };
-      std::optional<Relax> best;
+      // Collect every legal relaxation, cost them in one parallel sweep,
+      // then select scanning in enumeration order (same winner as the old
+      // serial consider() calls).
+      std::vector<IndexConfig> relaxations;
+      std::vector<int64_t> saved_bytes;
       auto consider = [&](IndexConfig next) {
         int64_t saved = storage() - next.TotalSizeBytes(schema);
         if (saved <= 0 && constraint.max_indexes == 0) return;
@@ -421,12 +486,8 @@ class RelaxationAdvisor : public IndexAdvisor {
             config.size() > constraint.max_indexes) {
           return;  // must shrink the count when over the count constraint
         }
-        double new_cost = WorkloadCost(*optimizer_, w, next);
-        double penalty = new_cost - current;
-        double score = penalty / std::max<double>(1.0, static_cast<double>(saved));
-        if (!best.has_value() || score < best->score) {
-          best = Relax{std::move(next), score, new_cost};
-        }
+        relaxations.push_back(std::move(next));
+        saved_bytes.push_back(saved);
       };
       for (const Index& i : config.indexes()) {
         // Removal.
@@ -460,9 +521,22 @@ class RelaxationAdvisor : public IndexAdvisor {
           consider(mergedcfg);
         }
       }
+      std::vector<double> relax_costs =
+          WorkloadCosts(*optimizer_, w, relaxations);
+      std::optional<size_t> best;
+      double best_score = 0.0;
+      for (size_t k = 0; k < relaxations.size(); ++k) {
+        double penalty = relax_costs[k] - current;
+        double score = penalty / std::max<double>(
+                                     1.0, static_cast<double>(saved_bytes[k]));
+        if (!best.has_value() || score < best_score) {
+          best = k;
+          best_score = score;
+        }
+      }
       if (!best.has_value()) break;
-      config = best->next;
-      current = best->new_cost;
+      config = relaxations[*best];
+      current = relax_costs[*best];
     }
     return config;
   }
@@ -515,31 +589,45 @@ class DtaAdvisor : public IndexAdvisor {
     IndexConfig config;
     double base_cost = WorkloadCost(*optimizer_, w, config);
     double current = base_cost;
-    // Greedy additions.
+    // Greedy additions. Each round batches the first budget-many fitting
+    // candidates into one parallel sweep — the same prefix the old serial
+    // loop would have evaluated before exhausting the anytime budget.
     while (evaluations < kEvaluationBudget) {
-      const Index* best = nullptr;
-      double best_ratio = 0.0;
-      double best_cost = current;
+      std::vector<const Index*> probed;
+      std::vector<IndexConfig> evals;
       for (const Index& cand : candidates) {
         if (!FitsConstraint(config, cand, constraint, schema)) continue;
-        if (evaluations >= kEvaluationBudget) break;
-        double cost;
+        if (evaluations + static_cast<int>(probed.size()) >=
+            kEvaluationBudget) {
+          break;
+        }
+        probed.push_back(&cand);
         if (options_.consider_interaction) {
           IndexConfig next = config;
           next.Add(cand);
-          cost = WorkloadCost(*optimizer_, w, next);
+          evals.push_back(std::move(next));
         } else {
           IndexConfig only;
           only.Add(cand);
-          cost = current - (base_cost - WorkloadCost(*optimizer_, w, only));
+          evals.push_back(std::move(only));
         }
-        ++evaluations;
-        double ratio = (current - cost) /
-                       static_cast<double>(engine::IndexSizeBytes(cand, schema));
+      }
+      std::vector<double> eval_costs = WorkloadCosts(*optimizer_, w, evals);
+      evaluations += static_cast<int>(probed.size());
+      const Index* best = nullptr;
+      double best_ratio = 0.0;
+      double best_cost = current;
+      for (size_t k = 0; k < probed.size(); ++k) {
+        double cost = options_.consider_interaction
+                          ? eval_costs[k]
+                          : current - (base_cost - eval_costs[k]);
+        double ratio =
+            (current - cost) /
+            static_cast<double>(engine::IndexSizeBytes(*probed[k], schema));
         if (current - cost > 1e-9 && ratio > best_ratio) {
           best_ratio = ratio;
           best_cost = cost;
-          best = &cand;
+          best = probed[k];
         }
       }
       if (best == nullptr) break;

@@ -1,0 +1,154 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "common/check.h"
+
+namespace trap::common {
+
+namespace {
+
+// Set while a thread (worker or submitting caller) is executing iterations
+// of a batch; nested ParallelFor calls consult it to degrade to serial.
+thread_local bool t_in_parallel_loop = false;
+
+int ThreadsFromEnvironment() {
+  int n = 0;
+  if (const char* env = std::getenv("TRAP_THREADS"); env != nullptr) {
+    n = std::atoi(env);
+  }
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (n < 1) n = 1;
+  if (n > 256) n = 256;
+  return n;
+}
+
+}  // namespace
+
+// Shared state of one ParallelFor invocation. Workers and the caller claim
+// iterations through `next`; the last finished iteration flips `done`.
+struct ThreadPool::Batch {
+  size_t n = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+  std::atomic<size_t> next{0};       // next unclaimed iteration
+  std::atomic<size_t> remaining{0};  // iterations not yet finished
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  std::mutex error_mu;
+  std::exception_ptr error;  // first exception thrown by fn
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  TRAP_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back(
+        [this](std::stop_token stop) { WorkerLoop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (std::jthread& w : workers_) w.request_stop();
+  cv_.notify_all();
+  // jthread joins on destruction.
+}
+
+bool ThreadPool::InParallelLoop() { return t_in_parallel_loop; }
+
+void ThreadPool::RunBatch(Batch& batch) {
+  bool was_in_loop = t_in_parallel_loop;
+  t_in_parallel_loop = true;
+  for (size_t i = batch.next.fetch_add(1); i < batch.n;
+       i = batch.next.fetch_add(1)) {
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.error_mu);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+    if (batch.remaining.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(batch.done_mu);
+      batch.done = true;
+      batch.done_cv.notify_all();
+    }
+  }
+  t_in_parallel_loop = was_in_loop;
+}
+
+void ThreadPool::WorkerLoop(const std::stop_token& stop) {
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, stop, [this] { return batch_ != nullptr; });
+      if (stop.stop_requested()) return;
+      batch = batch_;
+    }
+    RunBatch(*batch);
+    // Wait for this batch to be retired before polling again, so a drained
+    // batch is not rerun in a hot loop.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, stop, [this, &batch] { return batch_ != batch; });
+    if (stop.stop_requested()) return;
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Serial paths: a pool without workers, a single item, or a nested call
+  // (re-entering the pool while a batch is in flight could deadlock).
+  if (workers_.empty() || n == 1 || t_in_parallel_loop) {
+    bool was_in_loop = t_in_parallel_loop;
+    t_in_parallel_loop = true;
+    std::exception_ptr error;
+    for (size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    t_in_parallel_loop = was_in_loop;
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  batch->remaining.store(n);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+  }
+  cv_.notify_all();
+  RunBatch(*batch);
+  {
+    std::unique_lock<std::mutex> lock(batch->done_mu);
+    batch->done_cv.wait(lock, [&] { return batch->done; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = nullptr;
+  }
+  cv_.notify_all();  // release workers parked on "batch retired"
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+ThreadPool& GlobalPool() {
+  static ThreadPool* pool = new ThreadPool(ThreadsFromEnvironment());
+  return *pool;
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  GlobalPool().ParallelFor(n, fn);
+}
+
+}  // namespace trap::common

@@ -1,0 +1,77 @@
+#ifndef TRAP_COMMON_THREAD_POOL_H_
+#define TRAP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trap::common {
+
+// Fixed-size thread pool driving data-parallel loops. There is no work
+// stealing and no futures: the single primitive is ParallelFor, which
+// partitions [0, n) across the pool's workers plus the calling thread via a
+// shared atomic cursor and blocks until every iteration has run.
+//
+// Threading contract:
+//   * `fn` must be safe to invoke concurrently from multiple threads; loop
+//     iterations may run in any order.
+//   * Results must not depend on iteration order. Callers that reduce over
+//     the results write into pre-sized slots and fold them serially
+//     afterwards, which keeps outputs bit-identical across thread counts.
+//   * Nested use is rejected: a ParallelFor issued from inside another
+//     ParallelFor (worker or participating caller) does not re-enter the
+//     pool — it runs its whole loop serially on the current thread, since
+//     re-entry could deadlock on the pool's single in-flight batch.
+//   * The first exception thrown by `fn` is captured and rethrown on the
+//     calling thread once the loop has drained; remaining iterations still
+//     run (the library itself is exception-free, but tests and user
+//     callbacks may throw).
+class ThreadPool {
+ public:
+  // Spawns `num_threads - 1` workers; the caller participates in every
+  // batch, so `num_threads == 1` means fully serial execution.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total execution lanes (workers + the calling thread).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs fn(0), ..., fn(n-1) across the pool. Blocks until done. Zero items
+  // is a no-op.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // True while the current thread is executing iterations of some
+  // ParallelFor batch (either as a pool worker or as the submitting caller).
+  static bool InParallelLoop();
+
+ private:
+  struct Batch;
+
+  void WorkerLoop(const std::stop_token& stop);
+  static void RunBatch(Batch& batch);
+
+  std::mutex mu_;                     // guards batch_
+  std::condition_variable_any cv_;    // workers wait for a batch / its end
+  std::shared_ptr<Batch> batch_;      // in-flight batch, null when idle
+  std::mutex submit_mu_;              // serializes external submitters
+  std::vector<std::jthread> workers_;
+};
+
+// Process-wide pool, created on first use. Sized by the TRAP_THREADS
+// environment variable when set (clamped to [1, 256]); otherwise by
+// std::thread::hardware_concurrency().
+ThreadPool& GlobalPool();
+
+// Convenience: GlobalPool().ParallelFor(n, fn).
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace trap::common
+
+#endif  // TRAP_COMMON_THREAD_POOL_H_

@@ -8,21 +8,72 @@ WhatIfOptimizer::WhatIfOptimizer(const catalog::Schema& schema,
                                  CostParams params)
     : model_(schema, params) {}
 
+double WhatIfOptimizer::CachedCost(const sql::Query& q, uint64_t config_fp,
+                                   const IndexConfig& config) const {
+  num_calls_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t query_fp = sql::Fingerprint(q);
+  const uint64_t key = common::HashCombine(query_fp, config_fp);
+  CacheShard& shard = shards_[key >> 60];  // high bits: 64 - log2(16)
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      if (it->second.query_fp == query_fp &&
+          it->second.config_fp == config_fp) {
+        return it->second.cost;
+      }
+      // 64-bit collision: fall through and recompute; the existing entry
+      // keeps its slot (collisions are ~never, correctness is what matters).
+      num_collisions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  double cost = model_.QueryCost(q, config);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.emplace(
+        key, CacheEntry{query_fp, config_fp, cost});
+    (void)it;
+    // Count the miss only on actual insertion so two threads racing to fill
+    // the same entry (both computing the identical value) report one miss.
+    if (inserted) num_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return cost;
+}
+
 double WhatIfOptimizer::QueryCost(const sql::Query& q,
                                   const IndexConfig& config) const {
-  ++num_calls_;
-  uint64_t key = common::HashCombine(sql::Fingerprint(q), config.Fingerprint());
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  ++num_misses_;
-  double cost = model_.QueryCost(q, config);
-  cache_.emplace(key, cost);
-  return cost;
+  return CachedCost(q, config.Fingerprint(), config);
+}
+
+std::vector<double> WhatIfOptimizer::QueryCosts(
+    const sql::Query& q, const std::vector<IndexConfig>& configs,
+    common::ThreadPool* pool) const {
+  std::vector<double> costs(configs.size());
+  RunParallel(pool, configs.size(), [&](size_t i) {
+    costs[i] = CachedCost(q, configs[i].Fingerprint(), configs[i]);
+  });
+  return costs;
 }
 
 std::unique_ptr<PlanNode> WhatIfOptimizer::Plan(const sql::Query& q,
                                                 const IndexConfig& config) const {
   return model_.Plan(q, config);
+}
+
+size_t WhatIfOptimizer::cache_size() const {
+  size_t total = 0;
+  for (const CacheShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void WhatIfOptimizer::ClearCache() {
+  for (CacheShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
 }
 
 }  // namespace trap::engine

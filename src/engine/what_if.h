@@ -1,9 +1,15 @@
 #ifndef TRAP_ENGINE_WHAT_IF_H_
 #define TRAP_ENGINE_WHAT_IF_H_
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "engine/cost_model.h"
 
 namespace trap::engine {
@@ -13,6 +19,14 @@ namespace trap::engine {
 // what-if calls of the paper's PostgreSQL setup. Costs are memoized on
 // (query fingerprint, configuration fingerprint), since advisors probe the
 // same query under many configurations.
+//
+// Thread safety: every const method is safe to call concurrently. The memo
+// cache is sharded N ways with a per-shard mutex (shard picked from the key's
+// high bits, since HashCombine mixes well there), and the call/miss counters
+// are atomic. CostModel itself is stateless after construction, so the
+// batched entry points below fan work out across the global thread pool and
+// produce bit-identical results for any TRAP_THREADS setting: per-item costs
+// are written into pre-sized slots and reduced serially in input order.
 class WhatIfOptimizer {
  public:
   explicit WhatIfOptimizer(const catalog::Schema& schema,
@@ -26,20 +40,119 @@ class WhatIfOptimizer {
   std::unique_ptr<PlanNode> Plan(const sql::Query& q,
                                  const IndexConfig& config) const;
 
+  // Batched: weighted workload cost, with per-query what-if calls evaluated
+  // in parallel. `WorkloadT` is any type with a `queries` container of
+  // {query, weight} items (workload::Workload; templated to keep the engine
+  // layer free of an upward dependency). `pool` overrides the global pool
+  // (benches compare explicit 1-thread vs N-thread pools).
+  template <typename WorkloadT>
+  double WorkloadCost(const WorkloadT& w, const IndexConfig& config,
+                      common::ThreadPool* pool = nullptr) const {
+    const size_t n = w.queries.size();
+    std::vector<double> costs(n);
+    const uint64_t config_fp = config.Fingerprint();
+    RunParallel(pool, n, [&](size_t i) {
+      costs[i] = CachedCost(w.queries[i].query, config_fp, config);
+    });
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += w.queries[i].weight * costs[i];
+    return total;
+  }
+
+  // Batched candidate-benefit sweep: weighted workload cost under each of
+  // `configs`, all (query, config) pairs evaluated in parallel. Entry k of
+  // the result corresponds to configs[k].
+  template <typename WorkloadT>
+  std::vector<double> WorkloadCosts(const WorkloadT& w,
+                                    const std::vector<IndexConfig>& configs,
+                                    common::ThreadPool* pool = nullptr) const {
+    const size_t nq = w.queries.size();
+    const size_t nc = configs.size();
+    std::vector<uint64_t> config_fps(nc);
+    for (size_t c = 0; c < nc; ++c) config_fps[c] = configs[c].Fingerprint();
+    std::vector<double> costs(nq * nc);
+    RunParallel(pool, nq * nc, [&](size_t k) {
+      const size_t c = k / nq;
+      const size_t i = k % nq;
+      costs[k] = CachedCost(w.queries[i].query, config_fps[c], configs[c]);
+    });
+    std::vector<double> totals(nc, 0.0);
+    for (size_t c = 0; c < nc; ++c) {
+      for (size_t i = 0; i < nq; ++i) {
+        totals[c] += w.queries[i].weight * costs[c * nq + i];
+      }
+    }
+    return totals;
+  }
+
+  // Batched: cost of one query under each of `configs` (parallel,
+  // order-preserving) — the inner loop of per-query greedy searches.
+  std::vector<double> QueryCosts(const sql::Query& q,
+                                 const std::vector<IndexConfig>& configs,
+                                 common::ThreadPool* pool = nullptr) const;
+
   const catalog::Schema& schema() const { return model_.schema(); }
   const CostModel& cost_model() const { return model_; }
 
   // Number of what-if calls answered (including cache hits) — the paper's
   // efficiency discussions count optimizer invocations.
-  int64_t num_calls() const { return num_calls_; }
-  int64_t num_cache_misses() const { return num_misses_; }
-  void ResetCounters() { num_calls_ = num_misses_ = 0; }
+  int64_t num_calls() const {
+    return num_calls_.load(std::memory_order_relaxed);
+  }
+  // Misses are counted once per cache entry actually inserted, so the count
+  // is deterministic across thread counts even when two threads race to
+  // fill the same entry.
+  int64_t num_cache_misses() const {
+    return num_misses_.load(std::memory_order_relaxed);
+  }
+  // Detected 64-bit fingerprint collisions (answered by recomputation, never
+  // from the colliding entry).
+  int64_t num_collisions() const {
+    return num_collisions_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() {
+    num_calls_.store(0, std::memory_order_relaxed);
+    num_misses_.store(0, std::memory_order_relaxed);
+    num_collisions_.store(0, std::memory_order_relaxed);
+  }
+
+  size_t cache_size() const;
+  void ClearCache();
 
  private:
+  // Both halves of the memo key are stored so a HashCombine collision is
+  // detected (and answered by recomputation) instead of silently returning
+  // another pair's cost.
+  struct CacheEntry {
+    uint64_t query_fp = 0;
+    uint64_t config_fp = 0;
+    double cost = 0.0;
+  };
+  struct CacheShard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, CacheEntry> map;
+  };
+  static constexpr size_t kNumShards = 16;  // power of two
+
+  static void RunParallel(common::ThreadPool* pool, size_t n,
+                          const std::function<void(size_t)>& fn) {
+    if (pool != nullptr) {
+      pool->ParallelFor(n, fn);
+    } else {
+      common::ParallelFor(n, fn);
+    }
+  }
+
+  // Memoized cost of (q, config); `config_fp` is config.Fingerprint(),
+  // hoisted by batched callers.
+  double CachedCost(const sql::Query& q, uint64_t config_fp,
+                    const IndexConfig& config) const;
+
   CostModel model_;
-  mutable std::unordered_map<uint64_t, double> cache_;
-  mutable int64_t num_calls_ = 0;
-  mutable int64_t num_misses_ = 0;
+  mutable std::array<CacheShard, kNumShards> shards_;
+  mutable std::atomic<int64_t> num_calls_{0};
+  mutable std::atomic<int64_t> num_misses_{0};
+  mutable std::atomic<int64_t> num_collisions_{0};
 };
 
 }  // namespace trap::engine

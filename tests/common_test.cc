@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace trap::common {
 namespace {
@@ -153,6 +157,97 @@ TEST(StringTest, StrFormat) {
 
 TEST(StringTest, ToLower) {
   EXPECT_EQ(ToLower("AbC"), "abc");
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIteration) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<int> hits(kN, 0);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i] += static_cast<int>(i) + 1; });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsIsNoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [](size_t i) {
+                         if (i % 7 == 3) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool survives a throwing batch and runs the next one normally.
+  std::atomic<int> ok{0};
+  pool.ParallelFor(16, [&](size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 16);
+}
+
+TEST(ThreadPoolTest, SerialPoolPropagatesException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.ParallelFor(8, [](size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForIsRejectedAndRunsSerial) {
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 32;
+  std::vector<int64_t> sums(kOuter, 0);
+  std::atomic<int> nested_in_loop{0};
+  pool.ParallelFor(kOuter, [&](size_t o) {
+    // Every thread running batch iterations (workers and the submitting
+    // caller alike) is inside a parallel loop here...
+    if (ThreadPool::InParallelLoop()) ++nested_in_loop;
+    // ...so this inner call must not re-enter the pool; it runs serially on
+    // the current thread and still computes the right answer.
+    pool.ParallelFor(kInner, [&](size_t i) {
+      sums[o] += static_cast<int64_t>(i);
+    });
+  });
+  EXPECT_EQ(nested_in_loop.load(), static_cast<int>(kOuter));
+  for (size_t o = 0; o < kOuter; ++o) {
+    EXPECT_EQ(sums[o], static_cast<int64_t>(kInner * (kInner - 1) / 2));
+  }
+}
+
+TEST(ThreadPoolTest, NotInParallelLoopOutsideBatches) {
+  EXPECT_FALSE(ThreadPool::InParallelLoop());
+  ThreadPool pool(2);
+  pool.ParallelFor(4, [](size_t) {});
+  EXPECT_FALSE(ThreadPool::InParallelLoop());
+}
+
+TEST(ThreadPoolTest, ConcurrentReductionIntoSlotsIsDeterministic) {
+  // The project-wide reduction pattern: parallel writes into pre-sized
+  // slots, serial fold afterwards — identical for any pool size.
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    std::vector<double> slots(257, 0.0);
+    pool.ParallelFor(slots.size(), [&](size_t i) {
+      slots[i] = std::sqrt(static_cast<double>(i)) * 1.000001;
+    });
+    return std::accumulate(slots.begin(), slots.end(), 0.0);
+  };
+  double serial = run(1);
+  double parallel = run(4);
+  EXPECT_EQ(serial, parallel);  // bit-identical, not just approximately
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsableAndSized) {
+  ThreadPool& pool = GlobalPool();
+  EXPECT_GE(pool.num_threads(), 1);
+  std::atomic<int> calls{0};
+  common::ParallelFor(10, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 10);
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "catalog/datasets.h"
+#include "common/thread_pool.h"
 #include "engine/cost_model.h"
 #include "engine/index.h"
 #include "engine/plan.h"
@@ -353,6 +356,99 @@ TEST_F(EngineTest, WhatIfCachesRepeatedCalls) {
   EXPECT_EQ(c1, c2);
   EXPECT_EQ(optimizer.num_calls(), 2);
   EXPECT_EQ(optimizer.num_cache_misses(), 1);
+}
+
+// Minimal stand-in for workload::Workload (the workload layer sits above
+// the engine, so the batched APIs are templated on the workload type).
+struct MiniWorkload {
+  struct Item {
+    sql::Query query;
+    double weight = 1.0;
+  };
+  std::vector<Item> queries;
+};
+
+TEST_F(EngineTest, SerialAndParallelWorkloadCostBitIdentical) {
+  // The TRAP_THREADS=4 scenario via an explicit 4-thread pool: batched
+  // costing must match the serial per-query sum exactly, and the
+  // insertion-based miss counter must not depend on the thread count.
+  MiniWorkload w;
+  for (int i = 0; i < 12; ++i) {
+    sql::Query q = LineitemQuery(i % 2 == 0 ? CmpOp::kEq : CmpOp::kLt);
+    q.filters[0].value = Value::Int(50 + 100 * (i / 2));
+    w.queries.push_back({q, 0.5 + 0.25 * i});
+  }
+  IndexConfig config;
+  config.Add(Index{{Col("lineitem", "l_shipdate")}});
+
+  WhatIfOptimizer serial_opt(schema_);
+  double serial_total = 0.0;
+  for (const auto& wq : w.queries) {
+    serial_total += wq.weight * serial_opt.QueryCost(wq.query, config);
+  }
+
+  common::ThreadPool pool(4);
+  WhatIfOptimizer parallel_opt(schema_);
+  double parallel_total = parallel_opt.WorkloadCost(w, config, &pool);
+
+  EXPECT_EQ(serial_total, parallel_total);  // bit-identical
+  EXPECT_EQ(parallel_opt.num_calls(), serial_opt.num_calls());
+  EXPECT_EQ(parallel_opt.num_cache_misses(), serial_opt.num_cache_misses());
+
+  // Re-costing the same workload is all cache hits on both sides.
+  (void)parallel_opt.WorkloadCost(w, config, &pool);
+  EXPECT_EQ(parallel_opt.num_calls(), 2 * serial_opt.num_calls());
+  EXPECT_EQ(parallel_opt.num_cache_misses(), serial_opt.num_cache_misses());
+}
+
+TEST_F(EngineTest, BatchedConfigSweepMatchesSerial) {
+  MiniWorkload w;
+  for (int i = 0; i < 6; ++i) {
+    sql::Query q = LineitemQuery(CmpOp::kEq);
+    q.filters[0].value = Value::Int(100 + 37 * i);
+    w.queries.push_back({q, 1.0});
+  }
+  std::vector<IndexConfig> configs;
+  configs.emplace_back();
+  IndexConfig one;
+  one.Add(Index{{Col("lineitem", "l_shipdate")}});
+  configs.push_back(one);
+  IndexConfig two = one;
+  two.Add(Index{{Col("lineitem", "l_quantity")}});
+  configs.push_back(two);
+
+  common::ThreadPool pool(4);
+  WhatIfOptimizer opt(schema_);
+  std::vector<double> swept = opt.WorkloadCosts(w, configs, &pool);
+  ASSERT_EQ(swept.size(), configs.size());
+  WhatIfOptimizer ref(schema_);
+  for (size_t c = 0; c < configs.size(); ++c) {
+    double expected = 0.0;
+    for (const auto& wq : w.queries) {
+      expected += wq.weight * ref.QueryCost(wq.query, configs[c]);
+    }
+    EXPECT_EQ(swept[c], expected);
+  }
+}
+
+TEST_F(EngineTest, CacheSizeAndClear) {
+  WhatIfOptimizer opt(schema_);
+  EXPECT_EQ(opt.cache_size(), 0u);
+  Query q = LineitemQuery();
+  IndexConfig none;
+  IndexConfig with;
+  with.Add(Index{{Col("lineitem", "l_shipdate")}});
+  (void)opt.QueryCost(q, none);
+  (void)opt.QueryCost(q, with);
+  EXPECT_EQ(opt.cache_size(), 2u);
+  EXPECT_EQ(opt.num_cache_misses(), 2);
+  opt.ClearCache();
+  EXPECT_EQ(opt.cache_size(), 0u);
+  // Same answer after the clear, recomputed (a fresh miss).
+  double before = opt.QueryCost(q, none);
+  EXPECT_EQ(opt.num_cache_misses(), 3);
+  EXPECT_EQ(before, opt.QueryCost(q, none));
+  EXPECT_EQ(opt.num_collisions(), 0);
 }
 
 TEST_F(EngineTest, TrueCostDivergesButCorrelates) {

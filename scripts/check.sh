@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CI gate for the TRAP tree. Runs, in order:
+#   1. Release build with TRAP_WERROR=ON (-Wall -Wextra -Wshadow -Werror)
+#      and the full test suite -- which includes the lint_src entry, so
+#      trap_lint runs over src/ tests/ bench/ examples/ tools/ here.
+#   2. The same suite under TSan (TRAP_SANITIZE=thread) at TRAP_THREADS=4,
+#      vetting the parallel what-if paths.
+#   3. The same suite under ASan+UBSan (TRAP_SANITIZE=address,undefined)
+#      with sanitizer recovery disabled, so any UB aborts the run.
+#   4. A clang-format check on tools/ only (skipped with a notice when
+#      clang-format is not installed; nothing outside tools/ is formatted).
+#
+# Usage: scripts/check.sh [jobs]    (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_suite() {
+  local dir="$1"
+  shift
+  echo "==> configure ${dir}: $*"
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release "$@"
+  echo "==> build ${dir}"
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==> ctest ${dir}"
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+run_suite build-check -DTRAP_WERROR=ON
+
+TRAP_THREADS=4 run_suite build-check-tsan -DTRAP_WERROR=ON \
+  -DTRAP_SANITIZE=thread
+
+run_suite build-check-asan-ubsan -DTRAP_WERROR=ON \
+  -DTRAP_SANITIZE=address,undefined
+
+if command -v clang-format > /dev/null 2>&1; then
+  echo "==> clang-format check (tools/ only)"
+  find tools -name '*.cc' -o -name '*.h' | xargs clang-format --dry-run -Werror
+else
+  echo "==> clang-format not installed; skipping format check"
+fi
+
+echo "All checks passed."

@@ -52,8 +52,8 @@ int SampleMasked(const nn::Matrix& logits, const std::vector<bool>& valid,
 }  // namespace
 
 struct SwirlAdvisor::Impl {
-  Impl(const engine::WhatIfOptimizer& optimizer, SwirlOptions options)
-      : optimizer(&optimizer), options(options), rng(options.seed) {}
+  Impl(const engine::WhatIfOptimizer& what_if, SwirlOptions opts)
+      : optimizer(&what_if), options(opts), rng(opts.seed) {}
 
   const engine::WhatIfOptimizer* optimizer;
   SwirlOptions options;

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <string>
@@ -18,9 +19,19 @@ thread_local bool t_in_parallel_loop = false;
 int ThreadsFromEnvironment() {
   int n = 0;
   if (const char* env = std::getenv("TRAP_THREADS"); env != nullptr) {
-    n = std::atoi(env);
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    // A malformed or out-of-range TRAP_THREADS aborts loudly: silently
+    // falling back to hardware_concurrency() would make e.g. a TSan run
+    // pinned to 4 threads quietly use 64.
+    TRAP_CHECK_MSG(end != env && *end == '\0' && errno == 0,
+                   "TRAP_THREADS must be a decimal integer");
+    TRAP_CHECK_MSG(parsed >= 0 && parsed <= 256,
+                   "TRAP_THREADS must be in [0, 256] (0 = one per core)");
+    n = static_cast<int>(parsed);
   }
-  if (n <= 0) {
+  if (n == 0) {
     n = static_cast<int>(std::thread::hardware_concurrency());
   }
   if (n < 1) n = 1;

@@ -41,12 +41,11 @@ PrefixMatch MatchIndexPrefix(const Index& index,
       }
     }
     if (matched_eq) continue;
-    bool matched_range = false;
+    // No break inside: both bounds of an interval may match this column.
     for (const sql::Predicate& p : preds) {
       if (p.column == col && IsRangeOp(p.op)) {
         m.selectivity *= PredicateSelectivity(p, schema);
         ++m.matched_predicates;
-        matched_range = true;  // both bounds of an interval may match
       }
     }
     // A range predicate consumes the final usable column.

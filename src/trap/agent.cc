@@ -17,8 +17,8 @@ nn::Matrix MeanPoolWeights(int n) {
 }  // namespace
 
 struct TrapAgent::Impl {
-  Impl(const sql::Vocabulary& vocab, AgentOptions options)
-      : vocab(&vocab), options(options), rng(options.seed) {
+  Impl(const sql::Vocabulary& vocabulary, AgentOptions opts)
+      : vocab(&vocabulary), options(opts), rng(opts.seed) {
     TRAP_CHECK(options.hidden_dim % 2 == 0);
     if (options.encoder == EncoderKind::kTransformer) {
       TRAP_CHECK(options.transformer.dim == options.embed_dim);

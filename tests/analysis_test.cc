@@ -166,8 +166,8 @@ INSTANTIATE_TEST_SUITE_P(AllDetectors, OutlierTest,
                          ::testing::Values(OutlierDetector::kIsolationForest,
                                            OutlierDetector::kLof,
                                            OutlierDetector::kOneClass),
-                         [](const auto& info) {
-                           return OutlierDetectorName(info.param);
+                         [](const auto& suite_info) {
+                           return OutlierDetectorName(suite_info.param);
                          });
 
 TEST(TsneTest, SeparatesWellSeparatedClusters) {

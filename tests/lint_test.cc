@@ -1,0 +1,306 @@
+// Tests for the trap_lint analyzer (tools/lint). Each rule gets at least
+// one known-violation fixture and one clean fixture; suppression and the
+// mandatory-reason policy are exercised end to end through Lint().
+//
+// Fixture snippets are lexed under invented repo paths, since several rules
+// scope by location (no-wall-clock fires only under src/, etc.).
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lexer.h"
+#include "lint/rules.h"
+
+namespace trap::lint {
+namespace {
+
+std::vector<Finding> LintSnippet(const std::string& path,
+                                 const std::string& code) {
+  return Lint(Lex(path, code));
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// --- Lexer ---------------------------------------------------------------
+
+TEST(LexerTest, StripsCommentsAndTracksLines) {
+  SourceFile f = Lex("src/a.cc",
+                     "int a; // trailing\n"
+                     "/* block\n   spanning */ int b;\n");
+  ASSERT_EQ(f.tokens.size(), 6u);
+  EXPECT_EQ(f.tokens[0].text, "int");
+  EXPECT_EQ(f.tokens[0].line, 1);
+  EXPECT_EQ(f.tokens[3].text, "int");
+  EXPECT_EQ(f.tokens[3].line, 3);  // block comment advanced the line count
+}
+
+TEST(LexerTest, StringAndCharLiteralsAreOpaque) {
+  // Banned identifiers inside literals must not produce tokens the rules
+  // can see.
+  SourceFile f = Lex("src/a.cc",
+                     "const char* s = \"atoi(std::mt19937)\";\n"
+                     "char c = 'r';\n"
+                     "const char* r = R\"(rand() sprintf)\";\n");
+  for (const Token& t : f.tokens) {
+    EXPECT_NE(t.kind == TokKind::kIdentifier ? t.text : "", "atoi");
+    EXPECT_NE(t.kind == TokKind::kIdentifier ? t.text : "", "mt19937");
+    EXPECT_NE(t.kind == TokKind::kIdentifier ? t.text : "", "rand");
+  }
+  EXPECT_TRUE(HasRule(LintSnippet("src/a.cc", "int x = atoi(s);\n"),
+                      "banned-functions"))
+      << "sanity: the identifier outside a literal does fire";
+}
+
+TEST(LexerTest, ParsesNolintMarkers) {
+  SourceFile f = Lex("src/a.cc",
+                     "foo();  // NOLINT(rule-a, rule-b): both are fine here\n"
+                     "bar();  // NOLINT\n");
+  ASSERT_EQ(f.suppressions.size(), 3u);
+  EXPECT_EQ(f.suppressions[0].rule, "rule-a");
+  EXPECT_TRUE(f.suppressions[0].has_reason);
+  EXPECT_EQ(f.suppressions[1].rule, "rule-b");
+  EXPECT_EQ(f.suppressions[2].rule, "*");
+  EXPECT_FALSE(f.suppressions[2].has_reason);
+  EXPECT_TRUE(IsSuppressed(f, "rule-a", 1));
+  EXPECT_FALSE(IsSuppressed(f, "rule-c", 1));    // not in the marker's list
+  EXPECT_TRUE(IsSuppressed(f, "anything", 2));   // wildcard
+  EXPECT_FALSE(IsSuppressed(f, "rule-a", 3));    // no marker on that line
+}
+
+TEST(LexerTest, ProseMentionsOfNolintAreNotMarkers) {
+  SourceFile f = Lex("src/a.cc",
+                     "// The word NOLINT(foo) in prose is not a marker.\n");
+  EXPECT_TRUE(f.suppressions.empty());
+}
+
+// --- no-unseeded-randomness ----------------------------------------------
+
+TEST(RuleTest, UnseededRandomnessViolation) {
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/x.cc", "std::mt19937 gen(std::random_device{}());\n"),
+      "no-unseeded-randomness"));
+  EXPECT_TRUE(HasRule(LintSnippet("tests/x.cc", "int r = rand();\n"),
+                      "no-unseeded-randomness"));
+}
+
+TEST(RuleTest, UnseededRandomnessClean) {
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/x.cc", "common::Rng rng(42); rng.Uniform();\n"),
+      "no-unseeded-randomness"));
+  // An unrelated identifier merely named rand is not a generator call.
+  EXPECT_FALSE(HasRule(LintSnippet("src/x.cc", "double rand = 0.5;\n"),
+                       "no-unseeded-randomness"));
+  // The sanctioned wrapper itself may name the engine type.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/common/rng.h",
+                  "#ifndef TRAP_COMMON_RNG_H_\n#define TRAP_COMMON_RNG_H_\n"
+                  "std::mt19937_64 engine_;\n#endif\n"),
+      "no-unseeded-randomness"));
+}
+
+// --- no-raw-thread -------------------------------------------------------
+
+TEST(RuleTest, RawThreadViolation) {
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/x.cc", "std::thread t([] {}); t.join();\n"),
+      "no-raw-thread"));
+  EXPECT_TRUE(HasRule(LintSnippet("tests/x.cc", "std::jthread t(fn);\n"),
+                      "no-raw-thread"));
+}
+
+TEST(RuleTest, RawThreadClean) {
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/x.cc", "common::ParallelFor(n, [&](size_t i) {});\n"),
+      "no-raw-thread"));
+  // Consulting the type without constructing a thread is allowed.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/x.cc",
+                  "int n = std::thread::hardware_concurrency();\n"),
+      "no-raw-thread"));
+  // The pool implementation owns its raw threads.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/common/thread_pool.cc", "std::jthread w(loop);\n"),
+      "no-raw-thread"));
+}
+
+// --- no-manual-lock ------------------------------------------------------
+
+TEST(RuleTest, ManualLockViolation) {
+  std::vector<Finding> f =
+      LintSnippet("src/x.cc", "mu_.lock();\nwork();\nmu_.unlock();\n");
+  EXPECT_EQ(std::count_if(f.begin(), f.end(),
+                          [](const Finding& x) {
+                            return x.rule == "no-manual-lock";
+                          }),
+            2);
+  EXPECT_TRUE(HasRule(LintSnippet("src/x.cc", "if (mu_->try_lock()) {}\n"),
+                      "no-manual-lock"));
+}
+
+TEST(RuleTest, ManualLockClean) {
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/x.cc",
+                  "std::lock_guard<std::mutex> lock(mu_);\n"
+                  "std::unique_lock<std::mutex> held(mu_);\n"
+                  "cv_.wait(held, [&] { return done; });\n"),
+      "no-manual-lock"));
+}
+
+// --- no-wall-clock -------------------------------------------------------
+
+TEST(RuleTest, WallClockViolation) {
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/x.cc",
+                  "auto now = std::chrono::system_clock::now();\n"),
+      "no-wall-clock"));
+  EXPECT_TRUE(HasRule(LintSnippet("src/x.cc", "long t = time(nullptr);\n"),
+                      "no-wall-clock"));
+  EXPECT_TRUE(HasRule(LintSnippet("src/x.cc", "long t = std::time(0);\n"),
+                      "no-wall-clock"));
+}
+
+TEST(RuleTest, WallClockClean) {
+  // steady_clock is monotonic, not wall time.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/x.cc",
+                  "auto t0 = std::chrono::steady_clock::now();\n"),
+      "no-wall-clock"));
+  // bench/ may time whatever it likes.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("bench/x.cc",
+                  "auto now = std::chrono::system_clock::now();\n"),
+      "no-wall-clock"));
+  // A member function named time is not the C library call.
+  EXPECT_FALSE(HasRule(LintSnippet("src/x.cc", "double s = report.time();\n"),
+                       "no-wall-clock"));
+}
+
+// --- banned-functions ----------------------------------------------------
+
+TEST(RuleTest, BannedFunctionsViolation) {
+  EXPECT_TRUE(HasRule(LintSnippet("src/x.cc", "int n = std::atoi(env);\n"),
+                      "banned-functions"));
+  EXPECT_TRUE(HasRule(LintSnippet("bench/x.cc", "sprintf(buf, \"%d\", n);\n"),
+                      "banned-functions"));
+  EXPECT_TRUE(HasRule(LintSnippet("tests/x.cc", "strcpy(dst, src);\n"),
+                      "banned-functions"));
+}
+
+TEST(RuleTest, BannedFunctionsClean) {
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/x.cc",
+                  "long n = std::strtol(env, &end, 10);\n"
+                  "std::snprintf(buf, sizeof(buf), \"%ld\", n);\n"),
+      "banned-functions"));
+  // A member function that happens to share a banned name is fine.
+  EXPECT_FALSE(HasRule(LintSnippet("src/x.cc", "parser.atoi(s);\n"),
+                       "banned-functions"));
+}
+
+// --- header-hygiene ------------------------------------------------------
+
+TEST(RuleTest, HeaderHygieneAcceptsCanonicalGuardAndPragmaOnce) {
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/common/rng.h",
+                  "#ifndef TRAP_COMMON_RNG_H_\n"
+                  "#define TRAP_COMMON_RNG_H_\n"
+                  "int x;\n"
+                  "#endif  // TRAP_COMMON_RNG_H_\n"),
+      "header-hygiene"));
+  EXPECT_FALSE(HasRule(LintSnippet("src/common/rng.h",
+                                   "#pragma once\nint x;\n"),
+                       "header-hygiene"));
+}
+
+TEST(RuleTest, HeaderHygieneMalformedGuards) {
+  // No guard at all.
+  EXPECT_TRUE(HasRule(LintSnippet("src/a/b.h", "int x;\n"),
+                      "header-hygiene"));
+  // Wrong guard name.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/a/b.h",
+                  "#ifndef WRONG_H\n#define WRONG_H\n#endif\n"),
+      "header-hygiene"));
+  // #define does not match the #ifndef.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/a/b.h",
+                  "#ifndef TRAP_A_B_H_\n#define OTHER_H\n#endif\n"),
+      "header-hygiene"));
+  // Guard never closed.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/a/b.h",
+                  "#ifndef TRAP_A_B_H_\n#define TRAP_A_B_H_\n#include <v>\n"),
+      "header-hygiene"));
+  // Rule only applies to headers.
+  EXPECT_FALSE(HasRule(LintSnippet("src/a/b.cc", "int x;\n"),
+                       "header-hygiene"));
+}
+
+TEST(RuleTest, ExpectedGuardNames) {
+  EXPECT_EQ(ExpectedGuard("src/common/rng.h"), "TRAP_COMMON_RNG_H_");
+  EXPECT_EQ(ExpectedGuard("bench/harness.h"), "TRAP_BENCH_HARNESS_H_");
+  EXPECT_EQ(ExpectedGuard("tools/lint/lexer.h"), "TRAP_TOOLS_LINT_LEXER_H_");
+}
+
+// --- float-accumulation --------------------------------------------------
+
+TEST(RuleTest, FloatAccumulationViolation) {
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/engine/cost_model.cc", "float cost = 0.f;\n"),
+      "float-accumulation"));
+}
+
+TEST(RuleTest, FloatAccumulationClean) {
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/engine/cost_model.cc", "double cost = 0.0;\n"),
+      "float-accumulation"));
+  // Outside src/engine/ the rule does not apply.
+  EXPECT_FALSE(HasRule(LintSnippet("src/nn/matrix.cc", "float f = 0.f;\n"),
+                       "float-accumulation"));
+}
+
+// --- suppression policy --------------------------------------------------
+
+TEST(SuppressionTest, NolintWithReasonSilencesTheFinding) {
+  std::vector<Finding> f = LintSnippet(
+      "src/x.cc",
+      "int n = atoi(s);  // NOLINT(banned-functions): input is "
+      "compile-time constant\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(SuppressionTest, NolintWithoutReasonIsItsOwnFinding) {
+  std::vector<Finding> f =
+      LintSnippet("src/x.cc", "int n = atoi(s);  // NOLINT(banned-functions)\n");
+  EXPECT_FALSE(HasRule(f, "banned-functions"));  // still suppressed...
+  EXPECT_TRUE(HasRule(f, "nolint-reason"));      // ...but audited
+}
+
+TEST(SuppressionTest, NolintOnlyCoversItsOwnLineAndRule) {
+  std::vector<Finding> f = LintSnippet(
+      "src/x.cc",
+      "int n = atoi(s);  // NOLINT(no-raw-thread): wrong rule named\n"
+      "int m = atoi(t);\n");
+  EXPECT_EQ(std::count_if(f.begin(), f.end(),
+                          [](const Finding& x) {
+                            return x.rule == "banned-functions";
+                          }),
+            2);
+}
+
+TEST(SuppressionTest, WildcardNolintCoversAllRulesOnTheLine) {
+  std::vector<Finding> f = LintSnippet(
+      "src/x.cc", "int r = rand() + atoi(s);  // NOLINT\n");
+  EXPECT_FALSE(HasRule(f, "no-unseeded-randomness"));
+  EXPECT_FALSE(HasRule(f, "banned-functions"));
+  EXPECT_TRUE(HasRule(f, "nolint-reason"));  // bare NOLINT still needs one
+}
+
+}  // namespace
+}  // namespace trap::lint

@@ -142,7 +142,7 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_pair("scale",
                        std::function<Graph::VarId(Graph&, Graph::VarId)>(
                            [](Graph& g, Graph::VarId v) { return g.Scale(v, -1.7); }))),
-    [](const auto& info) { return info.param.first; });
+    [](const auto& suite_info) { return suite_info.param.first; });
 
 TEST(GradientTest, GatherScattersGradientsSparsely) {
   common::Rng rng(5);

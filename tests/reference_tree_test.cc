@@ -81,7 +81,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(PerturbationConstraint::kValueOnly,
                       PerturbationConstraint::kColumnConsistent,
                       PerturbationConstraint::kSharedTable),
-    [](const auto& info) { return ConstraintName(info.param); });
+    [](const auto& suite_info) { return ConstraintName(suite_info.param); });
 
 class TreeBehaviourTest : public ::testing::Test {
  protected:

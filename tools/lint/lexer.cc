@@ -1,0 +1,309 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace trap::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parses a NOLINT marker out of one comment. `comment` is the comment body
+// (text after "//" or "/*"); the marker must be the first thing in it, so
+// prose that merely mentions the word is not a suppression. Accepted forms:
+//   "NOLINT"                       -> rule "*", no reason
+//   "NOLINT(rule-a, rule-b)"       -> two markers, no reason
+//   "NOLINT(rule-id): free text"   -> marker with a reason
+// Anything after "):" (or after a bare marker followed by ':') counts as
+// the reason when it contains a non-space character.
+void ParseNolint(const std::string& comment, int line,
+                 std::vector<Suppression>* out) {
+  size_t at = comment.find_first_not_of(" \t");
+  if (at == std::string::npos) return;
+  if (comment.compare(at, 6, "NOLINT") != 0) return;
+  size_t pos = at + 6;  // past the marker keyword
+  std::vector<std::string> rules;
+  if (pos < comment.size() && comment[pos] == '(') {
+    size_t close = comment.find(')', pos);
+    std::string inside = close == std::string::npos
+                             ? comment.substr(pos + 1)
+                             : comment.substr(pos + 1, close - pos - 1);
+    pos = close == std::string::npos ? comment.size() : close + 1;
+    std::string cur;
+    for (char c : inside) {
+      if (c == ',') {
+        if (!cur.empty()) rules.push_back(cur);
+        cur.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) rules.push_back(cur);
+  }
+  if (rules.empty()) rules.push_back("*");
+  bool has_reason = false;
+  if (pos < comment.size() && comment[pos] == ':') {
+    for (size_t i = pos + 1; i < comment.size(); ++i) {
+      if (!std::isspace(static_cast<unsigned char>(comment[i]))) {
+        has_reason = true;
+        break;
+      }
+    }
+  }
+  for (const std::string& rule : rules) {
+    out->push_back(Suppression{rule, has_reason, line});
+  }
+}
+
+class Lexer {
+ public:
+  Lexer(const std::string& path, const std::string& src) : src_(src) {
+    out_.path = path;
+  }
+
+  SourceFile Run() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        LexPreprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"') {
+        LexString();
+        continue;
+      }
+      if (c == '\'') {
+        LexChar();
+        continue;
+      }
+      if (c == 'R' && Peek(1) == '"') {
+        LexRawString();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        LexNumber();
+        continue;
+      }
+      LexPunct();
+    }
+    out_.num_lines = line_;
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void LexLineComment() {
+    size_t end = src_.find('\n', pos_);
+    if (end == std::string::npos) end = src_.size();
+    ParseNolint(src_.substr(pos_ + 2, end - pos_ - 2), line_,
+                &out_.suppressions);
+    pos_ = end;
+  }
+
+  void LexBlockComment() {
+    int start_line = line_;
+    size_t end = src_.find("*/", pos_ + 2);
+    size_t stop = end == std::string::npos ? src_.size() : end + 2;
+    std::string body = src_.substr(pos_ + 2, stop - pos_ - 2);
+    ParseNolint(body, start_line, &out_.suppressions);
+    for (size_t i = pos_; i < stop; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    pos_ = stop;
+  }
+
+  // A directive runs to the end of the line, honoring backslash
+  // continuations. The whole text (continuations joined) becomes one token.
+  void LexPreprocessor() {
+    int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\' && (Peek(1) == '\n' ||
+                        (Peek(1) == '\r' && Peek(2) == '\n'))) {
+        pos_ += Peek(1) == '\n' ? 2 : 3;
+        ++line_;
+        text.push_back(' ');
+        continue;
+      }
+      if (c == '\n') break;
+      // Comments may trail a directive; cut there so "#endif  // GUARD"
+      // lexes as "#endif".
+      if (c == '/' && (Peek(1) == '/' || Peek(1) == '*')) break;
+      text.push_back(c);
+      ++pos_;
+    }
+    while (!text.empty() &&
+           std::isspace(static_cast<unsigned char>(text.back()))) {
+      text.pop_back();
+    }
+    Emit(TokKind::kPreprocessor, std::move(text), start_line);
+    at_line_start_ = false;
+  }
+
+  void LexString() {
+    int start_line = line_;
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text.push_back(src_[pos_]);
+        text.push_back(src_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // unterminated; stop at line end
+      text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    Emit(TokKind::kString, std::move(text), start_line);
+  }
+
+  void LexChar() {
+    int start_line = line_;
+    ++pos_;
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text.push_back(src_[pos_]);
+        text.push_back(src_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;
+      text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    Emit(TokKind::kChar, std::move(text), start_line);
+  }
+
+  void LexRawString() {
+    int start_line = line_;
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;  // '('
+    std::string closer = ")" + delim + "\"";
+    size_t end = src_.find(closer, pos_);
+    size_t stop = end == std::string::npos ? src_.size() : end;
+    std::string text = src_.substr(pos_, stop - pos_);
+    for (char c : text) {
+      if (c == '\n') ++line_;
+    }
+    pos_ = end == std::string::npos ? src_.size() : end + closer.size();
+    Emit(TokKind::kString, std::move(text), start_line);
+  }
+
+  void LexIdentifier() {
+    size_t start = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
+    std::string text = src_.substr(start, pos_ - start);
+    // Literal prefixes/suffixes: u8"...", L'x' -- treat the following
+    // quote as part of a literal, not a fresh string.
+    if (pos_ < src_.size() && (src_[pos_] == '"' || src_[pos_] == '\'') &&
+        (text == "u8" || text == "u" || text == "U" || text == "L" ||
+         text == "LR" || text == "uR" || text == "UR" || text == "u8R")) {
+      if (text.back() == 'R' && src_[pos_] == '"') {
+        --pos_;  // rewind so LexRawString sees R"
+        LexRawString();
+      } else if (src_[pos_] == '"') {
+        LexString();
+      } else {
+        LexChar();
+      }
+      return;
+    }
+    Emit(TokKind::kIdentifier, std::move(text), line_);
+  }
+
+  void LexNumber() {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (IsIdentChar(src_[pos_]) || src_[pos_] == '.' ||
+            ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
+             (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+              src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')))) {
+      ++pos_;
+    }
+    Emit(TokKind::kNumber, src_.substr(start, pos_ - start), line_);
+  }
+
+  void LexPunct() {
+    // Multi-char tokens the rules care about; everything else is one char.
+    if (src_[pos_] == ':' && Peek(1) == ':') {
+      Emit(TokKind::kPunct, "::", line_);
+      pos_ += 2;
+      return;
+    }
+    if (src_[pos_] == '-' && Peek(1) == '>') {
+      Emit(TokKind::kPunct, "->", line_);
+      pos_ += 2;
+      return;
+    }
+    Emit(TokKind::kPunct, std::string(1, src_[pos_]), line_);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  SourceFile out_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+SourceFile Lex(const std::string& path, const std::string& content) {
+  return Lexer(path, content).Run();
+}
+
+bool IsSuppressed(const SourceFile& s, const std::string& rule, int line) {
+  for (const Suppression& sup : s.suppressions) {
+    if (sup.line == line && (sup.rule == "*" || sup.rule == rule)) return true;
+  }
+  return false;
+}
+
+}  // namespace trap::lint

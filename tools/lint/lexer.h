@@ -1,0 +1,62 @@
+#ifndef TRAP_TOOLS_LINT_LEXER_H_
+#define TRAP_TOOLS_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace trap::lint {
+
+// A deliberately small C++ lexer for trap_lint. It is modeled on the
+// hand-rolled scanner in src/sql/tokenizer.* but is fully standalone: the
+// linter must be buildable and runnable even when the library it audits does
+// not compile. It understands exactly as much C++ as the rules need --
+// comments, string/char literals (including raw strings), preprocessor
+// directives, identifiers, numbers, and punctuation -- and no more. In
+// particular there is no preprocessing: macros are lexed as the identifiers
+// they appear as.
+enum class TokKind {
+  kIdentifier,    // identifiers and keywords: [A-Za-z_][A-Za-z0-9_]*
+  kNumber,        // numeric literal (integer or floating, prefix-agnostic)
+  kString,        // "..." or R"tag(...)tag", text excludes quotes
+  kChar,          // '...'
+  kPunct,         // operators/punctuation; "::", "->", "." kept distinct
+  kPreprocessor,  // a whole directive line, text starts at '#'
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+// One `NOLINT(rule-id)` or `NOLINT(rule-id): reason` marker parsed from a
+// comment. A marker with an empty rule list is recorded with rule "*"
+// (suppresses every rule on the line) -- the reason requirement still
+// applies.
+struct Suppression {
+  std::string rule;
+  bool has_reason = false;
+  int line = 0;
+};
+
+// The lexed form of one source file, as consumed by the rules.
+struct SourceFile {
+  std::string path;            // repo-relative, '/'-separated
+  std::vector<Token> tokens;   // comments stripped
+  std::vector<Suppression> suppressions;
+  int num_lines = 0;
+};
+
+// Lexes `content` (the full text of the file at repo-relative `path`).
+// The lexer never fails: malformed input (e.g. an unterminated string)
+// degrades to best-effort tokens so the rules still see the rest of the
+// file.
+SourceFile Lex(const std::string& path, const std::string& content);
+
+// True when `s.suppressions` carries a marker for `rule` (or the wildcard)
+// on `line`.
+bool IsSuppressed(const SourceFile& s, const std::string& rule, int line);
+
+}  // namespace trap::lint
+
+#endif  // TRAP_TOOLS_LINT_LEXER_H_

@@ -1,0 +1,321 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace trap::lint {
+
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Token-stream cursor helpers. Out-of-range access yields an empty punct
+// token so lookaround never branches on bounds.
+const Token& At(const SourceFile& f, size_t i) {
+  static const Token kNone{TokKind::kPunct, "", 0};
+  return i < f.tokens.size() ? f.tokens[i] : kNone;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdentifier && t.text == text;
+}
+
+// True when tokens[i] is qualified as std::<tok> (possibly ::std::<tok>).
+bool IsStdQualified(const SourceFile& f, size_t i) {
+  return i >= 2 && At(f, i - 1).text == "::" && IsIdent(At(f, i - 2), "std");
+}
+
+// True when tokens[i] starts a call: the next token is '('. Catches both
+// free calls `foo(` and qualified calls `std::foo(`.
+bool IsCall(const SourceFile& f, size_t i) {
+  return At(f, i + 1).text == "(";
+}
+
+void Add(const SourceFile& f, const std::string& rule, int line,
+         std::string message, std::vector<Finding>* out) {
+  out->push_back(Finding{f.path, line, rule, std::move(message)});
+}
+
+}  // namespace
+
+void CheckUnseededRandomness(const SourceFile& f, std::vector<Finding>* out) {
+  if (f.path == "src/common/rng.h") return;  // the one sanctioned wrapper
+  // Engine/device types: any mention is a violation -- even declaring one
+  // means randomness that does not flow through common::Rng's seed.
+  static const std::set<std::string> kEngines = {
+      "random_device", "mt19937",      "mt19937_64", "default_random_engine",
+      "minstd_rand",   "minstd_rand0", "ranlux24",   "ranlux48",
+      "knuth_b"};
+  // C library generators: flagged when called or std::-qualified, so an
+  // unrelated identifier merely named "rand" does not trip the rule.
+  static const std::set<std::string> kCFuncs = {"rand", "srand", "rand_r",
+                                                "drand48", "random"};
+  for (size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (kEngines.count(t.text) != 0) {
+      Add(f, "no-unseeded-randomness", t.line,
+          "'" + t.text + "' bypasses the seeded common::Rng; take an Rng& "
+          "(or Rng::Fork() a stream) instead",
+          out);
+    } else if (kCFuncs.count(t.text) != 0 &&
+               (IsCall(f, i) || IsStdQualified(f, i)) &&
+               At(f, i - 1).text != "." && At(f, i - 1).text != "->") {
+      Add(f, "no-unseeded-randomness", t.line,
+          "'" + t.text + "()' is unseeded global state; use common::Rng",
+          out);
+    }
+  }
+}
+
+void CheckRawThread(const SourceFile& f, std::vector<Finding>* out) {
+  if (f.path == "src/common/thread_pool.h" ||
+      f.path == "src/common/thread_pool.cc") {
+    return;  // the pool's own implementation owns the raw threads
+  }
+  for (size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (t.text != "thread" && t.text != "jthread") continue;
+    if (!IsStdQualified(f, i)) continue;
+    // std::thread::hardware_concurrency() and the like consult the type
+    // without spawning a thread; only object use is banned.
+    if (At(f, i + 1).text == "::") continue;
+    Add(f, "no-raw-thread", t.line,
+        "'std::" + t.text + "' outside common::ThreadPool; use "
+        "common::ParallelFor or the pool",
+        out);
+  }
+}
+
+void CheckManualLock(const SourceFile& f, std::vector<Finding>* out) {
+  for (size_t i = 1; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (t.text != "lock" && t.text != "unlock" && t.text != "try_lock") {
+      continue;
+    }
+    const std::string& prev = At(f, i - 1).text;
+    if (prev != "." && prev != "->") continue;
+    if (!IsCall(f, i)) continue;
+    Add(f, "no-manual-lock", t.line,
+        "manual '." + t.text + "()'; hold locks via std::lock_guard or "
+        "std::scoped_lock so no path leaks a held mutex",
+        out);
+  }
+}
+
+void CheckWallClock(const SourceFile& f, std::vector<Finding>* out) {
+  // Deterministic library code only: bench/, tests/, examples/, tools/ may
+  // legitimately measure wall time.
+  if (!StartsWith(f.path, "src/")) return;
+  // Any mention of these is nondeterministic input.
+  static const std::set<std::string> kAlways = {
+      "system_clock", "gettimeofday", "localtime", "localtime_r", "gmtime",
+      "gmtime_r",     "strftime",     "ctime",     "timespec_get"};
+  for (size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (kAlways.count(t.text) != 0) {
+      Add(f, "no-wall-clock", t.line,
+          "'" + t.text + "' reads the wall clock; deterministic src/ code "
+          "must not depend on real time",
+          out);
+      continue;
+    }
+    if ((t.text == "time" || t.text == "clock") && IsCall(f, i)) {
+      const std::string& prev = At(f, i - 1).text;
+      // Member calls (obj.time()) and declarations (double time(...)) are
+      // not the C library function; std::time( / bare time( are.
+      if (prev == "." || prev == "->") continue;
+      if (At(f, i - 1).kind == TokKind::kIdentifier &&
+          !IsStdQualified(f, i)) {
+        continue;
+      }
+      Add(f, "no-wall-clock", t.line,
+          "'" + t.text + "()' reads the wall clock; deterministic src/ "
+          "code must not depend on real time",
+          out);
+    }
+  }
+}
+
+void CheckBannedFunctions(const SourceFile& f, std::vector<Finding>* out) {
+  struct Banned {
+    const char* name;
+    const char* instead;
+  };
+  static const Banned kBanned[] = {
+      {"atoi", "strtol with explicit range/garbage checks"},
+      {"atol", "strtol with explicit range/garbage checks"},
+      {"atoll", "strtoll with explicit range/garbage checks"},
+      {"atof", "strtod with explicit garbage checks"},
+      {"strcpy", "std::string or std::copy with a known bound"},
+      {"strcat", "std::string"},
+      {"sprintf", "snprintf with an explicit buffer size"},
+      {"vsprintf", "vsnprintf with an explicit buffer size"},
+      {"gets", "fgets with an explicit buffer size"},
+  };
+  for (size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (!IsCall(f, i)) continue;
+    const std::string& prev = At(f, i - 1).text;
+    if (prev == "." || prev == "->") continue;  // member fn, not libc
+    for (const Banned& b : kBanned) {
+      if (t.text == b.name) {
+        Add(f, "banned-functions", t.line,
+            "'" + t.text + "' has silent failure modes; use " + b.instead,
+            out);
+        break;
+      }
+    }
+  }
+}
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string p = path;
+  if (StartsWith(p, "src/")) p = p.substr(4);
+  std::string guard = "TRAP_";
+  for (char c : p) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard.push_back(static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c))));
+    } else {
+      guard.push_back('_');
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+namespace {
+
+// Splits a preprocessor token like "#  ifndef FOO" into {"ifndef", "FOO"}.
+std::vector<std::string> DirectiveWords(const Token& t) {
+  std::vector<std::string> words;
+  std::string cur;
+  for (size_t i = 1; i < t.text.size(); ++i) {  // skip '#'
+    char c = t.text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) words.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) words.push_back(cur);
+  return words;
+}
+
+}  // namespace
+
+void CheckHeaderHygiene(const SourceFile& f, std::vector<Finding>* out) {
+  if (!EndsWith(f.path, ".h") && !EndsWith(f.path, ".hpp")) return;
+  std::vector<const Token*> directives;
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokKind::kPreprocessor) directives.push_back(&t);
+  }
+  const std::string expected = ExpectedGuard(f.path);
+  if (directives.empty()) {
+    Add(f, "header-hygiene", 1,
+        "header has no include guard; add '#ifndef " + expected +
+            "' / '#define " + expected + "' / trailing '#endif'",
+        out);
+    return;
+  }
+  std::vector<std::string> first = DirectiveWords(*directives[0]);
+  if (first.size() >= 2 && first[0] == "pragma" && first[1] == "once") {
+    return;
+  }
+  if (first.empty() || first[0] != "ifndef" || first.size() < 2) {
+    Add(f, "header-hygiene", directives[0]->line,
+        "header must open with '#ifndef " + expected + "' or '#pragma once'",
+        out);
+    return;
+  }
+  const std::string& guard = first[1];
+  if (guard != expected) {
+    Add(f, "header-hygiene", directives[0]->line,
+        "include guard '" + guard + "' does not match the canonical name '" +
+            expected + "'",
+        out);
+  }
+  if (directives.size() < 2) {
+    Add(f, "header-hygiene", directives[0]->line,
+        "'#ifndef " + guard + "' is not followed by '#define " + guard + "'",
+        out);
+    return;
+  }
+  std::vector<std::string> second = DirectiveWords(*directives[1]);
+  if (second.size() < 2 || second[0] != "define" || second[1] != guard) {
+    Add(f, "header-hygiene", directives[1]->line,
+        "'#ifndef " + guard + "' must be followed immediately by '#define " +
+            guard + "'",
+        out);
+    return;
+  }
+  std::vector<std::string> last = DirectiveWords(*directives.back());
+  if (last.empty() || last[0] != "endif") {
+    Add(f, "header-hygiene", directives.back()->line,
+        "include guard for '" + guard + "' is never closed; the header "
+        "must end with '#endif'",
+        out);
+  }
+}
+
+void CheckFloatAccumulation(const SourceFile& f, std::vector<Finding>* out) {
+  if (!StartsWith(f.path, "src/engine/")) return;
+  for (size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (!IsIdent(t, "float")) continue;
+    // float_xyz identifiers are already excluded by exact-match; this
+    // catches the type keyword itself in any position.
+    Add(f, "float-accumulation", t.line,
+        "'float' in engine cost arithmetic; costs are double end to end "
+        "(see DESIGN.md)",
+        out);
+  }
+}
+
+std::vector<Finding> Lint(const SourceFile& f) {
+  std::vector<Finding> raw;
+  CheckUnseededRandomness(f, &raw);
+  CheckRawThread(f, &raw);
+  CheckManualLock(f, &raw);
+  CheckWallClock(f, &raw);
+  CheckBannedFunctions(f, &raw);
+  CheckHeaderHygiene(f, &raw);
+  CheckFloatAccumulation(f, &raw);
+
+  std::vector<Finding> kept;
+  for (Finding& fi : raw) {
+    if (!IsSuppressed(f, fi.rule, fi.line)) kept.push_back(std::move(fi));
+  }
+  // A suppression without a reason is itself a finding: NOLINT is an audit
+  // trail, not an off switch. Deliberately not suppressible.
+  for (const Suppression& sup : f.suppressions) {
+    if (!sup.has_reason) {
+      kept.push_back(Finding{
+          f.path, sup.line, "nolint-reason",
+          "NOLINT(" + sup.rule + ") lacks the mandatory reason; write "
+          "'// NOLINT(rule-id): why this is safe'"});
+    }
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return kept;
+}
+
+}  // namespace trap::lint

@@ -1,0 +1,65 @@
+#ifndef TRAP_TOOLS_LINT_RULES_H_
+#define TRAP_TOOLS_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace trap::lint {
+
+// One rule violation. Rendered as "path:line: rule-id: message".
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// The rules, in the order they run. Each appends its findings to `out`
+// without consulting NOLINT markers; suppression is applied centrally by
+// Lint() so a marker both silences the finding and is itself auditable.
+//
+//   no-unseeded-randomness  rand()/std::random_device/std::mt19937 & friends
+//                           outside src/common/rng.h -- all randomness must
+//                           flow through a seeded common::Rng.
+//   no-raw-thread           std::thread / std::jthread use outside
+//                           src/common/thread_pool.* -- common::ThreadPool
+//                           is the only threading primitive.
+//   no-manual-lock          mutex.lock()/.unlock() member calls -- RAII
+//                           guards (std::lock_guard / std::scoped_lock)
+//                           only, so no path can leak a held lock.
+//   no-wall-clock           time()/clock()/std::chrono::system_clock in
+//                           src/ -- deterministic library code must not
+//                           read wall clocks (bench/, tests/, examples/
+//                           may time things).
+//   banned-functions        atoi/atol/atof/strcpy/strcat/sprintf/gets --
+//                           no silent-failure parsing, no unbounded
+//                           buffer writes.
+//   header-hygiene          every .h ends up with a well-formed include
+//                           guard named TRAP_<PATH>_H_ (src/ prefix
+//                           dropped) or #pragma once.
+//   float-accumulation      `float` inside src/engine/ -- cost arithmetic
+//                           is double end to end.
+void CheckUnseededRandomness(const SourceFile& f, std::vector<Finding>* out);
+void CheckRawThread(const SourceFile& f, std::vector<Finding>* out);
+void CheckManualLock(const SourceFile& f, std::vector<Finding>* out);
+void CheckWallClock(const SourceFile& f, std::vector<Finding>* out);
+void CheckBannedFunctions(const SourceFile& f, std::vector<Finding>* out);
+void CheckHeaderHygiene(const SourceFile& f, std::vector<Finding>* out);
+void CheckFloatAccumulation(const SourceFile& f, std::vector<Finding>* out);
+
+// The include guard name header-hygiene expects for `path`, e.g.
+// "src/common/rng.h" -> "TRAP_COMMON_RNG_H_",
+// "tools/lint/lexer.h" -> "TRAP_TOOLS_LINT_LEXER_H_".
+std::string ExpectedGuard(const std::string& path);
+
+// Runs every rule on `f`, drops findings whose line carries a matching
+// "NOLINT(rule-id)" marker, and appends a "nolint-reason" finding for each
+// marker that lacks the mandatory ": reason" tail. nolint-reason itself is
+// not suppressible.
+std::vector<Finding> Lint(const SourceFile& f);
+
+}  // namespace trap::lint
+
+#endif  // TRAP_TOOLS_LINT_RULES_H_

@@ -1,0 +1,129 @@
+// trap_lint: the project's self-hosted static analyzer. Lexes every C++
+// source under the given paths and enforces TRAP's determinism and safety
+// invariants as named, NOLINT-suppressible rules (see rules.h for the
+// catalog). Exits nonzero on any finding so ctest's lint_src entry gates
+// the tree forever.
+//
+// Usage:
+//   trap_lint [--root <repo-root>] <path>...
+//
+// Paths may be files or directories (recursed); they are interpreted
+// relative to --root, which defaults to the current directory. Rules that
+// scope by location (e.g. no-wall-clock only fires under src/) see the
+// root-relative path, so runs from any working directory agree.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/rules.h"
+
+namespace trap::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp" || ext == ".h" || ext == ".hpp";
+}
+
+// Root-relative, '/'-separated form of `p` used both for reporting and for
+// the rules' path predicates.
+std::string RelativePath(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty() || *rel.begin() == "..") rel = p;
+  return rel.generic_string();
+}
+
+// Collects lintable files under `p` (a file or directory), sorted so output
+// order is stable across platforms and filesystems.
+bool CollectFiles(const fs::path& p, std::vector<fs::path>* out) {
+  std::error_code ec;
+  fs::file_status st = fs::status(p, ec);
+  if (ec || !fs::exists(st)) {
+    std::fprintf(stderr, "trap_lint: no such path: %s\n", p.string().c_str());
+    return false;
+  }
+  if (fs::is_directory(st)) {
+    for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file() && HasLintableExtension(it->path())) {
+        out->push_back(it->path());
+      }
+    }
+  } else if (HasLintableExtension(p)) {
+    out->push_back(p);
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "trap_lint: --root needs a directory\n");
+        return 2;
+      }
+      root = fs::path(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: trap_lint [--root <repo-root>] <path>...\n");
+      return 2;
+    } else {
+      fs::path p(arg);
+      inputs.push_back(p.is_absolute() ? p : root / p);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "usage: trap_lint [--root <repo-root>] <path>...\n");
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& p : inputs) {
+    if (!CollectFiles(p, &files)) return 2;
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  size_t num_findings = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "trap_lint: cannot read %s\n",
+                   file.string().c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SourceFile sf = Lex(RelativePath(file, root), buf.str());
+    for (const Finding& f : Lint(sf)) {
+      std::printf("%s:%d: %s: %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+      ++num_findings;
+    }
+  }
+  if (num_findings != 0) {
+    std::printf("trap_lint: %zu finding%s in %zu file%s\n", num_findings,
+                num_findings == 1 ? "" : "s", files.size(),
+                files.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace trap::lint
+
+int main(int argc, char** argv) { return trap::lint::Run(argc, argv); }

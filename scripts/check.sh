@@ -7,7 +7,13 @@
 #      vetting the parallel what-if paths.
 #   3. The same suite under ASan+UBSan (TRAP_SANITIZE=address,undefined)
 #      with sanitizer recovery disabled, so any UB aborts the run.
-#   4. A clang-format check on tools/ only (skipped with a notice when
+#   4. A smoke-fuzz stage per build flavor: trap_fuzz sweeps all six oracle
+#      families at a fixed seed (smaller case counts under sanitizers so the
+#      stage stays near 30 seconds end to end), then replays the committed
+#      regression corpus.
+#   5. An exemption audit: the property-testing trees (src/testing,
+#      tools/fuzz) must lint clean without a single NOLINT escape hatch.
+#   6. A clang-format check on tools/ only (skipped with a notice when
 #      clang-format is not installed; nothing outside tools/ is formatted).
 #
 # Usage: scripts/check.sh [jobs]    (default: nproc)
@@ -18,22 +24,32 @@ JOBS="${1:-$(nproc)}"
 
 run_suite() {
   local dir="$1"
-  shift
+  local fuzz_cases="$2"
+  shift 2
   echo "==> configure ${dir}: $*"
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release "$@"
   echo "==> build ${dir}"
   cmake --build "${dir}" -j "${JOBS}"
   echo "==> ctest ${dir}"
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  echo "==> smoke fuzz ${dir} (${fuzz_cases} cases, seed 1)"
+  "${dir}/tools/fuzz/trap_fuzz" --cases "${fuzz_cases}" --seed 1
+  "${dir}/tools/fuzz/trap_fuzz" --replay tests/corpus
 }
 
-run_suite build-check -DTRAP_WERROR=ON
+run_suite build-check 2000 -DTRAP_WERROR=ON
 
-TRAP_THREADS=4 run_suite build-check-tsan -DTRAP_WERROR=ON \
+TRAP_THREADS=4 run_suite build-check-tsan 600 -DTRAP_WERROR=ON \
   -DTRAP_SANITIZE=thread
 
-run_suite build-check-asan-ubsan -DTRAP_WERROR=ON \
+run_suite build-check-asan-ubsan 600 -DTRAP_WERROR=ON \
   -DTRAP_SANITIZE=address,undefined
+
+echo "==> NOLINT exemption audit (src/testing, tools/fuzz)"
+if grep -rn "NOLINT" src/testing tools/fuzz; then
+  echo "error: property-testing trees must be lint-clean without exemptions"
+  exit 1
+fi
 
 if command -v clang-format > /dev/null 2>&1; then
   echo "==> clang-format check (tools/ only)"

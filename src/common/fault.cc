@@ -1,0 +1,51 @@
+#include "common/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+
+namespace trap::common {
+
+namespace {
+// -1 = not yet initialized from the environment.
+std::atomic<int> g_fault{-1};
+}  // namespace
+
+const char* FaultName(InjectedFault f) {
+  switch (f) {
+    case InjectedFault::kNone: return "none";
+    case InjectedFault::kInvertIndexBenefit: return "invert_index_benefit";
+  }
+  return "?";
+}
+
+std::optional<InjectedFault> FaultFromName(std::string_view name) {
+  if (name == "none") return InjectedFault::kNone;
+  if (name == "invert_index_benefit") return InjectedFault::kInvertIndexBenefit;
+  return std::nullopt;
+}
+
+InjectedFault ActiveFault() {
+  int v = g_fault.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<InjectedFault>(v);
+  InjectedFault from_env = InjectedFault::kNone;
+  if (const char* env = std::getenv("TRAP_TESTING_FAULT");
+      env != nullptr && *env != '\0') {
+    std::optional<InjectedFault> parsed = FaultFromName(env);
+    TRAP_CHECK_MSG(parsed.has_value(), env);
+    from_env = *parsed;
+  }
+  // A concurrent SetInjectedFault wins over the environment default.
+  int expected = -1;
+  g_fault.compare_exchange_strong(expected, static_cast<int>(from_env),
+                                  std::memory_order_relaxed);
+  return static_cast<InjectedFault>(g_fault.load(std::memory_order_relaxed));
+}
+
+void SetInjectedFault(InjectedFault f) {
+  g_fault.store(static_cast<int>(f), std::memory_order_relaxed);
+}
+
+}  // namespace trap::common

@@ -1,0 +1,38 @@
+#ifndef TRAP_COMMON_FAULT_H_
+#define TRAP_COMMON_FAULT_H_
+
+#include <optional>
+#include <string_view>
+
+namespace trap::common {
+
+// Testing-only fault injection. Production code paths consult ActiveFault()
+// at well-defined points and deliberately mis-compute when a fault is armed,
+// so the property-testing oracles (src/testing) can prove they would catch a
+// real regression of that shape. Faults are armed either programmatically
+// (SetInjectedFault) or via the TRAP_TESTING_FAULT environment variable
+// (value = fault name), which trap_fuzz --fault sets for its own process.
+//
+// With no fault armed the hook costs one relaxed atomic load at each
+// consultation site.
+enum class InjectedFault {
+  kNone,
+  // CostModel::QueryCost reports base + (base - cost) instead of cost for
+  // non-empty configurations: every index's benefit flips into a penalty of
+  // the same magnitude. Caught by the add-index-monotone oracle.
+  kInvertIndexBenefit,
+};
+
+const char* FaultName(InjectedFault f);
+std::optional<InjectedFault> FaultFromName(std::string_view name);
+
+// The currently armed fault. First call reads TRAP_TESTING_FAULT (aborting
+// on an unknown name); later calls are lock-free loads.
+InjectedFault ActiveFault();
+
+// Arms `f` for the whole process, overriding the environment.
+void SetInjectedFault(InjectedFault f);
+
+}  // namespace trap::common
+
+#endif  // TRAP_COMMON_FAULT_H_

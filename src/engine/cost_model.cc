@@ -6,6 +6,7 @@
 #include <optional>
 #include <set>
 
+#include "common/fault.h"
 #include "engine/selectivity.h"
 
 namespace trap::engine {
@@ -103,6 +104,11 @@ double CostModel::BTreeDescendCost(int64_t rows) const {
   return levels * params_.cpu_operator_cost * 50.0;
 }
 
+double CostModel::SortCost(double card) const {
+  double n = std::max(2.0, card);
+  return n * std::log2(n) * params_.cpu_operator_cost * 2.0;
+}
+
 CostModel::AccessPath CostModel::BestAccessPath(const sql::Query& q, int t,
                                                 const IndexConfig& config) const {
   const catalog::Table& tab = schema_->table(t);
@@ -126,6 +132,14 @@ CostModel::AccessPath CostModel::BestAccessPath(const sql::Query& q, int t,
   // ORDER BY columns, usable for sort avoidance only in single-table plans.
   std::vector<catalog::ColumnId> order_cols;
   if (q.tables.size() == 1 && q.group_by.empty()) order_cols = q.order_by;
+
+  // Paths that leave the ORDER BY unsatisfied are charged the sort they
+  // force, so the selection criterion equals each path's contribution to the
+  // final plan cost. Without this, a slightly-cheaper non-ordering index
+  // could displace an order-providing one and make the total cost *rise*
+  // when an index is added (non-monotone; caught by the fuzz oracles).
+  const double sort_penalty = order_cols.empty() ? 0.0 : SortCost(out_card);
+  double best_effective = best.node->cost + sort_penalty;
 
   const bool sargable_conj = q.conjunction == sql::Conjunction::kAnd;
   std::vector<catalog::ColumnId> needed = ReferencedOnTable(q, t);
@@ -158,7 +172,9 @@ CostModel::AccessPath CostModel::BestAccessPath(const sql::Query& q, int t,
       double pages_fetched = std::min(rows_fetched, pages);
       cost += pages_fetched * params_.random_page_cost;
     }
-    if (cost < best.node->cost) {
+    double effective = cost + (provides_order ? 0.0 : sort_penalty);
+    if (effective < best_effective) {
+      best_effective = effective;
       best.node = std::make_unique<PlanNode>();
       best.node->type = type;
       best.node->table = t;
@@ -233,14 +249,16 @@ std::unique_ptr<PlanNode> CostModel::Plan(const sql::Query& q,
     joined.insert(start);
 
     while (joined.size() < q.tables.size()) {
-      // Candidate join edges with exactly one endpoint joined.
+      // Pick the next edge by the smallest estimated join output among the
+      // candidate edges (exactly one endpoint joined). Cardinality estimates
+      // depend only on per-table filters and NDVs — never on `config` — so
+      // the join order is identical under every index configuration. That
+      // makes the total plan cost monotone in the index set: indexes only
+      // ever lower the cost of an already-chosen join sequence, they cannot
+      // steer the greedy search onto a globally worse order.
       int best_edge = -1;
-      double best_cost = 0.0;
       double best_card = 0.0;
-      bool best_is_inlj = false;
-      std::unique_ptr<PlanNode> best_inner;
-      const Index* best_probe_index = nullptr;
-
+      catalog::ColumnId best_inner_key;
       for (size_t e = 0; e < remaining.size(); ++e) {
         const sql::JoinPredicate& j = remaining[e];
         bool left_in = joined.count(j.left.table) > 0;
@@ -257,45 +275,39 @@ std::unique_ptr<PlanNode> CostModel::Plan(const sql::Query& q,
         double out_card = std::max(
             1.0, current->cardinality * filtered_card[inner_table] /
                      std::max(dv_outer, dv_inner));
-
-        // Hash join with the inner's best standalone access path.
-        AccessPath inner_path = BestAccessPath(q, inner_table, config);
-        double hash_cost = current->cost + inner_path.node->cost +
-                           inner_path.node->cardinality *
-                               params_.cpu_tuple_cost * 2.0 +
-                           current->cardinality * params_.cpu_tuple_cost +
-                           out_card * params_.cpu_tuple_cost * 0.5;
-
-        double step_cost = hash_cost;
-        bool is_inlj = false;
-        const Index* probe_index = nullptr;
-        std::optional<ProbePlan> probe =
-            BestProbe(q, inner_table, inner_key, config);
-        if (probe.has_value()) {
-          double inlj_cost =
-              current->cost + current->cardinality * probe->cost_per_row +
-              out_card * params_.cpu_tuple_cost;
-          if (inlj_cost < hash_cost) {
-            step_cost = inlj_cost;
-            is_inlj = true;
-            probe_index = probe->index;
-          }
-        }
-
-        if (best_edge < 0 || step_cost < best_cost) {
+        if (best_edge < 0 || out_card < best_card) {
           best_edge = static_cast<int>(e);
-          best_cost = step_cost;
           best_card = out_card;
-          best_is_inlj = is_inlj;
-          best_inner = std::move(inner_path.node);
-          best_probe_index = probe_index;
+          best_inner_key = inner_key;
         }
       }
       TRAP_CHECK_MSG(best_edge >= 0, "join graph disconnected");
 
-      const sql::JoinPredicate& j = remaining[static_cast<size_t>(best_edge)];
-      int inner_table = joined.count(j.left.table) > 0 ? j.right.table
-                                                       : j.left.table;
+      // Cost the chosen step: hash join against the inner's best standalone
+      // access path, vs an index nested-loop probe when one is available.
+      int inner_table = best_inner_key.table;
+      AccessPath inner_path = BestAccessPath(q, inner_table, config);
+      double hash_cost = current->cost + inner_path.node->cost +
+                         inner_path.node->cardinality *
+                             params_.cpu_tuple_cost * 2.0 +
+                         current->cardinality * params_.cpu_tuple_cost +
+                         best_card * params_.cpu_tuple_cost * 0.5;
+      double best_cost = hash_cost;
+      bool best_is_inlj = false;
+      const Index* best_probe_index = nullptr;
+      std::optional<ProbePlan> probe =
+          BestProbe(q, inner_table, best_inner_key, config);
+      if (probe.has_value()) {
+        double inlj_cost =
+            current->cost + current->cardinality * probe->cost_per_row +
+            best_card * params_.cpu_tuple_cost;
+        if (inlj_cost < hash_cost) {
+          best_cost = inlj_cost;
+          best_is_inlj = true;
+          best_probe_index = probe->index;
+        }
+      }
+
       auto join = std::make_unique<PlanNode>();
       join->cardinality = best_card;
       join->cost = best_cost;
@@ -313,7 +325,7 @@ std::unique_ptr<PlanNode> CostModel::Plan(const sql::Query& q,
       } else {
         join->type = PlanNodeType::kHashJoin;
         join->AddChild(std::move(current));
-        join->AddChild(std::move(best_inner));
+        join->AddChild(std::move(inner_path.node));
       }
       current = std::move(join);
       joined.insert(inner_table);
@@ -345,11 +357,10 @@ std::unique_ptr<PlanNode> CostModel::Plan(const sql::Query& q,
   }
 
   if (!q.order_by.empty() && !current_provides_order) {
-    double n = std::max(2.0, current->cardinality);
     auto sort = std::make_unique<PlanNode>();
     sort->type = PlanNodeType::kSort;
     sort->cardinality = current->cardinality;
-    sort->cost = current->cost + n * std::log2(n) * params_.cpu_operator_cost * 2.0;
+    sort->cost = current->cost + SortCost(current->cardinality);
     sort->AddChild(std::move(current));
     current = std::move(sort);
   }
@@ -358,7 +369,15 @@ std::unique_ptr<PlanNode> CostModel::Plan(const sql::Query& q,
 
 double CostModel::QueryCost(const sql::Query& q,
                             const IndexConfig& config) const {
-  return Plan(q, config)->cost;
+  double cost = Plan(q, config)->cost;
+  if (common::ActiveFault() == common::InjectedFault::kInvertIndexBenefit &&
+      !config.empty()) [[unlikely]] {
+    // Armed only by the fuzzing harness: flip the sign of the index benefit
+    // so the add-index-monotone oracle must detect and shrink it.
+    double base = Plan(q, IndexConfig())->cost;
+    cost = base + (base - cost);
+  }
+  return cost;
 }
 
 }  // namespace trap::engine

@@ -25,9 +25,17 @@ struct CostParams {
 //
 //   * per-table access paths: sequential scan vs (covering) index scan,
 //     with prefix-based predicate matching (equalities extend the prefix,
-//     the first range predicate closes it);
-//   * greedy smallest-relation-first left-deep join ordering, choosing
-//     between hash join and index nested-loop join per step;
+//     the first range predicate closes it); when the plan could avoid a
+//     sort, paths are compared on access cost plus the sort they would
+//     leave behind, so a cheaper-to-scan index never displaces an
+//     order-providing one at a net loss;
+//   * greedy left-deep join ordering: start from the smallest filtered
+//     relation, then repeatedly attach the connected relation with the
+//     smallest estimated join output, choosing between hash join and index
+//     nested-loop join per step. The join order depends only on
+//     cardinality estimates (never on the index configuration), which
+//     keeps plan costs monotone in the index set — a property the fuzzing
+//     oracles in src/testing check over thousands of generated queries;
 //   * hash aggregation for GROUP BY; explicit sort for ORDER BY unless a
 //     single-table plan already scans an index whose prefix is the ORDER BY
 //     column list.
@@ -76,6 +84,9 @@ class CostModel {
                                      const IndexConfig& config) const;
 
   double BTreeDescendCost(int64_t rows) const;
+
+  // Cost of explicitly sorting `card` rows (the ORDER BY sort node).
+  double SortCost(double card) const;
 
   const catalog::Schema* schema_;
   CostParams params_;

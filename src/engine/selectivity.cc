@@ -14,7 +14,10 @@ constexpr double kMinSelectivity = 1e-9;
 double PredicateSelectivity(const sql::Predicate& pred,
                             const catalog::Schema& schema) {
   const catalog::Column& col = schema.column(pred.column);
-  double ndv = static_cast<double>(col.num_distinct);
+  // Degenerate statistics (empty tables, all-NULL columns imported with
+  // num_distinct = 0) must not poison the estimate with inf/NaN: treat the
+  // column as single-valued.
+  double ndv = std::max(1.0, static_cast<double>(col.num_distinct));
   double eq_sel = 1.0 / ndv;
   // Skewed columns make a random equality literal more selective on average
   // for rare values but we model the common case (frequent values dominate
@@ -83,8 +86,9 @@ bool IsSargable(const sql::Predicate& pred, sql::Conjunction conjunction) {
 
 double DistinctAfter(double rows, const catalog::Column& col) {
   // Cardinality of distinct values surviving a restriction to `rows` rows,
-  // via the standard "balls into bins" approximation.
-  double ndv = static_cast<double>(col.num_distinct);
+  // via the standard "balls into bins" approximation. The NDV floor keeps
+  // zero-NDV statistics (see PredicateSelectivity) from yielding NaN.
+  double ndv = std::max(1.0, static_cast<double>(col.num_distinct));
   if (rows <= 0.0) return 1.0;
   double expected = ndv * (1.0 - std::pow(1.0 - 1.0 / ndv, rows));
   return std::max(1.0, std::min(expected, rows));

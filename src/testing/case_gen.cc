@@ -1,0 +1,80 @@
+#include "testing/case_gen.h"
+
+#include <algorithm>
+
+namespace trap::proptest {
+
+CaseGen::CaseGen(const sql::Vocabulary& vocab, uint64_t stream_seed,
+                 GenOptions options)
+    : vocab_(&vocab),
+      options_(options),
+      rng_(stream_seed),
+      query_gen_(vocab, options.query, common::HashCombine(stream_seed, 0x9)) {}
+
+uint64_t CaseGen::StreamSeed(uint64_t seed, int case_index, int salt) {
+  return common::HashCombine(
+      common::HashCombine(seed, static_cast<uint64_t>(case_index)),
+      static_cast<uint64_t>(salt));
+}
+
+sql::Query CaseGen::Query() { return query_gen_.Generate(); }
+
+workload::Workload CaseGen::SmallWorkload(int min_queries, int max_queries) {
+  workload::Workload w;
+  int n = static_cast<int>(rng_.UniformInt(min_queries, max_queries));
+  for (int i = 0; i < n; ++i) {
+    w.queries.push_back(workload::WorkloadQuery{Query(), 1.0});
+  }
+  return w;
+}
+
+engine::Index CaseGen::RandomIndex(
+    const std::vector<catalog::ColumnId>& columns) {
+  TRAP_CHECK(!columns.empty());
+  engine::Index index;
+  catalog::ColumnId lead = rng_.Choice(columns);
+  index.columns.push_back(lead);
+  while (static_cast<int>(index.columns.size()) < options_.max_index_width &&
+         rng_.Bernoulli(options_.multi_column_prob)) {
+    // Extend with a distinct same-table column, if any remain.
+    std::vector<catalog::ColumnId> extensions;
+    for (catalog::ColumnId c : columns) {
+      if (c.table != lead.table) continue;
+      if (std::find(index.columns.begin(), index.columns.end(), c) !=
+          index.columns.end()) {
+        continue;
+      }
+      extensions.push_back(c);
+    }
+    if (extensions.empty()) break;
+    index.columns.push_back(rng_.Choice(extensions));
+  }
+  return index;
+}
+
+engine::Index CaseGen::RandomIndexFor(const sql::Query& q) {
+  return RandomIndex(q.ReferencedColumns());
+}
+
+std::vector<catalog::ColumnId> CaseGen::ReferencedBy(
+    const workload::Workload& w) const {
+  std::vector<catalog::ColumnId> out;
+  for (const workload::WorkloadQuery& wq : w.queries) {
+    for (catalog::ColumnId c : wq.query.ReferencedColumns()) {
+      if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+    }
+  }
+  return out;
+}
+
+engine::IndexConfig CaseGen::RandomConfigFor(const workload::Workload& w,
+                                             int max_indexes) {
+  engine::IndexConfig config;
+  if (w.empty() || max_indexes <= 0) return config;
+  std::vector<catalog::ColumnId> columns = ReferencedBy(w);
+  int n = static_cast<int>(rng_.UniformInt(0, max_indexes));
+  for (int i = 0; i < n; ++i) config.Add(RandomIndex(columns));
+  return config;
+}
+
+}  // namespace trap::proptest

@@ -1,0 +1,67 @@
+#ifndef TRAP_TESTING_CASE_GEN_H_
+#define TRAP_TESTING_CASE_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/index.h"
+#include "sql/vocabulary.h"
+#include "workload/generator.h"
+#include "workload/workload.h"
+
+// Seeded generators for the property-testing harness (see harness.h). The
+// namespace is trap::proptest (not trap::testing) so that unqualified
+// `testing::` in files that also include GoogleTest keeps meaning gtest.
+namespace trap::proptest {
+
+// Knobs for case generation. Queries reuse workload::QueryGenerator, so the
+// generated population is exactly what advisors and TRAP see in production.
+struct GenOptions {
+  workload::GeneratorOptions query;
+  int max_config_indexes = 3;
+  int max_index_width = 3;
+  double multi_column_prob = 0.45;
+};
+
+// Everything a fuzz case needs, derived deterministically from a single
+// 64-bit stream: the same (seed, case index, salt) always reproduces the
+// same queries, workloads, indexes and configurations.
+class CaseGen {
+ public:
+  CaseGen(const sql::Vocabulary& vocab, uint64_t stream_seed,
+          GenOptions options = {});
+
+  // The stream seed for case `case_index` of run `seed` under oracle `salt`.
+  static uint64_t StreamSeed(uint64_t seed, int case_index, int salt);
+
+  sql::Query Query();
+
+  // `n` unit-weight queries.
+  workload::Workload SmallWorkload(int min_queries, int max_queries);
+
+  // A random index over `columns` (single- or multi-column, same table).
+  engine::Index RandomIndex(const std::vector<catalog::ColumnId>& columns);
+
+  // A random index over the columns referenced by `q`.
+  engine::Index RandomIndexFor(const sql::Query& q);
+
+  // 0..max_indexes random indexes over the columns referenced by `w`.
+  engine::IndexConfig RandomConfigFor(const workload::Workload& w,
+                                      int max_indexes);
+
+  const catalog::Schema& schema() const { return vocab_->schema(); }
+  common::Rng& rng() { return rng_; }
+
+ private:
+  std::vector<catalog::ColumnId> ReferencedBy(const workload::Workload& w) const;
+
+  const sql::Vocabulary* vocab_;
+  GenOptions options_;
+  common::Rng rng_;
+  workload::QueryGenerator query_gen_;
+};
+
+}  // namespace trap::proptest
+
+#endif  // TRAP_TESTING_CASE_GEN_H_

@@ -1,0 +1,463 @@
+#include "testing/oracles.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "advisor/heuristic_advisors.h"
+#include "common/string_util.h"
+#include "engine/index.h"
+#include "sql/tokenizer.h"
+#include "trap/reference_tree.h"
+
+namespace trap::proptest {
+
+namespace {
+
+// Relative + absolute slack for cost comparisons. Costs are computed by
+// identical double arithmetic on both sides of each oracle, so violations
+// beyond this are genuine model bugs, not rounding.
+constexpr double kRelTol = 1e-12;
+constexpr double kAbsTol = 1e-9;
+
+bool CostIncreased(double before, double after) {
+  return after > before * (1.0 + kRelTol) + kAbsTol;
+}
+
+engine::IndexConfig WithExtras(const Reproducer& r) {
+  engine::IndexConfig super = r.config;
+  for (const engine::Index& idx : r.extra) super.Add(idx);
+  return super;
+}
+
+std::unique_ptr<advisor::IndexAdvisor> MakeAdvisorById(
+    int id, const engine::WhatIfOptimizer& optimizer) {
+  switch (((id % kNumAdvisors) + kNumAdvisors) % kNumAdvisors) {
+    case 0: return advisor::MakeExtend(optimizer);
+    case 1: return advisor::MakeDb2Advis(optimizer);
+    case 2: return advisor::MakeAutoAdmin(optimizer);
+    case 3: return advisor::MakeDrop(optimizer);
+    case 4: return advisor::MakeRelaxation(optimizer);
+    default: return advisor::MakeDta(optimizer);
+  }
+}
+
+// ---- Oracle implementations ------------------------------------------------
+
+// (a)/(b): cost under config ∪ extras must not exceed cost under config.
+std::optional<std::string> CheckMonotone(OracleEnv& env, const Reproducer& r) {
+  engine::IndexConfig super = WithExtras(r);
+  if (super == r.config) return std::nullopt;  // no-op superset
+  for (size_t i = 0; i < r.workload.queries.size(); ++i) {
+    const sql::Query& q = r.workload.queries[i].query;
+    double sub = env.optimizer.QueryCost(q, r.config);
+    double sup = env.optimizer.QueryCost(q, super);
+    if (CostIncreased(sub, sup)) {
+      return common::StrFormat(
+          "query %zu: cost rose from %.17g to %.17g when indexes were added "
+          "(config %d -> %d indexes)",
+          i, sub, sup, r.config.size(), super.size());
+    }
+  }
+  return std::nullopt;
+}
+
+// (c): batched costs on 1/4/8-thread pools are bit-identical to a serial
+// per-query fold through a fresh optimizer.
+std::optional<std::string> CheckParallelDeterminism(OracleEnv& env,
+                                                    const Reproducer& r) {
+  const catalog::Schema& schema = *env.schema;
+  std::vector<engine::IndexConfig> configs;
+  configs.emplace_back();
+  configs.push_back(r.config);
+  configs.push_back(WithExtras(r));
+
+  // Serial reference: fresh optimizer, query-order fold.
+  engine::WhatIfOptimizer ref(schema);
+  std::vector<double> want;
+  for (const engine::IndexConfig& config : configs) {
+    double total = 0.0;
+    for (const workload::WorkloadQuery& wq : r.workload.queries) {
+      total += wq.weight * ref.QueryCost(wq.query, config);
+    }
+    want.push_back(total);
+  }
+
+  common::ThreadPool* pools[] = {&env.pool1, &env.pool4, &env.pool8};
+  for (common::ThreadPool* pool : pools) {
+    engine::WhatIfOptimizer fresh(schema);
+    std::vector<double> got = fresh.WorkloadCosts(r.workload, configs, pool);
+    for (size_t c = 0; c < configs.size(); ++c) {
+      if (got[c] != want[c]) {
+        return common::StrFormat(
+            "config %zu: WorkloadCosts on a %d-thread pool returned %.17g, "
+            "serial fold returned %.17g (must be bit-identical)",
+            c, pool->num_threads(), got[c], want[c]);
+      }
+    }
+    double scalar = fresh.WorkloadCost(r.workload, configs.back(), pool);
+    if (scalar != want.back()) {
+      return common::StrFormat(
+          "WorkloadCost on a %d-thread pool returned %.17g, serial fold "
+          "returned %.17g",
+          pool->num_threads(), scalar, want.back());
+    }
+  }
+  return std::nullopt;
+}
+
+// (d): warm shared optimizer == fresh optimizer == repeated call.
+std::optional<std::string> CheckCacheCoherence(OracleEnv& env,
+                                               const Reproducer& r) {
+  engine::WhatIfOptimizer fresh(*env.schema);
+  engine::IndexConfig super = WithExtras(r);
+  const engine::IndexConfig* configs[] = {&r.config, &super};
+  for (size_t i = 0; i < r.workload.queries.size(); ++i) {
+    const sql::Query& q = r.workload.queries[i].query;
+    for (const engine::IndexConfig* config : configs) {
+      double warm = env.optimizer.QueryCost(q, *config);
+      double cold = fresh.QueryCost(q, *config);
+      double again = env.optimizer.QueryCost(q, *config);
+      if (warm != cold) {
+        return common::StrFormat(
+            "query %zu: cache-warm optimizer returned %.17g but a fresh one "
+            "returned %.17g (stale or colliding cache entry)",
+            i, warm, cold);
+      }
+      if (warm != again) {
+        return common::StrFormat(
+            "query %zu: repeated call returned %.17g after %.17g", i, again,
+            warm);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// (e): random Reference-Tree walks stay within the declared constraint.
+std::optional<std::string> CheckPerturbationBudget(OracleEnv& env,
+                                                   const Reproducer& r) {
+  const catalog::Schema& schema = *env.schema;
+  for (size_t i = 0; i < r.workload.queries.size(); ++i) {
+    const sql::Query& q = r.workload.queries[i].query;
+    ::trap::trap::ReferenceTree tree(q, env.vocab, r.constraint, r.epsilon);
+    common::Rng walk(common::HashCombine(r.walk_seed, i));
+    while (!tree.Done()) tree.Advance(walk.Choice(tree.LegalTokens()));
+    if (tree.edit_distance() > r.epsilon) {
+      return common::StrFormat(
+          "query %zu: tree reports edit distance %d over budget epsilon=%d",
+          i, tree.edit_distance(), r.epsilon);
+    }
+    sql::Query p = tree.Materialize();
+    std::string error;
+    if (!sql::ValidateQuery(p, schema, &error)) {
+      return common::StrFormat("query %zu: perturbed query is invalid: %s", i,
+                               error.c_str());
+    }
+    int dist = sql::EditDistance(sql::ToTokens(q, env.vocab),
+                                 sql::ToTokens(p, env.vocab));
+    if (dist > r.epsilon) {
+      return common::StrFormat(
+          "query %zu: token edit distance %d exceeds epsilon=%d", i, dist,
+          r.epsilon);
+    }
+    // Invariants shared by all constraints: the join backbone and GROUP BY
+    // are immutable.
+    if (p.tables != q.tables || p.joins != q.joins ||
+        p.group_by != q.group_by) {
+      return common::StrFormat(
+          "query %zu: perturbation modified the join graph or GROUP BY "
+          "under %s",
+          i, ::trap::trap::ConstraintName(r.constraint));
+    }
+    if (r.constraint == PerturbationConstraint::kValueOnly) {
+      bool structural_ok =
+          p.select == q.select && p.conjunction == q.conjunction &&
+          p.order_by == q.order_by && p.filters.size() == q.filters.size();
+      if (structural_ok) {
+        for (size_t f = 0; f < p.filters.size(); ++f) {
+          if (!(p.filters[f].column == q.filters[f].column) ||
+              p.filters[f].op != q.filters[f].op) {
+            structural_ok = false;
+            break;
+          }
+        }
+      }
+      if (!structural_ok) {
+        return common::StrFormat(
+            "query %zu: ValueOnly perturbation changed more than literals",
+            i);
+      }
+    } else if (r.constraint == PerturbationConstraint::kColumnConsistent) {
+      bool shape_ok = p.select.size() == q.select.size() &&
+                      p.filters.size() == q.filters.size() &&
+                      p.order_by.size() == q.order_by.size() &&
+                      p.conjunction == q.conjunction;
+      if (shape_ok) {
+        for (size_t s = 0; s < p.select.size(); ++s) {
+          if (p.select[s].agg != q.select[s].agg) shape_ok = false;
+        }
+        for (size_t f = 0; f < p.filters.size(); ++f) {
+          if (p.filters[f].op != q.filters[f].op) shape_ok = false;
+        }
+      }
+      if (!shape_ok) {
+        return common::StrFormat(
+            "query %zu: ColumnConsistent perturbation changed operators, "
+            "aggregates or clause sizes",
+            i);
+      }
+      std::vector<catalog::ColumnId> allowed = q.ReferencedColumns();
+      for (catalog::ColumnId c : p.ReferencedColumns()) {
+        if (std::find(allowed.begin(), allowed.end(), c) == allowed.end()) {
+          return common::StrFormat(
+              "query %zu: ColumnConsistent perturbation used column %s "
+              "outside the original query's column set",
+              i, schema.QualifiedName(c).c_str());
+        }
+      }
+    } else {  // kSharedTable
+      constexpr size_t kMaxExtensionsPerClause = 2;
+      if (p.select.size() < q.select.size() ||
+          p.select.size() > q.select.size() + kMaxExtensionsPerClause ||
+          p.filters.size() < q.filters.size() ||
+          p.filters.size() > q.filters.size() + kMaxExtensionsPerClause) {
+        return common::StrFormat(
+            "query %zu: SharedTable perturbation shrank a clause or grew it "
+            "past the extension cap",
+            i);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// (f): advisor outputs respect budgets and are well-formed candidates.
+std::optional<std::string> CheckAdvisorContract(OracleEnv& env,
+                                                const Reproducer& r) {
+  const catalog::Schema& schema = *env.schema;
+  std::unique_ptr<advisor::IndexAdvisor> adv =
+      MakeAdvisorById(r.advisor, env.optimizer);
+  advisor::TuningConstraint constraint;
+  constraint.storage_budget_bytes = r.storage_budget;
+  constraint.max_indexes = r.max_indexes;
+  engine::IndexConfig config = adv->Recommend(r.workload, constraint);
+
+  int64_t total = config.TotalSizeBytes(schema);
+  if (total > r.storage_budget) {
+    return common::StrFormat(
+        "%s exceeded the storage budget: %lld > %lld bytes",
+        adv->name().c_str(), static_cast<long long>(total),
+        static_cast<long long>(r.storage_budget));
+  }
+  if (r.max_indexes > 0 && config.size() > r.max_indexes) {
+    return common::StrFormat("%s built %d indexes over the count budget %d",
+                             adv->name().c_str(), config.size(),
+                             r.max_indexes);
+  }
+
+  std::vector<catalog::ColumnId> referenced;
+  for (const workload::WorkloadQuery& wq : r.workload.queries) {
+    for (catalog::ColumnId c : wq.query.ReferencedColumns()) {
+      referenced.push_back(c);
+    }
+  }
+  constexpr int kMaxWidth = 3;  // HeuristicOptions{}.max_index_width
+  for (const engine::Index& index : config.indexes()) {
+    if (index.columns.empty()) {
+      return common::StrFormat("%s produced an empty index",
+                               adv->name().c_str());
+    }
+    if (index.NumColumns() > kMaxWidth) {
+      return common::StrFormat("%s produced a %d-wide index (cap %d)",
+                               adv->name().c_str(), index.NumColumns(),
+                               kMaxWidth);
+    }
+    for (size_t k = 0; k < index.columns.size(); ++k) {
+      catalog::ColumnId c = index.columns[k];
+      if (c.table != index.columns[0].table) {
+        return common::StrFormat("%s produced a cross-table index",
+                                 adv->name().c_str());
+      }
+      if (c.table < 0 || c.table >= schema.num_tables() || c.column < 0 ||
+          c.column >=
+              static_cast<int>(schema.table(c.table).columns.size())) {
+        return common::StrFormat("%s produced an out-of-schema column id",
+                                 adv->name().c_str());
+      }
+      if (std::find(index.columns.begin(), index.columns.begin() +
+                        static_cast<std::ptrdiff_t>(k), c) !=
+          index.columns.begin() + static_cast<std::ptrdiff_t>(k)) {
+        return common::StrFormat("%s repeated a column within one index",
+                                 adv->name().c_str());
+      }
+      if (std::find(referenced.begin(), referenced.end(), c) ==
+          referenced.end()) {
+        return common::StrFormat(
+            "%s indexed %s, which no workload query references",
+            adv->name().c_str(), schema.QualifiedName(c).c_str());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* OracleName(OracleId id) {
+  switch (id) {
+    case OracleId::kAddIndexMonotone: return "add-index-monotone";
+    case OracleId::kSupersetMonotone: return "superset-monotone";
+    case OracleId::kParallelDeterminism: return "parallel-determinism";
+    case OracleId::kCacheCoherence: return "cache-coherence";
+    case OracleId::kPerturbationBudget: return "perturbation-budget";
+    case OracleId::kAdvisorContract: return "advisor-contract";
+  }
+  return "?";
+}
+
+std::optional<OracleId> OracleFromName(std::string_view name) {
+  for (OracleId id : AllOracles()) {
+    if (name == OracleName(id)) return id;
+  }
+  return std::nullopt;
+}
+
+std::vector<OracleId> AllOracles() {
+  std::vector<OracleId> out;
+  for (int i = 0; i < kNumOracles; ++i) out.push_back(static_cast<OracleId>(i));
+  return out;
+}
+
+const char* AdvisorShortName(int advisor) {
+  switch (((advisor % kNumAdvisors) + kNumAdvisors) % kNumAdvisors) {
+    case 0: return "extend";
+    case 1: return "db2advis";
+    case 2: return "autoadmin";
+    case 3: return "drop";
+    case 4: return "relaxation";
+    default: return "dta";
+  }
+}
+
+OracleEnv::OracleEnv(const catalog::Schema& schema_in)
+    : schema(&schema_in),
+      vocab(schema_in),
+      optimizer(schema_in),
+      pool1(1),
+      pool4(4),
+      pool8(8) {}
+
+std::optional<std::string> CheckReproducer(OracleId id, OracleEnv& env,
+                                           const Reproducer& r) {
+  if (r.workload.empty()) return std::nullopt;
+  switch (id) {
+    case OracleId::kAddIndexMonotone:
+    case OracleId::kSupersetMonotone:
+      return CheckMonotone(env, r);
+    case OracleId::kParallelDeterminism:
+      return CheckParallelDeterminism(env, r);
+    case OracleId::kCacheCoherence:
+      return CheckCacheCoherence(env, r);
+    case OracleId::kPerturbationBudget:
+      return CheckPerturbationBudget(env, r);
+    case OracleId::kAdvisorContract:
+      return CheckAdvisorContract(env, r);
+  }
+  return std::nullopt;
+}
+
+std::optional<OracleFailure> RunOracle(OracleId id, OracleEnv& env,
+                                       uint64_t seed, int case_index) {
+  CaseGen gen(env.vocab,
+              CaseGen::StreamSeed(seed, case_index, static_cast<int>(id)));
+  Reproducer r;
+  switch (id) {
+    case OracleId::kAddIndexMonotone: {
+      sql::Query q = gen.Query();
+      r.workload.queries.push_back(workload::WorkloadQuery{q, 1.0});
+      r.config = gen.RandomConfigFor(r.workload, 3);
+      r.extra.push_back(gen.RandomIndexFor(q));
+      break;
+    }
+    case OracleId::kSupersetMonotone: {
+      sql::Query q = gen.Query();
+      r.workload.queries.push_back(workload::WorkloadQuery{q, 1.0});
+      r.config = gen.RandomConfigFor(r.workload, 3);
+      int k = static_cast<int>(gen.rng().UniformInt(1, 3));
+      for (int i = 0; i < k; ++i) r.extra.push_back(gen.RandomIndexFor(q));
+      break;
+    }
+    case OracleId::kParallelDeterminism: {
+      r.workload = gen.SmallWorkload(2, 4);
+      r.config = gen.RandomConfigFor(r.workload, 3);
+      const sql::Query& q0 = r.workload.queries[0].query;
+      r.extra.push_back(gen.RandomIndexFor(q0));
+      break;
+    }
+    case OracleId::kCacheCoherence: {
+      sql::Query q = gen.Query();
+      r.workload.queries.push_back(workload::WorkloadQuery{q, 1.0});
+      r.config = gen.RandomConfigFor(r.workload, 3);
+      r.extra.push_back(gen.RandomIndexFor(q));
+      break;
+    }
+    case OracleId::kPerturbationBudget: {
+      sql::Query q = gen.Query();
+      r.workload.queries.push_back(workload::WorkloadQuery{q, 1.0});
+      r.constraint = static_cast<PerturbationConstraint>(
+          gen.rng().UniformInt(0, 2));
+      r.epsilon = static_cast<int>(gen.rng().UniformInt(0, 6));
+      r.walk_seed = gen.rng().engine()();
+      break;
+    }
+    case OracleId::kAdvisorContract: {
+      r.workload = gen.SmallWorkload(2, 4);
+      r.advisor = case_index % kNumAdvisors;
+      double fraction = gen.rng().Uniform(0.05, 0.6);
+      r.storage_budget = static_cast<int64_t>(
+          static_cast<double>(env.schema->DataSizeBytes()) * fraction);
+      r.max_indexes = gen.rng().Bernoulli(0.5)
+                          ? static_cast<int>(gen.rng().UniformInt(1, 3))
+                          : 0;
+      break;
+    }
+  }
+  std::optional<std::string> message = CheckReproducer(id, env, r);
+  if (!message.has_value()) return std::nullopt;
+  OracleFailure failure;
+  failure.oracle = id;
+  failure.message = *std::move(message);
+  failure.repro = std::move(r);
+  return failure;
+}
+
+std::string DescribeReproducer(OracleId id, const OracleEnv& env,
+                               const Reproducer& r) {
+  const catalog::Schema& schema = *env.schema;
+  std::string out;
+  for (size_t i = 0; i < r.workload.queries.size(); ++i) {
+    out += common::StrFormat(
+        "query[%zu]: %s\n", i,
+        sql::ToSql(r.workload.queries[i].query, schema).c_str());
+  }
+  out += "config: " + r.config.ToString(schema) + "\n";
+  for (size_t i = 0; i < r.extra.size(); ++i) {
+    out += common::StrFormat("extra[%zu]: %s\n", i,
+                             engine::IndexName(r.extra[i], schema).c_str());
+  }
+  if (id == OracleId::kPerturbationBudget) {
+    out += common::StrFormat(
+        "constraint: %s epsilon=%d walk_seed=%llu\n",
+        ::trap::trap::ConstraintName(r.constraint), r.epsilon,
+        static_cast<unsigned long long>(r.walk_seed));
+  }
+  if (id == OracleId::kAdvisorContract) {
+    out += common::StrFormat(
+        "advisor: %s storage_budget=%lld max_indexes=%d\n",
+        AdvisorShortName(r.advisor),
+        static_cast<long long>(r.storage_budget), r.max_indexes);
+  }
+  return out;
+}
+
+}  // namespace trap::proptest

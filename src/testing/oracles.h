@@ -1,0 +1,115 @@
+#ifndef TRAP_TESTING_ORACLES_H_
+#define TRAP_TESTING_ORACLES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/what_if.h"
+#include "sql/vocabulary.h"
+#include "testing/case_gen.h"
+#include "trap/constraints.h"
+#include "workload/workload.h"
+
+namespace trap::proptest {
+
+using PerturbationConstraint = ::trap::trap::PerturbationConstraint;
+
+// The six metamorphic / differential oracle families. Each one states an
+// invariant the engine or an advisor must hold for *every* input, so the
+// harness can hammer them with generated cases instead of hand-picked ones:
+//
+//   add-index-monotone     adding one index never increases QueryCost;
+//   superset-monotone      cost under a configuration superset is never
+//                          above the subset's cost;
+//   parallel-determinism   WorkloadCost(s) on pools of 1, 4 and 8 threads
+//                          are bit-identical (differential: parallel vs the
+//                          serial fold);
+//   cache-coherence        a cache-warm shared optimizer, a freshly built
+//                          optimizer, and a repeated call all agree exactly
+//                          (catches fingerprint collisions / stale entries);
+//   perturbation-budget    random Reference-Tree walks stay within the
+//                          declared constraint: valid SQL, token edit
+//                          distance <= epsilon, immutable join graph, and
+//                          the per-constraint modifiable-token rules of
+//                          constraints.h;
+//   advisor-contract       advisor recommendations respect the storage and
+//                          index-count budgets and contain only well-formed
+//                          candidate indexes over workload columns.
+enum class OracleId {
+  kAddIndexMonotone = 0,
+  kSupersetMonotone = 1,
+  kParallelDeterminism = 2,
+  kCacheCoherence = 3,
+  kPerturbationBudget = 4,
+  kAdvisorContract = 5,
+};
+
+inline constexpr int kNumOracles = 6;
+
+const char* OracleName(OracleId id);
+std::optional<OracleId> OracleFromName(std::string_view name);
+std::vector<OracleId> AllOracles();
+
+// Long-lived oracle environment: the vocabulary, a shared what-if optimizer
+// whose cache warms across cases (deliberately — cache-coherence compares it
+// against fresh optimizers), and fixed-size pools for the determinism
+// oracle.
+struct OracleEnv {
+  explicit OracleEnv(const catalog::Schema& schema_in);
+
+  const catalog::Schema* schema;
+  sql::Vocabulary vocab;
+  engine::WhatIfOptimizer optimizer;
+  common::ThreadPool pool1;
+  common::ThreadPool pool4;
+  common::ThreadPool pool8;
+};
+
+// The concrete inputs an oracle failed on — everything CheckReproducer
+// needs to re-evaluate the property, and everything the shrinker mutates.
+// Which fields are meaningful depends on the oracle.
+struct Reproducer {
+  workload::Workload workload;        // all oracles; single-query ones use [0]
+  engine::IndexConfig config;         // base configuration
+  std::vector<engine::Index> extra;   // indexes layered on top of `config`
+  PerturbationConstraint constraint = PerturbationConstraint::kValueOnly;
+  int epsilon = 0;                    // perturbation-budget
+  uint64_t walk_seed = 0;             // RNG stream of the perturbation walk
+  int advisor = 0;                    // advisor-contract: advisor id in [0,6)
+  int64_t storage_budget = 0;
+  int max_indexes = 0;                // 0 = unconstrained count
+};
+
+// Human-readable advisor name for Reproducer::advisor.
+const char* AdvisorShortName(int advisor);
+inline constexpr int kNumAdvisors = 6;
+
+struct OracleFailure {
+  OracleId oracle = OracleId::kAddIndexMonotone;
+  std::string message;
+  Reproducer repro;
+};
+
+// Re-evaluates oracle `id` on the concrete inputs `r`. Returns the failure
+// message, or std::nullopt when the property holds. This is the single
+// source of truth for every oracle: RunOracle generates inputs and delegates
+// here, and the shrinker uses it as its predicate.
+std::optional<std::string> CheckReproducer(OracleId id, OracleEnv& env,
+                                           const Reproducer& r);
+
+// Generates the case derived from (seed, case_index) and runs oracle `id`
+// on it. std::nullopt = pass.
+std::optional<OracleFailure> RunOracle(OracleId id, OracleEnv& env,
+                                       uint64_t seed, int case_index);
+
+// Deterministic printable form of `r` (SQL text, configuration, budgets).
+std::string DescribeReproducer(OracleId id, const OracleEnv& env,
+                               const Reproducer& r);
+
+}  // namespace trap::proptest
+
+#endif  // TRAP_TESTING_ORACLES_H_

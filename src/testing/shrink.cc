@@ -1,0 +1,202 @@
+#include "testing/shrink.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace trap::proptest {
+
+namespace {
+
+// The cost model refuses disconnected join graphs, so table-dropping
+// mutations must keep the remaining tables joined.
+bool JoinGraphConnected(const sql::Query& q) {
+  if (q.tables.size() <= 1) return true;
+  std::vector<int> parent(q.tables.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+  auto slot = [&](int table) {
+    for (size_t i = 0; i < q.tables.size(); ++i) {
+      if (q.tables[i] == table) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  auto find = [&](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const sql::JoinPredicate& j : q.joins) {
+    int a = slot(j.left.table);
+    int b = slot(j.right.table);
+    if (a < 0 || b < 0) return false;
+    parent[find(a)] = find(b);
+  }
+  int root = find(0);
+  for (size_t i = 1; i < parent.size(); ++i) {
+    if (find(static_cast<int>(i)) != root) return false;
+  }
+  return true;
+}
+
+bool QueryOk(const sql::Query& q, const catalog::Schema& schema) {
+  return JoinGraphConnected(q) && sql::ValidateQuery(q, schema);
+}
+
+// Commits `candidate` into `r` if every query is still engine-acceptable and
+// the failure survives.
+bool TryCommit(Reproducer* r, Reproducer&& candidate,
+               const catalog::Schema& schema, const FailPredicate& pred,
+               ShrinkStats* stats) {
+  for (const workload::WorkloadQuery& wq : candidate.workload.queries) {
+    if (!QueryOk(wq.query, schema)) return false;
+  }
+  if (!pred(candidate)) return false;
+  *r = std::move(candidate);
+  ++stats->accepted;
+  return true;
+}
+
+// Removes table `t` from the query: the FROM entry, joins touching it, and
+// every clause reference. Validity is checked by the caller.
+void DropTable(sql::Query* q, int t) {
+  std::erase(q->tables, t);
+  std::erase_if(q->joins, [t](const sql::JoinPredicate& j) {
+    return j.left.table == t || j.right.table == t;
+  });
+  std::erase_if(q->filters,
+                [t](const sql::Predicate& p) { return p.column.table == t; });
+  std::erase_if(q->select,
+                [t](const sql::SelectItem& s) { return s.column.table == t; });
+  std::erase_if(q->group_by,
+                [t](catalog::ColumnId c) { return c.table == t; });
+  std::erase_if(q->order_by,
+                [t](catalog::ColumnId c) { return c.table == t; });
+}
+
+}  // namespace
+
+ShrinkStats ShrinkReproducer(Reproducer* r, const catalog::Schema& schema,
+                             const FailPredicate& still_fails) {
+  constexpr int kMaxPasses = 32;
+  ShrinkStats stats;
+  bool changed = true;
+  while (changed && stats.passes < kMaxPasses) {
+    changed = false;
+    ++stats.passes;
+
+    // 1. Drop whole workload queries (keep at least one).
+    for (int i = static_cast<int>(r->workload.queries.size()) - 1;
+         i >= 0 && r->workload.queries.size() > 1; --i) {
+      Reproducer c = *r;
+      c.workload.queries.erase(c.workload.queries.begin() + i);
+      changed |= TryCommit(r, std::move(c), schema, still_fails, &stats);
+    }
+
+    // 2. Per-query structural shrinks, largest reductions first.
+    for (size_t qi = 0; qi < r->workload.queries.size(); ++qi) {
+      const sql::Query& q = r->workload.queries[qi].query;
+      // Drop a table (and everything referencing it).
+      for (int i = static_cast<int>(q.tables.size()) - 1;
+           i >= 0 && r->workload.queries[qi].query.tables.size() > 1; --i) {
+        Reproducer c = *r;
+        DropTable(&c.workload.queries[qi].query,
+                  r->workload.queries[qi].query.tables[i]);
+        changed |= TryCommit(r, std::move(c), schema, still_fails, &stats);
+      }
+      // Drop a filter predicate.
+      for (int i = static_cast<int>(
+               r->workload.queries[qi].query.filters.size()) - 1;
+           i >= 0; --i) {
+        Reproducer c = *r;
+        sql::Query& cq = c.workload.queries[qi].query;
+        cq.filters.erase(cq.filters.begin() + i);
+        changed |= TryCommit(r, std::move(c), schema, still_fails, &stats);
+      }
+      // Drop a select item.
+      for (int i = static_cast<int>(
+               r->workload.queries[qi].query.select.size()) - 1;
+           i >= 0 && r->workload.queries[qi].query.select.size() > 1; --i) {
+        Reproducer c = *r;
+        sql::Query& cq = c.workload.queries[qi].query;
+        cq.select.erase(cq.select.begin() + i);
+        changed |= TryCommit(r, std::move(c), schema, still_fails, &stats);
+      }
+      // Drop a GROUP BY column together with the bare select items it
+      // covers (a bare item without its grouping column is invalid).
+      for (int i = static_cast<int>(
+               r->workload.queries[qi].query.group_by.size()) - 1;
+           i >= 0; --i) {
+        Reproducer c = *r;
+        sql::Query& cq = c.workload.queries[qi].query;
+        catalog::ColumnId col = cq.group_by[i];
+        cq.group_by.erase(cq.group_by.begin() + i);
+        std::erase_if(cq.select, [&](const sql::SelectItem& s) {
+          return s.agg == sql::AggFunc::kNone && s.column == col &&
+                 cq.select.size() > 1;
+        });
+        changed |= TryCommit(r, std::move(c), schema, still_fails, &stats);
+      }
+      // Drop an ORDER BY column.
+      for (int i = static_cast<int>(
+               r->workload.queries[qi].query.order_by.size()) - 1;
+           i >= 0; --i) {
+        Reproducer c = *r;
+        sql::Query& cq = c.workload.queries[qi].query;
+        cq.order_by.erase(cq.order_by.begin() + i);
+        changed |= TryCommit(r, std::move(c), schema, still_fails, &stats);
+      }
+    }
+
+    // 3. Drop base-configuration indexes, then trailing index columns.
+    for (int i = r->config.size() - 1; i >= 0; --i) {
+      Reproducer c = *r;
+      engine::IndexConfig smaller;
+      for (int k = 0; k < r->config.size(); ++k) {
+        if (k != i) smaller.Add(r->config.indexes()[k]);
+      }
+      c.config = std::move(smaller);
+      changed |= TryCommit(r, std::move(c), schema, still_fails, &stats);
+    }
+    for (int i = 0; i < r->config.size(); ++i) {
+      while (r->config.indexes()[i].NumColumns() > 1) {
+        Reproducer c = *r;
+        engine::IndexConfig narrower;
+        for (int k = 0; k < r->config.size(); ++k) {
+          engine::Index idx = r->config.indexes()[k];
+          if (k == i) idx.columns.pop_back();
+          narrower.Add(idx);
+        }
+        c.config = std::move(narrower);
+        if (!TryCommit(r, std::move(c), schema, still_fails, &stats)) break;
+        changed = true;
+      }
+    }
+
+    // 4. Drop extra indexes (keep one: the monotonicity oracles need a
+    // non-trivial superset) and truncate their trailing columns.
+    for (int i = static_cast<int>(r->extra.size()) - 1;
+         i >= 0 && r->extra.size() > 1; --i) {
+      Reproducer c = *r;
+      c.extra.erase(c.extra.begin() + i);
+      changed |= TryCommit(r, std::move(c), schema, still_fails, &stats);
+    }
+    for (size_t i = 0; i < r->extra.size(); ++i) {
+      while (r->extra[i].NumColumns() > 1) {
+        Reproducer c = *r;
+        c.extra[i].columns.pop_back();
+        if (!TryCommit(r, std::move(c), schema, still_fails, &stats)) break;
+        changed = true;
+      }
+    }
+
+    // 5. Tighten the perturbation budget.
+    while (r->epsilon > 0) {
+      Reproducer c = *r;
+      --c.epsilon;
+      if (!TryCommit(r, std::move(c), schema, still_fails, &stats)) break;
+      changed = true;
+    }
+  }
+  return stats;
+}
+
+}  // namespace trap::proptest

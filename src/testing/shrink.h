@@ -1,0 +1,32 @@
+#ifndef TRAP_TESTING_SHRINK_H_
+#define TRAP_TESTING_SHRINK_H_
+
+#include <functional>
+
+#include "catalog/schema.h"
+#include "testing/oracles.h"
+
+namespace trap::proptest {
+
+// Returns true when the (mutated) reproducer still triggers the failure.
+using FailPredicate = std::function<bool(const Reproducer&)>;
+
+struct ShrinkStats {
+  int passes = 0;    // greedy sweeps until fixpoint
+  int accepted = 0;  // mutations that kept the failure alive
+};
+
+// Greedily shrinks `r` towards a minimal failing input: drops workload
+// queries, tables, filters, select/group/order items, configuration and
+// extra indexes, trailing index columns and the perturbation budget, keeping
+// only mutations after which `still_fails` still returns true. Mutated
+// queries are gated on ValidateQuery and join-graph connectivity, so the
+// predicate only ever sees inputs the engine accepts. Deterministic: the
+// mutation order is fixed, so the same input and predicate always yield the
+// same minimal reproducer.
+ShrinkStats ShrinkReproducer(Reproducer* r, const catalog::Schema& schema,
+                             const FailPredicate& still_fails);
+
+}  // namespace trap::proptest
+
+#endif  // TRAP_TESTING_SHRINK_H_

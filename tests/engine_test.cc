@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "catalog/datasets.h"
@@ -10,6 +12,7 @@
 #include "engine/selectivity.h"
 #include "engine/true_cost.h"
 #include "engine/what_if.h"
+#include "workload/workload.h"
 
 namespace trap::engine {
 namespace {
@@ -495,6 +498,161 @@ TEST_F(EngineTest, TrueCostNoFilterNoCorrelation) {
   double ratio = truth.QueryCost(q, none) / model.QueryCost(q, none);
   EXPECT_GT(ratio, 0.94);
   EXPECT_LT(ratio, 1.06);
+}
+
+// Statistics imported from empty tables or all-NULL columns arrive with
+// num_distinct = 0 and collapsed or inverted value domains; literals from
+// stale histograms can fall outside [min, max]. None of these may poison the
+// estimate with inf/NaN or push it outside (0, 1].
+TEST(SelectivityEdgeCases, DegenerateStatisticsStayInRange) {
+  struct Case {
+    const char* label;
+    catalog::Column col;  // {name, type, width, ndv, min, max, skew}
+    CmpOp op;
+    double literal;
+  };
+  const Case cases[] = {
+      {"zero ndv equality",
+       {"c", catalog::ColumnType::kInt, 8, 0, 0.0, 100.0, 0.0},
+       CmpOp::kEq, 50.0},
+      {"zero ndv inequality",
+       {"c", catalog::ColumnType::kInt, 8, 0, 0.0, 100.0, 0.0},
+       CmpOp::kNe, 50.0},
+      {"all-NULL column (zero ndv, collapsed domain)",
+       {"c", catalog::ColumnType::kDouble, 8, 0, 0.0, 0.0, 0.0},
+       CmpOp::kEq, 0.0},
+      {"literal far below min",
+       {"c", catalog::ColumnType::kInt, 8, 100, 0.0, 100.0, 0.0},
+       CmpOp::kLt, -1e9},
+      {"literal far above max",
+       {"c", catalog::ColumnType::kInt, 8, 100, 0.0, 100.0, 0.0},
+       CmpOp::kGt, 1e9},
+      {"inverted domain (max < min)",
+       {"c", catalog::ColumnType::kDouble, 8, 10, 10.0, 0.0, 0.0},
+       CmpOp::kLe, 5.0},
+      {"single-row table stats",
+       {"c", catalog::ColumnType::kInt, 8, 1, 7.0, 7.0, 0.0},
+       CmpOp::kGe, 7.0},
+      {"extreme skew with zero ndv",
+       {"c", catalog::ColumnType::kInt, 8, 0, 0.0, 1.0, 50.0},
+       CmpOp::kEq, 0.5},
+  };
+  for (const Case& c : cases) {
+    catalog::Schema s("edge", {catalog::Table{"t", 1000, {c.col}}}, {});
+    Predicate p{ColumnId{0, 0}, c.op, Value::Double(c.literal)};
+    double sel = PredicateSelectivity(p, s);
+    EXPECT_TRUE(std::isfinite(sel)) << c.label;
+    EXPECT_GT(sel, 0.0) << c.label;
+    EXPECT_LE(sel, 1.0) << c.label;
+  }
+}
+
+TEST(SelectivityEdgeCases, DistinctAfterDegenerateStats) {
+  struct Case {
+    const char* label;
+    int64_t ndv;
+    double rows;
+  };
+  const Case cases[] = {
+      {"zero ndv", 0, 100.0},          {"zero rows", 50, 0.0},
+      {"negative rows", 50, -5.0},     {"one distinct value", 1, 1e6},
+      {"huge ndv few rows", 1000000, 3.0},
+  };
+  for (const Case& c : cases) {
+    catalog::Column col{"c", catalog::ColumnType::kInt, 8, c.ndv, 0.0, 1.0,
+                        0.0};
+    double d = DistinctAfter(c.rows, col);
+    EXPECT_TRUE(std::isfinite(d)) << c.label;
+    EXPECT_GE(d, 1.0) << c.label;
+    if (c.rows >= 1.0) {
+      EXPECT_LE(d, std::max(1.0, c.rows)) << c.label;
+    }
+  }
+}
+
+// End to end: a plan over a zero-NDV column must still cost finite (the
+// selectivity floor, not luck, guarantees it).
+TEST(SelectivityEdgeCases, ZeroNdvColumnCostsFinite) {
+  catalog::Column col{"c", catalog::ColumnType::kInt, 8, 0, 0.0, 100.0, 0.0};
+  catalog::Schema s("edge", {catalog::Table{"t", 1000, {col}}}, {});
+  Query q;
+  q.select = {SelectItem{sql::AggFunc::kNone, ColumnId{0, 0}}};
+  q.tables = {0};
+  q.filters = {Predicate{ColumnId{0, 0}, CmpOp::kEq, Value::Int(50)}};
+  CostModel model(s);
+  IndexConfig none;
+  double cost = model.QueryCost(q, none);
+  EXPECT_TRUE(std::isfinite(cost));
+  EXPECT_GT(cost, 0.0);
+  Index idx{{ColumnId{0, 0}}};
+  IndexConfig with;
+  with.Add(idx);
+  double indexed = model.QueryCost(q, with);
+  EXPECT_TRUE(std::isfinite(indexed));
+  EXPECT_LE(indexed, cost);
+}
+
+// Hammers ClearCache against concurrent QueryCost / WorkloadCosts callers.
+// The cache contract: clearing may only ever cause recomputation, never a
+// wrong or torn value, because the cost model itself is immutable. Run under
+// TSan by scripts/check.sh.
+TEST_F(EngineTest, ClearCacheDuringConcurrentCostsIsSafe) {
+  WhatIfOptimizer opt(schema_);
+  WhatIfOptimizer ref(schema_);
+  Query q_eq = LineitemQuery(CmpOp::kEq);
+  Query q_lt = LineitemQuery(CmpOp::kLt);
+  IndexConfig none;
+  IndexConfig with;
+  with.Add(Index{{Col("lineitem", "l_shipdate")}});
+  const Query* queries[] = {&q_eq, &q_lt};
+  const IndexConfig* configs[] = {&none, &with};
+  double want[2][2];
+  for (int qi = 0; qi < 2; ++qi) {
+    for (int ci = 0; ci < 2; ++ci) {
+      want[qi][ci] = ref.QueryCost(*queries[qi], *configs[ci]);
+    }
+  }
+  common::ThreadPool pool(8);
+  constexpr size_t kIters = 4096;
+  std::vector<double> got(kIters, -1.0);
+  pool.ParallelFor(kIters, [&](size_t i) {
+    if (i % 16 == 0) {
+      opt.ClearCache();
+      return;
+    }
+    got[i] = opt.QueryCost(*queries[i % 2], *configs[(i / 2) % 2]);
+  });
+  for (size_t i = 0; i < kIters; ++i) {
+    if (i % 16 == 0) continue;
+    ASSERT_EQ(got[i], want[i % 2][(i / 2) % 2]) << "iteration " << i;
+  }
+}
+
+TEST_F(EngineTest, ClearCacheDuringConcurrentWorkloadCostsIsSafe) {
+  WhatIfOptimizer opt(schema_);
+  WhatIfOptimizer ref(schema_);
+  workload::Workload w;
+  w.queries.push_back(workload::WorkloadQuery{LineitemQuery(CmpOp::kEq), 1.0});
+  w.queries.push_back(workload::WorkloadQuery{LineitemQuery(CmpOp::kLt), 2.0});
+  std::vector<IndexConfig> configs(2);
+  configs[1].Add(Index{{Col("lineitem", "l_shipdate")}});
+  std::vector<double> want = ref.WorkloadCosts(w, configs);
+  common::ThreadPool pool(8);
+  constexpr size_t kRounds = 256;
+  std::vector<std::vector<double>> got(kRounds);
+  pool.ParallelFor(kRounds, [&](size_t i) {
+    if (i % 8 == 0) {
+      opt.ClearCache();
+      return;
+    }
+    // Nested ParallelFor degrades to serial inside the pool; concurrency
+    // comes from the other outer iterations.
+    got[i] = opt.WorkloadCosts(w, configs, &pool);
+  });
+  for (size_t i = 0; i < kRounds; ++i) {
+    if (i % 8 == 0) continue;
+    ASSERT_EQ(got[i], want) << "round " << i;
+  }
 }
 
 }  // namespace

@@ -62,6 +62,53 @@ TEST_P(ReferenceTreeTest, RandomPolicyProducesValidQueriesWithinBudget) {
   }
 }
 
+// The budget boundary is exact for every constraint kind: a walk may spend
+// edits up to exactly epsilon (accepted), and the moment the budget is
+// exhausted the legitimate set collapses to the original continuation — the
+// (epsilon+1)-th edit is never offered.
+TEST_P(ReferenceTreeTest, ExactBudgetAcceptedOnePastRejected) {
+  workload::QueryGenerator gen(vocab_, workload::GeneratorOptions{}, 313);
+  int exhausted_walks = 0;
+  for (int i = 0; i < 80; ++i) {
+    sql::Query q = gen.Generate();
+    for (int epsilon : {1, 2}) {
+      ReferenceTree tree(q, vocab_, GetParam(), epsilon);
+      while (!tree.Done()) {
+        const std::vector<int>& legal = tree.LegalTokens();
+        ASSERT_FALSE(legal.empty());
+        if (tree.edit_distance() >= epsilon) {
+          // One past the budget: only the original token may be legal.
+          ASSERT_EQ(legal.size(), 1u);
+          ASSERT_EQ(legal[0], tree.OriginalTokenId());
+          tree.Advance(legal[0]);
+          continue;
+        }
+        // Greedy: take the first modifying token whenever one is offered.
+        int pick = tree.OriginalTokenId();
+        for (int id : legal) {
+          if (id != tree.OriginalTokenId()) {
+            pick = id;
+            break;
+          }
+        }
+        tree.Advance(pick);
+        ASSERT_LE(tree.edit_distance(), epsilon);
+      }
+      // Exactly-at-budget outputs are accepted: valid SQL within distance.
+      EXPECT_LE(tree.edit_distance(), epsilon);
+      sql::Query out = tree.Materialize();
+      std::string err;
+      EXPECT_TRUE(sql::ValidateQuery(out, schema_, &err)) << err;
+      EXPECT_LE(sql::EditDistance(sql::ToTokens(q, vocab_), tree.output()),
+                epsilon);
+      if (tree.edit_distance() == epsilon) ++exhausted_walks;
+    }
+  }
+  // The greedy policy must actually reach the boundary, or the test above
+  // proved nothing.
+  EXPECT_GT(exhausted_walks, 0) << ConstraintName(GetParam());
+}
+
 TEST_P(ReferenceTreeTest, ZeroBudgetForcesIdentity) {
   workload::QueryGenerator gen(vocab_, workload::GeneratorOptions{}, 311);
   common::Rng rng(1);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "advisor/heuristic_advisors.h"
 #include "catalog/datasets.h"
 #include "sql/tokenizer.h"
@@ -189,6 +191,43 @@ TEST_F(TrapTest, GeneratorMethodsProduceValidBudgetedWorkloads) {
           sql::ToTokens(pq, vocab_));
       EXPECT_LE(dist, cfg.epsilon) << MethodName(m);
     }
+  }
+}
+
+// Satellite to the budget-boundary tree tests: end to end through the
+// perturber, every constraint kind yields valid workloads that use the edit
+// budget but never exceed it.
+TEST_F(TrapTest, RandomPerturberRespectsEveryConstraintBudget) {
+  gbdt::LearnedUtilityModel utility(optimizer_, truth_);
+  utility.Train(pool_, {engine::IndexConfig()});
+  auto victim = advisor::MakeExtend(optimizer_);
+  for (PerturbationConstraint constraint :
+       {PerturbationConstraint::kValueOnly,
+        PerturbationConstraint::kColumnConsistent,
+        PerturbationConstraint::kSharedTable}) {
+    GeneratorConfig cfg;
+    cfg.method = GenerationMethod::kRandom;
+    cfg.constraint = constraint;
+    cfg.epsilon = 3;
+    cfg.seed = 29;
+    AdversarialWorkloadGenerator gen(vocab_, cfg);
+    gen.Fit(victim.get(), nullptr, &optimizer_, &utility, pool_, training_,
+            Constraint());
+    workload::Workload out = gen.Generate(test_);
+    ASSERT_EQ(out.size(), test_.size()) << ConstraintName(constraint);
+    int max_dist = 0;
+    for (int i = 0; i < out.size(); ++i) {
+      const sql::Query& orig = test_.queries[static_cast<size_t>(i)].query;
+      const sql::Query& pq = out.queries[static_cast<size_t>(i)].query;
+      EXPECT_TRUE(sql::ValidateQuery(pq, schema_))
+          << ConstraintName(constraint);
+      int dist = sql::EditDistance(sql::ToTokens(orig, vocab_),
+                                   sql::ToTokens(pq, vocab_));
+      EXPECT_LE(dist, cfg.epsilon) << ConstraintName(constraint);
+      max_dist = std::max(max_dist, dist);
+    }
+    // The budget is used (perturbation happened), never overdrawn.
+    EXPECT_GT(max_dist, 0) << ConstraintName(constraint);
   }
 }
 

@@ -46,7 +46,7 @@ int main() {
           m.method, tc::PerturbationConstraint::kSharedTable, 5,
           0xf71 ^ std::hash<std::string>{}(m.name));
       if (m.plm != nullptr) {
-        config.agent = tc::PlmAgentOptions(m.plm, config.seed);
+        config.agent = *tc::PlmAgentOptions(m.plm, config.seed);
       }
       bench::AssessmentResult r = bench::AssessRobustness(
           env, victim, nullptr, config, constraint);

@@ -30,10 +30,10 @@ std::vector<ModuleSpec> Modules() {
   gru.embed_dim = 32;
   gru.hidden_dim = 32;
   out.push_back({"GRU", gru});
-  out.push_back({"Bert", tc::PlmAgentOptions("Bert", 1)});
-  out.push_back({"Bart", tc::PlmAgentOptions("Bart", 1)});
-  out.push_back({"CodeBert", tc::PlmAgentOptions("CodeBert", 1)});
-  out.push_back({"StarEncoder", tc::PlmAgentOptions("StarEncoder", 1)});
+  out.push_back({"Bert", *tc::PlmAgentOptions("Bert", 1)});
+  out.push_back({"Bart", *tc::PlmAgentOptions("Bart", 1)});
+  out.push_back({"CodeBert", *tc::PlmAgentOptions("CodeBert", 1)});
+  out.push_back({"StarEncoder", *tc::PlmAgentOptions("StarEncoder", 1)});
   tc::AgentOptions trapm;
   trapm.encoder = tc::EncoderKind::kBiGru;
   trapm.attention = true;

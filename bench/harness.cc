@@ -94,11 +94,36 @@ bool IsNonSargable(BenchEnv& env, const workload::Workload& w,
   return utilities[0] < theta && utilities[1] < theta;
 }
 
+namespace {
+
+// IndexUtility through the fault-tolerant path when failures are being
+// collected into a report; the legacy exact path otherwise. A utility the
+// evaluation could not produce at all (deadline/cancellation) scores 0 —
+// the failure record carries the why.
+double ReportedUtility(BenchEnv& env, advisor::IndexAdvisor& advisor,
+                       advisor::IndexAdvisor* baseline,
+                       const workload::Workload& w,
+                       const advisor::TuningConstraint& constraint,
+                       BenchReport* report) {
+  if (report == nullptr) {
+    return env.evaluator.IndexUtility(advisor, baseline, w, constraint);
+  }
+  std::vector<advisor::FailureRecord> failures;
+  common::StatusOr<double> u = env.evaluator.TryIndexUtility(
+      advisor, baseline, w, constraint, {}, {}, &failures);
+  for (const advisor::FailureRecord& f : failures) {
+    report->RecordFailure(f);
+  }
+  return std::move(u).value_or(0.0);
+}
+
+}  // namespace
+
 AssessmentResult AssessRobustness(BenchEnv& env, advisor::IndexAdvisor* victim,
                                   advisor::IndexAdvisor* baseline,
                                   tc::GeneratorConfig config,
                                   const advisor::TuningConstraint& constraint,
-                                  double theta) {
+                                  double theta, BenchReport* report) {
   tc::AdversarialWorkloadGenerator generator(env.vocab, config);
   generator.Fit(victim, baseline, &env.optimizer, &env.utility, env.pool,
                 env.training, constraint);
@@ -110,7 +135,7 @@ AssessmentResult AssessRobustness(BenchEnv& env, advisor::IndexAdvisor* victim,
                      ? config.random_attempts
                      : 1;
   for (const workload::Workload& w : env.tests) {
-    double u = env.evaluator.IndexUtility(*victim, baseline, w, constraint);
+    double u = ReportedUtility(env, *victim, baseline, w, constraint, report);
     if (u <= theta) continue;  // Definition 3.3 requires u(W) > theta
     for (int attempt = 0; attempt < attempts; ++attempt) {
       workload::Workload perturbed = generator.Generate(w);
@@ -118,8 +143,8 @@ AssessmentResult AssessRobustness(BenchEnv& env, advisor::IndexAdvisor* victim,
         ++result.filtered;
         continue;
       }
-      double u_prime =
-          env.evaluator.IndexUtility(*victim, baseline, perturbed, constraint);
+      double u_prime = ReportedUtility(env, *victim, baseline, perturbed,
+                                       constraint, report);
       // IUDR = 1 - u'/u explodes when u is small; clamp per-workload values
       // so miniature-sample means are not dominated by one ratio blow-up.
       sum += common::Clamp(advisor::RobustnessEvaluator::Iudr(u, u_prime),
@@ -158,9 +183,43 @@ void BenchReport::RecordMetric(const std::string& key, double value) {
   metrics_.emplace_back(key, value);
 }
 
+void BenchReport::RecordFailure(const advisor::FailureRecord& failure) {
+  failures_.push_back(failure);
+}
+
+namespace {
+
+// Minimal JSON string escaping for failure messages (quotes, backslashes,
+// control characters).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string BenchReport::Write() const {
-  std::string path = "BENCH_" + name_ + ".json";
-  std::ofstream out(path);
+  const std::string path = "BENCH_" + name_ + ".json";
+  const std::string tmp_path = path + ".tmp";
+  std::ofstream out(tmp_path, std::ios::trunc);
   if (!out) return "";
   out << "{\n  \"bench\": \"" << name_ << "\",\n";
   out << "  \"threads\": " << threads_ << ",\n";
@@ -179,7 +238,27 @@ std::string BenchReport::Write() const {
     std::snprintf(buf, sizeof buf, "%.6f", metrics_[i].second);
     out << "    \"" << metrics_[i].first << "\": " << buf;
   }
-  out << "\n  }\n}\n";
+  out << "\n  },\n  \"failures\": [";
+  for (size_t i = 0; i < failures_.size(); ++i) {
+    const advisor::FailureRecord& f = failures_[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"advisor\": \"" << JsonEscape(f.advisor) << "\", \"site\": \""
+        << JsonEscape(f.site) << "\", \"code\": \""
+        << common::StatusCodeName(f.code) << "\", \"attempts\": " << f.attempts
+        << ", \"degraded\": " << (f.degraded ? "true" : "false")
+        << ", \"message\": \"" << JsonEscape(f.message) << "\"}";
+  }
+  out << (failures_.empty() ? "]\n}\n" : "\n  ]\n}\n");
+  out.close();
+  if (!out) {
+    std::remove(tmp_path.c_str());
+    return "";
+  }
+  // Atomic publish: a crash before this point leaves only the .tmp file.
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return "";
+  }
   std::printf("[bench json] wrote %s (threads=%d)\n", path.c_str(), threads_);
   return path;
 }

@@ -50,15 +50,22 @@ struct AssessmentResult {
   int filtered = 0;      // perturbed workloads excluded as non-sargable
 };
 
+class BenchReport;
+
 // Fits `config` against the victim and measures the mean IUDR over the test
 // workloads (Definition 3.3), excluding non-sargable perturbations: a W'
 // on which even the reference advisors cannot reach theta utility
-// (Section V-A's filtering step).
+// (Section V-A's filtering step). With a non-null `report`, utilities run
+// through the fault-tolerant evaluation path and any survived advisor
+// failure (injected fault, deadline, degradation to the no-index fallback)
+// lands in the report's "failures" array; results are identical to the
+// report-less path whenever no fault fires.
 AssessmentResult AssessRobustness(BenchEnv& env, advisor::IndexAdvisor* victim,
                                   advisor::IndexAdvisor* baseline,
                                   ::trap::trap::GeneratorConfig config,
                                   const advisor::TuningConstraint& constraint,
-                                  double theta = 0.1);
+                                  double theta = 0.1,
+                                  BenchReport* report = nullptr);
 
 // True when no reference advisor reaches `theta` utility on `w` — the
 // workload cannot be served by indexes at all.
@@ -82,11 +89,19 @@ class BenchReport {
   void RecordPhase(const std::string& phase, double seconds);
   // Records a scalar metric (speedups, costs, counters).
   void RecordMetric(const std::string& key, double value);
+  // Records an advisor failure survived by the evaluation runtime; appears
+  // in the report's "failures" JSON array.
+  void RecordFailure(const advisor::FailureRecord& failure);
 
   int threads() const { return threads_; }
+  const std::vector<advisor::FailureRecord>& failures() const {
+    return failures_;
+  }
 
   // Writes BENCH_<name>.json into the current directory and returns the
-  // path written.
+  // path written. The write is crash-safe: the report lands in
+  // BENCH_<name>.json.tmp first and is renamed into place, so a reader (or
+  // a crash mid-write) never observes a torn report.
   std::string Write() const;
 
  private:
@@ -98,6 +113,7 @@ class BenchReport {
   int threads_;
   std::vector<Phase> phases_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<advisor::FailureRecord> failures_;
 };
 
 }  // namespace trap::bench

@@ -11,9 +11,15 @@
 #      families at a fixed seed (smaller case counts under sanitizers so the
 #      stage stays near 30 seconds end to end), then replays the committed
 #      regression corpus.
-#   5. An exemption audit: the property-testing trees (src/testing,
+#   5. A fault-injection campaign per flavor (plain + TSan): trap_fuzz
+#      --fault-campaign sweeps every registered fault site at p=1.0 and
+#      p=0.05 across the advisor suite; any crash, unaccounted fault, or
+#      silent wrong answer fails the stage. The plain flavor additionally
+#      reruns the campaign at TRAP_THREADS=1/4/8 and requires the reported
+#      campaign digest to be bit-identical across thread counts.
+#   6. An exemption audit: the property-testing trees (src/testing,
 #      tools/fuzz) must lint clean without a single NOLINT escape hatch.
-#   6. A clang-format check on tools/ only (skipped with a notice when
+#   7. A clang-format check on tools/ only (skipped with a notice when
 #      clang-format is not installed; nothing outside tools/ is formatted).
 #
 # Usage: scripts/check.sh [jobs]    (default: nproc)
@@ -37,10 +43,47 @@ run_suite() {
   "${dir}/tools/fuzz/trap_fuzz" --replay tests/corpus
 }
 
+# Runs the fault-injection campaign once and echoes its digest line, failing
+# loudly if the campaign reports violations (nonzero exit) or never printed
+# a digest.
+campaign_digest() {
+  local dir="$1"
+  local out
+  out="$("${dir}/tools/fuzz/trap_fuzz" --fault-campaign --seed 1)"
+  local digest
+  digest="$(printf '%s\n' "${out}" | grep "campaign digest:")"
+  if [ -z "${digest}" ]; then
+    echo "error: ${dir} campaign produced no digest" >&2
+    exit 1
+  fi
+  printf '%s\n' "${digest}"
+}
+
+fault_campaign_stage() {
+  local dir="$1"
+  local threads="$2"   # space-separated TRAP_THREADS values to cross-check
+  echo "==> fault campaign ${dir}"
+  local ref=""
+  local t
+  for t in ${threads}; do
+    local digest
+    digest="$(TRAP_THREADS="${t}" campaign_digest "${dir}")"
+    echo "    TRAP_THREADS=${t}: ${digest}"
+    if [ -z "${ref}" ]; then
+      ref="${digest}"
+    elif [ "${digest}" != "${ref}" ]; then
+      echo "error: campaign digest differs across thread counts" >&2
+      exit 1
+    fi
+  done
+}
+
 run_suite build-check 2000 -DTRAP_WERROR=ON
+fault_campaign_stage build-check "1 4 8"
 
 TRAP_THREADS=4 run_suite build-check-tsan 600 -DTRAP_WERROR=ON \
   -DTRAP_SANITIZE=thread
+fault_campaign_stage build-check-tsan "4"
 
 run_suite build-check-asan-ubsan 600 -DTRAP_WERROR=ON \
   -DTRAP_SANITIZE=address,undefined

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "engine/index.h"
 #include "engine/what_if.h"
 #include "workload/workload.h"
@@ -35,6 +37,14 @@ struct TuningConstraint {
 // Interface implemented by all ten advisors (Definition 3.1): given a
 // workload and a tuning constraint, return a set of indexes. Advisors
 // interact with the engine exclusively through what-if calls.
+//
+// Error handling: TryRecommend is the fallible, deadline-aware entry point;
+// Recommend is the legacy infallible one. Each defaults to the other, so a
+// subclass must override at least one (overriding neither recurses — the
+// converted advisors all override TryRecommend). When only TryRecommend is
+// overridden, Recommend degrades an error to the empty (no-index)
+// configuration: always constraint-feasible, never a silent wrong answer,
+// merely zero improvement over the baseline.
 class IndexAdvisor {
  public:
   virtual ~IndexAdvisor() = default;
@@ -42,8 +52,33 @@ class IndexAdvisor {
   virtual std::string name() const = 0;
 
   virtual engine::IndexConfig Recommend(const workload::Workload& w,
-                                        const TuningConstraint& constraint) = 0;
+                                        const TuningConstraint& constraint);
+
+  // Recommends under `ctx`: honors the step budget / cancellation, surfaces
+  // injected faults and internal failures as Statuses instead of aborting.
+  virtual common::StatusOr<engine::IndexConfig> TryRecommend(
+      const workload::Workload& w, const TuningConstraint& constraint,
+      const common::EvalContext& ctx);
 };
+
+// A stable 64-bit fingerprint of the workload (query fingerprints +
+// weights, order-sensitive) — the fault-draw key for advisor-level sites.
+uint64_t WorkloadFingerprint(const workload::Workload& w);
+
+// Shared entry bracket for TryRecommend implementations: charges one step
+// and consults the advisor.recommend.fail / advisor.recommend.hang fault
+// sites, keyed on (advisor name, workload fingerprint, ctx.fault_salt).
+// The hang site deterministically consumes the caller's remaining step
+// budget — a simulated non-terminating advisor surfacing as
+// kDeadlineExceeded rather than a real hang.
+common::Status EnterRecommend(const std::string& advisor_name,
+                              const workload::Workload& w,
+                              const common::EvalContext& ctx);
+
+// Graceful degradation for legacy callers: the recommended configuration on
+// success, the empty (no-index) configuration on any error.
+engine::IndexConfig DegradeToEmpty(
+    common::StatusOr<engine::IndexConfig> result);
 
 // Convenience: weighted workload cost through the what-if optimizer
 // (queries costed in parallel on the global pool).
@@ -63,6 +98,22 @@ inline std::vector<double> WorkloadCosts(
     const engine::WhatIfOptimizer& optimizer, const workload::Workload& w,
     const std::vector<engine::IndexConfig>& configs) {
   return optimizer.WorkloadCosts(w, configs);
+}
+
+// Fallible variants honoring an EvalContext; used by the TryRecommend
+// implementations so an expired budget or injected engine fault propagates
+// out of the greedy loops instead of degrading to +infinity costs.
+inline common::StatusOr<double> TryWorkloadCost(
+    const engine::WhatIfOptimizer& optimizer, const workload::Workload& w,
+    const engine::IndexConfig& config, const common::EvalContext& ctx) {
+  return optimizer.TryWorkloadCost(w, config, ctx);
+}
+
+inline common::StatusOr<std::vector<double>> TryWorkloadCosts(
+    const engine::WhatIfOptimizer& optimizer, const workload::Workload& w,
+    const std::vector<engine::IndexConfig>& configs,
+    const common::EvalContext& ctx) {
+  return optimizer.TryWorkloadCosts(w, configs, ctx);
 }
 
 // True if adding `index` to `config` stays within the constraint.

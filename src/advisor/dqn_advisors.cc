@@ -89,12 +89,18 @@ class DqnAdvisorBase : public LearningAdvisor {
     trained_ = true;
   }
 
-  engine::IndexConfig Recommend(const workload::Workload& w,
-                                const TuningConstraint& constraint) override {
-    TRAP_CHECK_MSG(trained_, "Train must be called first");
+  common::StatusOr<engine::IndexConfig> TryRecommend(
+      const workload::Workload& w, const TuningConstraint& constraint,
+      const common::EvalContext& ctx) override {
+    if (!trained_) {
+      return common::Status::InvalidArgument(name_ +
+                                             ": Train must be called first");
+    }
+    TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
     IndexSelectionEnv env(optimizer_, &actions_);
     env.Reset(&w, constraint);
     while (!env.Done()) {
+      TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
       std::vector<bool> valid = env.ValidActions(false);
       if (std::none_of(valid.begin(), valid.end(), [](bool b) { return b; })) {
         break;

@@ -11,6 +11,9 @@
 namespace trap::advisor {
 namespace {
 
+using common::EvalContext;
+using common::Status;
+using common::StatusOr;
 using engine::Index;
 using engine::IndexConfig;
 using engine::WhatIfOptimizer;
@@ -33,12 +36,13 @@ std::vector<Index> FeasibleCandidates(std::vector<Index> candidates,
 // Greedy best configuration for a single query: repeatedly add the candidate
 // with the largest cost reduction, up to `max_indexes` indexes. Each round
 // probes every remaining candidate in one parallel what-if sweep.
-IndexConfig BestConfigForQuery(const WhatIfOptimizer& optimizer,
-                               const sql::Query& q,
-                               const std::vector<Index>& candidates,
-                               int max_indexes) {
+StatusOr<IndexConfig> BestConfigForQuery(const WhatIfOptimizer& optimizer,
+                                         const sql::Query& q,
+                                         const std::vector<Index>& candidates,
+                                         int max_indexes,
+                                         const EvalContext& ctx) {
   IndexConfig config;
-  double current = optimizer.QueryCost(q, config);
+  TRAP_ASSIGN_OR_RETURN(double current, optimizer.TryQueryCost(q, config, ctx));
   for (int round = 0; round < max_indexes; ++round) {
     std::vector<const Index*> probed;
     std::vector<IndexConfig> nexts;
@@ -50,7 +54,8 @@ IndexConfig BestConfigForQuery(const WhatIfOptimizer& optimizer,
       probed.push_back(&cand);
       nexts.push_back(std::move(next));
     }
-    std::vector<double> costs = optimizer.QueryCosts(q, nexts);
+    TRAP_ASSIGN_OR_RETURN(std::vector<double> costs,
+                          optimizer.TryQueryCosts(q, nexts, ctx));
     const Index* best = nullptr;
     double best_cost = current;
     for (size_t i = 0; i < probed.size(); ++i) {
@@ -77,31 +82,37 @@ class ExtendAdvisor : public IndexAdvisor {
 
   std::string name() const override { return "Extend"; }
 
-  IndexConfig Recommend(const Workload& w,
-                        const TuningConstraint& constraint) override {
+  StatusOr<IndexConfig> TryRecommend(const Workload& w,
+                                     const TuningConstraint& constraint,
+                                     const EvalContext& ctx) override {
+    TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
     const catalog::Schema& schema = optimizer_->schema();
     std::vector<Index> singles =
         FeasibleCandidates(SingleColumnCandidates(w), constraint, schema);
     std::vector<IndexableColumn> columns = IndexableColumns(w);
 
     IndexConfig config;
-    double base_cost = WorkloadCost(*optimizer_, w, IndexConfig());
+    TRAP_ASSIGN_OR_RETURN(double base_cost,
+                          optimizer_->TryWorkloadCost(w, IndexConfig(), ctx));
     double current = base_cost;
 
     // Pre-computed isolated benefits for the w/o-interaction ablation.
     std::map<uint64_t, double> isolated_benefit;
-    auto isolated = [&](const Index& i) {
+    auto isolated = [&](const Index& i) -> StatusOr<double> {
       IndexConfig only;
       only.Add(i);
       uint64_t key = only.Fingerprint();
       auto it = isolated_benefit.find(key);
       if (it != isolated_benefit.end()) return it->second;
-      double b = base_cost - WorkloadCost(*optimizer_, w, only);
+      TRAP_ASSIGN_OR_RETURN(double cost,
+                            optimizer_->TryWorkloadCost(w, only, ctx));
+      double b = base_cost - cost;
       isolated_benefit.emplace(key, b);
       return b;
     };
 
     while (true) {
+      TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
       // Enumerate legal moves first, then cost every resulting
       // configuration in one parallel what-if sweep; the sequential
       // selection below scans the results in enumeration order, so the
@@ -150,7 +161,8 @@ class ExtendAdvisor : public IndexAdvisor {
 
       std::vector<double> move_costs;
       if (options_.consider_interaction) {
-        move_costs = WorkloadCosts(*optimizer_, w, nexts);
+        TRAP_ASSIGN_OR_RETURN(move_costs,
+                              optimizer_->TryWorkloadCosts(w, nexts, ctx));
       }
 
       std::optional<size_t> best;
@@ -162,9 +174,12 @@ class ExtendAdvisor : public IndexAdvisor {
           new_cost = move_costs[i];
           benefit = current - new_cost;
         } else {
-          benefit = isolated(moves[i].add) -
-                    (!moves[i].remove.columns.empty() ? isolated(moves[i].remove)
-                                                      : 0.0);
+          TRAP_ASSIGN_OR_RETURN(double add_benefit, isolated(moves[i].add));
+          double removed_benefit = 0.0;
+          if (!moves[i].remove.columns.empty()) {
+            TRAP_ASSIGN_OR_RETURN(removed_benefit, isolated(moves[i].remove));
+          }
+          benefit = add_benefit - removed_benefit;
           new_cost = current - benefit;
         }
         double ratio = benefit / moves[i].extra;
@@ -178,9 +193,12 @@ class ExtendAdvisor : public IndexAdvisor {
       const Move& chosen = moves[*best];
       if (!chosen.remove.columns.empty()) config.Remove(chosen.remove);
       config.Add(chosen.add);
-      current = options_.consider_interaction
-                    ? best_new_cost
-                    : WorkloadCost(*optimizer_, w, config);
+      if (options_.consider_interaction) {
+        current = best_new_cost;
+      } else {
+        TRAP_ASSIGN_OR_RETURN(current,
+                              optimizer_->TryWorkloadCost(w, config, ctx));
+      }
     }
     return config;
   }
@@ -201,8 +219,10 @@ class Db2Advisor : public IndexAdvisor {
 
   std::string name() const override { return "DB2Advis"; }
 
-  IndexConfig Recommend(const Workload& w,
-                        const TuningConstraint& constraint) override {
+  StatusOr<IndexConfig> TryRecommend(const Workload& w,
+                                     const TuningConstraint& constraint,
+                                     const EvalContext& ctx) override {
+    TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
     const catalog::Schema& schema = optimizer_->schema();
     std::vector<Index> candidates = FeasibleCandidates(
         AllCandidates(w, schema, options_.multi_column,
@@ -218,23 +238,39 @@ class Db2Advisor : public IndexAdvisor {
     };
     // Per-query planning is independent; fan it out and merge the benefit
     // attributions serially in query order (deterministic accumulation).
+    // Statuses are pre-filled kCancelled so fast-drained iterations stay
+    // accounted for; the first error in query order wins.
     struct QueryShare {
       double improvement = 0.0;
       std::set<uint64_t> used;
     };
     std::vector<QueryShare> shares(w.queries.size());
-    common::ParallelFor(w.queries.size(), [&](size_t qi) {
-      const workload::WorkloadQuery& wq = w.queries[qi];
-      double base = optimizer_->QueryCost(wq.query, IndexConfig());
-      std::unique_ptr<engine::PlanNode> plan =
-          optimizer_->Plan(wq.query, all);
-      shares[qi].improvement = std::max(0.0, base - plan->cost) * wq.weight;
-      std::vector<const engine::PlanNode*> nodes;
-      engine::CollectNodes(*plan, &nodes);
-      for (const engine::PlanNode* n : nodes) {
-        if (n->index != nullptr) shares[qi].used.insert(fp(*n->index));
-      }
-    });
+    std::vector<Status> statuses(
+        w.queries.size(),
+        Status::Cancelled("skipped: evaluation cancelled"));
+    common::ParallelFor(
+        w.queries.size(),
+        [&](size_t qi) {
+          const workload::WorkloadQuery& wq = w.queries[qi];
+          StatusOr<double> base =
+              optimizer_->TryQueryCost(wq.query, IndexConfig(), ctx);
+          if (!base.ok()) {
+            statuses[qi] = base.status();
+            return;
+          }
+          std::unique_ptr<engine::PlanNode> plan =
+              optimizer_->Plan(wq.query, all);
+          shares[qi].improvement =
+              std::max(0.0, *base - plan->cost) * wq.weight;
+          std::vector<const engine::PlanNode*> nodes;
+          engine::CollectNodes(*plan, &nodes);
+          for (const engine::PlanNode* n : nodes) {
+            if (n->index != nullptr) shares[qi].used.insert(fp(*n->index));
+          }
+          statuses[qi] = Status::Ok();
+        },
+        ctx.cancel);
+    for (const Status& s : statuses) TRAP_RETURN_IF_ERROR(s);
     for (const QueryShare& share : shares) {
       if (share.used.empty()) continue;
       for (uint64_t u : share.used) {
@@ -274,8 +310,10 @@ class AutoAdminAdvisor : public IndexAdvisor {
 
   std::string name() const override { return "AutoAdmin"; }
 
-  IndexConfig Recommend(const Workload& w,
-                        const TuningConstraint& constraint) override {
+  StatusOr<IndexConfig> TryRecommend(const Workload& w,
+                                     const TuningConstraint& constraint,
+                                     const EvalContext& ctx) override {
+    TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
     const catalog::Schema& schema = optimizer_->schema();
     // Phase 1: candidate selection — the best configuration per query.
     std::set<Index> seeds;
@@ -286,19 +324,23 @@ class AutoAdminAdvisor : public IndexAdvisor {
           AllCandidates(single, schema, options_.multi_column,
                         options_.max_index_width),
           constraint, schema);
-      IndexConfig best = BestConfigForQuery(*optimizer_, wq.query, per_query,
-                                            /*max_indexes=*/2);
+      TRAP_ASSIGN_OR_RETURN(
+          IndexConfig best,
+          BestConfigForQuery(*optimizer_, wq.query, per_query,
+                             /*max_indexes=*/2, ctx));
       for (const Index& i : best.indexes()) seeds.insert(i);
     }
     std::vector<Index> candidates(seeds.begin(), seeds.end());
 
     // Phase 2: greedy enumeration over the workload.
     IndexConfig config;
-    double base_cost = WorkloadCost(*optimizer_, w, config);
+    TRAP_ASSIGN_OR_RETURN(double base_cost,
+                          optimizer_->TryWorkloadCost(w, config, ctx));
     double current = base_cost;
     int limit = constraint.max_indexes > 0 ? constraint.max_indexes
                                            : static_cast<int>(candidates.size());
     for (int round = 0; round < limit; ++round) {
+      TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
       // Probe every fitting candidate in one parallel sweep, then pick the
       // winner scanning the results in candidate order (identical to the
       // old serial loop).
@@ -317,7 +359,8 @@ class AutoAdminAdvisor : public IndexAdvisor {
           evals.push_back(std::move(only));
         }
       }
-      std::vector<double> eval_costs = WorkloadCosts(*optimizer_, w, evals);
+      TRAP_ASSIGN_OR_RETURN(std::vector<double> eval_costs,
+                            optimizer_->TryWorkloadCosts(w, evals, ctx));
       const Index* best = nullptr;
       double best_cost = current;
       for (size_t i = 0; i < probed.size(); ++i) {
@@ -331,9 +374,12 @@ class AutoAdminAdvisor : public IndexAdvisor {
       }
       if (best == nullptr) break;
       config.Add(*best);
-      current = options_.consider_interaction
-                    ? best_cost
-                    : WorkloadCost(*optimizer_, w, config);
+      if (options_.consider_interaction) {
+        current = best_cost;
+      } else {
+        TRAP_ASSIGN_OR_RETURN(current,
+                              optimizer_->TryWorkloadCost(w, config, ctx));
+      }
     }
     return config;
   }
@@ -354,8 +400,10 @@ class DropAdvisor : public IndexAdvisor {
 
   std::string name() const override { return "Drop"; }
 
-  IndexConfig Recommend(const Workload& w,
-                        const TuningConstraint& constraint) override {
+  StatusOr<IndexConfig> TryRecommend(const Workload& w,
+                                     const TuningConstraint& constraint,
+                                     const EvalContext& ctx) override {
+    TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
     const catalog::Schema& schema = optimizer_->schema();
     std::vector<Index> candidates = FeasibleCandidates(
         options_.multi_column
@@ -363,7 +411,8 @@ class DropAdvisor : public IndexAdvisor {
             : SingleColumnCandidates(w),
         constraint, schema);
     IndexConfig config(candidates);
-    double base_cost = WorkloadCost(*optimizer_, w, IndexConfig());
+    TRAP_ASSIGN_OR_RETURN(double base_cost,
+                          optimizer_->TryWorkloadCost(w, IndexConfig(), ctx));
 
     auto over_constraint = [&]() {
       if (constraint.max_indexes > 0 && config.size() > constraint.max_indexes) {
@@ -374,6 +423,7 @@ class DropAdvisor : public IndexAdvisor {
     };
 
     while (config.size() > 0 && over_constraint()) {
+      TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
       // One parallel sweep over every drop candidate per round.
       std::vector<IndexConfig> evals;
       evals.reserve(static_cast<size_t>(config.size()));
@@ -388,7 +438,8 @@ class DropAdvisor : public IndexAdvisor {
           evals.push_back(std::move(only));
         }
       }
-      std::vector<double> eval_costs = WorkloadCosts(*optimizer_, w, evals);
+      TRAP_ASSIGN_OR_RETURN(std::vector<double> eval_costs,
+                            optimizer_->TryWorkloadCosts(w, evals, ctx));
       const Index* victim = nullptr;
       double best_cost = 0.0;
       for (size_t k = 0; k < evals.size(); ++k) {
@@ -408,7 +459,9 @@ class DropAdvisor : public IndexAdvisor {
     // loop stopped at the first useless index; sweeping all of them in
     // parallel and taking the first match picks the same victim.
     while (true) {
-      double current = WorkloadCost(*optimizer_, w, config);
+      TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
+      TRAP_ASSIGN_OR_RETURN(double current,
+                            optimizer_->TryWorkloadCost(w, config, ctx));
       std::vector<IndexConfig> evals;
       evals.reserve(static_cast<size_t>(config.size()));
       for (const Index& i : config.indexes()) {
@@ -416,7 +469,8 @@ class DropAdvisor : public IndexAdvisor {
         next.Remove(i);
         evals.push_back(std::move(next));
       }
-      std::vector<double> eval_costs = WorkloadCosts(*optimizer_, w, evals);
+      TRAP_ASSIGN_OR_RETURN(std::vector<double> eval_costs,
+                            optimizer_->TryWorkloadCosts(w, evals, ctx));
       const Index* useless = nullptr;
       for (size_t k = 0; k < evals.size(); ++k) {
         if (eval_costs[k] <= current + 1e-9) {
@@ -447,8 +501,10 @@ class RelaxationAdvisor : public IndexAdvisor {
 
   std::string name() const override { return "Relaxation"; }
 
-  IndexConfig Recommend(const Workload& w,
-                        const TuningConstraint& constraint) override {
+  StatusOr<IndexConfig> TryRecommend(const Workload& w,
+                                     const TuningConstraint& constraint,
+                                     const EvalContext& ctx) override {
+    TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
     const catalog::Schema& schema = optimizer_->schema();
     // Start from the union of per-query best configurations.
     std::set<Index> seeds;
@@ -458,8 +514,9 @@ class RelaxationAdvisor : public IndexAdvisor {
       std::vector<Index> per_query =
           AllCandidates(single, schema, options_.multi_column,
                         options_.max_index_width);
-      IndexConfig best =
-          BestConfigForQuery(*optimizer_, wq.query, per_query, 2);
+      TRAP_ASSIGN_OR_RETURN(
+          IndexConfig best,
+          BestConfigForQuery(*optimizer_, wq.query, per_query, 2, ctx));
       for (const Index& i : best.indexes()) seeds.insert(i);
     }
     IndexConfig config(std::vector<Index>(seeds.begin(), seeds.end()));
@@ -472,8 +529,10 @@ class RelaxationAdvisor : public IndexAdvisor {
               config.size() > constraint.max_indexes);
     };
 
-    double current = WorkloadCost(*optimizer_, w, config);
+    TRAP_ASSIGN_OR_RETURN(double current,
+                          optimizer_->TryWorkloadCost(w, config, ctx));
     while (config.size() > 0 && over()) {
+      TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
       // Collect every legal relaxation, cost them in one parallel sweep,
       // then select scanning in enumeration order (same winner as the old
       // serial consider() calls).
@@ -521,8 +580,8 @@ class RelaxationAdvisor : public IndexAdvisor {
           consider(mergedcfg);
         }
       }
-      std::vector<double> relax_costs =
-          WorkloadCosts(*optimizer_, w, relaxations);
+      TRAP_ASSIGN_OR_RETURN(std::vector<double> relax_costs,
+                            optimizer_->TryWorkloadCosts(w, relaxations, ctx));
       std::optional<size_t> best;
       double best_score = 0.0;
       for (size_t k = 0; k < relaxations.size(); ++k) {
@@ -557,8 +616,10 @@ class DtaAdvisor : public IndexAdvisor {
 
   std::string name() const override { return "DTA"; }
 
-  IndexConfig Recommend(const Workload& w,
-                        const TuningConstraint& constraint) override {
+  StatusOr<IndexConfig> TryRecommend(const Workload& w,
+                                     const TuningConstraint& constraint,
+                                     const EvalContext& ctx) override {
+    TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
     const catalog::Schema& schema = optimizer_->schema();
     constexpr int kEvaluationBudget = 4000;  // anytime bound on what-if calls
     int evaluations = 0;
@@ -572,13 +633,15 @@ class DtaAdvisor : public IndexAdvisor {
     for (const workload::WorkloadQuery& wq : w.queries) {
       workload::Workload single;
       single.queries.push_back(wq);
-      IndexConfig best = BestConfigForQuery(
-          *optimizer_, wq.query,
-          FeasibleCandidates(AllCandidates(single, schema,
-                                           options_.multi_column,
-                                           options_.max_index_width),
-                             constraint, schema),
-          1);
+      TRAP_ASSIGN_OR_RETURN(
+          IndexConfig best,
+          BestConfigForQuery(
+              *optimizer_, wq.query,
+              FeasibleCandidates(AllCandidates(single, schema,
+                                               options_.multi_column,
+                                               options_.max_index_width),
+                                 constraint, schema),
+              1, ctx));
       for (const Index& i : best.indexes()) priority.insert(i);
     }
     std::stable_sort(candidates.begin(), candidates.end(),
@@ -587,12 +650,14 @@ class DtaAdvisor : public IndexAdvisor {
                      });
 
     IndexConfig config;
-    double base_cost = WorkloadCost(*optimizer_, w, config);
+    TRAP_ASSIGN_OR_RETURN(double base_cost,
+                          optimizer_->TryWorkloadCost(w, config, ctx));
     double current = base_cost;
     // Greedy additions. Each round batches the first budget-many fitting
     // candidates into one parallel sweep — the same prefix the old serial
     // loop would have evaluated before exhausting the anytime budget.
     while (evaluations < kEvaluationBudget) {
+      TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
       std::vector<const Index*> probed;
       std::vector<IndexConfig> evals;
       for (const Index& cand : candidates) {
@@ -612,7 +677,8 @@ class DtaAdvisor : public IndexAdvisor {
           evals.push_back(std::move(only));
         }
       }
-      std::vector<double> eval_costs = WorkloadCosts(*optimizer_, w, evals);
+      TRAP_ASSIGN_OR_RETURN(std::vector<double> eval_costs,
+                            optimizer_->TryWorkloadCosts(w, evals, ctx));
       evaluations += static_cast<int>(probed.size());
       const Index* best = nullptr;
       double best_ratio = 0.0;
@@ -632,9 +698,12 @@ class DtaAdvisor : public IndexAdvisor {
       }
       if (best == nullptr) break;
       config.Add(*best);
-      current = options_.consider_interaction
-                    ? best_cost
-                    : WorkloadCost(*optimizer_, w, config);
+      if (options_.consider_interaction) {
+        current = best_cost;
+      } else {
+        TRAP_ASSIGN_OR_RETURN(current,
+                              optimizer_->TryWorkloadCost(w, config, ctx));
+      }
     }
     // One anytime swap pass.
     for (const Index& sel : std::vector<Index>(config.indexes())) {
@@ -645,7 +714,8 @@ class DtaAdvisor : public IndexAdvisor {
         next.Remove(sel);
         if (!FitsConstraint(next, cand, constraint, schema)) continue;
         next.Add(cand);
-        double cost = WorkloadCost(*optimizer_, w, next);
+        TRAP_ASSIGN_OR_RETURN(double cost,
+                              optimizer_->TryWorkloadCost(w, next, ctx));
         ++evaluations;
         if (cost < current - 1e-9) {
           config = next;

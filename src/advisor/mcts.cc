@@ -17,18 +17,26 @@ class MctsAdvisor : public IndexAdvisor {
 
   std::string name() const override { return "MCTS"; }
 
-  engine::IndexConfig Recommend(const workload::Workload& w,
-                                const TuningConstraint& constraint) override {
+  common::StatusOr<engine::IndexConfig> TryRecommend(
+      const workload::Workload& w, const TuningConstraint& constraint,
+      const common::EvalContext& ctx) override {
+    TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
     const catalog::Schema& schema = optimizer_->schema();
     candidates_ = AllCandidates(w, schema, options_.multi_column,
                                 options_.max_width);
     workload_ = &w;
     constraint_ = constraint;
-    base_cost_ = WorkloadCost(*optimizer_, w, engine::IndexConfig());
+    TRAP_ASSIGN_OR_RETURN(
+        base_cost_, optimizer_->TryWorkloadCost(w, engine::IndexConfig(), ctx));
     nodes_.clear();
 
+    // The rollouts below go through the legacy cost wrappers: an engine
+    // error degrades that rollout's value to -infinity (the search simply
+    // avoids it) instead of aborting the whole search. Deadlines are
+    // enforced at iteration granularity here.
     engine::IndexConfig root;
     for (int it = 0; it < options_.iterations; ++it) {
+      TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
       Simulate(root, 0);
     }
     // Extract the principal variation by most-visited children.

@@ -180,9 +180,17 @@ void SwirlAdvisor::Train(const std::vector<workload::Workload>& training,
   im.trained = true;
 }
 
-engine::IndexConfig SwirlAdvisor::Recommend(const workload::Workload& w,
-                                            const TuningConstraint& constraint) {
-  TRAP_CHECK_MSG(impl_->trained, "SwirlAdvisor::Train must be called first");
+common::StatusOr<engine::IndexConfig> SwirlAdvisor::TryRecommend(
+    const workload::Workload& w, const TuningConstraint& constraint,
+    const common::EvalContext& ctx) {
+  if (!impl_->trained) {
+    return common::Status::InvalidArgument(
+        "SwirlAdvisor::Train must be called first");
+  }
+  TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
+  // The greedy rollout is one bounded episode; engine errors inside degrade
+  // through the legacy cost wrappers, and the entry bracket above accounts
+  // for deadline/fault injection at recommend granularity.
   return impl_->Rollout(w, constraint, /*sample=*/false, nullptr);
 }
 

@@ -35,8 +35,9 @@ class SwirlAdvisor : public LearningAdvisor {
   void Train(const std::vector<workload::Workload>& training,
              const TuningConstraint& constraint) override;
 
-  engine::IndexConfig Recommend(const workload::Workload& w,
-                                const TuningConstraint& constraint) override;
+  common::StatusOr<engine::IndexConfig> TryRecommend(
+      const workload::Workload& w, const TuningConstraint& constraint,
+      const common::EvalContext& ctx) override;
 
   const ActionSpace& action_space() const;
 

@@ -1,0 +1,23 @@
+#include "common/deadline.h"
+
+namespace trap::common {
+
+Status CancelToken::status() const {
+  if (cancelled()) return Status::Cancelled("evaluation cancelled");
+  if (expired()) {
+    return Status::DeadlineExceeded("evaluation step budget exhausted");
+  }
+  return Status::Ok();
+}
+
+Status EvalContext::CheckContinue(std::uint64_t steps) const {
+  if (cancel == nullptr) return Status::Ok();
+  if (cancel->Charge(steps)) return Status::Ok();
+  Status s = cancel->status();
+  // Charge() can fail only by cancellation or exhaustion; if a racing
+  // reader sees neither yet, report the exhaustion that Charge observed.
+  return s.ok() ? Status::DeadlineExceeded("evaluation step budget exhausted")
+                : s;
+}
+
+}  // namespace trap::common

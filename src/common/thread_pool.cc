@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/deadline.h"
 
 namespace trap::common {
 
@@ -153,6 +154,21 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (batch->error) std::rethrow_exception(batch->error);
 }
 
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             const CancelToken* cancel) {
+  if (cancel == nullptr) {
+    ParallelFor(n, fn);
+    return;
+  }
+  // Fast-drain wrapper: iterations claimed after the token dies are skipped
+  // without invoking fn. Skipped slots keep whatever the caller pre-filled
+  // (a kCancelled Status), so every item stays accounted for.
+  ParallelFor(n, [&fn, cancel](size_t i) {
+    if (cancel->cancelled() || cancel->expired()) return;
+    fn(i);
+  });
+}
+
 ThreadPool& GlobalPool() {
   static ThreadPool* pool = new ThreadPool(ThreadsFromEnvironment());
   return *pool;
@@ -160,6 +176,11 @@ ThreadPool& GlobalPool() {
 
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   GlobalPool().ParallelFor(n, fn);
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 const CancelToken* cancel) {
+  GlobalPool().ParallelFor(n, fn, cancel);
 }
 
 }  // namespace trap::common

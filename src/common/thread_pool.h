@@ -11,6 +11,8 @@
 
 namespace trap::common {
 
+class CancelToken;
+
 // Fixed-size thread pool driving data-parallel loops. There is no work
 // stealing and no futures: the single primitive is ParallelFor, which
 // partitions [0, n) across the pool's workers plus the calling thread via a
@@ -47,6 +49,14 @@ class ThreadPool {
   // is a no-op.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  // Cancel-aware variant: once `cancel` reports cancelled or expired, the
+  // remaining unclaimed iterations fast-drain -- they are claimed but fn is
+  // not invoked for them. Callers must pre-fill per-item result slots with a
+  // kCancelled Status (or equivalent) so skipped items stay accounted for.
+  // `cancel == nullptr` behaves exactly like the plain overload.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const CancelToken* cancel);
+
   // True while the current thread is executing iterations of some
   // ParallelFor batch (either as a pool worker or as the submitting caller).
   static bool InParallelLoop();
@@ -71,6 +81,8 @@ ThreadPool& GlobalPool();
 
 // Convenience: GlobalPool().ParallelFor(n, fn).
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 const CancelToken* cancel);
 
 }  // namespace trap::common
 

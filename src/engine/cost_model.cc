@@ -370,10 +370,12 @@ std::unique_ptr<PlanNode> CostModel::Plan(const sql::Query& q,
 double CostModel::QueryCost(const sql::Query& q,
                             const IndexConfig& config) const {
   double cost = Plan(q, config)->cost;
-  if (common::ActiveFault() == common::InjectedFault::kInvertIndexBenefit &&
-      !config.empty()) [[unlikely]] {
-    // Armed only by the fuzzing harness: flip the sign of the index benefit
-    // so the add-index-monotone oracle must detect and shrink it.
+  if (!config.empty() &&
+      common::FaultShouldFire(common::FaultSite::kWhatIfInvertBenefit,
+                              /*key=*/0)) [[unlikely]] {
+    // Armed only by the fuzzing harness (legacy invert_index_benefit, key 0
+    // = fires on every consultation when armed): flip the sign of the index
+    // benefit so the add-index-monotone oracle must detect and shrink it.
     double base = Plan(q, IndexConfig())->cost;
     cost = base + (base - cost);
   }

@@ -1,5 +1,9 @@
 #include "engine/what_if.h"
 
+#include <bit>
+#include <cmath>
+
+#include "common/fault.h"
 #include "common/rng.h"
 
 namespace trap::engine {
@@ -8,11 +12,27 @@ WhatIfOptimizer::WhatIfOptimizer(const catalog::Schema& schema,
                                  CostParams params)
     : model_(schema, params) {}
 
-double WhatIfOptimizer::CachedCost(const sql::Query& q, uint64_t config_fp,
-                                   const IndexConfig& config) const {
+uint64_t WhatIfOptimizer::EntryChecksum(uint64_t query_fp, uint64_t config_fp,
+                                        double cost) {
+  return common::HashCombine(common::HashCombine(query_fp, config_fp),
+                             std::bit_cast<uint64_t>(cost));
+}
+
+common::Status WhatIfOptimizer::CachedCostStatus(
+    const sql::Query& q, uint64_t config_fp, const IndexConfig& config,
+    const common::EvalContext& ctx, double* out) const {
+  TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
   num_calls_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t query_fp = sql::Fingerprint(q);
   const uint64_t key = common::HashCombine(query_fp, config_fp);
+  // Fault draws key on the logical work item + the context's salt, so the
+  // same (query, config) pair draws identically on every run and thread
+  // count, while retry attempts (which re-salt) redraw.
+  const uint64_t draw_key = common::HashCombine(key, ctx.fault_salt);
+  if (common::FaultShouldFire(common::FaultSite::kWhatIfTimeout, draw_key)) {
+    return common::Status::DeadlineExceeded(
+        "injected fault: engine.whatif.timeout");
+  }
   CacheShard& shard = shards_[key >> 60];  // high bits: 64 - log2(16)
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -20,29 +40,71 @@ double WhatIfOptimizer::CachedCost(const sql::Query& q, uint64_t config_fp,
     if (it != shard.map.end()) {
       if (it->second.query_fp == query_fp &&
           it->second.config_fp == config_fp) {
-        return it->second.cost;
+        if (it->second.checksum ==
+            EntryChecksum(query_fp, config_fp, it->second.cost)) {
+          *out = it->second.cost;
+          return common::Status::Ok();
+        }
+        // Corrupted entry (cache.shard.poison): fall through, recompute,
+        // and repair below. The caller always gets the true cost.
+        num_integrity_recoveries_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // 64-bit collision: fall through and recompute; the recomputed pair
+        // takes the slot (collisions are ~never, correctness is what
+        // matters — neither pair is ever answered from the other's entry).
+        num_collisions_.fetch_add(1, std::memory_order_relaxed);
       }
-      // 64-bit collision: fall through and recompute; the existing entry
-      // keeps its slot (collisions are ~never, correctness is what matters).
-      num_collisions_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   double cost = model_.QueryCost(q, config);
+  if (common::FaultShouldFire(common::FaultSite::kWhatIfCostError, draw_key)) {
+    cost = std::numeric_limits<double>::quiet_NaN();
+  }
+  // Validate before caching or returning: a mis-costed plan must surface as
+  // an error, never as a silently wrong (or poisonous NaN) estimate.
+  if (!std::isfinite(cost) || cost < 0.0) {
+    return common::Status::Internal("what-if cost model produced an invalid "
+                                    "cost estimate");
+  }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto [it, inserted] = shard.map.emplace(
-        key, CacheEntry{query_fp, config_fp, cost});
+    CacheEntry entry{query_fp, config_fp, cost,
+                     EntryChecksum(query_fp, config_fp, cost)};
+    if (common::FaultShouldFire(common::FaultSite::kCacheShardPoison,
+                                draw_key)) {
+      // Corrupt the stored cost but not the checksum: the next hit detects
+      // the mismatch and self-heals instead of serving the bad value.
+      entry.cost = -(cost + 1.0);
+    }
+    auto [it, inserted] = shard.map.insert_or_assign(key, entry);
     (void)it;
     // Count the miss only on actual insertion so two threads racing to fill
     // the same entry (both computing the identical value) report one miss.
     if (inserted) num_misses_.fetch_add(1, std::memory_order_relaxed);
   }
-  return cost;
+  *out = cost;
+  return common::Status::Ok();
+}
+
+double WhatIfOptimizer::CachedCost(const sql::Query& q, uint64_t config_fp,
+                                   const IndexConfig& config) const {
+  double cost = 0.0;
+  common::Status status = CachedCostStatus(q, config_fp, config, {}, &cost);
+  return status.ok() ? cost : kInfiniteCost;
 }
 
 double WhatIfOptimizer::QueryCost(const sql::Query& q,
                                   const IndexConfig& config) const {
   return CachedCost(q, config.Fingerprint(), config);
+}
+
+common::StatusOr<double> WhatIfOptimizer::TryQueryCost(
+    const sql::Query& q, const IndexConfig& config,
+    const common::EvalContext& ctx) const {
+  double cost = 0.0;
+  TRAP_RETURN_IF_ERROR(
+      CachedCostStatus(q, config.Fingerprint(), config, ctx, &cost));
+  return cost;
 }
 
 std::vector<double> WhatIfOptimizer::QueryCosts(
@@ -52,6 +114,26 @@ std::vector<double> WhatIfOptimizer::QueryCosts(
   RunParallel(pool, configs.size(), [&](size_t i) {
     costs[i] = CachedCost(q, configs[i].Fingerprint(), configs[i]);
   });
+  return costs;
+}
+
+common::StatusOr<std::vector<double>> WhatIfOptimizer::TryQueryCosts(
+    const sql::Query& q, const std::vector<IndexConfig>& configs,
+    const common::EvalContext& ctx, common::ThreadPool* pool) const {
+  const size_t n = configs.size();
+  std::vector<double> costs(n);
+  std::vector<common::Status> statuses(
+      n, common::Status::Cancelled("skipped: evaluation cancelled"));
+  RunParallel(
+      pool, n,
+      [&](size_t i) {
+        statuses[i] = CachedCostStatus(q, configs[i].Fingerprint(), configs[i],
+                                       ctx, &costs[i]);
+      },
+      ctx.cancel);
+  for (size_t i = 0; i < n; ++i) {
+    TRAP_RETURN_IF_ERROR(statuses[i]);  // first error in input order
+  }
   return costs;
 }
 

@@ -4,11 +4,14 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/cost_model.h"
 
@@ -27,13 +30,36 @@ namespace trap::engine {
 // batched entry points below fan work out across the global thread pool and
 // produce bit-identical results for any TRAP_THREADS setting: per-item costs
 // are written into pre-sized slots and reduced serially in input order.
+//
+// Error handling: the Try* entry points are the fallible core -- they honor
+// the EvalContext step budget / cancellation and surface injected faults and
+// internal inconsistencies as Statuses. Batched Try* calls aggregate
+// per-item Statuses by picking the first error in *input order*, so the
+// returned Status is bit-identical across thread counts. The legacy
+// double-returning wrappers degrade an error to +infinity cost -- a
+// deterministic "this configuration is unusable" answer that can never be
+// mistaken for a real estimate (real costs are finite and non-negative).
+//
+// Cache integrity: every cache entry carries a checksum over (query_fp,
+// config_fp, cost). A hit whose entry fails the checksum (e.g. the
+// cache.shard.poison fault site corrupted it at insert) is detected,
+// recomputed, and repaired in place -- the caller always receives the true
+// cost, and num_integrity_recoveries() counts the self-healing events.
 class WhatIfOptimizer {
  public:
   explicit WhatIfOptimizer(const catalog::Schema& schema,
                            CostParams params = {});
 
   // Estimated cost of `q` under hypothetical configuration `config`.
+  // Degrades errors to +infinity; use TryQueryCost to observe them.
   double QueryCost(const sql::Query& q, const IndexConfig& config) const;
+
+  // Fallible cost of `q` under `config`, honoring `ctx` (step budget,
+  // cancellation, fault salt).
+  common::StatusOr<double> TryQueryCost(const sql::Query& q,
+                                        const IndexConfig& config,
+                                        const common::EvalContext& ctx = {})
+      const;
 
   // The plan behind the estimate (uncached). PlanNode::index pointers borrow
   // from `config`, which must outlive the returned plan.
@@ -48,37 +74,74 @@ class WhatIfOptimizer {
   template <typename WorkloadT>
   double WorkloadCost(const WorkloadT& w, const IndexConfig& config,
                       common::ThreadPool* pool = nullptr) const {
+    common::StatusOr<double> total = TryWorkloadCost(w, config, {}, pool);
+    return std::move(total).value_or(kInfiniteCost);
+  }
+
+  template <typename WorkloadT>
+  common::StatusOr<double> TryWorkloadCost(const WorkloadT& w,
+                                           const IndexConfig& config,
+                                           const common::EvalContext& ctx = {},
+                                           common::ThreadPool* pool =
+                                               nullptr) const {
     const size_t n = w.queries.size();
     std::vector<double> costs(n);
+    std::vector<common::Status> statuses(
+        n, common::Status::Cancelled("skipped: evaluation cancelled"));
     const uint64_t config_fp = config.Fingerprint();
-    RunParallel(pool, n, [&](size_t i) {
-      costs[i] = CachedCost(w.queries[i].query, config_fp, config);
-    });
+    RunParallel(
+        pool, n,
+        [&](size_t i) {
+          statuses[i] = CachedCostStatus(w.queries[i].query, config_fp, config,
+                                         ctx, &costs[i]);
+        },
+        ctx.cancel);
     double total = 0.0;
-    for (size_t i = 0; i < n; ++i) total += w.queries[i].weight * costs[i];
+    for (size_t i = 0; i < n; ++i) {
+      TRAP_RETURN_IF_ERROR(statuses[i]);  // first error in input order
+      total += w.queries[i].weight * costs[i];
+    }
     return total;
   }
 
   // Batched candidate-benefit sweep: weighted workload cost under each of
   // `configs`, all (query, config) pairs evaluated in parallel. Entry k of
-  // the result corresponds to configs[k].
+  // the result corresponds to configs[k]. Errors degrade to +infinity.
   template <typename WorkloadT>
   std::vector<double> WorkloadCosts(const WorkloadT& w,
                                     const std::vector<IndexConfig>& configs,
                                     common::ThreadPool* pool = nullptr) const {
+    common::StatusOr<std::vector<double>> totals =
+        TryWorkloadCosts(w, configs, {}, pool);
+    if (totals.ok()) return *std::move(totals);
+    return std::vector<double>(configs.size(), kInfiniteCost);
+  }
+
+  template <typename WorkloadT>
+  common::StatusOr<std::vector<double>> TryWorkloadCosts(
+      const WorkloadT& w, const std::vector<IndexConfig>& configs,
+      const common::EvalContext& ctx = {},
+      common::ThreadPool* pool = nullptr) const {
     const size_t nq = w.queries.size();
     const size_t nc = configs.size();
     std::vector<uint64_t> config_fps(nc);
     for (size_t c = 0; c < nc; ++c) config_fps[c] = configs[c].Fingerprint();
     std::vector<double> costs(nq * nc);
-    RunParallel(pool, nq * nc, [&](size_t k) {
-      const size_t c = k / nq;
-      const size_t i = k % nq;
-      costs[k] = CachedCost(w.queries[i].query, config_fps[c], configs[c]);
-    });
+    std::vector<common::Status> statuses(
+        nq * nc, common::Status::Cancelled("skipped: evaluation cancelled"));
+    RunParallel(
+        pool, nq * nc,
+        [&](size_t k) {
+          const size_t c = k / nq;
+          const size_t i = k % nq;
+          statuses[k] = CachedCostStatus(w.queries[i].query, config_fps[c],
+                                         configs[c], ctx, &costs[k]);
+        },
+        ctx.cancel);
     std::vector<double> totals(nc, 0.0);
     for (size_t c = 0; c < nc; ++c) {
       for (size_t i = 0; i < nq; ++i) {
+        TRAP_RETURN_IF_ERROR(statuses[c * nq + i]);
         totals[c] += w.queries[i].weight * costs[c * nq + i];
       }
     }
@@ -87,12 +150,24 @@ class WhatIfOptimizer {
 
   // Batched: cost of one query under each of `configs` (parallel,
   // order-preserving) — the inner loop of per-query greedy searches.
+  // Errors degrade to +infinity per entry.
   std::vector<double> QueryCosts(const sql::Query& q,
                                  const std::vector<IndexConfig>& configs,
                                  common::ThreadPool* pool = nullptr) const;
 
+  common::StatusOr<std::vector<double>> TryQueryCosts(
+      const sql::Query& q, const std::vector<IndexConfig>& configs,
+      const common::EvalContext& ctx = {},
+      common::ThreadPool* pool = nullptr) const;
+
   const catalog::Schema& schema() const { return model_.schema(); }
   const CostModel& cost_model() const { return model_; }
+
+  // The sentinel cost returned by the legacy (non-Try) wrappers when the
+  // underlying evaluation fails: +infinity never wins a cost comparison, so
+  // a degraded estimate can only push a search away from the failed config.
+  static constexpr double kInfiniteCost =
+      std::numeric_limits<double>::infinity();
 
   // Number of what-if calls answered (including cache hits) — the paper's
   // efficiency discussions count optimizer invocations.
@@ -110,10 +185,16 @@ class WhatIfOptimizer {
   int64_t num_collisions() const {
     return num_collisions_.load(std::memory_order_relaxed);
   }
+  // Cache hits whose entry failed its integrity checksum and was recomputed
+  // and repaired (see cache.shard.poison in common/fault.h).
+  int64_t num_integrity_recoveries() const {
+    return num_integrity_recoveries_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() {
     num_calls_.store(0, std::memory_order_relaxed);
     num_misses_.store(0, std::memory_order_relaxed);
     num_collisions_.store(0, std::memory_order_relaxed);
+    num_integrity_recoveries_.store(0, std::memory_order_relaxed);
   }
 
   size_t cache_size() const;
@@ -122,11 +203,13 @@ class WhatIfOptimizer {
  private:
   // Both halves of the memo key are stored so a HashCombine collision is
   // detected (and answered by recomputation) instead of silently returning
-  // another pair's cost.
+  // another pair's cost; `checksum` covers (query_fp, config_fp, cost) so a
+  // corrupted entry is detected on hit and repaired.
   struct CacheEntry {
     uint64_t query_fp = 0;
     uint64_t config_fp = 0;
     double cost = 0.0;
+    uint64_t checksum = 0;
   };
   struct CacheShard {
     mutable std::mutex mu;
@@ -135,24 +218,38 @@ class WhatIfOptimizer {
   static constexpr size_t kNumShards = 16;  // power of two
 
   static void RunParallel(common::ThreadPool* pool, size_t n,
-                          const std::function<void(size_t)>& fn) {
+                          const std::function<void(size_t)>& fn,
+                          const common::CancelToken* cancel = nullptr) {
     if (pool != nullptr) {
-      pool->ParallelFor(n, fn);
+      pool->ParallelFor(n, fn, cancel);
     } else {
-      common::ParallelFor(n, fn);
+      common::ParallelFor(n, fn, cancel);
     }
   }
 
+  static uint64_t EntryChecksum(uint64_t query_fp, uint64_t config_fp,
+                                double cost);
+
   // Memoized cost of (q, config); `config_fp` is config.Fingerprint(),
-  // hoisted by batched callers.
+  // hoisted by batched callers. Errors degrade to +infinity.
   double CachedCost(const sql::Query& q, uint64_t config_fp,
                     const IndexConfig& config) const;
+
+  // The fallible memoized core: charges one step against ctx, consults the
+  // engine.whatif.* fault sites, validates computed costs (finite,
+  // non-negative) and cache-entry checksums. On success writes the cost to
+  // *out; errors are never cached.
+  common::Status CachedCostStatus(const sql::Query& q, uint64_t config_fp,
+                                  const IndexConfig& config,
+                                  const common::EvalContext& ctx,
+                                  double* out) const;
 
   CostModel model_;
   mutable std::array<CacheShard, kNumShards> shards_;
   mutable std::atomic<int64_t> num_calls_{0};
   mutable std::atomic<int64_t> num_misses_{0};
   mutable std::atomic<int64_t> num_collisions_{0};
+  mutable std::atomic<int64_t> num_integrity_recoveries_{0};
 };
 
 }  // namespace trap::engine

@@ -1,0 +1,269 @@
+#include "testing/fault_campaign.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "advisor/evaluation.h"
+#include "advisor/heuristic_advisors.h"
+#include "common/deadline.h"
+#include "common/fault.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "testing/case_gen.h"
+#include "testing/harness.h"
+#include "trap/perturber.h"
+
+namespace trap::proptest {
+
+namespace {
+
+using common::FaultSite;
+
+// The sites the campaign sweeps; the legacy invert_benefit site is covered
+// by the oracle suite (it is a *silent* fault by design, the opposite of
+// what this campaign proves about the loud ones).
+constexpr FaultSite kSweptSites[] = {
+    FaultSite::kWhatIfCostError,      FaultSite::kWhatIfTimeout,
+    FaultSite::kAdvisorRecommendFail, FaultSite::kAdvisorRecommendHang,
+    FaultSite::kCacheShardPoison,     FaultSite::kPerturberInvalidTree,
+};
+
+constexpr const char* kAdvisors[] = {"Extend", "AutoAdmin", "Drop"};
+
+std::uint64_t NameHash(const std::string& name) {
+  std::uint64_t h = 0x9d7f;
+  for (char c : name) {
+    h = common::HashCombine(h, static_cast<std::uint64_t>(
+                                   static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+std::unique_ptr<advisor::IndexAdvisor> MakeAdvisorByName(
+    const std::string& name, const engine::WhatIfOptimizer& optimizer) {
+  if (name == "Extend") return advisor::MakeExtend(optimizer);
+  if (name == "AutoAdmin") return advisor::MakeAutoAdmin(optimizer);
+  advisor::HeuristicOptions drop_options;
+  drop_options.multi_column = false;
+  return advisor::MakeDrop(optimizer, drop_options);
+}
+
+// Deterministic workload set shared by every cell of the sweep.
+std::vector<workload::Workload> MakeWorkloads(const sql::Vocabulary& vocab,
+                                              std::uint64_t seed, int count) {
+  std::vector<workload::Workload> out;
+  for (int i = 0; i < count; ++i) {
+    CaseGen gen(vocab, CaseGen::StreamSeed(seed, i, /*salt=*/0xfc));
+    out.push_back(gen.SmallWorkload(3, 5));
+  }
+  return out;
+}
+
+// Fault-free recommendation fingerprint for (advisor, workload) -- the
+// reference a succeeding fault-run case must match bit-for-bit.
+std::map<std::pair<std::string, int>, std::uint64_t> BaselineFingerprints(
+    const catalog::Schema& schema,
+    const std::vector<workload::Workload>& workloads,
+    const advisor::TuningConstraint& constraint,
+    const FaultCampaignOptions& opts) {
+  std::map<std::pair<std::string, int>, std::uint64_t> out;
+  for (const char* name : kAdvisors) {
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+      engine::WhatIfOptimizer optimizer(schema);
+      std::unique_ptr<advisor::IndexAdvisor> adv =
+          MakeAdvisorByName(name, optimizer);
+      common::CancelToken token(opts.step_budget);
+      common::EvalContext ctx;
+      ctx.cancel = &token;
+      ctx.fault_salt = common::HashCombine(opts.seed, wi);
+      advisor::RecommendOutcome outcome = advisor::RecommendWithRetry(
+          *adv, workloads[wi], constraint, ctx, advisor::RetryPolicy{});
+      out[{name, static_cast<int>(wi)}] =
+          outcome.status.ok() ? outcome.config.Fingerprint() : 0;
+    }
+  }
+  return out;
+}
+
+// Expected failure codes when `site` fires and cannot be retried through.
+bool CodeMatchesSite(FaultSite site, common::StatusCode code) {
+  switch (site) {
+    case FaultSite::kWhatIfCostError:
+      return code == common::StatusCode::kResourceExhausted ||
+             code == common::StatusCode::kInternal;
+    case FaultSite::kWhatIfTimeout:
+    case FaultSite::kAdvisorRecommendHang:
+      return code == common::StatusCode::kDeadlineExceeded;
+    case FaultSite::kAdvisorRecommendFail:
+      return code == common::StatusCode::kResourceExhausted ||
+             code == common::StatusCode::kFaultInjected;
+    default:
+      return false;  // poison / invalid_tree self-heal; they never error
+  }
+}
+
+void FoldCase(CampaignResult* result, const CampaignCase& c) {
+  // Order-independent: XOR-accumulate per-case hashes so the digest does
+  // not depend on sweep enumeration order.
+  std::uint64_t h = NameHash(c.site);
+  h = common::HashCombine(h, static_cast<std::uint64_t>(c.probability * 1e6));
+  h = common::HashCombine(h, NameHash(c.advisor));
+  h = common::HashCombine(h, static_cast<std::uint64_t>(c.workload_index));
+  h = common::HashCombine(h, static_cast<std::uint64_t>(c.code));
+  h = common::HashCombine(h, static_cast<std::uint64_t>(c.attempts));
+  h = common::HashCombine(h, c.config_fp);
+  result->digest ^= h;
+  if (!c.note.empty()) ++result->violations;
+  result->cases.push_back(c);
+}
+
+void LogCase(std::FILE* log, const CampaignCase& c) {
+  if (log == nullptr) return;
+  std::fprintf(log,
+               "campaign %-28s p=%.2f %-10s w%d -> %s attempts=%d "
+               "triggers=%lld%s%s%s\n",
+               c.site.c_str(), c.probability, c.advisor.c_str(),
+               c.workload_index, common::StatusCodeName(c.code), c.attempts,
+               static_cast<long long>(c.triggers),
+               c.degraded ? " degraded" : "", c.note.empty() ? "" : "  !! ",
+               c.note.c_str());
+}
+
+}  // namespace
+
+CampaignResult RunFaultCampaign(const FaultCampaignOptions& opts,
+                                std::FILE* log) {
+  CampaignResult result;
+  std::optional<catalog::Schema> schema = MakeSchemaByName(opts.schema);
+  if (!schema.has_value()) {
+    CampaignCase c;
+    c.site = "setup";
+    c.note = "unknown schema: " + opts.schema;
+    FoldCase(&result, c);
+    LogCase(log, c);
+    return result;
+  }
+  sql::Vocabulary vocab(*schema, 8);
+  std::vector<workload::Workload> workloads =
+      MakeWorkloads(vocab, opts.seed, opts.workloads);
+  advisor::TuningConstraint constraint =
+      advisor::TuningConstraint::IndexCount(3, schema->DataSizeBytes() / 2);
+  // Reference fingerprints before any fault is armed.
+  std::map<std::pair<std::string, int>, std::uint64_t> baseline =
+      BaselineFingerprints(*schema, workloads, constraint, opts);
+
+  common::FaultRegistry& registry = common::FaultRegistry::Global();
+  for (FaultSite site : kSweptSites) {
+    for (double p : opts.probabilities) {
+      std::string spec =
+          common::StrFormat("%s@p=%.6f", common::FaultSiteName(site), p);
+      common::ScopedFaultSpec scoped(spec, opts.seed);
+
+      if (site == FaultSite::kPerturberInvalidTree) {
+        // Perturber leg: generation degrades fired queries to their
+        // originals and stays OK -- an invalid tree never escapes.
+        for (size_t wi = 0; wi < workloads.size(); ++wi) {
+          ::trap::trap::GeneratorConfig config;
+          config.method = ::trap::trap::GenerationMethod::kRandom;
+          config.epsilon = 5;
+          config.seed = opts.seed ^ 0xa11;
+          ::trap::trap::AdversarialWorkloadGenerator generator(vocab, config);
+          common::CancelToken token(opts.step_budget);
+          common::EvalContext ctx;
+          ctx.cancel = &token;
+          ctx.fault_salt = common::HashCombine(opts.seed, wi);
+          std::int64_t hits_before = registry.hits(site);
+          common::StatusOr<workload::Workload> perturbed =
+              generator.TryGenerate(workloads[wi], ctx);
+          CampaignCase c;
+          c.site = common::FaultSiteName(site);
+          c.probability = p;
+          c.advisor = "perturber";
+          c.workload_index = static_cast<int>(wi);
+          c.attempts = 1;
+          c.triggers = registry.hits(site) - hits_before;
+          c.degraded = generator.num_degraded_queries() > 0;
+          if (!perturbed.ok()) {
+            c.code = perturbed.status().code();
+            c.note = "perturber must degrade, not fail: " +
+                     perturbed.status().ToString();
+          } else {
+            c.code = common::StatusCode::kOk;
+            c.config_fp = advisor::WorkloadFingerprint(*perturbed);
+            if (perturbed->queries.size() != workloads[wi].queries.size()) {
+              c.note = "perturbed workload lost queries";
+            } else if (c.triggers > 0 && !c.degraded) {
+              c.note = "fault fired but no query was degraded";
+            } else if (p >= 1.0 && c.triggers == 0) {
+              c.note = "p=1 fault never triggered";
+            }
+          }
+          FoldCase(&result, c);
+          LogCase(log, c);
+        }
+        continue;
+      }
+
+      for (const char* advisor_name : kAdvisors) {
+        for (size_t wi = 0; wi < workloads.size(); ++wi) {
+          // Fresh optimizer (fresh cost cache) per cell so cache state
+          // never leaks across sweep cells.
+          engine::WhatIfOptimizer optimizer(*schema);
+          std::unique_ptr<advisor::IndexAdvisor> adv =
+              MakeAdvisorByName(advisor_name, optimizer);
+          common::CancelToken token(opts.step_budget);
+          common::EvalContext ctx;
+          ctx.cancel = &token;
+          ctx.fault_salt = common::HashCombine(opts.seed, wi);
+          std::int64_t hits_before = registry.hits(site);
+          advisor::RecommendOutcome outcome = advisor::RecommendWithRetry(
+              *adv, workloads[wi], constraint, ctx, advisor::RetryPolicy{});
+          CampaignCase c;
+          c.site = common::FaultSiteName(site);
+          c.probability = p;
+          c.advisor = advisor_name;
+          c.workload_index = static_cast<int>(wi);
+          c.code = outcome.status.code();
+          c.attempts = outcome.attempts;
+          c.degraded = outcome.degraded;
+          c.triggers = registry.hits(site) - hits_before;
+          if (outcome.status.ok()) {
+            c.config_fp = outcome.config.Fingerprint();
+            if (c.triggers > 0 && c.attempts == 1 &&
+                site != FaultSite::kCacheShardPoison) {
+              c.note = "fault fired but succeeded without retry";
+            } else if (c.config_fp != baseline[{advisor_name,
+                                                static_cast<int>(wi)}]) {
+              c.note = "silent wrong answer: recommendation differs from "
+                       "fault-free baseline";
+            } else if (p >= 1.0 && c.triggers == 0) {
+              c.note = "p=1 fault never triggered";
+            }
+          } else {
+            if (!outcome.degraded) {
+              c.note = "failed without degrading to the no-index fallback";
+            } else if (!CodeMatchesSite(site, c.code)) {
+              c.note = common::StrFormat("unexpected status %s for site %s",
+                                         common::StatusCodeName(c.code),
+                                         c.site.c_str());
+            } else if (c.triggers == 0) {
+              c.note = "failure reported but the site never triggered";
+            }
+          }
+          FoldCase(&result, c);
+          LogCase(log, c);
+        }
+      }
+    }
+  }
+  if (log != nullptr) {
+    std::fprintf(log, "campaign digest: %016llx\n",
+                 static_cast<unsigned long long>(result.digest));
+    std::fprintf(log, "campaign: %zu case(s), %d violation(s)\n",
+                 result.cases.size(), result.violations);
+  }
+  return result;
+}
+
+}  // namespace trap::proptest

@@ -177,14 +177,25 @@ std::optional<CaseFile> LoadCaseFile(const std::string& path,
   return ParseCaseFile(text.str(), error);
 }
 
+common::Status TryReplayCase(const CaseFile& c, bool shrink, std::FILE* log,
+                             std::optional<FailureReport>* out) {
+  out->reset();
+  std::optional<catalog::Schema> schema = MakeSchemaByName(c.schema);
+  if (!schema.has_value()) {
+    return common::Status::InvalidArgument("unknown schema name in case file: " +
+                                           c.schema);
+  }
+  OracleEnv env(*schema);
+  *out = RunOneCase(c.oracle, env, c.schema, c.seed, c.case_index, shrink);
+  if (out->has_value()) PrintFailure(**out, log);
+  return common::Status::Ok();
+}
+
 std::optional<FailureReport> ReplayCase(const CaseFile& c, bool shrink,
                                         std::FILE* log) {
-  std::optional<catalog::Schema> schema = MakeSchemaByName(c.schema);
-  TRAP_CHECK_MSG(schema.has_value(), "unknown schema name in case file");
-  OracleEnv env(*schema);
-  std::optional<FailureReport> report =
-      RunOneCase(c.oracle, env, c.schema, c.seed, c.case_index, shrink);
-  if (report.has_value()) PrintFailure(*report, log);
+  std::optional<FailureReport> report;
+  common::Status status = TryReplayCase(c, shrink, log, &report);
+  TRAP_CHECK_MSG(status.ok(), status.message().c_str());
   return report;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "catalog/schema.h"
+#include "common/status.h"
 #include "testing/oracles.h"
 #include "testing/shrink.h"
 
@@ -69,8 +70,15 @@ std::optional<CaseFile> ParseCaseFile(std::string_view text,
 std::optional<CaseFile> LoadCaseFile(const std::string& path,
                                      std::string* error);
 
-// Regenerates and re-runs one case. nullopt = the oracle holds (the
-// regression stays fixed); otherwise the failure, shrunk when `shrink`.
+// Regenerates and re-runs one case; on success *out is nullopt when the
+// oracle holds (the regression stays fixed) and the failure otherwise,
+// shrunk when `shrink`. A case file naming an unknown schema is
+// kInvalidArgument -- a diagnostic for the CLI, not an abort.
+common::Status TryReplayCase(const CaseFile& c, bool shrink, std::FILE* log,
+                             std::optional<FailureReport>* out);
+
+// Legacy facade over TryReplayCase for callers that pre-validate the case;
+// aborts on an invalid one.
 std::optional<FailureReport> ReplayCase(const CaseFile& c, bool shrink,
                                         std::FILE* log);
 

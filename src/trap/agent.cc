@@ -106,8 +106,8 @@ struct TrapAgent::Impl {
   // Shared decode loop. If `forced` is non-null, choices are replayed from
   // it (teacher forcing); otherwise they are sampled/argmaxed per `mode`.
   EpisodeResult Decode(nn::Graph& g, ReferenceTree tree, Mode mode,
-                       common::Rng* sample_rng,
-                       const std::vector<int>* forced) const {
+                       common::Rng* sample_rng, const std::vector<int>* forced,
+                       common::CancelToken* cancel = nullptr) const {
     const std::vector<int> input_ids = [&] {
       std::vector<int> ids;
       for (const sql::Token& t : sql::ToTokens(tree.original_query(), *vocab)) {
@@ -138,6 +138,20 @@ struct TrapAgent::Impl {
     size_t forced_pos = 0;
 
     while (!tree.Done()) {
+      if (!result.truncated && forced == nullptr && cancel != nullptr &&
+          !cancel->Charge()) {
+        result.truncated = true;
+      }
+      if (result.truncated) {
+        // Budget exhausted: finish the walk with the first legal token at
+        // every remaining node. Deterministic, always tree-legal, and no
+        // network evaluation is spent past the deadline.
+        int chosen = tree.LegalTokens()[0];
+        tree.Advance(chosen);
+        result.choices.push_back(chosen);
+        prev_id = chosen;
+        continue;
+      }
       nn::Graph::VarId x = embed.Forward(g, {prev_id});
       s = decoder.Step(g, x, s);
       const std::vector<int>& legal = tree.LegalTokens();
@@ -227,15 +241,15 @@ TrapAgent::TrapAgent(const sql::Vocabulary& vocab, AgentOptions options)
 
 TrapAgent::~TrapAgent() = default;
 
-TrapAgent::EpisodeResult TrapAgent::RunEpisode(nn::Graph* g,
-                                               ReferenceTree tree, Mode mode,
-                                               common::Rng* rng) const {
+TrapAgent::EpisodeResult TrapAgent::RunEpisode(
+    nn::Graph* g, ReferenceTree tree, Mode mode, common::Rng* rng,
+    common::CancelToken* cancel) const {
   if (g != nullptr) {
-    return impl_->Decode(*g, std::move(tree), mode, rng, nullptr);
+    return impl_->Decode(*g, std::move(tree), mode, rng, nullptr, cancel);
   }
   nn::Graph local;
   EpisodeResult result =
-      impl_->Decode(local, std::move(tree), mode, rng, nullptr);
+      impl_->Decode(local, std::move(tree), mode, rng, nullptr, cancel);
   result.log_prob_var = -1;
   return result;
 }

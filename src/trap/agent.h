@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/deadline.h"
 #include "nn/adam.h"
 #include "nn/layers.h"
 #include "nn/transformer.h"
@@ -50,13 +51,21 @@ class TrapAgent {
     // recorded on a graph, and its double value always.
     double total_log_prob = 0.0;
     nn::Graph::VarId log_prob_var = -1;  // -1 when g == nullptr
+    // True when the step budget expired mid-decode and the walk was
+    // completed with first-legal tokens (still a valid query).
+    bool truncated = false;
   };
 
   // Decodes a perturbed query along `tree`. With `g` non-null the episode
   // is recorded for back-propagation (log_prob_var is the differentiable sum
-  // of chosen-token log-probabilities).
+  // of chosen-token log-probabilities). Each scored decision charges one
+  // step to `cancel` (when provided); once the budget expires the remaining
+  // walk is completed deterministically with the first legal token at each
+  // node and the result is marked truncated — the caller observes the
+  // kDeadlineExceeded status on the token itself.
   EpisodeResult RunEpisode(nn::Graph* g, ReferenceTree tree, Mode mode,
-                           common::Rng* rng) const;
+                           common::Rng* rng,
+                           common::CancelToken* cancel = nullptr) const;
 
   // Teacher-forced negative log-likelihood of replaying `choices` on `tree`
   // (Eq. 7, pretraining). Returns the 1x1 loss VarId.

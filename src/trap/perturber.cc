@@ -1,6 +1,11 @@
 #include "trap/perturber.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "sql/query.h"
 
 namespace trap::trap {
 
@@ -15,7 +20,8 @@ const char* MethodName(GenerationMethod m) {
   return "?";
 }
 
-AgentOptions PlmAgentOptions(const std::string& plm_name, uint64_t seed) {
+common::StatusOr<AgentOptions> PlmAgentOptions(const std::string& plm_name,
+                                               uint64_t seed) {
   AgentOptions options;
   options.encoder = EncoderKind::kTransformer;
   options.attention = true;
@@ -36,7 +42,7 @@ AgentOptions PlmAgentOptions(const std::string& plm_name, uint64_t seed) {
     options.embed_dim = 104;
     t = {104, 4, 408, 3};
   } else {
-    TRAP_CHECK_MSG(false, plm_name.c_str());
+    return common::Status::InvalidArgument("unknown PLM name: " + plm_name);
   }
   options.hidden_dim = options.embed_dim % 2 == 0 ? options.embed_dim
                                                   : options.embed_dim + 1;
@@ -106,10 +112,22 @@ void AdversarialWorkloadGenerator::Fit(
   rl_trace_ = trainer_->Train(training);
 }
 
-workload::Workload AdversarialWorkloadGenerator::RandomPerturb(
-    const workload::Workload& w) {
+common::StatusOr<workload::Workload>
+AdversarialWorkloadGenerator::TryRandomPerturb(const workload::Workload& w,
+                                               const common::EvalContext& ctx) {
   workload::Workload out;
   for (const workload::WorkloadQuery& wq : w.queries) {
+    TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
+    // The invalid-tree fault is keyed on the *original* query, so the same
+    // query degrades on every run and thread count.
+    const uint64_t key =
+        common::HashCombine(sql::Fingerprint(wq.query), ctx.fault_salt);
+    if (common::FaultShouldFire(common::FaultSite::kPerturberInvalidTree,
+                                key)) {
+      ++num_degraded_queries_;
+      out.queries.push_back(wq);
+      continue;
+    }
     ReferenceTree tree(wq.query, *vocab_, config_.constraint, config_.epsilon);
     while (!tree.Done()) {
       tree.Advance(rng_.Choice(tree.LegalTokens()));
@@ -121,23 +139,46 @@ workload::Workload AdversarialWorkloadGenerator::RandomPerturb(
 
 workload::Workload AdversarialWorkloadGenerator::Generate(
     const workload::Workload& w) {
+  // Legacy facade: any failure (including calling before Fit) degrades to
+  // the unperturbed workload -- a valid, conservative answer -- rather than
+  // aborting the whole assessment.
+  return TryGenerate(w).value_or(w);
+}
+
+common::StatusOr<workload::Workload> AdversarialWorkloadGenerator::TryGenerate(
+    const workload::Workload& w, const common::EvalContext& ctx) {
   if (config_.method == GenerationMethod::kRandom) {
     // Random has no adversarial signal: it simply perturbs. Its 5x larger
     // generation budget (Sec. V-B) is realized by the assessment harness
     // averaging over `random_attempts` generated workloads.
-    return RandomPerturb(w);
+    return TryRandomPerturb(w, ctx);
   }
-  TRAP_CHECK_MSG(trainer_ != nullptr, "Fit must be called first");
+  if (trainer_ == nullptr) {
+    return common::Status::InvalidArgument("Fit must be called first");
+  }
   // Greedy decode plus a few policy samples; keep the candidate with the
   // highest estimated IUDR (the same selection budget Random receives).
-  workload::Workload best = trainer_->Perturb(w);
+  TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
+  workload::Workload best = trainer_->Perturb(w, ctx);
   double best_score = trainer_->EstimatedIudr(w, best);
   for (int i = 1; i < config_.model_attempts; ++i) {
-    workload::Workload attempt = trainer_->PerturbSampled(w, rng_);
+    TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
+    workload::Workload attempt = trainer_->PerturbSampled(w, rng_, ctx);
     double score = trainer_->EstimatedIudr(w, attempt);
     if (score > best_score) {
       best_score = score;
       best = std::move(attempt);
+    }
+  }
+  // Per-query invalid-tree degradation: a fired query falls back to its
+  // unperturbed original (still edit-budget-legal by construction).
+  for (size_t i = 0; i < best.queries.size() && i < w.queries.size(); ++i) {
+    const uint64_t key = common::HashCombine(
+        sql::Fingerprint(w.queries[i].query), ctx.fault_salt);
+    if (common::FaultShouldFire(common::FaultSite::kPerturberInvalidTree,
+                                key)) {
+      ++num_degraded_queries_;
+      best.queries[i] = w.queries[i];
     }
   }
   return best;

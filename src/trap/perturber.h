@@ -22,8 +22,10 @@ const char* MethodName(GenerationMethod m);
 
 // Transformer configurations standing in for the pre-trained language models
 // of Table IV ("Bert", "Bart", "CodeBert", "StarEncoder"); sizes scale with
-// the original models' relative parameter counts.
-AgentOptions PlmAgentOptions(const std::string& plm_name, uint64_t seed);
+// the original models' relative parameter counts. An unknown model name is
+// a caller error reported as kInvalidArgument, not an abort.
+common::StatusOr<AgentOptions> PlmAgentOptions(const std::string& plm_name,
+                                               uint64_t seed);
 
 struct GeneratorConfig {
   GenerationMethod method = GenerationMethod::kTrap;
@@ -61,7 +63,20 @@ class AdversarialWorkloadGenerator {
            advisor::TuningConstraint tuning);
 
   // Produces the perturbation-based adversarial workload W' for W.
+  // Degrades any error to returning `w` unperturbed (never a crash, never
+  // an invalid workload); use TryGenerate to observe failures.
   workload::Workload Generate(const workload::Workload& w);
+
+  // Fallible generation under `ctx`. Queries for which the
+  // perturber.invalid_tree fault fires degrade individually to their
+  // unperturbed originals (counted by num_degraded_queries()); calling
+  // before Fit is kInvalidArgument.
+  common::StatusOr<workload::Workload> TryGenerate(
+      const workload::Workload& w, const common::EvalContext& ctx = {});
+
+  // Queries degraded to their originals because the perturbed tree was
+  // rejected (perturber.invalid_tree), since construction.
+  int64_t num_degraded_queries() const { return num_degraded_queries_; }
 
   // Introspection for the benches.
   int64_t NumParameters() const;
@@ -72,7 +87,8 @@ class AdversarialWorkloadGenerator {
   const GeneratorConfig& config() const { return config_; }
 
  private:
-  workload::Workload RandomPerturb(const workload::Workload& w);
+  common::StatusOr<workload::Workload> TryRandomPerturb(
+      const workload::Workload& w, const common::EvalContext& ctx);
 
   const sql::Vocabulary* vocab_;
   GeneratorConfig config_;
@@ -81,6 +97,7 @@ class AdversarialWorkloadGenerator {
   std::unique_ptr<RlTrainer> trainer_;
   RlTrace rl_trace_;
   std::vector<double> pretrain_trace_;
+  int64_t num_degraded_queries_ = 0;
 };
 
 }  // namespace trap::trap

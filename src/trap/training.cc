@@ -155,13 +155,15 @@ RlTrace RlTrainer::Train(const std::vector<workload::Workload>& training) {
   return trace;
 }
 
-workload::Workload RlTrainer::Perturb(const workload::Workload& w) const {
+workload::Workload RlTrainer::Perturb(const workload::Workload& w,
+                                      const common::EvalContext& ctx) const {
   const sql::Vocabulary& vocab = agent_->vocab();
   workload::Workload out;
   for (const workload::WorkloadQuery& wq : w.queries) {
     ReferenceTree tree(wq.query, vocab, constraint_, epsilon_);
-    TrapAgent::EpisodeResult r = agent_->RunEpisode(
-        nullptr, std::move(tree), TrapAgent::Mode::kGreedy, nullptr);
+    TrapAgent::EpisodeResult r =
+        agent_->RunEpisode(nullptr, std::move(tree), TrapAgent::Mode::kGreedy,
+                           nullptr, ctx.cancel);
     std::optional<sql::Query> pq = sql::FromTokens(r.output, vocab);
     TRAP_CHECK(pq.has_value());
     out.queries.push_back(workload::WorkloadQuery{*pq, wq.weight});
@@ -169,14 +171,16 @@ workload::Workload RlTrainer::Perturb(const workload::Workload& w) const {
   return out;
 }
 
-workload::Workload RlTrainer::PerturbSampled(const workload::Workload& w,
-                                             common::Rng& rng) const {
+workload::Workload RlTrainer::PerturbSampled(
+    const workload::Workload& w, common::Rng& rng,
+    const common::EvalContext& ctx) const {
   const sql::Vocabulary& vocab = agent_->vocab();
   workload::Workload out;
   for (const workload::WorkloadQuery& wq : w.queries) {
     ReferenceTree tree(wq.query, vocab, constraint_, epsilon_);
-    TrapAgent::EpisodeResult r = agent_->RunEpisode(
-        nullptr, std::move(tree), TrapAgent::Mode::kSample, &rng);
+    TrapAgent::EpisodeResult r =
+        agent_->RunEpisode(nullptr, std::move(tree), TrapAgent::Mode::kSample,
+                           &rng, ctx.cancel);
     std::optional<sql::Query> pq = sql::FromTokens(r.output, vocab);
     TRAP_CHECK(pq.has_value());
     out.queries.push_back(workload::WorkloadQuery{*pq, wq.weight});

@@ -64,12 +64,16 @@ class RlTrainer {
   RlTrace Train(const std::vector<workload::Workload>& training);
 
   // Greedy adversarial perturbation of a workload with the trained policy.
-  workload::Workload Perturb(const workload::Workload& w) const;
+  // Decode steps are charged to ctx's step budget; episodes past the
+  // deadline complete with first-legal tokens (see TrapAgent::RunEpisode).
+  workload::Workload Perturb(const workload::Workload& w,
+                             const common::EvalContext& ctx = {}) const;
 
   // Stochastic perturbation (policy sampling) — used for best-of-k
   // generation at assessment time.
   workload::Workload PerturbSampled(const workload::Workload& w,
-                                    common::Rng& rng) const;
+                                    common::Rng& rng,
+                                    const common::EvalContext& ctx = {}) const;
 
   // Estimated IUDR of perturbing `w` into `perturbed` from the victim's
   // perspective (used as the reward signal).

@@ -237,5 +237,51 @@ TEST_F(ProptestTest, FaultNamesRoundTrip) {
   EXPECT_FALSE(common::FaultFromName("no-such-fault").has_value());
 }
 
+// Under a mixed low-probability fault regime the determinism and coherence
+// oracles must still hold on every case where evaluation succeeds: fault
+// draws are keyed on the logical work item, so whenever no error-producing
+// site fires the costs are the true costs on every thread count and on warm
+// and cold caches alike, and cache poison self-heals before a value is ever
+// served. Cases where cost_error or timeout fired are skipped — there the
+// legacy batched wrappers deliberately degrade the whole result to +infinity
+// while a per-query fold degrades only the firing pair, so the comparison is
+// between two differently-degraded answers, not evidence of nondeterminism.
+TEST_F(ProptestTest, DeterminismOraclesHoldUnderLowProbabilityFaults) {
+  common::ScopedFaultSpec faults(
+      "engine.whatif.cost_error@p=0.02,engine.whatif.timeout@p=0.02,"
+      "cache.shard.poison@p=0.10",
+      /*seed=*/17);
+  const common::FaultRegistry& reg = common::FaultRegistry::Global();
+  OracleEnv env(schema_);
+  int checked = 0;
+  int degraded = 0;
+  for (OracleId id :
+       {OracleId::kParallelDeterminism, OracleId::kCacheCoherence}) {
+    for (int i = 0; i < 25; ++i) {
+      const std::int64_t before =
+          reg.hits(common::FaultSite::kWhatIfCostError) +
+          reg.hits(common::FaultSite::kWhatIfTimeout);
+      std::optional<OracleFailure> failure = RunOracle(id, env, 99, i);
+      const std::int64_t after =
+          reg.hits(common::FaultSite::kWhatIfCostError) +
+          reg.hits(common::FaultSite::kWhatIfTimeout);
+      if (after != before) {
+        ++degraded;
+        continue;  // evaluation did not succeed; degradation is expected
+      }
+      ++checked;
+      ASSERT_FALSE(failure.has_value())
+          << OracleName(id) << " case " << i
+          << " under faults: " << failure->message;
+    }
+  }
+  // The sweep exercised both regimes: some cases ran fault-free and were
+  // checked, some drew an error-site fault, and poison fired somewhere (its
+  // self-healing keeps those cases in the checked set).
+  EXPECT_GT(checked, 0);
+  EXPECT_GT(degraded, 0);
+  EXPECT_GT(reg.total_hits(), 0);
+}
+
 }  // namespace
 }  // namespace trap::proptest

@@ -129,7 +129,7 @@ TEST_F(TrapTest, ReinitDecoderKeepsEncoderParameters) {
 TEST_F(TrapTest, GruAgentHasFewerParametersThanTransformer) {
   TrapAgent gru(vocab_, SmallAgent(EncoderKind::kNone, false));
   TrapAgent trap(vocab_, SmallAgent(EncoderKind::kBiGru, true));
-  TrapAgent plm(vocab_, PlmAgentOptions("Bert", 3));
+  TrapAgent plm(vocab_, *PlmAgentOptions("Bert", 3));
   EXPECT_LT(gru.NumParameters(), trap.NumParameters());
   EXPECT_LT(trap.NumParameters(), plm.NumParameters());
 }
@@ -241,8 +241,8 @@ TEST_F(TrapTest, EncodeQueryVectorHasExpectedDimension) {
 }
 
 TEST_F(TrapTest, PlmOptionsScaleWithModel) {
-  int64_t bert = TrapAgent(vocab_, PlmAgentOptions("Bert", 1)).NumParameters();
-  int64_t bart = TrapAgent(vocab_, PlmAgentOptions("Bart", 1)).NumParameters();
+  int64_t bert = TrapAgent(vocab_, *PlmAgentOptions("Bert", 1)).NumParameters();
+  int64_t bart = TrapAgent(vocab_, *PlmAgentOptions("Bart", 1)).NumParameters();
   EXPECT_GT(bart, bert);
 }
 

@@ -24,6 +24,7 @@
 
 #include "bench/harness.h"
 #include "common/fault.h"
+#include "testing/fault_campaign.h"
 #include "testing/harness.h"
 
 namespace {
@@ -46,6 +47,13 @@ int Usage(std::FILE* out) {
       "  --max-failures K   stop after K failures (default 1)\n"
       "  --no-shrink        report failures without minimizing them\n"
       "  --fault NAME       arm an injected fault (see common/fault.h)\n"
+      "  --faults SPEC      arm fault sites from a registry spec, e.g.\n"
+      "                     'engine.whatif.cost_error@p=0.05' (common/fault.h)\n"
+      "  --fault-seed S     seed for probabilistic fault draws (default 0)\n"
+      "  --fault-campaign   sweep every fault site at p=1.0 and p=0.05 and\n"
+      "                     assert each injected fault is retried through,\n"
+      "                     degraded, self-healed, or surfaced -- never a\n"
+      "                     crash, never a silent wrong answer\n"
       "  --expect-failure   invert the exit code: failures expected\n"
       "  --corpus DIR       append failing cases to DIR as .case files\n"
       "  --report NAME      write a BENCH_NAME.json run report (wall time,\n"
@@ -136,8 +144,14 @@ int RunReplay(const std::string& path, bool shrink, bool expect_failure) {
       std::fprintf(stderr, "trap_fuzz: %s: %s\n", file.c_str(), error.c_str());
       return 2;
     }
-    std::optional<FailureReport> report =
-        trap::proptest::ReplayCase(*c, shrink, stdout);
+    std::optional<FailureReport> report;
+    trap::common::Status status =
+        trap::proptest::TryReplayCase(*c, shrink, stdout, &report);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trap_fuzz: %s: %s\n", file.c_str(),
+                   status.ToString().c_str());
+      return 2;
+    }
     if (report.has_value()) {
       std::fprintf(stdout, "replay FAIL: %s\n", file.c_str());
       ++failures;
@@ -168,6 +182,15 @@ int RunMinimize(const std::string& path) {
   return 0;
 }
 
+int RunFaultCampaignCli(uint64_t seed, const std::string& schema) {
+  trap::proptest::FaultCampaignOptions options;
+  options.seed = seed;
+  options.schema = schema;
+  trap::proptest::CampaignResult result =
+      trap::proptest::RunFaultCampaign(options, stdout);
+  return result.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,8 +199,11 @@ int main(int argc, char** argv) {
   std::string replay_path;
   std::string minimize_path;
   std::string report_name;
+  std::string faults_spec;
+  long long fault_seed = 0;
   long long only_case = -1;
   bool expect_failure = false;
+  bool fault_campaign = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -239,6 +265,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       trap::common::SetInjectedFault(*fault);
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (v == nullptr) return Usage(stderr);
+      faults_spec = v;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt(v, &fault_seed) || fault_seed < 0) {
+        return Usage(stderr);
+      }
+    } else if (arg == "--fault-campaign") {
+      fault_campaign = true;
     } else if (arg == "--corpus") {
       const char* v = next();
       if (v == nullptr) return Usage(stderr);
@@ -261,6 +298,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!faults_spec.empty()) {
+    std::string error;
+    std::optional<trap::common::FaultSpec> spec = trap::common::ParseFaultSpec(
+        faults_spec, static_cast<uint64_t>(fault_seed), &error);
+    if (!spec.has_value()) {
+      std::fprintf(stderr, "trap_fuzz: bad --faults spec: %s\n", error.c_str());
+      return 2;
+    }
+    trap::common::FaultRegistry::Global().Configure(*spec);
+  }
+
   if (!minimize_path.empty()) return RunMinimize(minimize_path);
   if (!replay_path.empty()) {
     return RunReplay(replay_path, opts.shrink, expect_failure);
@@ -272,6 +320,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (fault_campaign) return RunFaultCampaignCli(opts.seed, opts.schema);
+
   if (only_case >= 0) {
     if (opts.oracles.size() != 1) {
       std::fprintf(stderr, "trap_fuzz: --case needs exactly one --oracle\n");
@@ -282,8 +332,13 @@ int main(int argc, char** argv) {
     c.oracle = opts.oracles[0];
     c.seed = opts.seed;
     c.case_index = static_cast<int>(only_case);
-    std::optional<FailureReport> report =
-        trap::proptest::ReplayCase(c, opts.shrink, stdout);
+    std::optional<FailureReport> report;
+    trap::common::Status status =
+        trap::proptest::TryReplayCase(c, opts.shrink, stdout, &report);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trap_fuzz: %s\n", status.ToString().c_str());
+      return 2;
+    }
     if (report.has_value() && !corpus_dir.empty()) {
       SaveToCorpus(corpus_dir, *report);
     }

@@ -286,6 +286,50 @@ void CheckFloatAccumulation(const SourceFile& f, std::vector<Finding>* out) {
   }
 }
 
+void CheckAbortInLibrary(const SourceFile& f, std::vector<Finding>* out) {
+  // Only the Status-converted evaluation paths: these files promised that
+  // every externally-reachable failure is a trap::Status, so any process-
+  // killing construct is either a leftover or a new true invariant that
+  // must carry a NOLINT with its justification.
+  static const char* kConvertedPrefixes[] = {
+      "src/engine/what_if.",   "src/advisor/advisor.",
+      "src/advisor/evaluation.", "src/advisor/heuristic_advisors.",
+      "src/trap/perturber.",   "src/testing/fault_campaign.",
+  };
+  bool converted = false;
+  for (const char* prefix : kConvertedPrefixes) {
+    if (StartsWith(f.path, prefix)) {
+      converted = true;
+      break;
+    }
+  }
+  if (!converted) return;
+  static const std::set<std::string> kKillers = {"abort", "exit", "_Exit",
+                                                 "quick_exit"};
+  for (size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (t.text == "TRAP_CHECK" || t.text == "TRAP_CHECK_MSG") {
+      Add(f, "no-abort-in-library", t.line,
+          "'" + t.text + "' aborts on a Status-converted evaluation path; "
+          "return a trap::Status (kInvalidArgument/kInternal) instead, or "
+          "justify the invariant with a NOLINT reason",
+          out);
+      continue;
+    }
+    if (kKillers.count(t.text) == 0 || !IsCall(f, i)) continue;
+    const std::string& prev = At(f, i - 1).text;
+    if (prev == "." || prev == "->") continue;  // member fn, not the libc call
+    if (At(f, i - 1).kind == TokKind::kIdentifier && !IsStdQualified(f, i)) {
+      continue;  // declaration like `int exit(...)` or unrelated identifier
+    }
+    Add(f, "no-abort-in-library", t.line,
+        "'" + t.text + "()' kills the process on a Status-converted "
+        "evaluation path; degrade or return a trap::Status instead",
+        out);
+  }
+}
+
 std::vector<Finding> Lint(const SourceFile& f) {
   std::vector<Finding> raw;
   CheckUnseededRandomness(f, &raw);
@@ -295,6 +339,7 @@ std::vector<Finding> Lint(const SourceFile& f) {
   CheckBannedFunctions(f, &raw);
   CheckHeaderHygiene(f, &raw);
   CheckFloatAccumulation(f, &raw);
+  CheckAbortInLibrary(f, &raw);
 
   std::vector<Finding> kept;
   for (Finding& fi : raw) {

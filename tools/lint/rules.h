@@ -41,6 +41,14 @@ struct Finding {
 //                           dropped) or #pragma once.
 //   float-accumulation      `float` inside src/engine/ -- cost arithmetic
 //                           is double end to end.
+//   no-abort-in-library     abort()/exit()/_Exit()/quick_exit() and
+//                           TRAP_CHECK/TRAP_CHECK_MSG on the
+//                           Status-converted evaluation paths (what-if
+//                           engine, advisor entry points, perturber) --
+//                           externally-reachable failures there must be
+//                           trap::Status values, not process death.
+//                           Retained true invariants carry a suppression
+//                           marker naming this rule, with a reason.
 void CheckUnseededRandomness(const SourceFile& f, std::vector<Finding>* out);
 void CheckRawThread(const SourceFile& f, std::vector<Finding>* out);
 void CheckManualLock(const SourceFile& f, std::vector<Finding>* out);
@@ -48,6 +56,7 @@ void CheckWallClock(const SourceFile& f, std::vector<Finding>* out);
 void CheckBannedFunctions(const SourceFile& f, std::vector<Finding>* out);
 void CheckHeaderHygiene(const SourceFile& f, std::vector<Finding>* out);
 void CheckFloatAccumulation(const SourceFile& f, std::vector<Finding>* out);
+void CheckAbortInLibrary(const SourceFile& f, std::vector<Finding>* out);
 
 // The include guard name header-hygiene expects for `path`, e.g.
 // "src/common/rng.h" -> "TRAP_COMMON_RNG_H_",

@@ -137,8 +137,10 @@ void WorkloadCostingSection() {
   auto timed_sweep = [&](common::ThreadPool* pool) {
     f.optimizer.ClearCache();
     f.optimizer.ResetCounters();
+    common::EvalContext ctx;
+    ctx.pool = pool;
     auto start = std::chrono::steady_clock::now();
-    std::vector<double> costs = f.optimizer.WorkloadCosts(w, configs, pool);
+    std::vector<double> costs = f.optimizer.WorkloadCosts(w, configs, ctx);
     double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();

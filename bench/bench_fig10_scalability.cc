@@ -6,7 +6,7 @@
 #include <chrono>
 #include <cstdio>
 
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "common/string_util.h"
 #include "harness.h"
 
@@ -23,7 +23,7 @@ int main() {
                         /*pool_size=*/40, /*num_training=*/6,
                         /*num_tests=*/4, /*workload_size=*/4);
     std::unique_ptr<advisor::IndexAdvisor> extend =
-        advisor::MakeExtend(env.optimizer);
+        *advisor::MakeAdvisor("Extend", env.optimizer);
     advisor::TuningConstraint constraint = env.StorageConstraint();
     std::printf("%-10d %8d", columns, env.vocab.size());
     double gen_seconds = 0.0;

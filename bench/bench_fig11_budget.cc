@@ -4,7 +4,7 @@
 
 #include <cstdio>
 
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "harness.h"
 
 namespace tc = ::trap::trap;
@@ -13,7 +13,7 @@ using namespace trap;
 int main() {
   bench::BenchEnv env(catalog::MakeTpcH(0.15), 0xfb1);
   std::unique_ptr<advisor::IndexAdvisor> extend =
-      advisor::MakeExtend(env.optimizer);
+      *advisor::MakeAdvisor("Extend", env.optimizer);
 
   bench::PrintHeader("Fig. 11 — IUDR vs. storage budget (vs. Extend, TPC-H)");
   std::printf("%-12s %10s %10s %12s\n", "budget", "Random", "TRAP",

@@ -6,8 +6,7 @@
 
 #include <cstdio>
 
-#include "advisor/dqn_advisors.h"
-#include "advisor/swirl.h"
+#include "advisor/registry.h"
 #include "harness.h"
 
 namespace tc = ::trap::trap;
@@ -28,31 +27,27 @@ int main() {
        {advisor::StateGranularity::kFine, advisor::StateGranularity::kCoarse}) {
     const char* gname =
         g == advisor::StateGranularity::kFine ? "fine" : "coarse";
-    advisor::SwirlOptions swirl;
-    swirl.state = g;
-    swirl.episodes = 400;
-    swirl.max_actions = 64;
-    swirl.seed = 0xc1 ^ static_cast<uint64_t>(g);
+    advisor::RegistryOptions options;
+    options.rl_episodes = 400;
+    options.max_actions = 64;
+    options.swirl.state = g;
+    options.swirl.seed = 0xc1 ^ static_cast<uint64_t>(g);
+    options.drlindex.state = g;
+    options.drlindex.seed = 0xc2 ^ static_cast<uint64_t>(g);
+    options.dqn.state = g;
+    options.dqn.seed = 0xc3 ^ static_cast<uint64_t>(g);
     variants.push_back(Variant{
         std::string("SWIRL/") + gname,
-        std::make_unique<advisor::SwirlAdvisor>(env.optimizer, swirl),
+        *advisor::MakeLearningAdvisor("SWIRL", env.optimizer, options),
         storage});
-    advisor::DqnOptions drl = advisor::DrlIndexDefaults();
-    drl.state = g;
-    drl.episodes = 400;
-    drl.max_actions = 64;
-    drl.seed = 0xc2 ^ static_cast<uint64_t>(g);
-    variants.push_back(Variant{std::string("DRLindex/") + gname,
-                               advisor::MakeDrlIndex(env.optimizer, drl),
-                               count});
-    advisor::DqnOptions dqn = advisor::DqnAdvisorDefaults();
-    dqn.state = g;
-    dqn.episodes = 400;
-    dqn.max_actions = 64;
-    dqn.seed = 0xc3 ^ static_cast<uint64_t>(g);
-    variants.push_back(Variant{std::string("DQN/") + gname,
-                               advisor::MakeDqnAdvisor(env.optimizer, dqn),
-                               count});
+    variants.push_back(Variant{
+        std::string("DRLindex/") + gname,
+        *advisor::MakeLearningAdvisor("DRLindex", env.optimizer, options),
+        count});
+    variants.push_back(Variant{
+        std::string("DQN/") + gname,
+        *advisor::MakeLearningAdvisor("DQN", env.optimizer, options),
+        count});
   }
 
   bench::PrintHeader("Fig. 12 — IUDR vs. state representation (TRAP workloads)");

@@ -4,8 +4,7 @@
 
 #include <cstdio>
 
-#include "advisor/dqn_advisors.h"
-#include "advisor/swirl.h"
+#include "advisor/registry.h"
 #include "harness.h"
 
 namespace tc = ::trap::trap;
@@ -24,24 +23,22 @@ int main() {
   std::vector<Variant> variants;
   for (bool prune : {true, false}) {
     const char* pname = prune ? "w/ pruning" : "w/o pruning";
-    advisor::SwirlOptions swirl;
-    swirl.action_masking = prune;
-    swirl.prune_candidates = prune;
-    swirl.episodes = 400;
-    swirl.max_actions = 64;
-    swirl.seed = 0xd1 ^ (prune ? 0 : 1);
+    advisor::RegistryOptions options;
+    options.rl_episodes = 400;
+    options.max_actions = 64;
+    options.swirl.action_masking = prune;
+    options.swirl.prune_candidates = prune;
+    options.swirl.seed = 0xd1 ^ (prune ? 0 : 1);
+    options.dqn.prune_candidates = prune;
+    options.dqn.seed = 0xd2 ^ (prune ? 0 : 1);
     variants.push_back(Variant{
         std::string("SWIRL ") + pname,
-        std::make_unique<advisor::SwirlAdvisor>(env.optimizer, swirl),
+        *advisor::MakeLearningAdvisor("SWIRL", env.optimizer, options),
         storage});
-    advisor::DqnOptions dqn = advisor::DqnAdvisorDefaults();
-    dqn.prune_candidates = prune;
-    dqn.episodes = 400;
-    dqn.max_actions = 64;
-    dqn.seed = 0xd2 ^ (prune ? 0 : 1);
-    variants.push_back(Variant{std::string("DQN ") + pname,
-                               advisor::MakeDqnAdvisor(env.optimizer, dqn),
-                               count});
+    variants.push_back(Variant{
+        std::string("DQN ") + pname,
+        *advisor::MakeLearningAdvisor("DQN", env.optimizer, options),
+        count});
   }
 
   bench::PrintHeader("Fig. 13 — IUDR vs. candidate pruning (TRAP workloads)");

@@ -5,7 +5,7 @@
 
 #include <cstdio>
 
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "harness.h"
 
 namespace tc = ::trap::trap;
@@ -15,31 +15,22 @@ int main() {
   bench::BenchEnv env(catalog::MakeTpcH(0.15), 0xfe1);
   advisor::TuningConstraint constraint = env.StorageConstraint();
 
-  using Factory = std::unique_ptr<advisor::IndexAdvisor> (*)(
-      const engine::WhatIfOptimizer&, advisor::HeuristicOptions);
-  struct Spec {
-    const char* name;
-    Factory make;
-  };
-  const Spec specs[] = {{"Extend", &advisor::MakeExtend},
-                        {"AutoAdmin", &advisor::MakeAutoAdmin},
-                        {"Relaxation", &advisor::MakeRelaxation},
-                        {"DTA", &advisor::MakeDta}};
+  const char* specs[] = {"Extend", "AutoAdmin", "Relaxation", "DTA"};
 
   bench::PrintHeader("Fig. 14 — IUDR vs. index interaction (TRAP workloads)");
   std::printf("%-12s %18s %18s\n", "advisor", "w/ interaction",
               "w/o interaction");
-  for (const Spec& s : specs) {
-    std::printf("%-12s", s.name);
+  for (const char* name : specs) {
+    std::printf("%-12s", name);
     for (bool interaction : {true, false}) {
-      advisor::HeuristicOptions options;
-      options.consider_interaction = interaction;
+      advisor::RegistryOptions options;
+      options.heuristic.consider_interaction = interaction;
       std::unique_ptr<advisor::IndexAdvisor> victim =
-          s.make(env.optimizer, options);
+          *advisor::MakeAdvisor(name, env.optimizer, options);
       tc::GeneratorConfig config = bench::BenchGeneratorConfig(
           tc::GenerationMethod::kTrap,
           tc::PerturbationConstraint::kColumnConsistent, 5,
-          0xfe1 ^ std::hash<std::string>{}(s.name) ^ (interaction ? 1 : 2));
+          0xfe1 ^ std::hash<std::string>{}(name) ^ (interaction ? 1 : 2));
       bench::AssessmentResult r = bench::AssessRobustness(
           env, victim.get(), nullptr, config, constraint, 0.1);
       std::printf(" %18.4f", r.mean_iudr);

@@ -4,7 +4,7 @@
 
 #include <cstdio>
 
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "harness.h"
 
 namespace tc = ::trap::trap;
@@ -14,31 +14,23 @@ int main() {
   bench::BenchEnv env(catalog::MakeTpcH(0.15), 0xff1);
   advisor::TuningConstraint constraint = env.StorageConstraint();
 
-  using Factory = std::unique_ptr<advisor::IndexAdvisor> (*)(
-      const engine::WhatIfOptimizer&, advisor::HeuristicOptions);
-  struct Spec {
-    const char* name;
-    Factory make;
-  };
-  const Spec specs[] = {{"Extend", &advisor::MakeExtend},
-                        {"AutoAdmin", &advisor::MakeAutoAdmin},
-                        {"Drop", &advisor::MakeDrop},
-                        {"DTA", &advisor::MakeDta}};
+  const char* specs[] = {"Extend", "AutoAdmin", "Drop", "DTA"};
 
   bench::PrintHeader("Fig. 15 — IUDR vs. multi-column index usage (TRAP workloads)");
   std::printf("%-12s %16s %16s\n", "advisor", "single-column",
               "w/ multi-column");
-  for (const Spec& s : specs) {
-    std::printf("%-12s", s.name);
+  for (const char* name : specs) {
+    std::printf("%-12s", name);
     for (bool multi : {false, true}) {
-      advisor::HeuristicOptions options;
-      options.multi_column = multi;
+      advisor::RegistryOptions options;
+      options.heuristic.multi_column = multi;
+      options.drop_single_column = false;  // the swept axis applies to Drop
       std::unique_ptr<advisor::IndexAdvisor> victim =
-          s.make(env.optimizer, options);
+          *advisor::MakeAdvisor(name, env.optimizer, options);
       tc::GeneratorConfig config = bench::BenchGeneratorConfig(
           tc::GenerationMethod::kTrap,
           tc::PerturbationConstraint::kSharedTable, 5,
-          0xff1 ^ std::hash<std::string>{}(s.name) ^ (multi ? 1 : 2));
+          0xff1 ^ std::hash<std::string>{}(name) ^ (multi ? 1 : 2));
       bench::AssessmentResult r = bench::AssessRobustness(
           env, victim.get(), nullptr, config, constraint, 0.1);
       std::printf(" %16.4f", r.mean_iudr);

@@ -8,7 +8,7 @@
 #include "analysis/causal.h"
 #include "common/stats.h"
 #include "analysis/query_change.h"
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "harness.h"
 
 namespace tc = ::trap::trap;
@@ -17,7 +17,7 @@ using namespace trap;
 int main() {
   bench::BenchEnv env(catalog::MakeTpcH(0.15), 0xf16);
   std::unique_ptr<advisor::IndexAdvisor> extend =
-      advisor::MakeExtend(env.optimizer);
+      *advisor::MakeAdvisor("Extend", env.optimizer);
   advisor::TuningConstraint constraint = env.StorageConstraint();
   engine::CostModel model(env.schema);
   common::Rng rng(0x16f);

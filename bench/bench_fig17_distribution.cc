@@ -9,7 +9,7 @@
 
 #include "analysis/outliers.h"
 #include "analysis/tsne.h"
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "harness.h"
 
 namespace tc = ::trap::trap;
@@ -18,7 +18,7 @@ using namespace trap;
 int main() {
   bench::BenchEnv env(catalog::MakeTpcH(0.15), 0xf17);
   std::unique_ptr<advisor::IndexAdvisor> extend =
-      advisor::MakeExtend(env.optimizer);
+      *advisor::MakeAdvisor("Extend", env.optimizer);
   advisor::TuningConstraint constraint = env.StorageConstraint();
 
   tc::GeneratorConfig config = bench::BenchGeneratorConfig(

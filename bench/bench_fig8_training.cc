@@ -6,7 +6,7 @@
 
 #include <cstdio>
 
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "harness.h"
 
 namespace tc = ::trap::trap;
@@ -15,7 +15,7 @@ using namespace trap;
 int main() {
   bench::BenchEnv env(catalog::MakeTpcH(0.15), 0xf81);
   std::unique_ptr<advisor::IndexAdvisor> extend =
-      advisor::MakeExtend(env.optimizer);
+      *advisor::MakeAdvisor("Extend", env.optimizer);
   advisor::TuningConstraint constraint = env.StorageConstraint();
 
   bench::PrintHeader("Fig. 8(a) — measured IUDR with/without the learned cost model");

@@ -5,7 +5,7 @@
 
 #include <cstdio>
 
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "harness.h"
 
 namespace tc = ::trap::trap;
@@ -14,7 +14,7 @@ using namespace trap;
 int main() {
   bench::BenchEnv env(catalog::MakeTpcH(0.15), 0xf91);
   std::unique_ptr<advisor::IndexAdvisor> extend =
-      advisor::MakeExtend(env.optimizer);
+      *advisor::MakeAdvisor("Extend", env.optimizer);
   advisor::TuningConstraint constraint = env.StorageConstraint();
 
   bench::PrintHeader("Fig. 9(a) — IUDR vs. initial utility threshold theta");

@@ -4,9 +4,10 @@
 #include <cstdio>
 #include <fstream>
 
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace trap::bench {
 
@@ -85,8 +86,8 @@ bool IsNonSargable(BenchEnv& env, const workload::Workload& w,
   // Recommend calls and the what-if optimizer is thread-safe), so both
   // utilities are evaluated in parallel.
   std::unique_ptr<advisor::IndexAdvisor> refs[] = {
-      advisor::MakeExtend(env.optimizer),
-      advisor::MakeAutoAdmin(env.optimizer)};
+      *advisor::MakeAdvisor("Extend", env.optimizer),
+      *advisor::MakeAdvisor("AutoAdmin", env.optimizer)};
   double utilities[2] = {0.0, 0.0};
   common::ParallelFor(2, [&](size_t i) {
     utilities[i] = env.evaluator.IndexUtility(*refs[i], nullptr, w, constraint);
@@ -238,7 +239,25 @@ std::string BenchReport::Write() const {
     std::snprintf(buf, sizeof buf, "%.6f", metrics_[i].second);
     out << "    \"" << metrics_[i].first << "\": " << buf;
   }
-  out << "\n  },\n  \"failures\": [";
+  // Observability block: every sample in the global registry at write time,
+  // plus the digest over the deterministic subset. The digest is what
+  // check.sh compares across TRAP_THREADS values — bit-identical schedules
+  // must produce bit-identical digests.
+  const std::vector<obs::MetricSample> samples =
+      obs::GlobalSnapshotWithDerived();
+  out << "\n  },\n  \"obs_metrics\": {";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    \"" << JsonEscape(samples[i].name)
+        << "\": {\"value\": " << samples[i].value << ", \"deterministic\": "
+        << (samples[i].deterministic ? "true" : "false") << "}";
+  }
+  char digest_buf[32];
+  std::snprintf(digest_buf, sizeof digest_buf, "0x%016llx",
+                static_cast<unsigned long long>(
+                    obs::MetricRegistry::Digest(samples)));
+  out << "\n  },\n  \"metrics_digest\": \"" << digest_buf << "\",\n";
+  out << "  \"failures\": [";
   for (size_t i = 0; i < failures_.size(); ++i) {
     const advisor::FailureRecord& f = failures_[i];
     out << (i == 0 ? "\n" : ",\n");

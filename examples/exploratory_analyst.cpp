@@ -7,8 +7,7 @@
 #include <cstdio>
 
 #include "advisor/evaluation.h"
-#include "advisor/heuristic_advisors.h"
-#include "advisor/mcts.h"
+#include "advisor/registry.h"
 #include "catalog/datasets.h"
 #include "trap/perturber.h"
 #include "workload/generator.h"
@@ -43,8 +42,8 @@ int main() {
     std::unique_ptr<advisor::IndexAdvisor> advisor;
   };
   std::vector<VictimSpec> victims;
-  victims.push_back(VictimSpec{advisor::MakeExtend(optimizer)});
-  victims.push_back(VictimSpec{advisor::MakeMcts(optimizer)});
+  victims.push_back(VictimSpec{*advisor::MakeAdvisor("Extend", optimizer)});
+  victims.push_back(VictimSpec{*advisor::MakeAdvisor("MCTS", optimizer)});
 
   std::printf("banking schema (%d tables / %d columns), Shared-Table drift\n\n",
               schema.num_tables(), schema.num_columns());

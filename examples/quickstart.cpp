@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "advisor/evaluation.h"
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "catalog/datasets.h"
 #include "trap/perturber.h"
 #include "workload/generator.h"
@@ -36,7 +36,7 @@ int main() {
 
   // 3. The victim advisor and the learned index utility model.
   std::unique_ptr<advisor::IndexAdvisor> victim =
-      advisor::MakeExtend(optimizer);
+      *advisor::MakeAdvisor("Extend", optimizer);
   gbdt::LearnedUtilityModel utility(optimizer, truth);
   utility.Train(pool, {engine::IndexConfig()});
   std::printf("learned utility model: holdout R^2 = %.3f\n",

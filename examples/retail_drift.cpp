@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "advisor/evaluation.h"
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "catalog/datasets.h"
 #include "trap/perturber.h"
 #include "workload/generator.h"
@@ -86,7 +86,7 @@ int main() {
   std::vector<workload::Workload> training = {reports};
 
   std::unique_ptr<advisor::IndexAdvisor> victim =
-      advisor::MakeDb2Advis(optimizer);
+      *advisor::MakeAdvisor("DB2Advis", optimizer);
   gbdt::LearnedUtilityModel utility(optimizer, truth);
   workload::QueryGenerator gen(vocab, workload::GeneratorOptions{}, 4);
   utility.Train(gen.GeneratePool(80), {engine::IndexConfig()});

@@ -17,9 +17,16 @@
 #      silent wrong answer fails the stage. The plain flavor additionally
 #      reruns the campaign at TRAP_THREADS=1/4/8 and requires the reported
 #      campaign digest to be bit-identical across thread counts.
-#   6. An exemption audit: the property-testing trees (src/testing,
+#   6. An observability stage per flavor (plain + TSan): trap_trace replays
+#      the deterministic trace scenario at TRAP_THREADS=1/4/8 and requires
+#      the metric and trace digest lines to be bit-identical across thread
+#      counts.
+#   7. An advisor-registry audit: outside src/advisor/ nothing may
+#      construct a concrete advisor directly -- every construction goes
+#      through advisor::MakeAdvisor / MakeLearningAdvisor.
+#   8. An exemption audit: the property-testing trees (src/testing,
 #      tools/fuzz) must lint clean without a single NOLINT escape hatch.
-#   7. A clang-format check on tools/ only (skipped with a notice when
+#   9. A clang-format check on tools/ only (skipped with a notice when
 #      clang-format is not installed; nothing outside tools/ is formatted).
 #
 # Usage: scripts/check.sh [jobs]    (default: nproc)
@@ -78,15 +85,47 @@ fault_campaign_stage() {
   done
 }
 
+# Replays the trap_trace scenario across thread counts and requires both
+# digest lines (metrics + trace) to be bit-identical.
+trace_digest_stage() {
+  local dir="$1"
+  local threads="$2"
+  echo "==> trace digests ${dir}"
+  local ref=""
+  local t
+  for t in ${threads}; do
+    local digest
+    digest="$(TRAP_THREADS="${t}" "${dir}/tools/trace/trap_trace" --digest)"
+    echo "    TRAP_THREADS=${t}: $(printf '%s' "${digest}" | tr '\n' ' ')"
+    if [ -z "${ref}" ]; then
+      ref="${digest}"
+    elif [ "${digest}" != "${ref}" ]; then
+      echo "error: observability digest differs across thread counts" >&2
+      exit 1
+    fi
+  done
+}
+
 run_suite build-check 2000 -DTRAP_WERROR=ON
 fault_campaign_stage build-check "1 4 8"
+trace_digest_stage build-check "1 4 8"
 
 TRAP_THREADS=4 run_suite build-check-tsan 600 -DTRAP_WERROR=ON \
   -DTRAP_SANITIZE=thread
 fault_campaign_stage build-check-tsan "4"
+trace_digest_stage build-check-tsan "1 4 8"
 
 run_suite build-check-asan-ubsan 600 -DTRAP_WERROR=ON \
   -DTRAP_SANITIZE=address,undefined
+
+echo "==> advisor registry audit (no direct construction outside src/advisor)"
+if grep -rnE \
+    'Make(Extend|Db2Advis|AutoAdmin|Drop|Relaxation|Dta|DrlIndex|DqnAdvisor|Mcts)\(|SwirlAdvisor\(' \
+    src tests bench examples tools --include='*.cc' --include='*.h' \
+    --include='*.cpp' | grep -v '^src/advisor/'; then
+  echo "error: construct advisors via advisor::MakeAdvisor (advisor/registry.h)"
+  exit 1
+fi
 
 echo "==> NOLINT exemption audit (src/testing, tools/fuzz)"
 if grep -rn "NOLINT" src/testing tools/fuzz; then

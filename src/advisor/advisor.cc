@@ -2,6 +2,7 @@
 
 #include "common/fault.h"
 #include "common/rng.h"
+#include "obs/obs.h"
 #include "sql/query.h"
 
 namespace trap::advisor {
@@ -37,6 +38,10 @@ common::Status EnterRecommend(const std::string& advisor_name,
                               const workload::Workload& w,
                               const common::EvalContext& ctx) {
   TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
+  obs::MetricRegistry::Global()
+      .counter("trap.advisor." + obs::MetricSegment(advisor_name) +
+               ".recommends")
+      ->Add();
   uint64_t name_hash = 0;
   for (char c : advisor_name) {
     name_hash = common::HashCombine(name_hash, static_cast<uint64_t>(
@@ -45,10 +50,14 @@ common::Status EnterRecommend(const std::string& advisor_name,
   const uint64_t key = common::HashCombine(
       name_hash, common::HashCombine(WorkloadFingerprint(w), ctx.fault_salt));
   if (common::FaultShouldFire(common::FaultSite::kAdvisorRecommendFail, key)) {
+    obs::CountFaultFire(
+        common::FaultSiteName(common::FaultSite::kAdvisorRecommendFail));
     return common::Status::FaultInjected(
         "injected fault: advisor.recommend.fail (" + advisor_name + ")");
   }
   if (common::FaultShouldFire(common::FaultSite::kAdvisorRecommendHang, key)) {
+    obs::CountFaultFire(
+        common::FaultSiteName(common::FaultSite::kAdvisorRecommendHang));
     // A simulated hang: deterministically burn the caller's whole step
     // budget so the failure surfaces as kDeadlineExceeded, exactly like a
     // real non-terminating advisor under a deadline would.

@@ -80,42 +80,6 @@ common::Status EnterRecommend(const std::string& advisor_name,
 engine::IndexConfig DegradeToEmpty(
     common::StatusOr<engine::IndexConfig> result);
 
-// Convenience: weighted workload cost through the what-if optimizer
-// (queries costed in parallel on the global pool).
-inline double WorkloadCost(const engine::WhatIfOptimizer& optimizer,
-                           const workload::Workload& w,
-                           const engine::IndexConfig& config) {
-  return workload::EstimatedCost(w, optimizer, config);
-}
-
-// Parallel candidate-benefit sweep: workload cost under each candidate
-// configuration, all (query, config) what-if calls fanned out at once. The
-// greedy rounds of the heuristic advisors funnel through this — per round
-// they probe every remaining candidate, which is embarrassingly parallel.
-// Entry k corresponds to configs[k]; values are bit-identical to evaluating
-// each configuration serially.
-inline std::vector<double> WorkloadCosts(
-    const engine::WhatIfOptimizer& optimizer, const workload::Workload& w,
-    const std::vector<engine::IndexConfig>& configs) {
-  return optimizer.WorkloadCosts(w, configs);
-}
-
-// Fallible variants honoring an EvalContext; used by the TryRecommend
-// implementations so an expired budget or injected engine fault propagates
-// out of the greedy loops instead of degrading to +infinity costs.
-inline common::StatusOr<double> TryWorkloadCost(
-    const engine::WhatIfOptimizer& optimizer, const workload::Workload& w,
-    const engine::IndexConfig& config, const common::EvalContext& ctx) {
-  return optimizer.TryWorkloadCost(w, config, ctx);
-}
-
-inline common::StatusOr<std::vector<double>> TryWorkloadCosts(
-    const engine::WhatIfOptimizer& optimizer, const workload::Workload& w,
-    const std::vector<engine::IndexConfig>& configs,
-    const common::EvalContext& ctx) {
-  return optimizer.TryWorkloadCosts(w, configs, ctx);
-}
-
 // True if adding `index` to `config` stays within the constraint.
 bool FitsConstraint(const engine::IndexConfig& config,
                     const engine::Index& index,

@@ -1,10 +1,8 @@
 #include "advisor/evaluation.h"
 
-#include "advisor/dqn_advisors.h"
-#include "advisor/heuristic_advisors.h"
-#include "advisor/mcts.h"
-#include "advisor/swirl.h"
+#include "advisor/registry.h"
 #include "common/rng.h"
+#include "obs/obs.h"
 
 namespace trap::advisor {
 
@@ -44,29 +42,60 @@ std::string SiteFromMessage(const std::string& message) {
 
 }  // namespace
 
+namespace {
+
+// Retry-loop observability. RecommendWithRetry runs serially under its
+// caller, so every count is deterministic for a given call schedule.
+struct RetryMetrics {
+  obs::Counter* attempts;
+  obs::Counter* backoff_steps;
+  obs::Counter* successes;
+  obs::Counter* degradations;
+};
+
+RetryMetrics& Metrics() {
+  static RetryMetrics* m = [] {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+    return new RetryMetrics{reg.counter("trap.retry.attempts"),
+                            reg.counter("trap.retry.backoff_steps"),
+                            reg.counter("trap.retry.successes"),
+                            reg.counter("trap.retry.degradations")};
+  }();
+  return *m;
+}
+
+}  // namespace
+
 RecommendOutcome RecommendWithRetry(IndexAdvisor& advisor,
                                     const workload::Workload& w,
                                     const TuningConstraint& constraint,
                                     const common::EvalContext& ctx,
                                     const RetryPolicy& policy) {
   RecommendOutcome outcome;
+  obs::TraceSpan retry_span(ctx, "advisor.recommend_with_retry",
+                            WorkloadFingerprint(w));
   common::Status last = common::Status::Internal("no attempts made");
   for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
     if (attempt > 1) {
       // Deterministic backoff, charged to the same step budget as the
       // evaluation itself; an expired budget ends the retry loop.
-      if (ctx.cancel != nullptr &&
-          !ctx.cancel->Charge(policy.BackoffSteps(attempt - 1))) {
+      const std::uint64_t backoff = policy.BackoffSteps(attempt - 1);
+      Metrics().backoff_steps->Add(static_cast<int64_t>(backoff));
+      if (ctx.cancel != nullptr && !ctx.cancel->Charge(backoff)) {
         last = ctx.cancel->status();
         break;
       }
     }
     ++outcome.attempts;
+    Metrics().attempts->Add();
+    obs::TraceSpan attempt_span(retry_span.ctx(), "advisor.attempt",
+                                static_cast<std::uint64_t>(attempt));
     common::StatusOr<engine::IndexConfig> result =
-        advisor.TryRecommend(w, constraint, ctx.WithAttempt(
-                                                static_cast<std::uint64_t>(
-                                                    attempt)));
+        advisor.TryRecommend(w, constraint,
+                             attempt_span.ctx().WithAttempt(
+                                 static_cast<std::uint64_t>(attempt)));
     if (result.ok()) {
+      Metrics().successes->Add();
       outcome.config = *std::move(result);
       outcome.status = common::Status::Ok();
       return outcome;
@@ -78,6 +107,7 @@ RecommendOutcome RecommendWithRetry(IndexAdvisor& advisor,
   // empty config is always constraint-feasible and never a silent wrong
   // answer -- the caller sees the failure in `status` and the FailureRecord.
   outcome.degraded = true;
+  Metrics().degradations->Add();
   outcome.config = engine::IndexConfig{};
   if (IsRetryable(last.code()) && outcome.attempts >= policy.max_attempts) {
     outcome.status = common::Status::ResourceExhausted(
@@ -153,10 +183,7 @@ common::StatusOr<double> RobustnessEvaluator::TryIndexUtility(
 }
 
 const std::vector<std::string>& AdvisorSuite::AllNames() {
-  static const std::vector<std::string>* names = new std::vector<std::string>{
-      "Extend",    "DB2Advis", "AutoAdmin", "Drop", "Relaxation",
-      "DTA",       "SWIRL",    "DRLindex",  "DQN",  "MCTS"};
-  return *names;
+  return AllAdvisorNames();
 }
 
 AdvisorSuite::AdvisorSuite(const engine::WhatIfOptimizer& optimizer,
@@ -165,35 +192,19 @@ AdvisorSuite::AdvisorSuite(const engine::WhatIfOptimizer& optimizer,
 
 AdvisorSuite::AdvisorSuite(const engine::WhatIfOptimizer& optimizer,
                            uint64_t seed, SuiteOptions options) {
-  HeuristicOptions heur;
-  advisors_["Extend"] = MakeExtend(optimizer, heur);
-  advisors_["DB2Advis"] = MakeDb2Advis(optimizer, heur);
-  advisors_["AutoAdmin"] = MakeAutoAdmin(optimizer, heur);
-  HeuristicOptions drop_options = heur;
-  drop_options.multi_column = false;  // Drop is single-column by design
-  advisors_["Drop"] = MakeDrop(optimizer, drop_options);
-  advisors_["Relaxation"] = MakeRelaxation(optimizer, heur);
-  advisors_["DTA"] = MakeDta(optimizer, heur);
-
-  SwirlOptions swirl;
-  swirl.seed = seed ^ 0x51;
-  swirl.episodes = options.rl_episodes;
-  swirl.max_actions = options.max_actions;
-  advisors_["SWIRL"] = std::make_unique<SwirlAdvisor>(optimizer, swirl);
-  DqnOptions drl = DrlIndexDefaults();
-  drl.seed = seed ^ 0xd1;
-  drl.episodes = options.rl_episodes;
-  drl.max_actions = options.max_actions;
-  advisors_["DRLindex"] = MakeDrlIndex(optimizer, drl);
-  DqnOptions dqn = DqnAdvisorDefaults();
-  dqn.seed = seed ^ 0xd2;
-  dqn.episodes = options.rl_episodes;
-  dqn.max_actions = options.max_actions;
-  advisors_["DQN"] = MakeDqnAdvisor(optimizer, dqn);
-  MctsOptions mcts;
-  mcts.seed = seed ^ 0x3c;
-  mcts.iterations = options.mcts_iterations;
-  advisors_["MCTS"] = MakeMcts(optimizer, mcts);
+  RegistryOptions registry;
+  registry.seed = seed;
+  registry.rl_episodes = options.rl_episodes;
+  registry.max_actions = options.max_actions;
+  registry.mcts_iterations = options.mcts_iterations;
+  for (const std::string& name : AllAdvisorNames()) {
+    // Suite membership mirrors the registry's name list, so construction
+    // cannot fail; the CHECK documents that invariant.
+    common::StatusOr<std::unique_ptr<IndexAdvisor>> made =
+        MakeAdvisor(name, optimizer, registry);
+    TRAP_CHECK_MSG(made.ok(), name.c_str());  // NOLINT(no-abort-in-library): invariant — names come from AllAdvisorNames
+    advisors_[name] = *std::move(made);
+  }
 
   // Baseline pairing of Table III (same constraint type and index type).
   baseline_["SWIRL"] = "Extend";

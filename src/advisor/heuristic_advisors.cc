@@ -7,6 +7,7 @@
 
 #include "advisor/candidates.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 namespace trap::advisor {
 namespace {
@@ -111,8 +112,11 @@ class ExtendAdvisor : public IndexAdvisor {
       return b;
     };
 
-    while (true) {
+    for (uint64_t round = 0;; ++round) {
       TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
+      counters_.rounds->Add();
+      obs::TraceSpan round_span(ctx, "advisor.round", round);
+      const EvalContext& rctx = round_span.ctx();
       // Enumerate legal moves first, then cost every resulting
       // configuration in one parallel what-if sweep; the sequential
       // selection below scans the results in enumeration order, so the
@@ -161,8 +165,10 @@ class ExtendAdvisor : public IndexAdvisor {
 
       std::vector<double> move_costs;
       if (options_.consider_interaction) {
+        counters_.whatif_items->Add(
+            static_cast<int64_t>(nexts.size() * w.queries.size()));
         TRAP_ASSIGN_OR_RETURN(move_costs,
-                              optimizer_->TryWorkloadCosts(w, nexts, ctx));
+                              optimizer_->TryWorkloadCosts(w, nexts, rctx));
       }
 
       std::optional<size_t> best;
@@ -197,7 +203,7 @@ class ExtendAdvisor : public IndexAdvisor {
         current = best_new_cost;
       } else {
         TRAP_ASSIGN_OR_RETURN(current,
-                              optimizer_->TryWorkloadCost(w, config, ctx));
+                              optimizer_->TryWorkloadCost(w, config, rctx));
       }
     }
     return config;
@@ -206,6 +212,7 @@ class ExtendAdvisor : public IndexAdvisor {
  private:
   const WhatIfOptimizer* optimizer_;
   HeuristicOptions options_;
+  obs::AdvisorCounters counters_ = obs::AdvisorCounters::For("Extend");
 };
 
 // ---------------------------------------------------------------------------
@@ -229,6 +236,8 @@ class Db2Advisor : public IndexAdvisor {
                       options_.max_index_width),
         constraint, schema);
     // One-time what-if evaluation with ALL candidates hypothetically built.
+    counters_.rounds->Add();
+    counters_.whatif_items->Add(static_cast<int64_t>(w.queries.size()));
     IndexConfig all(candidates);
     std::map<uint64_t, double> benefit;  // per-index fingerprint
     auto fp = [](const Index& i) {
@@ -297,6 +306,7 @@ class Db2Advisor : public IndexAdvisor {
  private:
   const WhatIfOptimizer* optimizer_;
   HeuristicOptions options_;
+  obs::AdvisorCounters counters_ = obs::AdvisorCounters::For("DB2Advis");
 };
 
 // ---------------------------------------------------------------------------
@@ -341,6 +351,10 @@ class AutoAdminAdvisor : public IndexAdvisor {
                                            : static_cast<int>(candidates.size());
     for (int round = 0; round < limit; ++round) {
       TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
+      counters_.rounds->Add();
+      obs::TraceSpan round_span(ctx, "advisor.round",
+                                static_cast<uint64_t>(round));
+      const EvalContext& rctx = round_span.ctx();
       // Probe every fitting candidate in one parallel sweep, then pick the
       // winner scanning the results in candidate order (identical to the
       // old serial loop).
@@ -359,8 +373,10 @@ class AutoAdminAdvisor : public IndexAdvisor {
           evals.push_back(std::move(only));
         }
       }
+      counters_.whatif_items->Add(
+          static_cast<int64_t>(evals.size() * w.queries.size()));
       TRAP_ASSIGN_OR_RETURN(std::vector<double> eval_costs,
-                            optimizer_->TryWorkloadCosts(w, evals, ctx));
+                            optimizer_->TryWorkloadCosts(w, evals, rctx));
       const Index* best = nullptr;
       double best_cost = current;
       for (size_t i = 0; i < probed.size(); ++i) {
@@ -378,7 +394,7 @@ class AutoAdminAdvisor : public IndexAdvisor {
         current = best_cost;
       } else {
         TRAP_ASSIGN_OR_RETURN(current,
-                              optimizer_->TryWorkloadCost(w, config, ctx));
+                              optimizer_->TryWorkloadCost(w, config, rctx));
       }
     }
     return config;
@@ -387,6 +403,7 @@ class AutoAdminAdvisor : public IndexAdvisor {
  private:
   const WhatIfOptimizer* optimizer_;
   HeuristicOptions options_;
+  obs::AdvisorCounters counters_ = obs::AdvisorCounters::For("AutoAdmin");
 };
 
 // ---------------------------------------------------------------------------
@@ -422,8 +439,12 @@ class DropAdvisor : public IndexAdvisor {
              config.TotalSizeBytes(schema) > constraint.storage_budget_bytes;
     };
 
+    uint64_t round = 0;
     while (config.size() > 0 && over_constraint()) {
       TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
+      counters_.rounds->Add();
+      obs::TraceSpan round_span(ctx, "advisor.round", round++);
+      const EvalContext& rctx = round_span.ctx();
       // One parallel sweep over every drop candidate per round.
       std::vector<IndexConfig> evals;
       evals.reserve(static_cast<size_t>(config.size()));
@@ -438,8 +459,10 @@ class DropAdvisor : public IndexAdvisor {
           evals.push_back(std::move(only));
         }
       }
+      counters_.whatif_items->Add(
+          static_cast<int64_t>(evals.size() * w.queries.size()));
       TRAP_ASSIGN_OR_RETURN(std::vector<double> eval_costs,
-                            optimizer_->TryWorkloadCosts(w, evals, ctx));
+                            optimizer_->TryWorkloadCosts(w, evals, rctx));
       const Index* victim = nullptr;
       double best_cost = 0.0;
       for (size_t k = 0; k < evals.size(); ++k) {
@@ -460,8 +483,11 @@ class DropAdvisor : public IndexAdvisor {
     // parallel and taking the first match picks the same victim.
     while (true) {
       TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
+      counters_.rounds->Add();
+      obs::TraceSpan round_span(ctx, "advisor.round", round++);
+      const EvalContext& rctx = round_span.ctx();
       TRAP_ASSIGN_OR_RETURN(double current,
-                            optimizer_->TryWorkloadCost(w, config, ctx));
+                            optimizer_->TryWorkloadCost(w, config, rctx));
       std::vector<IndexConfig> evals;
       evals.reserve(static_cast<size_t>(config.size()));
       for (const Index& i : config.indexes()) {
@@ -469,8 +495,10 @@ class DropAdvisor : public IndexAdvisor {
         next.Remove(i);
         evals.push_back(std::move(next));
       }
+      counters_.whatif_items->Add(
+          static_cast<int64_t>((evals.size() + 1) * w.queries.size()));
       TRAP_ASSIGN_OR_RETURN(std::vector<double> eval_costs,
-                            optimizer_->TryWorkloadCosts(w, evals, ctx));
+                            optimizer_->TryWorkloadCosts(w, evals, rctx));
       const Index* useless = nullptr;
       for (size_t k = 0; k < evals.size(); ++k) {
         if (eval_costs[k] <= current + 1e-9) {
@@ -488,6 +516,7 @@ class DropAdvisor : public IndexAdvisor {
  private:
   const WhatIfOptimizer* optimizer_;
   HeuristicOptions options_;
+  obs::AdvisorCounters counters_ = obs::AdvisorCounters::For("Drop");
 };
 
 // ---------------------------------------------------------------------------
@@ -531,8 +560,12 @@ class RelaxationAdvisor : public IndexAdvisor {
 
     TRAP_ASSIGN_OR_RETURN(double current,
                           optimizer_->TryWorkloadCost(w, config, ctx));
+    uint64_t round = 0;
     while (config.size() > 0 && over()) {
       TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
+      counters_.rounds->Add();
+      obs::TraceSpan round_span(ctx, "advisor.round", round++);
+      const EvalContext& rctx = round_span.ctx();
       // Collect every legal relaxation, cost them in one parallel sweep,
       // then select scanning in enumeration order (same winner as the old
       // serial consider() calls).
@@ -580,8 +613,10 @@ class RelaxationAdvisor : public IndexAdvisor {
           consider(mergedcfg);
         }
       }
+      counters_.whatif_items->Add(
+          static_cast<int64_t>(relaxations.size() * w.queries.size()));
       TRAP_ASSIGN_OR_RETURN(std::vector<double> relax_costs,
-                            optimizer_->TryWorkloadCosts(w, relaxations, ctx));
+                            optimizer_->TryWorkloadCosts(w, relaxations, rctx));
       std::optional<size_t> best;
       double best_score = 0.0;
       for (size_t k = 0; k < relaxations.size(); ++k) {
@@ -603,6 +638,7 @@ class RelaxationAdvisor : public IndexAdvisor {
  private:
   const WhatIfOptimizer* optimizer_;
   HeuristicOptions options_;
+  obs::AdvisorCounters counters_ = obs::AdvisorCounters::For("Relaxation");
 };
 
 // ---------------------------------------------------------------------------
@@ -656,8 +692,12 @@ class DtaAdvisor : public IndexAdvisor {
     // Greedy additions. Each round batches the first budget-many fitting
     // candidates into one parallel sweep — the same prefix the old serial
     // loop would have evaluated before exhausting the anytime budget.
+    uint64_t round = 0;
     while (evaluations < kEvaluationBudget) {
       TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
+      counters_.rounds->Add();
+      obs::TraceSpan round_span(ctx, "advisor.round", round++);
+      const EvalContext& rctx = round_span.ctx();
       std::vector<const Index*> probed;
       std::vector<IndexConfig> evals;
       for (const Index& cand : candidates) {
@@ -677,8 +717,10 @@ class DtaAdvisor : public IndexAdvisor {
           evals.push_back(std::move(only));
         }
       }
+      counters_.whatif_items->Add(
+          static_cast<int64_t>(evals.size() * w.queries.size()));
       TRAP_ASSIGN_OR_RETURN(std::vector<double> eval_costs,
-                            optimizer_->TryWorkloadCosts(w, evals, ctx));
+                            optimizer_->TryWorkloadCosts(w, evals, rctx));
       evaluations += static_cast<int>(probed.size());
       const Index* best = nullptr;
       double best_ratio = 0.0;
@@ -702,7 +744,7 @@ class DtaAdvisor : public IndexAdvisor {
         current = best_cost;
       } else {
         TRAP_ASSIGN_OR_RETURN(current,
-                              optimizer_->TryWorkloadCost(w, config, ctx));
+                              optimizer_->TryWorkloadCost(w, config, rctx));
       }
     }
     // One anytime swap pass.
@@ -731,6 +773,7 @@ class DtaAdvisor : public IndexAdvisor {
  private:
   const WhatIfOptimizer* optimizer_;
   HeuristicOptions options_;
+  obs::AdvisorCounters counters_ = obs::AdvisorCounters::For("DTA");
 };
 
 }  // namespace

@@ -71,7 +71,7 @@ class MctsAdvisor : public IndexAdvisor {
   };
 
   double Value(const engine::IndexConfig& config) {
-    double cost = WorkloadCost(*optimizer_, *workload_, config);
+    double cost = optimizer_->WorkloadCost(*workload_, config);
     return base_cost_ > 0.0 ? (base_cost_ - cost) / base_cost_ : 0.0;
   }
 

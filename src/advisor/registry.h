@@ -1,0 +1,62 @@
+#ifndef TRAP_ADVISOR_REGISTRY_H_
+#define TRAP_ADVISOR_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "advisor/dqn_advisors.h"
+#include "advisor/heuristic_advisors.h"
+#include "advisor/mcts.h"
+#include "advisor/swirl.h"
+
+namespace trap::advisor {
+
+// The single construction point for the ten assessed advisors. Every
+// harness, oracle, and test builds advisors by name through MakeAdvisor so
+// that Table III wiring (option defaults, seeds, Drop's single-column
+// design) lives in exactly one place.
+struct RegistryOptions {
+  // Family options, used verbatim unless one of the override knobs below is
+  // set. Drop always runs single-column (its design in Table III); the
+  // heuristic.multi_column flag applies to the other heuristics.
+  HeuristicOptions heuristic;
+  // Drop ships single-column (its Table III design). Ablations that sweep
+  // the multi-column axis (Fig. 15) clear this so heuristic.multi_column
+  // applies to Drop too.
+  bool drop_single_column = true;
+  SwirlOptions swirl;
+  DqnOptions drlindex = DrlIndexDefaults();
+  DqnOptions dqn = DqnAdvisorDefaults();
+  MctsOptions mcts;
+
+  // Suite-level budget knobs: when non-zero they override the corresponding
+  // field of every learner's options (the AdvisorSuite semantics).
+  uint64_t seed = 0;  // learner seeds become seed ^ per-advisor salt
+  int rl_episodes = 0;
+  int max_actions = 0;
+  int mcts_iterations = 0;
+};
+
+// Builds the advisor registered under `name` (Table III names, e.g.
+// "Extend", "SWIRL"). Unknown names yield kInvalidArgument, never an abort.
+common::StatusOr<std::unique_ptr<IndexAdvisor>> MakeAdvisor(
+    std::string_view name, const engine::WhatIfOptimizer& optimizer,
+    const RegistryOptions& options = {});
+
+// As MakeAdvisor, restricted to the trainable advisors ("SWIRL",
+// "DRLindex", "DQN"); other names yield kInvalidArgument.
+common::StatusOr<std::unique_ptr<LearningAdvisor>> MakeLearningAdvisor(
+    std::string_view name, const engine::WhatIfOptimizer& optimizer,
+    const RegistryOptions& options = {});
+
+// All registered names in Table III order.
+const std::vector<std::string>& AllAdvisorNames();
+
+// The heuristic (training-free) subset, in Table III order.
+const std::vector<std::string>& HeuristicAdvisorNames();
+
+}  // namespace trap::advisor
+
+#endif  // TRAP_ADVISOR_REGISTRY_H_

@@ -109,7 +109,7 @@ std::vector<double> StateEncoder::Encode(
     }
     double norm = std::max(1.0, static_cast<double>(w.size()));
     for (double v : agg) state.push_back(v / norm);
-    double base = WorkloadCost(*optimizer_, w, engine::IndexConfig());
+    double base = optimizer_->WorkloadCost(w, engine::IndexConfig());
     state.push_back(std::log1p(cost) / 20.0);
     state.push_back(base > 0.0 ? 1.0 - cost / base : 0.0);
     double used = constraint.storage_budget_bytes > 0
@@ -160,7 +160,7 @@ void IndexSelectionEnv::Reset(const workload::Workload* w,
   workload_ = w;
   constraint_ = constraint;
   built_ = engine::IndexConfig();
-  base_cost_ = WorkloadCost(*optimizer_, *w, built_);
+  base_cost_ = optimizer_->WorkloadCost(*w, built_);
   current_cost_ = base_cost_;
   steps_ = 0;
 }
@@ -183,7 +183,7 @@ std::vector<bool> IndexSelectionEnv::ValidActions(bool mask_irrelevant) const {
 double IndexSelectionEnv::Step(int a) {
   TRAP_CHECK(a >= 0 && a < actions_->size());
   built_.Add(actions_->candidates[static_cast<size_t>(a)]);
-  double new_cost = WorkloadCost(*optimizer_, *workload_, built_);
+  double new_cost = optimizer_->WorkloadCost(*workload_, built_);
   double reward =
       base_cost_ > 0.0 ? (current_cost_ - new_cost) / base_cost_ : 0.0;
   current_cost_ = new_cost;

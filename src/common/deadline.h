@@ -6,7 +6,13 @@
 
 #include "common/status.h"
 
+namespace trap::obs {
+struct ObsSink;
+}  // namespace trap::obs
+
 namespace trap::common {
+
+class ThreadPool;
 
 // Cooperative cancellation + deadline for bounded evaluation.
 //
@@ -63,11 +69,26 @@ class CancelToken {
 };
 
 // Per-call evaluation context threaded through the what-if engine, advisor
-// recommend loops and the TRAP agent's perturbation search. Copyable; the
-// default-constructed context is unbounded and fault-transparent.
+// recommend loops and the TRAP agent's perturbation search -- the single
+// carrier for cancellation, parallelism and observability (there are no
+// separate (ctx, pool) parameter pairs). Copyable; the default-constructed
+// context is unbounded, fault-transparent, runs batched work on the global
+// pool and records no trace.
 struct EvalContext {
   // Not owned; nullptr means unbounded and non-cancellable.
   CancelToken* cancel = nullptr;
+
+  // Pool for batched fan-out (what-if sweeps). Not owned; nullptr means
+  // the TRAP_THREADS-sized global pool.
+  ThreadPool* pool = nullptr;
+
+  // Optional observability sink (see obs/obs.h). Not owned; nullptr
+  // disables tracing. Metrics always flow to the global MetricRegistry.
+  ::trap::obs::ObsSink* obs = nullptr;
+
+  // Id of the enclosing trace span; obs::TraceSpan nests new spans under
+  // it. 0 = root.
+  std::uint64_t span = 0;
 
   // Mixed into fault-draw keys so that retry attempts of the same logical
   // operation redraw their probabilistic faults (see common/fault.h).

@@ -1,12 +1,49 @@
 #include "engine/what_if.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
 #include "common/fault.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace trap::engine {
+
+namespace {
+
+// Hot-path metric handles, resolved once (registry pointers are stable).
+struct WhatIfMetrics {
+  obs::Counter* calls;
+  obs::Counter* misses;
+  obs::Counter* collisions;
+  obs::Counter* poison_heals;
+  obs::Counter* batches;
+  obs::Counter* dup_configs;
+  obs::Histogram* batch_items;
+};
+
+const WhatIfMetrics& Metrics() {
+  static const WhatIfMetrics* m = [] {
+    obs::MetricRegistry& r = obs::MetricRegistry::Global();
+    // Collision detections and checksum heals depend on which of two racing
+    // threads fills an entry first, so they are best-effort; everything
+    // else counts logical work.
+    return new WhatIfMetrics{
+        r.counter("trap.whatif.calls"),
+        r.counter("trap.whatif.cache.misses"),
+        r.counter("trap.whatif.cache.collisions", /*deterministic=*/false),
+        r.counter("trap.whatif.cache.poison_heals", /*deterministic=*/false),
+        r.counter("trap.whatif.batch.count"),
+        r.counter("trap.whatif.batch.dup_configs"),
+        r.histogram("trap.whatif.batch.items"),
+    };
+  }();
+  return *m;
+}
+
+}  // namespace
 
 WhatIfOptimizer::WhatIfOptimizer(const catalog::Schema& schema,
                                  CostParams params)
@@ -23,6 +60,7 @@ common::Status WhatIfOptimizer::CachedCostStatus(
     const common::EvalContext& ctx, double* out) const {
   TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
   num_calls_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().calls->Add();
   const uint64_t query_fp = sql::Fingerprint(q);
   const uint64_t key = common::HashCombine(query_fp, config_fp);
   // Fault draws key on the logical work item + the context's salt, so the
@@ -30,6 +68,8 @@ common::Status WhatIfOptimizer::CachedCostStatus(
   // count, while retry attempts (which re-salt) redraw.
   const uint64_t draw_key = common::HashCombine(key, ctx.fault_salt);
   if (common::FaultShouldFire(common::FaultSite::kWhatIfTimeout, draw_key)) {
+    obs::CountFaultFire(
+        common::FaultSiteName(common::FaultSite::kWhatIfTimeout));
     return common::Status::DeadlineExceeded(
         "injected fault: engine.whatif.timeout");
   }
@@ -48,16 +88,20 @@ common::Status WhatIfOptimizer::CachedCostStatus(
         // Corrupted entry (cache.shard.poison): fall through, recompute,
         // and repair below. The caller always gets the true cost.
         num_integrity_recoveries_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().poison_heals->Add();
       } else {
         // 64-bit collision: fall through and recompute; the recomputed pair
         // takes the slot (collisions are ~never, correctness is what
         // matters — neither pair is ever answered from the other's entry).
         num_collisions_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().collisions->Add();
       }
     }
   }
   double cost = model_.QueryCost(q, config);
   if (common::FaultShouldFire(common::FaultSite::kWhatIfCostError, draw_key)) {
+    obs::CountFaultFire(
+        common::FaultSiteName(common::FaultSite::kWhatIfCostError));
     cost = std::numeric_limits<double>::quiet_NaN();
   }
   // Validate before caching or returning: a mis-costed plan must surface as
@@ -74,28 +118,43 @@ common::Status WhatIfOptimizer::CachedCostStatus(
                                 draw_key)) {
       // Corrupt the stored cost but not the checksum: the next hit detects
       // the mismatch and self-heals instead of serving the bad value.
+      // Fire count is best-effort: racing threads may both reach here.
+      obs::CountFaultFire(
+          common::FaultSiteName(common::FaultSite::kCacheShardPoison),
+          /*deterministic=*/false);
       entry.cost = -(cost + 1.0);
     }
     auto [it, inserted] = shard.map.insert_or_assign(key, entry);
     (void)it;
     // Count the miss only on actual insertion so two threads racing to fill
     // the same entry (both computing the identical value) report one miss.
-    if (inserted) num_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (inserted) {
+      num_misses_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().misses->Add();
+    }
   }
   *out = cost;
   return common::Status::Ok();
 }
 
-double WhatIfOptimizer::CachedCost(const sql::Query& q, uint64_t config_fp,
-                                   const IndexConfig& config) const {
-  double cost = 0.0;
-  common::Status status = CachedCostStatus(q, config_fp, config, {}, &cost);
-  return status.ok() ? cost : kInfiniteCost;
-}
-
-double WhatIfOptimizer::QueryCost(const sql::Query& q,
-                                  const IndexConfig& config) const {
-  return CachedCost(q, config.Fingerprint(), config);
+void WhatIfOptimizer::RecordBatchMetrics(
+    size_t items, const std::vector<uint64_t>& config_fps,
+    obs::TraceSpan* span) {
+  // Duplicate configurations in a candidate sweep measure how much work the
+  // per-entry memo absorbs within a single batch.
+  std::vector<uint64_t> fps = config_fps;
+  std::sort(fps.begin(), fps.end());
+  size_t dups = 0;
+  for (size_t i = 1; i < fps.size(); ++i) {
+    if (fps[i] == fps[i - 1]) ++dups;
+  }
+  const WhatIfMetrics& m = Metrics();
+  m.batches->Add();
+  m.batch_items->Record(static_cast<int64_t>(items));
+  if (dups > 0) m.dup_configs->Add(static_cast<int64_t>(dups));
+  span->AddArg("items", static_cast<int64_t>(items));
+  span->AddArg("configs", static_cast<int64_t>(config_fps.size()));
+  if (dups > 0) span->AddArg("dup_configs", static_cast<int64_t>(dups));
 }
 
 common::StatusOr<double> WhatIfOptimizer::TryQueryCost(
@@ -109,25 +168,30 @@ common::StatusOr<double> WhatIfOptimizer::TryQueryCost(
 
 std::vector<double> WhatIfOptimizer::QueryCosts(
     const sql::Query& q, const std::vector<IndexConfig>& configs,
-    common::ThreadPool* pool) const {
-  std::vector<double> costs(configs.size());
-  RunParallel(pool, configs.size(), [&](size_t i) {
-    costs[i] = CachedCost(q, configs[i].Fingerprint(), configs[i]);
-  });
-  return costs;
+    const common::EvalContext& ctx) const {
+  common::StatusOr<std::vector<double>> costs = TryQueryCosts(q, configs, ctx);
+  if (costs.ok()) return *std::move(costs);
+  return std::vector<double>(configs.size(), kInfiniteCost);
 }
 
 common::StatusOr<std::vector<double>> WhatIfOptimizer::TryQueryCosts(
     const sql::Query& q, const std::vector<IndexConfig>& configs,
-    const common::EvalContext& ctx, common::ThreadPool* pool) const {
+    const common::EvalContext& ctx) const {
   const size_t n = configs.size();
+  std::vector<uint64_t> config_fps(n);
+  for (size_t i = 0; i < n; ++i) config_fps[i] = configs[i].Fingerprint();
   std::vector<double> costs(n);
   std::vector<common::Status> statuses(
       n, common::Status::Cancelled("skipped: evaluation cancelled"));
+  uint64_t batch_key = n;
+  for (uint64_t fp : config_fps) batch_key = common::HashCombine(batch_key, fp);
+  obs::TraceSpan span(ctx, "whatif.batch",
+                      common::HashCombine(sql::Fingerprint(q), batch_key));
+  RecordBatchMetrics(n, config_fps, &span);
   RunParallel(
-      pool, n,
+      ctx.pool, n,
       [&](size_t i) {
-        statuses[i] = CachedCostStatus(q, configs[i].Fingerprint(), configs[i],
+        statuses[i] = CachedCostStatus(q, config_fps[i], configs[i],
                                        ctx, &costs[i]);
       },
       ctx.cancel);

@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/cost_model.h"
+#include "obs/obs.h"
 
 namespace trap::engine {
 
@@ -31,14 +33,22 @@ namespace trap::engine {
 // produce bit-identical results for any TRAP_THREADS setting: per-item costs
 // are written into pre-sized slots and reduced serially in input order.
 //
-// Error handling: the Try* entry points are the fallible core -- they honor
-// the EvalContext step budget / cancellation and surface injected faults and
-// internal inconsistencies as Statuses. Batched Try* calls aggregate
-// per-item Statuses by picking the first error in *input order*, so the
-// returned Status is bit-identical across thread counts. The legacy
-// double-returning wrappers degrade an error to +infinity cost -- a
-// deterministic "this configuration is unusable" answer that can never be
-// mistaken for a real estimate (real costs are finite and non-negative).
+// Error handling: the Try* entry points are the *canonical* fallible core
+// -- they honor the EvalContext (step budget, cancellation, pool choice,
+// trace sink) and surface injected faults and internal inconsistencies as
+// Statuses. Batched Try* calls aggregate per-item Statuses by picking the
+// first error in *input order*, so the returned Status is bit-identical
+// across thread counts. Every infallible form below is a thin shim over
+// its Try* twin (this header is the only definition site) that degrades an
+// error to +infinity cost -- a deterministic "this configuration is
+// unusable" answer that can never be mistaken for a real estimate (real
+// costs are finite and non-negative).
+//
+// Observability: calls, per-entry cache misses, batch sizes and duplicate
+// configurations per batch feed the global obs::MetricRegistry under
+// trap.whatif.*; checksum heals and fingerprint collisions are recorded
+// best-effort (see obs/metrics.h on determinism). With a trace sink in the
+// context, each batched call records a whatif.batch span.
 //
 // Cache integrity: every cache entry carries a checksum over (query_fp,
 // config_fp, cost). A hit whose entry fails the checksum (e.g. the
@@ -51,8 +61,11 @@ class WhatIfOptimizer {
                            CostParams params = {});
 
   // Estimated cost of `q` under hypothetical configuration `config`.
-  // Degrades errors to +infinity; use TryQueryCost to observe them.
-  double QueryCost(const sql::Query& q, const IndexConfig& config) const;
+  // Shim over TryQueryCost: degrades errors to +infinity.
+  double QueryCost(const sql::Query& q, const IndexConfig& config,
+                   const common::EvalContext& ctx = {}) const {
+    return TryQueryCost(q, config, ctx).value_or(kInfiniteCost);
+  }
 
   // Fallible cost of `q` under `config`, honoring `ctx` (step budget,
   // cancellation, fault salt).
@@ -67,30 +80,32 @@ class WhatIfOptimizer {
                                  const IndexConfig& config) const;
 
   // Batched: weighted workload cost, with per-query what-if calls evaluated
-  // in parallel. `WorkloadT` is any type with a `queries` container of
-  // {query, weight} items (workload::Workload; templated to keep the engine
-  // layer free of an upward dependency). `pool` overrides the global pool
-  // (benches compare explicit 1-thread vs N-thread pools).
+  // in parallel on ctx.pool (global pool when null). `WorkloadT` is any
+  // type with a `queries` container of {query, weight} items
+  // (workload::Workload; templated to keep the engine layer free of an
+  // upward dependency). Shim over TryWorkloadCost: degrades errors to
+  // +infinity.
   template <typename WorkloadT>
   double WorkloadCost(const WorkloadT& w, const IndexConfig& config,
-                      common::ThreadPool* pool = nullptr) const {
-    common::StatusOr<double> total = TryWorkloadCost(w, config, {}, pool);
+                      const common::EvalContext& ctx = {}) const {
+    common::StatusOr<double> total = TryWorkloadCost(w, config, ctx);
     return std::move(total).value_or(kInfiniteCost);
   }
 
   template <typename WorkloadT>
-  common::StatusOr<double> TryWorkloadCost(const WorkloadT& w,
-                                           const IndexConfig& config,
-                                           const common::EvalContext& ctx = {},
-                                           common::ThreadPool* pool =
-                                               nullptr) const {
+  common::StatusOr<double> TryWorkloadCost(
+      const WorkloadT& w, const IndexConfig& config,
+      const common::EvalContext& ctx = {}) const {
     const size_t n = w.queries.size();
     std::vector<double> costs(n);
     std::vector<common::Status> statuses(
         n, common::Status::Cancelled("skipped: evaluation cancelled"));
     const uint64_t config_fp = config.Fingerprint();
+    obs::TraceSpan span(ctx, "whatif.batch",
+                        common::HashCombine(config_fp, n));
+    RecordBatchMetrics(n, {config_fp}, &span);
     RunParallel(
-        pool, n,
+        ctx.pool, n,
         [&](size_t i) {
           statuses[i] = CachedCostStatus(w.queries[i].query, config_fp, config,
                                          ctx, &costs[i]);
@@ -106,13 +121,14 @@ class WhatIfOptimizer {
 
   // Batched candidate-benefit sweep: weighted workload cost under each of
   // `configs`, all (query, config) pairs evaluated in parallel. Entry k of
-  // the result corresponds to configs[k]. Errors degrade to +infinity.
+  // the result corresponds to configs[k]. Shim over TryWorkloadCosts:
+  // degrades errors to +infinity.
   template <typename WorkloadT>
   std::vector<double> WorkloadCosts(const WorkloadT& w,
                                     const std::vector<IndexConfig>& configs,
-                                    common::ThreadPool* pool = nullptr) const {
+                                    const common::EvalContext& ctx = {}) const {
     common::StatusOr<std::vector<double>> totals =
-        TryWorkloadCosts(w, configs, {}, pool);
+        TryWorkloadCosts(w, configs, ctx);
     if (totals.ok()) return *std::move(totals);
     return std::vector<double>(configs.size(), kInfiniteCost);
   }
@@ -120,8 +136,7 @@ class WhatIfOptimizer {
   template <typename WorkloadT>
   common::StatusOr<std::vector<double>> TryWorkloadCosts(
       const WorkloadT& w, const std::vector<IndexConfig>& configs,
-      const common::EvalContext& ctx = {},
-      common::ThreadPool* pool = nullptr) const {
+      const common::EvalContext& ctx = {}) const {
     const size_t nq = w.queries.size();
     const size_t nc = configs.size();
     std::vector<uint64_t> config_fps(nc);
@@ -129,8 +144,12 @@ class WhatIfOptimizer {
     std::vector<double> costs(nq * nc);
     std::vector<common::Status> statuses(
         nq * nc, common::Status::Cancelled("skipped: evaluation cancelled"));
+    uint64_t batch_key = nq;
+    for (uint64_t fp : config_fps) batch_key = common::HashCombine(batch_key, fp);
+    obs::TraceSpan span(ctx, "whatif.batch", batch_key);
+    RecordBatchMetrics(nq * nc, config_fps, &span);
     RunParallel(
-        pool, nq * nc,
+        ctx.pool, nq * nc,
         [&](size_t k) {
           const size_t c = k / nq;
           const size_t i = k % nq;
@@ -150,15 +169,14 @@ class WhatIfOptimizer {
 
   // Batched: cost of one query under each of `configs` (parallel,
   // order-preserving) — the inner loop of per-query greedy searches.
-  // Errors degrade to +infinity per entry.
+  // Shim over TryQueryCosts: degrades errors to +infinity per entry.
   std::vector<double> QueryCosts(const sql::Query& q,
                                  const std::vector<IndexConfig>& configs,
-                                 common::ThreadPool* pool = nullptr) const;
+                                 const common::EvalContext& ctx = {}) const;
 
   common::StatusOr<std::vector<double>> TryQueryCosts(
       const sql::Query& q, const std::vector<IndexConfig>& configs,
-      const common::EvalContext& ctx = {},
-      common::ThreadPool* pool = nullptr) const;
+      const common::EvalContext& ctx = {}) const;
 
   const catalog::Schema& schema() const { return model_.schema(); }
   const CostModel& cost_model() const { return model_; }
@@ -230,10 +248,11 @@ class WhatIfOptimizer {
   static uint64_t EntryChecksum(uint64_t query_fp, uint64_t config_fp,
                                 double cost);
 
-  // Memoized cost of (q, config); `config_fp` is config.Fingerprint(),
-  // hoisted by batched callers. Errors degrade to +infinity.
-  double CachedCost(const sql::Query& q, uint64_t config_fp,
-                    const IndexConfig& config) const;
+  // Records batch size / duplicate-config metrics for a batched call of
+  // `items` what-if items over `config_fps`, and annotates `span`.
+  static void RecordBatchMetrics(size_t items,
+                                 const std::vector<uint64_t>& config_fps,
+                                 obs::TraceSpan* span);
 
   // The fallible memoized core: charges one step against ctx, consults the
   // engine.whatif.* fault sites, validates computed costs (finite,

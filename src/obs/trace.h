@@ -1,0 +1,77 @@
+#ifndef TRAP_OBS_TRACE_H_
+#define TRAP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace trap::obs {
+
+// Causally-ordered span tree for one evaluation.
+//
+// Span identity is *logical*, not temporal: a span id is a pure function of
+// (parent id, span name, work-item key), where the key is the same logical
+// work-item id the fault registry draws on (workload fingerprints, greedy
+// round indexes, retry attempt numbers). Export canonicalizes the tree --
+// children of each span sorted by (key, name, id), timestamps synthesized
+// from the DFS pre-order -- so the exported trace and its digest are
+// bit-identical across runs and TRAP_THREADS settings, even though the
+// physical interleaving of span openings differs. Keys must distinguish
+// spans opened concurrently under one parent with the same name; spans that
+// legitimately repeat serially (same parent, name, key) are disambiguated
+// by occurrence number.
+//
+// All members are thread-safe; span args are int64 step counts and sizes
+// (never wall-clock durations -- src/ has no clock).
+struct TraceEvent {
+  uint64_t id = 0;
+  uint64_t parent = 0;  // 0 = root
+  uint64_t key = 0;
+  std::string name;
+  std::vector<std::pair<std::string, int64_t>> args;
+  bool closed = false;
+  int depth = 0;  // filled by CanonicalEvents()
+};
+
+class TraceSink {
+ public:
+  // Opens a span and returns its id. `parent` is the enclosing span's id
+  // (0 for a root span).
+  uint64_t OpenSpan(std::string_view name, uint64_t key, uint64_t parent);
+
+  // Attaches a named int64 argument to an open span.
+  void AddArg(uint64_t id, std::string_view name, int64_t value);
+
+  void CloseSpan(uint64_t id);
+
+  size_t size() const;
+  void Reset();
+
+  // The span tree in canonical order: DFS pre-order with the children of
+  // every span sorted by (key, name hash, id); `depth` is filled in.
+  std::vector<TraceEvent> CanonicalEvents() const;
+
+  // Order-sensitive fold over the canonical events (depth, name, key, args).
+  uint64_t Digest() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, TraceEvent> events_;
+  std::unordered_map<uint64_t, uint64_t> occurrences_;
+};
+
+// Chrome trace-event JSON ("B"/"E" duration events on one synthetic
+// thread; `ts` is the canonical DFS step index, not wall time). Load in
+// chrome://tracing or Perfetto.
+std::string ChromeTraceJson(const TraceSink& sink);
+
+// One JSON object per line per span, in canonical order.
+std::string TraceJsonl(const TraceSink& sink);
+
+}  // namespace trap::obs
+
+#endif  // TRAP_OBS_TRACE_H_

@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "advisor/evaluation.h"
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "common/deadline.h"
 #include "common/fault.h"
 #include "common/rng.h"
@@ -42,11 +42,8 @@ std::uint64_t NameHash(const std::string& name) {
 
 std::unique_ptr<advisor::IndexAdvisor> MakeAdvisorByName(
     const std::string& name, const engine::WhatIfOptimizer& optimizer) {
-  if (name == "Extend") return advisor::MakeExtend(optimizer);
-  if (name == "AutoAdmin") return advisor::MakeAutoAdmin(optimizer);
-  advisor::HeuristicOptions drop_options;
-  drop_options.multi_column = false;
-  return advisor::MakeDrop(optimizer, drop_options);
+  // Names come from kAdvisors above, so registry lookup cannot fail.
+  return *advisor::MakeAdvisor(name, optimizer);
 }
 
 // Deterministic workload set shared by every cell of the sweep.

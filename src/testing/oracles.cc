@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <memory>
 
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "common/string_util.h"
 #include "engine/index.h"
 #include "sql/tokenizer.h"
@@ -31,14 +31,10 @@ engine::IndexConfig WithExtras(const Reproducer& r) {
 
 std::unique_ptr<advisor::IndexAdvisor> MakeAdvisorById(
     int id, const engine::WhatIfOptimizer& optimizer) {
-  switch (((id % kNumAdvisors) + kNumAdvisors) % kNumAdvisors) {
-    case 0: return advisor::MakeExtend(optimizer);
-    case 1: return advisor::MakeDb2Advis(optimizer);
-    case 2: return advisor::MakeAutoAdmin(optimizer);
-    case 3: return advisor::MakeDrop(optimizer);
-    case 4: return advisor::MakeRelaxation(optimizer);
-    default: return advisor::MakeDta(optimizer);
-  }
+  const std::vector<std::string>& names = advisor::HeuristicAdvisorNames();
+  const size_t slot = static_cast<size_t>(
+      ((id % kNumAdvisors) + kNumAdvisors) % kNumAdvisors);
+  return *advisor::MakeAdvisor(names[slot % names.size()], optimizer);
 }
 
 // ---- Oracle implementations ------------------------------------------------
@@ -85,7 +81,9 @@ std::optional<std::string> CheckParallelDeterminism(OracleEnv& env,
   common::ThreadPool* pools[] = {&env.pool1, &env.pool4, &env.pool8};
   for (common::ThreadPool* pool : pools) {
     engine::WhatIfOptimizer fresh(schema);
-    std::vector<double> got = fresh.WorkloadCosts(r.workload, configs, pool);
+    common::EvalContext ctx;
+    ctx.pool = pool;
+    std::vector<double> got = fresh.WorkloadCosts(r.workload, configs, ctx);
     for (size_t c = 0; c < configs.size(); ++c) {
       if (got[c] != want[c]) {
         return common::StrFormat(
@@ -94,7 +92,7 @@ std::optional<std::string> CheckParallelDeterminism(OracleEnv& env,
             c, pool->num_threads(), got[c], want[c]);
       }
     }
-    double scalar = fresh.WorkloadCost(r.workload, configs.back(), pool);
+    double scalar = fresh.WorkloadCost(r.workload, configs.back(), ctx);
     if (scalar != want.back()) {
       return common::StrFormat(
           "WorkloadCost on a %d-thread pool returned %.17g, serial fold "

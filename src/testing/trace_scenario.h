@@ -1,0 +1,42 @@
+#ifndef TRAP_TESTING_TRACE_SCENARIO_H_
+#define TRAP_TESTING_TRACE_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+
+namespace trap::proptest {
+
+// A small, fully deterministic end-to-end evaluation used to exercise the
+// observability layer: a batched what-if sweep over the global thread pool,
+// one advisor recommendation through the retry runtime, and one random
+// perturber pass. The same options produce bit-identical metric and trace
+// digests for every TRAP_THREADS value — the invariant obs_test and
+// check.sh assert, and the workload trap_trace replays for humans.
+struct TraceScenarioOptions {
+  std::string schema = "tpch";     // tpch | tpcds | transaction
+  std::string advisor = "Extend";  // any advisor::AllAdvisorNames() entry
+  std::uint64_t seed = 0x7ace;
+  int pool_size = 12;              // generated query pool
+  int workload_size = 4;           // queries per workload
+  int sweep_columns = 8;           // single-column configs in the sweep
+
+  // Thread pool for batched fan-out. Not owned; nullptr means the
+  // TRAP_THREADS-sized global pool. obs_test runs the scenario with pools
+  // of several sizes and asserts the digests match.
+  common::ThreadPool* pool = nullptr;
+};
+
+// Runs the scenario with metrics and tracing attached. The global metric
+// registry and `sink` are Reset() first, so the resulting digests describe
+// exactly this run. Returns the first error (unknown schema/advisor name,
+// or a failed evaluation step); the trace collected so far stays in `sink`.
+common::Status RunTraceScenario(const TraceScenarioOptions& options,
+                                obs::TraceSink* sink);
+
+}  // namespace trap::proptest
+
+#endif  // TRAP_TESTING_TRACE_SCENARIO_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace trap::trap {
 
 namespace {
@@ -241,16 +243,43 @@ TrapAgent::TrapAgent(const sql::Vocabulary& vocab, AgentOptions options)
 
 TrapAgent::~TrapAgent() = default;
 
+namespace {
+
+// Episode-level observability. Decode is serial per episode, so every count
+// is deterministic for a given seed and schedule of calls.
+struct AgentMetrics {
+  obs::Counter* episodes;
+  obs::Counter* decode_steps;
+  obs::Counter* truncations;
+};
+
+AgentMetrics& Metrics() {
+  static AgentMetrics* m = [] {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+    return new AgentMetrics{reg.counter("trap.agent.episodes"),
+                            reg.counter("trap.agent.decode_steps"),
+                            reg.counter("trap.agent.truncations")};
+  }();
+  return *m;
+}
+
+}  // namespace
+
 TrapAgent::EpisodeResult TrapAgent::RunEpisode(
     nn::Graph* g, ReferenceTree tree, Mode mode, common::Rng* rng,
-    common::CancelToken* cancel) const {
+    const common::EvalContext& ctx) const {
+  EpisodeResult result;
   if (g != nullptr) {
-    return impl_->Decode(*g, std::move(tree), mode, rng, nullptr, cancel);
+    result = impl_->Decode(*g, std::move(tree), mode, rng, nullptr, ctx.cancel);
+  } else {
+    nn::Graph local;
+    result = impl_->Decode(local, std::move(tree), mode, rng, nullptr,
+                           ctx.cancel);
+    result.log_prob_var = -1;
   }
-  nn::Graph local;
-  EpisodeResult result =
-      impl_->Decode(local, std::move(tree), mode, rng, nullptr, cancel);
-  result.log_prob_var = -1;
+  Metrics().episodes->Add();
+  Metrics().decode_steps->Add(static_cast<int64_t>(result.choices.size()));
+  if (result.truncated) Metrics().truncations->Add();
   return result;
 }
 

@@ -59,13 +59,13 @@ class TrapAgent {
   // Decodes a perturbed query along `tree`. With `g` non-null the episode
   // is recorded for back-propagation (log_prob_var is the differentiable sum
   // of chosen-token log-probabilities). Each scored decision charges one
-  // step to `cancel` (when provided); once the budget expires the remaining
-  // walk is completed deterministically with the first legal token at each
-  // node and the result is marked truncated — the caller observes the
-  // kDeadlineExceeded status on the token itself.
+  // step to `ctx.cancel` (when provided); once the budget expires the
+  // remaining walk is completed deterministically with the first legal token
+  // at each node and the result is marked truncated — the caller observes
+  // the kDeadlineExceeded status on the token itself.
   EpisodeResult RunEpisode(nn::Graph* g, ReferenceTree tree, Mode mode,
                            common::Rng* rng,
-                           common::CancelToken* cancel = nullptr) const;
+                           const common::EvalContext& ctx = {}) const;
 
   // Teacher-forced negative log-likelihood of replaying `choices` on `tree`
   // (Eq. 7, pretraining). Returns the 1x1 loss VarId.

@@ -5,9 +5,31 @@
 
 #include "common/fault.h"
 #include "common/rng.h"
+#include "obs/obs.h"
 #include "sql/query.h"
 
 namespace trap::trap {
+
+namespace {
+
+// Perturber observability. Generation is serial, so counts are deterministic
+// for a given seed and call schedule.
+struct PerturberMetrics {
+  obs::Counter* generated;
+  obs::Counter* degraded;
+};
+
+PerturberMetrics& Metrics() {
+  static PerturberMetrics* m = [] {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+    return new PerturberMetrics{
+        reg.counter("trap.perturber.workloads_generated"),
+        reg.counter("trap.perturber.queries_degraded")};
+  }();
+  return *m;
+}
+
+}  // namespace
 
 const char* MethodName(GenerationMethod m) {
   switch (m) {
@@ -124,7 +146,10 @@ AdversarialWorkloadGenerator::TryRandomPerturb(const workload::Workload& w,
         common::HashCombine(sql::Fingerprint(wq.query), ctx.fault_salt);
     if (common::FaultShouldFire(common::FaultSite::kPerturberInvalidTree,
                                 key)) {
+      obs::CountFaultFire(
+          common::FaultSiteName(common::FaultSite::kPerturberInvalidTree));
       ++num_degraded_queries_;
+      Metrics().degraded->Add();
       out.queries.push_back(wq);
       continue;
     }
@@ -147,23 +172,27 @@ workload::Workload AdversarialWorkloadGenerator::Generate(
 
 common::StatusOr<workload::Workload> AdversarialWorkloadGenerator::TryGenerate(
     const workload::Workload& w, const common::EvalContext& ctx) {
+  Metrics().generated->Add();
+  obs::TraceSpan span(ctx, "perturber.generate",
+                      advisor::WorkloadFingerprint(w));
+  const common::EvalContext& sctx = span.ctx();
   if (config_.method == GenerationMethod::kRandom) {
     // Random has no adversarial signal: it simply perturbs. Its 5x larger
     // generation budget (Sec. V-B) is realized by the assessment harness
     // averaging over `random_attempts` generated workloads.
-    return TryRandomPerturb(w, ctx);
+    return TryRandomPerturb(w, sctx);
   }
   if (trainer_ == nullptr) {
     return common::Status::InvalidArgument("Fit must be called first");
   }
   // Greedy decode plus a few policy samples; keep the candidate with the
   // highest estimated IUDR (the same selection budget Random receives).
-  TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
-  workload::Workload best = trainer_->Perturb(w, ctx);
+  TRAP_RETURN_IF_ERROR(sctx.CheckContinue());
+  workload::Workload best = trainer_->Perturb(w, sctx);
   double best_score = trainer_->EstimatedIudr(w, best);
   for (int i = 1; i < config_.model_attempts; ++i) {
-    TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
-    workload::Workload attempt = trainer_->PerturbSampled(w, rng_, ctx);
+    TRAP_RETURN_IF_ERROR(sctx.CheckContinue());
+    workload::Workload attempt = trainer_->PerturbSampled(w, rng_, sctx);
     double score = trainer_->EstimatedIudr(w, attempt);
     if (score > best_score) {
       best_score = score;
@@ -177,7 +206,10 @@ common::StatusOr<workload::Workload> AdversarialWorkloadGenerator::TryGenerate(
         sql::Fingerprint(w.queries[i].query), ctx.fault_salt);
     if (common::FaultShouldFire(common::FaultSite::kPerturberInvalidTree,
                                 key)) {
+      obs::CountFaultFire(
+          common::FaultSiteName(common::FaultSite::kPerturberInvalidTree));
       ++num_degraded_queries_;
+      Metrics().degraded->Add();
       best.queries[i] = w.queries[i];
     }
   }

@@ -81,7 +81,7 @@ double RlTrainer::CostOf(const workload::Workload& w,
   if (options_.use_learned_utility) {
     return utility_->PredictWorkloadCost(w, config);
   }
-  return workload::EstimatedCost(w, *optimizer_, config);
+  return optimizer_->WorkloadCost(w, config);
 }
 
 double RlTrainer::EstimatedUtility(const workload::Workload& w) const {
@@ -163,7 +163,7 @@ workload::Workload RlTrainer::Perturb(const workload::Workload& w,
     ReferenceTree tree(wq.query, vocab, constraint_, epsilon_);
     TrapAgent::EpisodeResult r =
         agent_->RunEpisode(nullptr, std::move(tree), TrapAgent::Mode::kGreedy,
-                           nullptr, ctx.cancel);
+                           nullptr, ctx);
     std::optional<sql::Query> pq = sql::FromTokens(r.output, vocab);
     TRAP_CHECK(pq.has_value());
     out.queries.push_back(workload::WorkloadQuery{*pq, wq.weight});
@@ -180,7 +180,7 @@ workload::Workload RlTrainer::PerturbSampled(
     ReferenceTree tree(wq.query, vocab, constraint_, epsilon_);
     TrapAgent::EpisodeResult r =
         agent_->RunEpisode(nullptr, std::move(tree), TrapAgent::Mode::kSample,
-                           &rng, ctx.cancel);
+                           &rng, ctx);
     std::optional<sql::Query> pq = sql::FromTokens(r.output, vocab);
     TRAP_CHECK(pq.has_value());
     out.queries.push_back(workload::WorkloadQuery{*pq, wq.weight});

@@ -7,11 +7,6 @@
 
 namespace trap::workload {
 
-double EstimatedCost(const Workload& w, const engine::WhatIfOptimizer& optimizer,
-                     const engine::IndexConfig& config) {
-  return optimizer.WorkloadCost(w, config);
-}
-
 double ActualCost(const Workload& w, const engine::TrueCostModel& truth,
                   const engine::IndexConfig& config) {
   // Per-query costs land in pre-sized slots and are folded in query order,

@@ -24,9 +24,8 @@ struct Workload {
   bool empty() const { return queries.empty(); }
 };
 
-// Weighted estimated cost c(W, d, I) via what-if calls.
-double EstimatedCost(const Workload& w, const engine::WhatIfOptimizer& optimizer,
-                     const engine::IndexConfig& config);
+// The weighted estimated cost c(W, d, I) is WhatIfOptimizer::WorkloadCost
+// (engine/what_if.h) -- the single definition of workload costing.
 
 // Weighted "actual runtime" cost via the true-cost oracle.
 double ActualCost(const Workload& w, const engine::TrueCostModel& truth,

@@ -1,11 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "advisor/candidates.h"
-#include "advisor/dqn_advisors.h"
+#include "advisor/registry.h"
 #include "advisor/evaluation.h"
-#include "advisor/heuristic_advisors.h"
-#include "advisor/mcts.h"
-#include "advisor/swirl.h"
 #include "catalog/datasets.h"
 #include "workload/generator.h"
 
@@ -46,7 +43,7 @@ class AdvisorTest : public ::testing::Test {
   }
 
   double Cost(const Workload& w, const IndexConfig& c) const {
-    return WorkloadCost(optimizer_, w, c);
+    return optimizer_.WorkloadCost(w, c);
   }
 
   catalog::Schema schema_;
@@ -99,7 +96,7 @@ TEST_F(AdvisorTest, FitsConstraintChecksCountAndStorage) {
 // -- heuristic advisors ------------------------------------------------------
 
 TEST_F(AdvisorTest, ExtendReducesCostWithinBudget) {
-  auto advisor = MakeExtend(optimizer_);
+  auto advisor = *MakeAdvisor("Extend", optimizer_);
   TuningConstraint c = StorageConstraint();
   IndexConfig config = advisor->Recommend(test_workload_, c);
   EXPECT_FALSE(config.empty());
@@ -109,7 +106,7 @@ TEST_F(AdvisorTest, ExtendReducesCostWithinBudget) {
 }
 
 TEST_F(AdvisorTest, ExtendProducesMultiColumnIndexes) {
-  auto advisor = MakeExtend(optimizer_);
+  auto advisor = *MakeAdvisor("Extend", optimizer_);
   // Aggregate over several workloads: extension steps should fire somewhere.
   bool any_multi = false;
   for (const Workload& w : training_) {
@@ -122,7 +119,7 @@ TEST_F(AdvisorTest, ExtendProducesMultiColumnIndexes) {
 }
 
 TEST_F(AdvisorTest, Db2AdvisReducesCostWithinBudget) {
-  auto advisor = MakeDb2Advis(optimizer_);
+  auto advisor = *MakeAdvisor("DB2Advis", optimizer_);
   TuningConstraint c = StorageConstraint();
   IndexConfig config = advisor->Recommend(test_workload_, c);
   EXPECT_FALSE(config.empty());
@@ -131,7 +128,7 @@ TEST_F(AdvisorTest, Db2AdvisReducesCostWithinBudget) {
 }
 
 TEST_F(AdvisorTest, AutoAdminRespectsIndexCount) {
-  auto advisor = MakeAutoAdmin(optimizer_);
+  auto advisor = *MakeAdvisor("AutoAdmin", optimizer_);
   TuningConstraint c = CountConstraint(3);
   IndexConfig config = advisor->Recommend(test_workload_, c);
   EXPECT_LE(config.size(), 3);
@@ -139,11 +136,7 @@ TEST_F(AdvisorTest, AutoAdminRespectsIndexCount) {
 }
 
 TEST_F(AdvisorTest, DropReturnsSingleColumnWithinCount) {
-  auto advisor = MakeDrop(optimizer_, [] {
-    HeuristicOptions o;
-    o.multi_column = false;
-    return o;
-  }());
+  auto advisor = *MakeAdvisor("Drop", optimizer_);
   TuningConstraint c = CountConstraint(3);
   IndexConfig config = advisor->Recommend(test_workload_, c);
   EXPECT_LE(config.size(), 3);
@@ -154,7 +147,7 @@ TEST_F(AdvisorTest, DropReturnsSingleColumnWithinCount) {
 }
 
 TEST_F(AdvisorTest, RelaxationMeetsStorageBudget) {
-  auto advisor = MakeRelaxation(optimizer_);
+  auto advisor = *MakeAdvisor("Relaxation", optimizer_);
   // Use a tight budget to force actual relaxation moves.
   TuningConstraint c = TuningConstraint::Storage(schema_.DataSizeBytes() / 20);
   IndexConfig config = advisor->Recommend(test_workload_, c);
@@ -162,7 +155,7 @@ TEST_F(AdvisorTest, RelaxationMeetsStorageBudget) {
 }
 
 TEST_F(AdvisorTest, DtaReducesCostWithinBudget) {
-  auto advisor = MakeDta(optimizer_);
+  auto advisor = *MakeAdvisor("DTA", optimizer_);
   TuningConstraint c = StorageConstraint();
   IndexConfig config = advisor->Recommend(test_workload_, c);
   EXPECT_FALSE(config.empty());
@@ -171,10 +164,10 @@ TEST_F(AdvisorTest, DtaReducesCostWithinBudget) {
 }
 
 TEST_F(AdvisorTest, DtaAtLeastAsGoodAsSingleColumnGreedy) {
-  auto dta = MakeDta(optimizer_);
-  HeuristicOptions single_only;
-  single_only.multi_column = false;
-  auto extend_single = MakeExtend(optimizer_, single_only);
+  auto dta = *MakeAdvisor("DTA", optimizer_);
+  RegistryOptions single_only;
+  single_only.heuristic.multi_column = false;
+  auto extend_single = *MakeAdvisor("Extend", optimizer_, single_only);
   TuningConstraint c = StorageConstraint();
   double dta_cost = Cost(test_workload_, dta->Recommend(test_workload_, c));
   double single_cost =
@@ -183,12 +176,12 @@ TEST_F(AdvisorTest, DtaAtLeastAsGoodAsSingleColumnGreedy) {
 }
 
 TEST_F(AdvisorTest, InteractionSwitchChangesBehaviour) {
-  HeuristicOptions with;
-  with.consider_interaction = true;
-  HeuristicOptions without;
-  without.consider_interaction = false;
-  auto a = MakeExtend(optimizer_, with);
-  auto b = MakeExtend(optimizer_, without);
+  RegistryOptions with;
+  with.heuristic.consider_interaction = true;
+  RegistryOptions without;
+  without.heuristic.consider_interaction = false;
+  auto a = *MakeAdvisor("Extend", optimizer_, with);
+  auto b = *MakeAdvisor("Extend", optimizer_, without);
   // Across several workloads the two settings must diverge at least once,
   // and interaction-aware selection must never be (meaningfully) worse.
   bool diverged = false;
@@ -202,10 +195,10 @@ TEST_F(AdvisorTest, InteractionSwitchChangesBehaviour) {
 }
 
 TEST_F(AdvisorTest, MultiColumnSwitchChangesCandidates) {
-  HeuristicOptions single;
-  single.multi_column = false;
-  auto a = MakeExtend(optimizer_, HeuristicOptions{});
-  auto b = MakeExtend(optimizer_, single);
+  RegistryOptions single;
+  single.heuristic.multi_column = false;
+  auto a = *MakeAdvisor("Extend", optimizer_, RegistryOptions{});
+  auto b = *MakeAdvisor("Extend", optimizer_, single);
   for (const Workload& w : training_) {
     IndexConfig cb = b->Recommend(w, StorageConstraint());
     for (const Index& i : cb.indexes()) EXPECT_TRUE(i.IsSingleColumn());
@@ -216,33 +209,33 @@ TEST_F(AdvisorTest, MultiColumnSwitchChangesCandidates) {
 // -- learning advisors -------------------------------------------------------
 
 TEST_F(AdvisorTest, SwirlTrainsAndImproves) {
-  SwirlOptions opt;
-  opt.episodes = 80;
+  RegistryOptions opt;
+  opt.rl_episodes = 80;
   opt.max_actions = 24;
-  SwirlAdvisor advisor(optimizer_, opt);
-  advisor.Train(training_, StorageConstraint());
-  IndexConfig config = advisor.Recommend(test_workload_, StorageConstraint());
+  auto advisor = *MakeLearningAdvisor("SWIRL", optimizer_, opt);
+  advisor->Train(training_, StorageConstraint());
+  IndexConfig config = advisor->Recommend(test_workload_, StorageConstraint());
   EXPECT_LE(config.TotalSizeBytes(schema_),
             StorageConstraint().storage_budget_bytes);
   EXPECT_LT(Cost(test_workload_, config), Cost(test_workload_, IndexConfig()));
 }
 
 TEST_F(AdvisorTest, SwirlRecommendIsDeterministic) {
-  SwirlOptions opt;
-  opt.episodes = 40;
+  RegistryOptions opt;
+  opt.rl_episodes = 40;
   opt.max_actions = 16;
-  SwirlAdvisor advisor(optimizer_, opt);
-  advisor.Train(training_, StorageConstraint());
-  IndexConfig a = advisor.Recommend(test_workload_, StorageConstraint());
-  IndexConfig b = advisor.Recommend(test_workload_, StorageConstraint());
+  auto advisor = *MakeLearningAdvisor("SWIRL", optimizer_, opt);
+  advisor->Train(training_, StorageConstraint());
+  IndexConfig a = advisor->Recommend(test_workload_, StorageConstraint());
+  IndexConfig b = advisor->Recommend(test_workload_, StorageConstraint());
   EXPECT_EQ(a, b);
 }
 
 TEST_F(AdvisorTest, DrlIndexRespectsCountAndSingleColumn) {
-  DqnOptions opt = DrlIndexDefaults();
-  opt.episodes = 60;
+  RegistryOptions opt;
+  opt.rl_episodes = 60;
   opt.max_actions = 16;
-  auto advisor = MakeDrlIndex(optimizer_, opt);
+  auto advisor = *MakeLearningAdvisor("DRLindex", optimizer_, opt);
   advisor->Train(training_, CountConstraint(3));
   IndexConfig config = advisor->Recommend(test_workload_, CountConstraint(3));
   EXPECT_LE(config.size(), 3);
@@ -250,10 +243,10 @@ TEST_F(AdvisorTest, DrlIndexRespectsCountAndSingleColumn) {
 }
 
 TEST_F(AdvisorTest, DqnAdvisorImprovesCost) {
-  DqnOptions opt = DqnAdvisorDefaults();
-  opt.episodes = 60;
+  RegistryOptions opt;
+  opt.rl_episodes = 60;
   opt.max_actions = 24;
-  auto advisor = MakeDqnAdvisor(optimizer_, opt);
+  auto advisor = *MakeLearningAdvisor("DQN", optimizer_, opt);
   advisor->Train(training_, CountConstraint(4));
   IndexConfig config = advisor->Recommend(test_workload_, CountConstraint(4));
   EXPECT_LE(config.size(), 4);
@@ -262,9 +255,9 @@ TEST_F(AdvisorTest, DqnAdvisorImprovesCost) {
 }
 
 TEST_F(AdvisorTest, MctsImprovesCostWithinCount) {
-  MctsOptions opt;
-  opt.iterations = 150;
-  auto advisor = MakeMcts(optimizer_, opt);
+  RegistryOptions opt;
+  opt.mcts_iterations = 150;
+  auto advisor = *MakeAdvisor("MCTS", optimizer_, opt);
   IndexConfig config = advisor->Recommend(test_workload_, CountConstraint(4));
   EXPECT_LE(config.size(), 4);
   EXPECT_LT(Cost(test_workload_, config), Cost(test_workload_, IndexConfig()));
@@ -274,7 +267,7 @@ TEST_F(AdvisorTest, MctsImprovesCostWithinCount) {
 
 TEST_F(AdvisorTest, UtilityPositiveForGoodAdvisor) {
   RobustnessEvaluator evaluator(optimizer_, truth_);
-  auto extend = MakeExtend(optimizer_);
+  auto extend = *MakeAdvisor("Extend", optimizer_);
   double u = evaluator.IndexUtility(*extend, nullptr, test_workload_,
                                     StorageConstraint());
   EXPECT_GT(u, 0.0);

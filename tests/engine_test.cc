@@ -391,15 +391,17 @@ TEST_F(EngineTest, SerialAndParallelWorkloadCostBitIdentical) {
   }
 
   common::ThreadPool pool(4);
+  common::EvalContext pool_ctx;
+  pool_ctx.pool = &pool;
   WhatIfOptimizer parallel_opt(schema_);
-  double parallel_total = parallel_opt.WorkloadCost(w, config, &pool);
+  double parallel_total = parallel_opt.WorkloadCost(w, config, pool_ctx);
 
   EXPECT_EQ(serial_total, parallel_total);  // bit-identical
   EXPECT_EQ(parallel_opt.num_calls(), serial_opt.num_calls());
   EXPECT_EQ(parallel_opt.num_cache_misses(), serial_opt.num_cache_misses());
 
   // Re-costing the same workload is all cache hits on both sides.
-  (void)parallel_opt.WorkloadCost(w, config, &pool);
+  (void)parallel_opt.WorkloadCost(w, config, pool_ctx);
   EXPECT_EQ(parallel_opt.num_calls(), 2 * serial_opt.num_calls());
   EXPECT_EQ(parallel_opt.num_cache_misses(), serial_opt.num_cache_misses());
 }
@@ -421,8 +423,10 @@ TEST_F(EngineTest, BatchedConfigSweepMatchesSerial) {
   configs.push_back(two);
 
   common::ThreadPool pool(4);
+  common::EvalContext pool_ctx;
+  pool_ctx.pool = &pool;
   WhatIfOptimizer opt(schema_);
-  std::vector<double> swept = opt.WorkloadCosts(w, configs, &pool);
+  std::vector<double> swept = opt.WorkloadCosts(w, configs, pool_ctx);
   ASSERT_EQ(swept.size(), configs.size());
   WhatIfOptimizer ref(schema_);
   for (size_t c = 0; c < configs.size(); ++c) {
@@ -647,7 +651,9 @@ TEST_F(EngineTest, ClearCacheDuringConcurrentWorkloadCostsIsSafe) {
     }
     // Nested ParallelFor degrades to serial inside the pool; concurrency
     // comes from the other outer iterations.
-    got[i] = opt.WorkloadCosts(w, configs, &pool);
+    common::EvalContext ctx;
+    ctx.pool = &pool;
+    got[i] = opt.WorkloadCosts(w, configs, ctx);
   });
   for (size_t i = 0; i < kRounds; ++i) {
     if (i % 8 == 0) continue;

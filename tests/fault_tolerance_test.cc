@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "advisor/evaluation.h"
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "catalog/datasets.h"
 #include "common/deadline.h"
 #include "common/fault.h"
@@ -233,7 +233,7 @@ TEST_P(FaultSiteDegradationTest, DegradesWithExpectedStatusAndRetries) {
   FaultEnv env;
   ScopedFaultSpec scoped(param.spec, 7);
   std::unique_ptr<advisor::IndexAdvisor> adv =
-      advisor::MakeAutoAdmin(env.optimizer);
+      *advisor::MakeAdvisor("AutoAdmin", env.optimizer);
   common::CancelToken token(200000);
   EvalContext ctx;
   ctx.cancel = &token;
@@ -288,7 +288,7 @@ TEST(FaultSiteTest, FailureRecordNamesTheInjectedSite) {
   FaultEnv env;
   ScopedFaultSpec scoped("advisor.recommend.fail@p=1", 7);
   std::unique_ptr<advisor::IndexAdvisor> adv =
-      advisor::MakeExtend(env.optimizer);
+      *advisor::MakeAdvisor("Extend", env.optimizer);
   EvalContext ctx;
   advisor::RecommendOutcome outcome = advisor::RecommendWithRetry(
       *adv, env.w, env.constraint, ctx, advisor::RetryPolicy{});
@@ -314,7 +314,7 @@ TEST(FaultSiteTest, LegacyRecommendDegradesToEmptyInsteadOfAborting) {
   FaultEnv env;
   ScopedFaultSpec scoped("advisor.recommend.fail@p=1", 7);
   std::unique_ptr<advisor::IndexAdvisor> adv =
-      advisor::MakeDrop(env.optimizer);
+      *advisor::MakeAdvisor("Drop", env.optimizer);
   engine::IndexConfig config = adv->Recommend(env.w, env.constraint);
   EXPECT_TRUE(config.indexes().empty());
 }
@@ -343,7 +343,7 @@ TEST(FaultSiteTest, TryIndexUtilityRecordsFailuresAndKeepsRunning) {
   advisor::RobustnessEvaluator evaluator(env.optimizer, truth);
   ScopedFaultSpec scoped("advisor.recommend.fail@p=1", 7);
   std::unique_ptr<advisor::IndexAdvisor> adv =
-      advisor::MakeAutoAdmin(env.optimizer);
+      *advisor::MakeAdvisor("AutoAdmin", env.optimizer);
   std::vector<advisor::FailureRecord> failures;
   EvalContext ctx;
   StatusOr<double> utility = evaluator.TryIndexUtility(
@@ -371,10 +371,10 @@ std::vector<advisor::FailureRecord> RunTrajectory(common::ThreadPool* pool) {
   std::vector<advisor::FailureRecord> failures;
   for (const char* name : {"Extend", "AutoAdmin", "Drop"}) {
     std::unique_ptr<advisor::IndexAdvisor> adv =
-        name == std::string("Extend")  ? advisor::MakeExtend(env.optimizer)
+        name == std::string("Extend")  ? *advisor::MakeAdvisor("Extend", env.optimizer)
         : name == std::string("AutoAdmin")
-            ? advisor::MakeAutoAdmin(env.optimizer)
-            : advisor::MakeDrop(env.optimizer);
+            ? *advisor::MakeAdvisor("AutoAdmin", env.optimizer)
+            : *advisor::MakeAdvisor("Drop", env.optimizer);
     common::CancelToken token(200000);
     EvalContext ctx;
     ctx.cancel = &token;

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "advisor/evaluation.h"
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "catalog/datasets.h"
 #include "sql/tokenizer.h"
 #include "trap/perturber.h"
@@ -55,7 +55,7 @@ class IntegrationTest : public ::testing::Test {
 };
 
 TEST_F(IntegrationTest, FullPipelineProducesBoundedValidPerturbations) {
-  auto victim = advisor::MakeExtend(optimizer_);
+  auto victim = *advisor::MakeAdvisor("Extend", optimizer_);
   tc::GeneratorConfig config;
   config.method = tc::GenerationMethod::kTrap;
   config.constraint = tc::PerturbationConstraint::kSharedTable;
@@ -98,7 +98,7 @@ TEST_F(IntegrationTest, FullPipelineProducesBoundedValidPerturbations) {
 }
 
 TEST_F(IntegrationTest, RewardTraceHasConfiguredLength) {
-  auto victim = advisor::MakeAutoAdmin(optimizer_);
+  auto victim = *advisor::MakeAdvisor("AutoAdmin", optimizer_);
   tc::GeneratorConfig config;
   config.method = tc::GenerationMethod::kSeq2Seq;
   config.constraint = tc::PerturbationConstraint::kColumnConsistent;
@@ -115,7 +115,7 @@ TEST_F(IntegrationTest, RewardTraceHasConfiguredLength) {
 }
 
 TEST_F(IntegrationTest, ValueOnlyPerturbationPreservesTemplates) {
-  auto victim = advisor::MakeDta(optimizer_);
+  auto victim = *advisor::MakeAdvisor("DTA", optimizer_);
   tc::GeneratorConfig config;
   config.method = tc::GenerationMethod::kRandom;
   config.constraint = tc::PerturbationConstraint::kValueOnly;

@@ -265,6 +265,46 @@ TEST(RuleTest, FloatAccumulationClean) {
                        "float-accumulation"));
 }
 
+// --- metric-name-style ---------------------------------------------------
+
+TEST(RuleTest, MetricNameStyleViolation) {
+  // Missing the trap. root.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/obs/m.cc", "reg.counter(\"whatif.calls\");\n"),
+      "metric-name-style"));
+  // Only one segment after the root.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/obs/m.cc", "reg.counter(\"trap.calls\");\n"),
+      "metric-name-style"));
+  // Upper case / digits are not allowed in segments.
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/obs/m.cc", "reg.counter(\"trap.WhatIf.calls\");\n"),
+      "metric-name-style"));
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/obs/m.cc", "reg->histogram(\"trap.batch.v2\");\n"),
+      "metric-name-style"));
+}
+
+TEST(RuleTest, MetricNameStyleClean) {
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/obs/m.cc", "reg.counter(\"trap.whatif.calls\");\n"),
+      "metric-name-style"));
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/obs/m.cc",
+                  "reg->histogram(\"trap.whatif.batch_size\");\n"),
+      "metric-name-style"));
+  // Names assembled at runtime are out of the rule's reach: the leading
+  // literal is only a prefix, not the full name.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/obs/m.cc",
+                  "reg.counter(\"trap.advisor.\" + seg + \".recommends\");\n"),
+      "metric-name-style"));
+  // counter/histogram as free identifiers (not member calls) do not match.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/obs/m.cc", "int counter(\"not.a.metric\");\n"),
+      "metric-name-style"));
+}
+
 // --- suppression policy --------------------------------------------------
 
 TEST(SuppressionTest, NolintWithReasonSilencesTheFinding) {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "advisor/heuristic_advisors.h"
+#include "advisor/registry.h"
 #include "catalog/datasets.h"
 #include "sql/tokenizer.h"
 #include "trap/agent.h"
@@ -137,7 +137,7 @@ TEST_F(TrapTest, GruAgentHasFewerParametersThanTransformer) {
 TEST_F(TrapTest, RlTrainingImprovesEstimatedIudr) {
   gbdt::LearnedUtilityModel utility(optimizer_, truth_);
   utility.Train(pool_, {engine::IndexConfig()});
-  auto victim = advisor::MakeExtend(optimizer_);
+  auto victim = *advisor::MakeAdvisor("Extend", optimizer_);
 
   TrapAgent agent(vocab_, SmallAgent(EncoderKind::kBiGru, true));
   RlOptions rl;
@@ -162,7 +162,7 @@ TEST_F(TrapTest, RlTrainingImprovesEstimatedIudr) {
 TEST_F(TrapTest, GeneratorMethodsProduceValidBudgetedWorkloads) {
   gbdt::LearnedUtilityModel utility(optimizer_, truth_);
   utility.Train(pool_, {engine::IndexConfig()});
-  auto victim = advisor::MakeExtend(optimizer_);
+  auto victim = *advisor::MakeAdvisor("Extend", optimizer_);
 
   for (GenerationMethod m :
        {GenerationMethod::kRandom, GenerationMethod::kGru,
@@ -200,7 +200,7 @@ TEST_F(TrapTest, GeneratorMethodsProduceValidBudgetedWorkloads) {
 TEST_F(TrapTest, RandomPerturberRespectsEveryConstraintBudget) {
   gbdt::LearnedUtilityModel utility(optimizer_, truth_);
   utility.Train(pool_, {engine::IndexConfig()});
-  auto victim = advisor::MakeExtend(optimizer_);
+  auto victim = *advisor::MakeAdvisor("Extend", optimizer_);
   for (PerturbationConstraint constraint :
        {PerturbationConstraint::kValueOnly,
         PerturbationConstraint::kColumnConsistent,

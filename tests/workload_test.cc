@@ -101,14 +101,14 @@ TEST_F(WorkloadTest, SampleWorkloadLargerThanPool) {
   EXPECT_EQ(w.size(), 12);
 }
 
-TEST_F(WorkloadTest, EstimatedCostIsWeightedSum) {
+TEST_F(WorkloadTest, WorkloadCostIsWeightedSum) {
   engine::WhatIfOptimizer optimizer(schema_);
   QueryGenerator gen(vocab_, GeneratorOptions{}, 61);
   Workload w;
   sql::Query q = gen.Generate();
   w.queries.push_back(WorkloadQuery{q, 2.0});
   engine::IndexConfig none;
-  EXPECT_DOUBLE_EQ(EstimatedCost(w, optimizer, none),
+  EXPECT_DOUBLE_EQ(optimizer.WorkloadCost(w, none),
                    2.0 * optimizer.QueryCost(q, none));
 }
 

@@ -330,6 +330,55 @@ void CheckAbortInLibrary(const SourceFile& f, std::vector<Finding>* out) {
   }
 }
 
+void CheckMetricNameStyle(const SourceFile& f, std::vector<Finding>* out) {
+  // A metric name literal passed to MetricRegistry::counter()/histogram()
+  // must match trap\.[a-z_]+(\.[a-z_]+)+ -- a "trap." root plus at least
+  // two lower-case segments, so dashboards group and sort consistently.
+  // Names assembled at runtime (e.g. per-advisor prefixes) are out of this
+  // rule's reach; obs::IsValidMetricName CHECKs them at registration.
+  auto valid = [](const std::string& name) {
+    size_t pos = 0;
+    int segments = 0;
+    while (true) {
+      size_t dot = name.find('.', pos);
+      const std::string seg =
+          name.substr(pos, dot == std::string::npos ? dot : dot - pos);
+      if (seg.empty()) return false;
+      if (segments == 0 && seg != "trap") return false;
+      if (segments > 0) {
+        for (char c : seg) {
+          if ((c < 'a' || c > 'z') && c != '_') return false;
+        }
+      }
+      ++segments;
+      if (dot == std::string::npos) break;
+      pos = dot + 1;
+    }
+    return segments >= 3;
+  };
+  for (size_t i = 0; i + 2 < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokKind::kIdentifier ||
+        (t.text != "counter" && t.text != "histogram")) {
+      continue;
+    }
+    // Only the registry accessors: require a preceding "." or "->" so free
+    // functions that happen to share the name don't trip the rule.
+    const std::string& prev = At(f, i - 1).text;
+    if (prev != "." && prev != "->") continue;
+    if (At(f, i + 1).text != "(") continue;
+    const Token& arg = f.tokens[i + 2];
+    if (arg.kind != TokKind::kString) continue;  // assembled at runtime
+    if (At(f, i + 3).text == "+") continue;      // concatenation: a prefix
+    if (valid(arg.text)) continue;
+    Add(f, "metric-name-style", arg.line,
+        "metric name \"" + arg.text + "\" must match "
+        "trap.[a-z_]+(.[a-z_]+)+ -- a trap. root plus at least two "
+        "lower-case segments",
+        out);
+  }
+}
+
 std::vector<Finding> Lint(const SourceFile& f) {
   std::vector<Finding> raw;
   CheckUnseededRandomness(f, &raw);
@@ -340,6 +389,7 @@ std::vector<Finding> Lint(const SourceFile& f) {
   CheckHeaderHygiene(f, &raw);
   CheckFloatAccumulation(f, &raw);
   CheckAbortInLibrary(f, &raw);
+  CheckMetricNameStyle(f, &raw);
 
   std::vector<Finding> kept;
   for (Finding& fi : raw) {

@@ -41,6 +41,10 @@ struct Finding {
 //                           dropped) or #pragma once.
 //   float-accumulation      `float` inside src/engine/ -- cost arithmetic
 //                           is double end to end.
+//   metric-name-style       string literals registered via
+//                           MetricRegistry::counter()/histogram() must
+//                           match trap.[a-z_]+(.[a-z_]+)+ -- the "trap."
+//                           root plus at least two lower-case segments.
 //   no-abort-in-library     abort()/exit()/_Exit()/quick_exit() and
 //                           TRAP_CHECK/TRAP_CHECK_MSG on the
 //                           Status-converted evaluation paths (what-if
@@ -57,6 +61,7 @@ void CheckBannedFunctions(const SourceFile& f, std::vector<Finding>* out);
 void CheckHeaderHygiene(const SourceFile& f, std::vector<Finding>* out);
 void CheckFloatAccumulation(const SourceFile& f, std::vector<Finding>* out);
 void CheckAbortInLibrary(const SourceFile& f, std::vector<Finding>* out);
+void CheckMetricNameStyle(const SourceFile& f, std::vector<Finding>* out);
 
 // The include guard name header-hygiene expects for `path`, e.g.
 // "src/common/rng.h" -> "TRAP_COMMON_RNG_H_",

@@ -13,7 +13,8 @@
 namespace tc = ::trap::trap;
 using namespace trap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOptions opt = bench::ParseBenchOptions(&argc, argv);
   bench::PrintHeader("Fig. 10 — scalability on large schemas (vs. Extend)");
   bench::BenchReport report("fig10_scalability");
   std::printf("%-10s %8s %10s %10s %10s %14s\n", "columns", "vocab",
@@ -54,6 +55,7 @@ int main() {
     }
     std::printf(" %14.1f\n", gen_seconds);
   }
+  bench::RecordWhatIfThroughput(&report, opt);
   report.Write();
   std::printf("\nTRAP keeps finding loopholes as the column count grows; the "
               "tree masking keeps the per-step candidate set small even "

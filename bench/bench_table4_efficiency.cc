@@ -77,6 +77,7 @@ void BM_Generate(benchmark::State& state, const ModuleSpec& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchOptions opt = bench::ParseBenchOptions(&argc, argv);
   for (const ModuleSpec& spec : Modules()) {
     benchmark::RegisterBenchmark(
         (std::string("generate_query/") + spec.name).c_str(),
@@ -110,6 +111,7 @@ int main(int argc, char** argv) {
     std::printf("%-12s %12lld %18.3f\n", spec.name,
                 static_cast<long long>(agent.NumParameters()), sec);
   }
+  bench::RecordWhatIfThroughput(&report, opt);
   report.Write();
   std::printf("\nAs in Table IV: TRAP stays within ~2x of the plain GRU's "
               "cost while the transformer variants carry 1-2 orders of "

@@ -1,7 +1,9 @@
 #include "harness.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "advisor/registry.h"
@@ -159,6 +161,80 @@ AssessmentResult AssessRobustness(BenchEnv& env, advisor::IndexAdvisor* victim,
 
 void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+BenchOptions ParseBenchOptions(int* argc, char** argv) {
+  BenchOptions opt;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--repeat=", 0) == 0) {
+      opt.repeat = static_cast<int>(std::strtol(arg.c_str() + 9, nullptr, 10));
+    } else if (arg.rfind("--min-iters=", 0) == 0) {
+      opt.min_iters =
+          static_cast<int>(std::strtol(arg.c_str() + 12, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  opt.repeat = std::max(1, opt.repeat);
+  opt.min_iters = std::max(1, opt.min_iters);
+  return opt;
+}
+
+double MedianSeconds(const BenchOptions& opt, const std::function<void()>& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(opt.repeat));
+  for (int r = 0; r < opt.repeat; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < opt.min_iters; ++i) fn();
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    times.push_back(seconds / opt.min_iters);
+  }
+  std::sort(times.begin(), times.end());
+  const size_t n = times.size();
+  return n % 2 == 1 ? times[n / 2]
+                    : 0.5 * (times[n / 2 - 1] + times[n / 2]);
+}
+
+void RecordWhatIfThroughput(BenchReport* report, const BenchOptions& opt) {
+  // Fixed probe, independent of the calling bench: TPC-H, 64 generated
+  // queries, one single-column candidate per schema column — the shape of
+  // an advisor's first greedy round, costed cold.
+  const catalog::Schema schema = catalog::MakeTpcH();
+  sql::Vocabulary vocab(schema, 8);
+  workload::QueryGenerator gen(vocab, workload::GeneratorOptions{}, /*seed=*/3);
+  const std::vector<sql::Query> queries = gen.GeneratePool(64);
+  engine::WhatIfOptimizer optimizer(schema);
+  workload::Workload w;
+  for (const sql::Query& q : queries) {
+    w.queries.push_back(workload::WorkloadQuery{q, 1.0});
+  }
+  std::vector<engine::IndexConfig> configs;
+  for (int g = 0; g < schema.num_columns(); ++g) {
+    engine::IndexConfig cfg;
+    cfg.Add(engine::Index{{schema.ColumnFromGlobalIndex(g)}});
+    configs.push_back(cfg);
+  }
+  const double pairs =
+      static_cast<double>(w.queries.size() * configs.size());
+  double sink = 0.0;
+  auto sweep = [&](common::ThreadPool* pool) {
+    optimizer.ClearCache();  // cold cost cache every repeat
+    common::EvalContext ctx;
+    ctx.pool = pool;
+    sink += optimizer.WorkloadCosts(w, configs, ctx)[0];
+  };
+  common::ThreadPool serial_pool(1);
+  common::ThreadPool quad_pool(4);
+  const double t1 = MedianSeconds(opt, [&] { sweep(&serial_pool); });
+  const double t4 = MedianSeconds(opt, [&] { sweep(&quad_pool); });
+  if (sink < 0.0) std::printf("impossible\n");  // keep the sweeps observable
+  report->RecordMetric("whatif_pairs_per_sec", t1 > 0.0 ? pairs / t1 : 0.0);
+  report->RecordMetric("speedup_4_vs_1", t4 > 0.0 ? t1 / t4 : 0.0);
 }
 
 BenchReport::BenchReport(std::string bench_name)

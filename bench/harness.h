@@ -75,6 +75,37 @@ bool IsNonSargable(BenchEnv& env, const workload::Workload& w,
 // Prints a section header so the bench output reads like the paper's tables.
 void PrintHeader(const std::string& title);
 
+// Command-line knobs shared by the bench binaries. `--repeat=N` selects
+// median-of-N timing for the throughput probes; `--min-iters=N` folds N
+// back-to-back runs into each timed repeat so sub-millisecond probes
+// measure above clock granularity.
+struct BenchOptions {
+  int repeat = 3;
+  int min_iters = 1;
+};
+
+// Parses and REMOVES --repeat=N / --min-iters=N from argv (compacting it in
+// place and updating *argc), so the remaining flags can be handed on to
+// google-benchmark's Initialize without tripping its unknown-flag check.
+BenchOptions ParseBenchOptions(int* argc, char** argv);
+
+// Times fn() `opt.repeat` times — each repeat runs fn `opt.min_iters` times
+// back to back — and returns the median per-call seconds. Median-of-N is
+// robust to the one-off stalls (page faults, scheduler preemption) that
+// poison a single-shot timing on a shared machine.
+double MedianSeconds(const BenchOptions& opt, const std::function<void()>& fn);
+
+// Cold-cache what-if throughput probe shared by every bench that writes a
+// BENCH_*.json: one fixed TPC-H 64-query x per-column candidate sweep under
+// explicit 1- and 4-thread pools, median-of-N timed. Records
+// `whatif_pairs_per_sec` (single-thread) and `speedup_4_vs_1` into
+// `report`, so every report carries comparable engine-throughput numbers
+// for scripts/check.sh's perf gate. The probe's workload is fixed (it does
+// not depend on the calling bench's dataset or TRAP_THREADS), so the
+// recorded numbers are comparable across benches and the metric deltas it
+// adds to the global registry stay deterministic.
+void RecordWhatIfThroughput(BenchReport* report, const BenchOptions& opt = {});
+
 // Per-phase wall-clock + thread-count recorder. Benches time their phases
 // through this and write a BENCH_<name>.json next to the binary's working
 // directory so successive runs capture the perf trajectory (threads used,

@@ -21,12 +21,18 @@
 #      the deterministic trace scenario at TRAP_THREADS=1/4/8 and requires
 #      the metric and trace digest lines to be bit-identical across thread
 #      counts.
-#   7. An advisor-registry audit: outside src/advisor/ nothing may
+#   7. A perf-gate stage (plain flavor only; sanitizers skew timings):
+#      bench_engine_micro's shared what-if throughput probe, compared
+#      against bench/baselines/engine_micro_baseline.json by
+#      scripts/perf_gate.py. Single-thread whatif_pairs_per_sec must stay
+#      inside the baseline's tolerance band; speedup_4_vs_1 is enforced
+#      only on runners with >= 4 cores.
+#   8. An advisor-registry audit: outside src/advisor/ nothing may
 #      construct a concrete advisor directly -- every construction goes
 #      through advisor::MakeAdvisor / MakeLearningAdvisor.
-#   8. An exemption audit: the property-testing trees (src/testing,
+#   9. An exemption audit: the property-testing trees (src/testing,
 #      tools/fuzz) must lint clean without a single NOLINT escape hatch.
-#   9. A clang-format check on tools/ only (skipped with a notice when
+#  10. A clang-format check on tools/ only (skipped with a notice when
 #      clang-format is not installed; nothing outside tools/ is formatted).
 #
 # Usage: scripts/check.sh [jobs]    (default: nproc)
@@ -106,9 +112,22 @@ trace_digest_stage() {
   done
 }
 
+# Runs the shared what-if throughput probe (median of 5, microbenches
+# filtered out) and ratchets the result against the committed baseline.
+perf_gate_stage() {
+  local dir="$1"
+  echo "==> perf gate ${dir}"
+  (cd "${dir}/bench" &&
+    ./bench_engine_micro --repeat=5 \
+      --benchmark_filter='^$' > /dev/null)
+  python3 scripts/perf_gate.py "${dir}/bench/BENCH_engine_micro.json" \
+    bench/baselines/engine_micro_baseline.json
+}
+
 run_suite build-check 2000 -DTRAP_WERROR=ON
 fault_campaign_stage build-check "1 4 8"
 trace_digest_stage build-check "1 4 8"
+perf_gate_stage build-check
 
 TRAP_THREADS=4 run_suite build-check-tsan 600 -DTRAP_WERROR=ON \
   -DTRAP_SANITIZE=thread

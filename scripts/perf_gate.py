@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Throughput ratchet for the batched what-if hot path.
+
+Compares a freshly written BENCH_*.json (argv[1]) against a committed
+baseline (argv[2], see bench/baselines/). Two gates:
+
+  * whatif_pairs_per_sec -- single-thread cold-sweep throughput of the
+    shared bench probe. Must stay above baseline * tolerance; the band
+    absorbs run-to-run noise, the committed number only ever ratchets up.
+  * speedup_4_vs_1 -- 4-thread over 1-thread wall-clock ratio of the same
+    sweep. Enforced as-is, but only on runners with >= 4 CPUs: on a 1- or
+    2-core box the 4-thread pool just timeslices and the ratio measures the
+    scheduler, not the scheduling work this gate protects.
+
+Exits nonzero with a diagnostic when a gate fails.
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} <bench_report.json> <baseline.json>",
+              file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    measured = report["metrics"]
+    floors = baseline["metrics"]
+    tolerance = float(baseline.get("tolerance", 0.8))
+    failures = []
+
+    pps = float(measured["whatif_pairs_per_sec"])
+    pps_floor = float(floors["whatif_pairs_per_sec"]) * tolerance
+    print(f"    whatif_pairs_per_sec: {pps:,.0f}"
+          f" (floor {pps_floor:,.0f} = {floors['whatif_pairs_per_sec']:,.0f}"
+          f" x {tolerance})")
+    if pps < pps_floor:
+        failures.append(
+            f"whatif_pairs_per_sec {pps:,.0f} below floor {pps_floor:,.0f}")
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        speedup = float(measured["speedup_4_vs_1"])
+        speedup_floor = float(floors["speedup_4_vs_1"])
+        print(f"    speedup_4_vs_1: {speedup:.2f} (floor {speedup_floor:.2f})")
+        if speedup < speedup_floor:
+            failures.append(
+                f"speedup_4_vs_1 {speedup:.2f} below floor {speedup_floor:.2f}")
+    else:
+        print(f"    speedup_4_vs_1: {float(measured['speedup_4_vs_1']):.2f}"
+              f" (gate skipped: {cores} core(s) < 4)")
+
+    for failure in failures:
+        print(f"error: perf gate: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

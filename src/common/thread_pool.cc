@@ -1,20 +1,18 @@
 #include "common/thread_pool.h"
 
-#include <atomic>
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
-#include <exception>
 #include <string>
 
 #include "common/check.h"
-#include "common/deadline.h"
 
 namespace trap::common {
 
 namespace {
 
 // Set while a thread (worker or submitting caller) is executing iterations
-// of a batch; nested ParallelFor calls consult it to degrade to serial.
+// of a batch; nested parallel-for calls consult it to degrade to serial.
 thread_local bool t_in_parallel_loop = false;
 
 int ThreadsFromEnvironment() {
@@ -42,19 +40,14 @@ int ThreadsFromEnvironment() {
 
 }  // namespace
 
-// Shared state of one ParallelFor invocation. Workers and the caller claim
-// iterations through `next`; the last finished iteration flips `done`.
-struct ThreadPool::Batch {
-  size_t n = 0;
-  const std::function<void(size_t)>* fn = nullptr;
-  std::atomic<size_t> next{0};       // next unclaimed iteration
-  std::atomic<size_t> remaining{0};  // iterations not yet finished
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  bool done = false;
-  std::mutex error_mu;
-  std::exception_ptr error;  // first exception thrown by fn
-};
+void ThreadPool::ErrorSlot::Capture() noexcept {
+  std::lock_guard<std::mutex> lock(mu);
+  if (!error) error = std::current_exception();
+}
+
+void ThreadPool::ErrorSlot::Rethrow() {
+  if (error) std::rethrow_exception(error);
+}
 
 ThreadPool::ThreadPool(int num_threads) {
   TRAP_CHECK(num_threads >= 1);
@@ -73,100 +66,107 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::InParallelLoop() { return t_in_parallel_loop; }
 
+size_t ThreadPool::GrainFor(size_t n, int lanes) {
+  if (lanes < 1) lanes = 1;
+  // ~4 chunks per lane keeps the tail balanced without shrinking chunks so
+  // far that cursor traffic and boundary false sharing come back.
+  size_t grain = n / (static_cast<size_t>(lanes) * 4);
+  return std::clamp<size_t>(grain, 1, 64);
+}
+
 void ThreadPool::RunBatch(Batch& batch) {
   bool was_in_loop = t_in_parallel_loop;
   t_in_parallel_loop = true;
-  for (size_t i = batch.next.fetch_add(1); i < batch.n;
-       i = batch.next.fetch_add(1)) {
-    try {
-      (*batch.fn)(i);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(batch.error_mu);
-      if (!batch.error) batch.error = std::current_exception();
-    }
-    if (batch.remaining.fetch_sub(1) == 1) {
-      std::lock_guard<std::mutex> lock(batch.done_mu);
-      batch.done = true;
-      batch.done_cv.notify_all();
+  const size_t n = batch.n;
+  const size_t grain = batch.grain;
+  for (size_t begin = batch.next.fetch_add(grain, std::memory_order_relaxed);
+       begin < n;
+       begin = batch.next.fetch_add(grain, std::memory_order_relaxed)) {
+    const size_t end = std::min(begin + grain, n);
+    batch.fn(batch.ctx, begin, end, &batch.error);
+    if (batch.remaining.fetch_sub(end - begin, std::memory_order_acq_rel) ==
+        end - begin) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+      done_cv_.notify_one();
     }
   }
   t_in_parallel_loop = was_in_loop;
 }
 
 void ThreadPool::WorkerLoop(const std::stop_token& stop) {
+  std::uint64_t seen_gen = 0;
   while (true) {
-    std::shared_ptr<Batch> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, stop, [this] { return batch_ != nullptr; });
+      cv_.wait(lock, stop,
+               [this, seen_gen] { return active_ && gen_ != seen_gen; });
       if (stop.stop_requested()) return;
-      batch = batch_;
+      seen_gen = gen_;
+      // Registered under mu_: the submitter retires the batch only after
+      // observing participants_ == 0 under the same mutex, so a worker can
+      // never enter a batch that is being torn down or re-armed.
+      ++participants_;
     }
-    RunBatch(*batch);
-    // Wait for this batch to be retired before polling again, so a drained
-    // batch is not rerun in a hot loop.
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, stop, [this, &batch] { return batch_ != batch; });
-    if (stop.stop_requested()) return;
+    RunBatch(batch_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --participants_;
+      if (done_ && participants_ == 0) done_cv_.notify_one();
+    }
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
-  // Serial paths: a pool without workers, a single item, or a nested call
-  // (re-entering the pool while a batch is in flight could deadlock).
-  if (workers_.empty() || n == 1 || t_in_parallel_loop) {
+void ThreadPool::Dispatch(size_t n, size_t grain, ChunkFn fn, void* ctx) {
+  // Inline paths: a pool without workers, a loop that fits in one grain, or
+  // a nested call (re-entering the pool while a batch is in flight could
+  // deadlock). No locks are taken and no workers are woken.
+  if (workers_.empty() || n <= grain || t_in_parallel_loop) {
+    ErrorSlot error;
     bool was_in_loop = t_in_parallel_loop;
     t_in_parallel_loop = true;
-    std::exception_ptr error;
-    for (size_t i = 0; i < n; ++i) {
-      try {
-        fn(i);
-      } catch (...) {
-        if (!error) error = std::current_exception();
-      }
-    }
+    fn(ctx, 0, n, &error);
     t_in_parallel_loop = was_in_loop;
-    if (error) std::rethrow_exception(error);
+    error.Rethrow();
     return;
   }
 
   std::lock_guard<std::mutex> submit(submit_mu_);
-  auto batch = std::make_shared<Batch>();
-  batch->n = n;
-  batch->fn = &fn;
-  batch->remaining.store(n);
+  batch_.n = n;
+  batch_.grain = grain;
+  batch_.fn = fn;
+  batch_.ctx = ctx;
+  batch_.next.store(0, std::memory_order_relaxed);
+  batch_.remaining.store(n, std::memory_order_relaxed);
+  batch_.error.error = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    batch_ = batch;
+    ++gen_;
+    active_ = true;
+    done_ = false;
   }
   cv_.notify_all();
-  RunBatch(*batch);
+  RunBatch(batch_);
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(batch->done_mu);
-    batch->done_cv.wait(lock, [&] { return batch->done; });
+    std::unique_lock<std::mutex> lock(mu_);
+    // Wait for the last iteration *and* for every worker to step out of
+    // RunBatch: a worker that claimed into an exhausted cursor must not
+    // still be touching batch_ when the next submitter re-arms it.
+    done_cv_.wait(lock, [this] { return done_ && participants_ == 0; });
+    active_ = false;
+    error = batch_.error.error;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    batch_ = nullptr;
-  }
-  cv_.notify_all();  // release workers parked on "batch retired"
-  if (batch->error) std::rethrow_exception(batch->error);
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForGrained(n, GrainFor(n, num_threads()), fn, nullptr);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                              const CancelToken* cancel) {
-  if (cancel == nullptr) {
-    ParallelFor(n, fn);
-    return;
-  }
-  // Fast-drain wrapper: iterations claimed after the token dies are skipped
-  // without invoking fn. Skipped slots keep whatever the caller pre-filled
-  // (a kCancelled Status), so every item stays accounted for.
-  ParallelFor(n, [&fn, cancel](size_t i) {
-    if (cancel->cancelled() || cancel->expired()) return;
-    fn(i);
-  });
+  ParallelForGrained(n, GrainFor(n, num_threads()), fn, cancel);
 }
 
 ThreadPool& GlobalPool() {

@@ -1,37 +1,48 @@
 #ifndef TRAP_COMMON_THREAD_POOL_H_
 #define TRAP_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
+
 namespace trap::common {
 
-class CancelToken;
-
 // Fixed-size thread pool driving data-parallel loops. There is no work
-// stealing and no futures: the single primitive is ParallelFor, which
+// stealing and no futures: the single primitive is a parallel-for, which
 // partitions [0, n) across the pool's workers plus the calling thread via a
-// shared atomic cursor and blocks until every iteration has run.
+// shared atomic cursor and blocks until every iteration has run. The cursor
+// is claimed in *grains* of consecutive iterations, so neighbouring items
+// (which usually write neighbouring output slots) stay on one thread --
+// cache-friendly and far fewer atomic operations than per-item claims.
 //
 // Threading contract:
-//   * `fn` must be safe to invoke concurrently from multiple threads; loop
-//     iterations may run in any order.
+//   * The loop body must be safe to invoke concurrently from multiple
+//     threads; iterations may run in any order.
 //   * Results must not depend on iteration order. Callers that reduce over
 //     the results write into pre-sized slots and fold them serially
 //     afterwards, which keeps outputs bit-identical across thread counts.
-//   * Nested use is rejected: a ParallelFor issued from inside another
-//     ParallelFor (worker or participating caller) does not re-enter the
+//   * Nested use is rejected: a parallel-for issued from inside another
+//     parallel-for (worker or participating caller) does not re-enter the
 //     pool — it runs its whole loop serially on the current thread, since
 //     re-entry could deadlock on the pool's single in-flight batch.
-//   * The first exception thrown by `fn` is captured and rethrown on the
-//     calling thread once the loop has drained; remaining iterations still
-//     run (the library itself is exception-free, but tests and user
+//   * The first exception thrown by the body is captured and rethrown on
+//     the calling thread once the loop has drained; remaining iterations
+//     still run (the library itself is exception-free, but tests and user
 //     callbacks may throw).
+//
+// Steady-state dispatch performs no heap allocation: the batch control
+// block is a reusable member (generation-counted, so workers from a
+// previous batch can never claim into the next one), and the templated
+// ParallelForGrained erases the loop body to a plain function pointer plus
+// a stack context instead of wrapping it in a std::function.
 class ThreadPool {
  public:
   // Spawns `num_threads - 1` workers; the caller participates in every
@@ -46,7 +57,7 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
   // Runs fn(0), ..., fn(n-1) across the pool. Blocks until done. Zero items
-  // is a no-op.
+  // is a no-op. Grain is chosen automatically (GrainFor).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   // Cancel-aware variant: once `cancel` reports cancelled or expired, the
@@ -57,20 +68,90 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                    const CancelToken* cancel);
 
-  // True while the current thread is executing iterations of some
-  // ParallelFor batch (either as a pool worker or as the submitting caller).
+  // The hot-path primitive: runs body(0), ..., body(n-1), claiming `grain`
+  // consecutive iterations per cursor fetch. `body` is any callable taking
+  // a size_t; it is invoked through a function pointer, never copied, and
+  // never heap-allocated. When the whole loop fits in one grain (n <=
+  // grain), when the pool has no workers, or when called from inside
+  // another batch, the loop runs inline on the calling thread without
+  // touching the pool's locks or waking workers.
+  template <typename Body>
+  void ParallelForGrained(size_t n, size_t grain, const Body& body,
+                          const CancelToken* cancel = nullptr) {
+    if (n == 0) return;
+    if (grain == 0) grain = 1;
+    struct Ctx {
+      const Body* body;
+      const CancelToken* cancel;
+    };
+    Ctx ctx{&body, cancel};
+    ChunkFn run = [](void* raw, size_t begin, size_t end,
+                     ErrorSlot* err) noexcept {
+      Ctx& c = *static_cast<Ctx*>(raw);
+      for (size_t i = begin; i < end; ++i) {
+        if (c.cancel != nullptr &&
+            (c.cancel->cancelled() || c.cancel->expired())) {
+          continue;  // fast-drain: claimed but skipped, slots stay pre-filled
+        }
+        try {
+          (*c.body)(i);
+        } catch (...) {
+          err->Capture();
+        }
+      }
+    };
+    Dispatch(n, grain, run, &ctx);
+  }
+
+  // Suggested grain for a loop of `n` items on `lanes` execution lanes:
+  // enough chunks that lanes stay busy (~4 per lane), large enough that a
+  // chunk's output slots span whole cache lines. Always in [1, 64].
+  static size_t GrainFor(size_t n, int lanes);
+
+  // True while the current thread is executing iterations of some batch
+  // (either as a pool worker or as the submitting caller).
   static bool InParallelLoop();
 
  private:
-  struct Batch;
+  // First-exception slot; the mutex is only touched when a body throws.
+  struct ErrorSlot {
+    std::mutex mu;
+    std::exception_ptr error;
+    void Capture() noexcept;
+    void Rethrow();
+  };
 
+  // Type-erased chunk runner: invokes the loop body for [begin, end),
+  // capturing any exception into `err`. Must not throw.
+  using ChunkFn = void (*)(void* ctx, size_t begin, size_t end,
+                           ErrorSlot* err) noexcept;
+
+  // Reusable control block of the (single) in-flight batch. The atomics sit
+  // on their own cache lines so cursor claims do not false-share with the
+  // read-only descriptor fields or with each other.
+  struct Batch {
+    size_t n = 0;
+    size_t grain = 1;
+    ChunkFn fn = nullptr;
+    void* ctx = nullptr;
+    alignas(64) std::atomic<size_t> next{0};       // next unclaimed iteration
+    alignas(64) std::atomic<size_t> remaining{0};  // iterations not finished
+    ErrorSlot error;
+  };
+
+  void Dispatch(size_t n, size_t grain, ChunkFn fn, void* ctx);
+  void RunBatch(Batch& batch);
   void WorkerLoop(const std::stop_token& stop);
-  static void RunBatch(Batch& batch);
 
-  std::mutex mu_;                     // guards batch_
-  std::condition_variable_any cv_;    // workers wait for a batch / its end
-  std::shared_ptr<Batch> batch_;      // in-flight batch, null when idle
-  std::mutex submit_mu_;              // serializes external submitters
+  std::mutex mu_;  // guards gen_, active_, done_, participants_
+  std::condition_variable_any cv_;   // workers: a new generation was armed
+  std::condition_variable done_cv_;  // caller: done && participants_ == 0
+  Batch batch_;                      // reusable; valid while active_
+  std::uint64_t gen_ = 0;            // bumped per batch; workers track it
+  bool active_ = false;
+  bool done_ = false;
+  int participants_ = 0;  // workers currently inside RunBatch
+  std::mutex submit_mu_;  // serializes external submitters
   std::vector<std::jthread> workers_;
 };
 

@@ -2,10 +2,12 @@
 #define TRAP_ENGINE_COST_MODEL_H_
 
 #include <memory>
+#include <optional>
 
 #include "catalog/schema.h"
 #include "engine/index.h"
 #include "engine/plan.h"
+#include "engine/query_shape.h"
 #include "sql/query.h"
 
 namespace trap::engine {
@@ -44,15 +46,32 @@ struct CostParams {
 // the model falls back to filtering above a sequential scan, which is what
 // makes the paper's six query-change types (Section VI-C) hurt index
 // utility.
+//
+// The hot path is split in two: ComputeShape() precompiles everything that
+// is independent of the index configuration into a QueryShape (once per
+// query), and the shape-based QueryCost() kernel evaluates a configuration
+// against a shape with zero heap allocations. Plan() and the kernel share
+// one arithmetic site (ChooseAccess / ChooseProbe / ChooseJoin), so
+// Plan(q, config)->cost == QueryCost(q, config) bit-for-bit, with or
+// without a precompiled shape.
 class CostModel {
  public:
   explicit CostModel(const catalog::Schema& schema, CostParams params = {});
 
-  // Builds the minimum-cost plan for `q` given `config`.
-  std::unique_ptr<PlanNode> Plan(const sql::Query& q,
+  // Precompiles the configuration-independent derived structures of `q`.
+  QueryShape ComputeShape(const sql::Query& q) const;
+
+  // The allocation-free cost kernel: total cost of the best plan for the
+  // precompiled `shape` under `config`.
+  double QueryCost(const QueryShape& shape, const IndexConfig& config) const;
+
+  // Builds the minimum-cost plan for a precompiled shape.
+  std::unique_ptr<PlanNode> Plan(const QueryShape& shape,
                                  const IndexConfig& config) const;
 
-  // Total estimated cost of the best plan (root cumulative cost).
+  // Convenience forms that compile the shape on the fly (identical results).
+  std::unique_ptr<PlanNode> Plan(const sql::Query& q,
+                                 const IndexConfig& config) const;
   double QueryCost(const sql::Query& q, const IndexConfig& config) const;
 
   const catalog::Schema& schema() const { return *schema_; }
@@ -62,26 +81,42 @@ class CostModel {
   double TablePages(int t) const;
 
  private:
-  struct AccessPath {
-    std::unique_ptr<PlanNode> node;
-    // True if the path emits rows in index order matching a prefix of the
-    // query's ORDER BY (only meaningful for single-table queries).
+  // Configuration-dependent choice of access path for one table. The sole
+  // arithmetic site for scan costs: both Plan() and the cost kernel consume
+  // these numbers, which keeps them bit-identical.
+  struct AccessChoice {
+    PlanNodeType type = PlanNodeType::kSeqScan;
+    const Index* index = nullptr;  // null for a sequential scan
+    double cost = 0.0;
     bool provides_order = false;
   };
-
-  // Cheapest access path for table `t` under `q`'s filters.
-  AccessPath BestAccessPath(const sql::Query& q, int t,
+  AccessChoice ChooseAccess(const QueryShape& shape, const TableShape& ts,
                             const IndexConfig& config) const;
 
-  // Index-nested-loop probe cost per outer row (std::nullopt if no usable
-  // index on the inner join key).
-  struct ProbePlan {
+  // Index-nested-loop probe cost per outer row (index == nullptr if no
+  // usable index exists on the inner join key).
+  struct ProbeChoice {
     const Index* index = nullptr;
     double cost_per_row = 0.0;
   };
-  std::optional<ProbePlan> BestProbe(const sql::Query& q, int inner_table,
-                                     catalog::ColumnId inner_key,
-                                     const IndexConfig& config) const;
+  ProbeChoice ChooseProbe(const QueryShape& shape, const JoinStepShape& step,
+                          const IndexConfig& config) const;
+
+  // Configuration-dependent choice for one join step given the outer side's
+  // cumulative cost and cardinality.
+  struct JoinChoice {
+    double cost = 0.0;  // cumulative cost after the join
+    bool is_inlj = false;
+    AccessChoice inner_access;         // hash side (always computed)
+    const Index* probe_index = nullptr;  // set when is_inlj
+  };
+  JoinChoice ChooseJoin(const QueryShape& shape, const JoinStepShape& step,
+                        double outer_cost, double outer_card,
+                        const IndexConfig& config) const;
+
+  // Materializes an access choice as a plan node (Plan() only).
+  std::unique_ptr<PlanNode> MakeAccessNode(const TableShape& ts,
+                                           const AccessChoice& c) const;
 
   double BTreeDescendCost(int64_t rows) const;
 

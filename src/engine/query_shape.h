@@ -1,0 +1,84 @@
+#ifndef TRAP_ENGINE_QUERY_SHAPE_H_
+#define TRAP_ENGINE_QUERY_SHAPE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "sql/query.h"
+
+namespace trap::engine {
+
+// The precompiled "shape" of one query: every derived quantity the cost
+// model needs that does NOT depend on the index configuration, computed once
+// per query (CostModel::ComputeShape) and reused across every what-if call.
+//
+// The split is exact, not approximate: per-table filter selectivities, the
+// greedy join order, all intermediate cardinalities, aggregation group
+// counts and sort costs are pure functions of (schema, query) — the join
+// order is chosen only from cardinality estimates (see CostModel), which is
+// also what makes plan costs monotone in the index set. Only access-path
+// and probe selection consult the configuration, and those read their
+// inputs from this struct. The kernel evaluates the same floating-point
+// expressions in the same order as the from-scratch path, so costs computed
+// through a shape are bit-identical to costs computed without one.
+//
+// Values stored here are *inputs* to the cost expressions (selectivities,
+// cardinalities, page counts, per-table constants), never partial sums:
+// caching a partial sum would re-associate additions and break bit-for-bit
+// equality with the uncached path.
+
+// One filter predicate on a table, with its selectivity pre-evaluated.
+struct PredShape {
+  catalog::ColumnId column;
+  sql::CmpOp op = sql::CmpOp::kEq;
+  double selectivity = 1.0;  // PredicateSelectivity(pred, schema)
+};
+
+// Per-table constants: base statistics plus everything derived from the
+// query's filters on this table.
+struct TableShape {
+  int table = -1;
+  double rows = 0.0;           // base cardinality
+  double pages = 0.0;          // TablePages(table)
+  double out_card = 1.0;       // rows surviving this table's filters
+  double seq_scan_cost = 0.0;  // full sequential-scan cost with filters
+  double sort_penalty = 0.0;   // SortCost(out_card) when ORDER BY is at stake
+  double btree_descend = 0.0;  // BTreeDescendCost(rows)
+  std::vector<PredShape> preds;  // filters on this table, in query order
+  std::vector<catalog::ColumnId> referenced;  // columns needed (covering test)
+};
+
+// One step of the (configuration-independent) greedy left-deep join order.
+struct JoinStepShape {
+  int inner = -1;  // index into QueryShape::tables of the attached relation
+  catalog::ColumnId inner_key;     // probe key on the inner side
+  double out_card = 1.0;           // estimated join output cardinality
+  double matched_per_probe = 1.0;  // inner rows matched per outer row
+};
+
+struct QueryShape {
+  uint64_t query_fp = 0;  // sql::Fingerprint of `query`
+  // Owned copy of the source query. Used to verify a fingerprint-keyed
+  // cache lookup really found *this* query (64-bit collisions are answered
+  // by fresh computation, never by another query's shape) and to build
+  // explanatory plans.
+  sql::Query query;
+
+  bool sargable_conj = true;  // AND conjunction: index prefixes may match
+  std::vector<TableShape> tables;  // in query.tables order
+  int start = 0;                   // join start (index into `tables`)
+  std::vector<JoinStepShape> join_steps;  // empty for single-table queries
+  // ORDER BY columns when sort avoidance is possible (single-table,
+  // no GROUP BY); empty otherwise.
+  std::vector<catalog::ColumnId> order_cols;
+
+  bool has_agg = false;     // GROUP BY present or aggregate in SELECT
+  double agg_groups = 1.0;  // estimated group count entering the aggregate
+  bool needs_sort = false;  // ORDER BY present (sort unless an index avoids)
+  double final_sort_cost = 0.0;  // SortCost at the sort input's cardinality
+};
+
+}  // namespace trap::engine
+
+#endif  // TRAP_ENGINE_QUERY_SHAPE_H_

@@ -1,0 +1,43 @@
+#include "engine/scratch.h"
+
+namespace trap::engine {
+
+namespace {
+
+BatchScratch& ThreadScratch() {
+  // One arena per thread, grown to its high-water mark and never shrunk.
+  // Construction is the only allocation on the steady-state path.
+  thread_local BatchScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+ScratchLease::ScratchLease() {
+  BatchScratch& tl = ThreadScratch();
+  if (!tl.in_use) {
+    tl.in_use = true;
+    ++tl.generation;
+    scratch_ = &tl;
+    owned_ = false;
+  } else {
+    // Reentrant batch on this thread: private cold scratch.
+    scratch_ = new BatchScratch();  // NOLINT(no-heap-on-hot-path): reentrant fallback, cold
+    scratch_->generation = 1;
+    owned_ = true;
+  }
+}
+
+ScratchLease::~ScratchLease() {
+  if (owned_) {
+    delete scratch_;
+  } else {
+    scratch_->in_use = false;
+  }
+}
+
+const BatchScratch& ScratchLease::ThreadLocalForTest() {
+  return ThreadScratch();
+}
+
+}  // namespace trap::engine

@@ -17,10 +17,12 @@ namespace {
 struct WhatIfMetrics {
   obs::Counter* calls;
   obs::Counter* misses;
+  obs::Counter* shape_misses;
   obs::Counter* collisions;
   obs::Counter* poison_heals;
   obs::Counter* batches;
   obs::Counter* dup_configs;
+  obs::Counter* dup_pairs;
   obs::Histogram* batch_items;
 };
 
@@ -30,13 +32,15 @@ const WhatIfMetrics& Metrics() {
     // Collision detections and checksum heals depend on which of two racing
     // threads fills an entry first, so they are best-effort; everything
     // else counts logical work.
-    return new WhatIfMetrics{
+    return new WhatIfMetrics{  // NOLINT(no-heap-on-hot-path): one-time static init
         r.counter("trap.whatif.calls"),
         r.counter("trap.whatif.cache.misses"),
+        r.counter("trap.whatif.shape.misses"),
         r.counter("trap.whatif.cache.collisions", /*deterministic=*/false),
         r.counter("trap.whatif.cache.poison_heals", /*deterministic=*/false),
         r.counter("trap.whatif.batch.count"),
         r.counter("trap.whatif.batch.dup_configs"),
+        r.counter("trap.whatif.batch.dup_pairs"),
         r.histogram("trap.whatif.batch.items"),
     };
   }();
@@ -55,13 +59,40 @@ uint64_t WhatIfOptimizer::EntryChecksum(uint64_t query_fp, uint64_t config_fp,
                              std::bit_cast<uint64_t>(cost));
 }
 
+const QueryShape* WhatIfOptimizer::ResolveShape(uint64_t query_fp,
+                                                const sql::Query& q) const {
+  ShapeShard& shard = shape_shards_[query_fp >> 60];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(query_fp);
+    if (it != shard.map.end()) {
+      // The stored query is compared in full: a 64-bit fingerprint
+      // collision must never cost one query with another query's shape.
+      if (it->second->query == q) return it->second.get();
+      return nullptr;
+    }
+  }
+  // First sight of this query: precompile outside the shard lock (a shape
+  // build is much heavier than a map lookup), then publish. A racing thread
+  // computing the same shape loses the try_emplace and adopts the winner's
+  // entry; the miss is counted once, on insertion, so the count stays
+  // deterministic across thread counts.
+  auto shape = std::make_unique<QueryShape>(  // NOLINT(no-heap-on-hot-path): once per distinct query
+      model_.ComputeShape(q));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.try_emplace(query_fp, std::move(shape));
+  if (inserted) Metrics().shape_misses->Add();
+  if (it->second->query == q) return it->second.get();
+  return nullptr;
+}
+
 common::Status WhatIfOptimizer::CachedCostStatus(
-    const sql::Query& q, uint64_t config_fp, const IndexConfig& config,
+    const sql::Query& q, uint64_t query_fp, const QueryShape* shape,
+    uint64_t config_fp, const IndexConfig& config,
     const common::EvalContext& ctx, double* out) const {
   TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
   num_calls_.fetch_add(1, std::memory_order_relaxed);
   Metrics().calls->Add();
-  const uint64_t query_fp = sql::Fingerprint(q);
   const uint64_t key = common::HashCombine(query_fp, config_fp);
   // Fault draws key on the logical work item + the context's salt, so the
   // same (query, config) pair draws identically on every run and thread
@@ -98,7 +129,13 @@ common::Status WhatIfOptimizer::CachedCostStatus(
       }
     }
   }
-  double cost = model_.QueryCost(q, config);
+  // A miss costs the configuration against the precompiled shape (resolved
+  // on demand for unbatched calls, so cache hits never touch the shape
+  // cache). The shape-free fallback only runs on a verified fingerprint
+  // collision.
+  if (shape == nullptr) shape = ResolveShape(query_fp, q);
+  double cost = shape != nullptr ? model_.QueryCost(*shape, config)
+                                 : model_.QueryCost(q, config);
   if (common::FaultShouldFire(common::FaultSite::kWhatIfCostError, draw_key)) {
     obs::CountFaultFire(
         common::FaultSiteName(common::FaultSite::kWhatIfCostError));
@@ -139,10 +176,11 @@ common::Status WhatIfOptimizer::CachedCostStatus(
 
 void WhatIfOptimizer::RecordBatchMetrics(
     size_t items, const std::vector<uint64_t>& config_fps,
-    obs::TraceSpan* span) {
+    std::vector<uint64_t>* sort_scratch, obs::TraceSpan* span) {
   // Duplicate configurations in a candidate sweep measure how much work the
   // per-entry memo absorbs within a single batch.
-  std::vector<uint64_t> fps = config_fps;
+  std::vector<uint64_t>& fps = *sort_scratch;
+  fps.assign(config_fps.begin(), config_fps.end());
   std::sort(fps.begin(), fps.end());
   size_t dups = 0;
   for (size_t i = 1; i < fps.size(); ++i) {
@@ -157,12 +195,160 @@ void WhatIfOptimizer::RecordBatchMetrics(
   if (dups > 0) span->AddArg("dup_configs", static_cast<int64_t>(dups));
 }
 
+common::Status WhatIfOptimizer::BatchCostCore(
+    BatchScratch& sc, size_t nq, const IndexConfig* configs, size_t nc,
+    bool weighted, BatchKind kind, const common::EvalContext& ctx,
+    double* totals) const {
+  const size_t items = nq * nc;
+  // Fingerprint every query and configuration exactly once per batch (the
+  // pre-batched path refingerprinted the query on every item).
+  sc.query_fps.resize(nq);
+  for (size_t i = 0; i < nq; ++i) {
+    sc.query_fps[i] = sql::Fingerprint(*sc.query_ptrs[i]);
+  }
+  sc.config_fps.resize(nc);
+  for (size_t c = 0; c < nc; ++c) sc.config_fps[c] = configs[c].Fingerprint();
+
+  // Span keys are derived exactly as the per-entry-point code always did,
+  // so golden trace digests are unchanged.
+  uint64_t span_key = 0;
+  switch (kind) {
+    case BatchKind::kWorkloadCost:
+      span_key = common::HashCombine(sc.config_fps[0], nq);
+      break;
+    case BatchKind::kWorkloadCosts: {
+      uint64_t k = nq;
+      for (uint64_t fp : sc.config_fps) k = common::HashCombine(k, fp);
+      span_key = k;
+      break;
+    }
+    case BatchKind::kQueryCosts: {
+      uint64_t k = nc;
+      for (uint64_t fp : sc.config_fps) k = common::HashCombine(k, fp);
+      span_key = common::HashCombine(sc.query_fps[0], k);
+      break;
+    }
+  }
+  obs::TraceSpan span(ctx, "whatif.batch", span_key);
+  RecordBatchMetrics(items, sc.config_fps, &sc.sorted_config_fps, &span);
+
+  // Resolve each query's precompiled shape once per batch, not per item.
+  // A nullptr entry (verified fingerprint collision) degrades that query to
+  // shape-free costing.
+  sc.shapes.resize(nq);
+  for (size_t i = 0; i < nq; ++i) {
+    sc.shapes[i] = ResolveShape(sc.query_fps[i], *sc.query_ptrs[i]);
+  }
+
+  // Collapse identical (query_fp, config_fp) items: only the first
+  // occurrence (the "primary") is dispatched; duplicates copy its result at
+  // fold time. Candidate sweeps routinely repeat configurations, and the
+  // memo cache would serve the duplicates anyway — deduplicating first
+  // avoids even the cache lookups and keeps the parallel loop dense.
+  sc.uniques.clear();
+  sc.item_to_unique.resize(items);
+  // Re-arm the flat probe table: grow to the next power of two holding the
+  // batch at <= 0.5 load (a one-time allocation per high-water mark), then
+  // blanket-fill the value lane — no rehash, no node allocations.
+  size_t table = 16;
+  while (table < items * 2) table <<= 1;
+  if (sc.slot_keys.size() < table) {
+    sc.slot_keys.resize(table);
+    sc.slot_vals.resize(table);
+  }
+  const size_t mask = sc.slot_keys.size() - 1;
+  std::fill(sc.slot_vals.begin(), sc.slot_vals.end(),
+            BatchScratch::kEmptySlot);
+  for (size_t c = 0; c < nc; ++c) {
+    for (size_t i = 0; i < nq; ++i) {
+      const uint64_t pair_key =
+          common::HashCombine(sc.query_fps[i], sc.config_fps[c]);
+      const uint32_t next_slot = static_cast<uint32_t>(sc.uniques.size());
+      uint32_t slot = next_slot;
+      bool primary = true;
+      for (size_t pos = pair_key & mask;; pos = (pos + 1) & mask) {
+        if (sc.slot_vals[pos] == BatchScratch::kEmptySlot) {
+          sc.slot_keys[pos] = pair_key;
+          sc.slot_vals[pos] = next_slot;
+          break;
+        }
+        if (sc.slot_keys[pos] != pair_key) continue;
+        const BatchScratch::UniquePair& u = sc.uniques[sc.slot_vals[pos]];
+        if (sc.query_fps[u.qi] == sc.query_fps[i] &&
+            sc.config_fps[u.ci] == sc.config_fps[c]) {
+          slot = sc.slot_vals[pos];
+          primary = false;
+        }
+        // else: HashCombine collision between two *distinct* pairs — give
+        // this item its own unregistered slot (it just loses dedup against
+        // later twins).
+        break;
+      }
+      if (primary) {
+        sc.uniques.push_back(
+            {static_cast<uint32_t>(i), static_cast<uint32_t>(c)});
+      }
+      sc.item_to_unique[c * nq + i] =
+          primary ? (slot | BatchScratch::kPrimaryBit) : slot;
+    }
+  }
+  const size_t dup_pairs = items - sc.uniques.size();
+  if (dup_pairs > 0) {
+    Metrics().dup_pairs->Add(static_cast<int64_t>(dup_pairs));
+  }
+
+  // Evaluate the unique set in parallel, in cache-friendly grains, writing
+  // into pre-sized slots (neighbouring slots are claimed by one thread, so
+  // output writes do not false-share across threads).
+  sc.unique_costs.assign(sc.uniques.size(), 0.0);
+  sc.unique_statuses.assign(
+      sc.uniques.size(),
+      common::Status::Cancelled("skipped: evaluation cancelled"));
+  common::ThreadPool& pool =
+      ctx.pool != nullptr ? *ctx.pool : common::GlobalPool();
+  const size_t grain =
+      common::ThreadPool::GrainFor(sc.uniques.size(), pool.num_threads());
+  pool.ParallelForGrained(
+      sc.uniques.size(), grain,
+      [&](size_t u) {
+        const BatchScratch::UniquePair p = sc.uniques[u];
+        sc.unique_statuses[u] = CachedCostStatus(
+            *sc.query_ptrs[p.qi], sc.query_fps[p.qi], sc.shapes[p.qi],
+            sc.config_fps[p.ci], configs[p.ci], ctx, &sc.unique_costs[u]);
+      },
+      ctx.cancel);
+
+  // Serial fold in input order: bit-identical totals and first-error
+  // selection for any thread count.
+  for (size_t c = 0; c < nc; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < nq; ++i) {
+      const uint32_t entry = sc.item_to_unique[c * nq + i];
+      const uint32_t u = entry & ~BatchScratch::kPrimaryBit;
+      if ((entry & BatchScratch::kPrimaryBit) == 0) {
+        // Deduplicated item: keep the pre-dedup accounting — one step
+        // charged, one call counted — and inherit the primary's Status
+        // (fault draws key on the (query_fp, config_fp) pair, so this item
+        // would have drawn the same fate).
+        TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
+        num_calls_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().calls->Add();
+      }
+      TRAP_RETURN_IF_ERROR(sc.unique_statuses[u]);
+      total += (weighted ? sc.weights[i] : 1.0) * sc.unique_costs[u];
+    }
+    totals[c] = total;
+  }
+  return common::Status::Ok();
+}
+
 common::StatusOr<double> WhatIfOptimizer::TryQueryCost(
     const sql::Query& q, const IndexConfig& config,
     const common::EvalContext& ctx) const {
   double cost = 0.0;
-  TRAP_RETURN_IF_ERROR(
-      CachedCostStatus(q, config.Fingerprint(), config, ctx, &cost));
+  TRAP_RETURN_IF_ERROR(CachedCostStatus(q, sql::Fingerprint(q),
+                                        /*shape=*/nullptr, config.Fingerprint(),
+                                        config, ctx, &cost));
   return cost;
 }
 
@@ -177,27 +363,14 @@ std::vector<double> WhatIfOptimizer::QueryCosts(
 common::StatusOr<std::vector<double>> WhatIfOptimizer::TryQueryCosts(
     const sql::Query& q, const std::vector<IndexConfig>& configs,
     const common::EvalContext& ctx) const {
-  const size_t n = configs.size();
-  std::vector<uint64_t> config_fps(n);
-  for (size_t i = 0; i < n; ++i) config_fps[i] = configs[i].Fingerprint();
-  std::vector<double> costs(n);
-  std::vector<common::Status> statuses(
-      n, common::Status::Cancelled("skipped: evaluation cancelled"));
-  uint64_t batch_key = n;
-  for (uint64_t fp : config_fps) batch_key = common::HashCombine(batch_key, fp);
-  obs::TraceSpan span(ctx, "whatif.batch",
-                      common::HashCombine(sql::Fingerprint(q), batch_key));
-  RecordBatchMetrics(n, config_fps, &span);
-  RunParallel(
-      ctx.pool, n,
-      [&](size_t i) {
-        statuses[i] = CachedCostStatus(q, config_fps[i], configs[i],
-                                       ctx, &costs[i]);
-      },
-      ctx.cancel);
-  for (size_t i = 0; i < n; ++i) {
-    TRAP_RETURN_IF_ERROR(statuses[i]);  // first error in input order
-  }
+  ScratchLease scratch;
+  BatchScratch& sc = *scratch;
+  sc.query_ptrs.assign(1, &q);
+  std::vector<double> costs(configs.size(), 0.0);
+  TRAP_RETURN_IF_ERROR(BatchCostCore(sc, 1, configs.data(), configs.size(),
+                                     /*weighted=*/false,
+                                     BatchKind::kQueryCosts, ctx,
+                                     costs.data()));
   return costs;
 }
 
@@ -209,6 +382,15 @@ std::unique_ptr<PlanNode> WhatIfOptimizer::Plan(const sql::Query& q,
 size_t WhatIfOptimizer::cache_size() const {
   size_t total = 0;
   for (const CacheShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+size_t WhatIfOptimizer::shape_cache_size() const {
+  size_t total = 0;
+  for (const ShapeShard& shard : shape_shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     total += shard.map.size();
   }

@@ -15,6 +15,8 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/cost_model.h"
+#include "engine/query_shape.h"
+#include "engine/scratch.h"
 #include "obs/obs.h"
 
 namespace trap::engine {
@@ -25,36 +27,60 @@ namespace trap::engine {
 // (query fingerprint, configuration fingerprint), since advisors probe the
 // same query under many configurations.
 //
-// Thread safety: every const method is safe to call concurrently. The memo
-// cache is sharded N ways with a per-shard mutex (shard picked from the key's
-// high bits, since HashCombine mixes well there), and the call/miss counters
-// are atomic. CostModel itself is stateless after construction, so the
-// batched entry points below fan work out across the global thread pool and
-// produce bit-identical results for any TRAP_THREADS setting: per-item costs
-// are written into pre-sized slots and reduced serially in input order.
+// Hot-path structure (the assessment loop is bounded by what-if throughput;
+// the paper's Table 4 counts optimizer invocations for exactly this reason):
+//   * Query shapes — everything about a query that does not depend on the
+//     index configuration (filter selectivities, join order, cardinalities,
+//     referenced columns, sort/aggregate constants) — are precompiled once
+//     per query fingerprint into a second sharded cache and fed to
+//     CostModel's allocation-free cost kernel; only access-path and probe
+//     selection run per (query, config) pair.
+//   * Batched entry points fingerprint each query and configuration once,
+//     deduplicate identical (query_fp, config_fp) items before dispatch,
+//     and fan only the unique set out over the pool in cache-friendly
+//     grains (ThreadPool::ParallelForGrained).
+//   * All per-batch bookkeeping lives in a per-thread scratch arena
+//     (engine/scratch.h), so a steady-state batch performs no heap
+//     allocation outside the memo caches themselves.
+//
+// Thread safety: every const method is safe to call concurrently. Both memo
+// caches are sharded N ways with a per-shard mutex (shard picked from the
+// key's high bits, since HashCombine mixes well there; shards are
+// cache-line aligned so neighbouring shard locks do not false-share), and
+// the call/miss counters are atomic. Batched results are bit-identical for
+// any TRAP_THREADS setting: per-item costs are written into pre-sized slots
+// and reduced serially in input order.
 //
 // Error handling: the Try* entry points are the *canonical* fallible core
 // -- they honor the EvalContext (step budget, cancellation, pool choice,
 // trace sink) and surface injected faults and internal inconsistencies as
 // Statuses. Batched Try* calls aggregate per-item Statuses by picking the
 // first error in *input order*, so the returned Status is bit-identical
-// across thread counts. Every infallible form below is a thin shim over
-// its Try* twin (this header is the only definition site) that degrades an
-// error to +infinity cost -- a deterministic "this configuration is
-// unusable" answer that can never be mistaken for a real estimate (real
-// costs are finite and non-negative).
+// across thread counts. Deduplicated items keep the accounting of the
+// pre-dedup path: every item still charges one step and counts one call,
+// and duplicates inherit their primary's Status (fault draws key on the
+// (query_fp, config_fp) pair, so a duplicate would have drawn the same
+// fate). Every infallible form below is a thin shim over its Try* twin
+// (this header is the only definition site) that degrades an error to
+// +infinity cost -- a deterministic "this configuration is unusable"
+// answer that can never be mistaken for a real estimate (real costs are
+// finite and non-negative).
 //
-// Observability: calls, per-entry cache misses, batch sizes and duplicate
-// configurations per batch feed the global obs::MetricRegistry under
-// trap.whatif.*; checksum heals and fingerprint collisions are recorded
-// best-effort (see obs/metrics.h on determinism). With a trace sink in the
-// context, each batched call records a whatif.batch span.
+// Observability: calls, per-entry cache misses, shape-cache misses, batch
+// sizes, duplicate configurations and deduplicated pairs per batch feed the
+// global obs::MetricRegistry under trap.whatif.*; checksum heals and
+// fingerprint collisions are recorded best-effort (see obs/metrics.h on
+// determinism). With a trace sink in the context, each batched call records
+// a whatif.batch span.
 //
-// Cache integrity: every cache entry carries a checksum over (query_fp,
-// config_fp, cost). A hit whose entry fails the checksum (e.g. the
-// cache.shard.poison fault site corrupted it at insert) is detected,
+// Cache integrity: every cost-cache entry carries a checksum over
+// (query_fp, config_fp, cost). A hit whose entry fails the checksum (e.g.
+// the cache.shard.poison fault site corrupted it at insert) is detected,
 // recomputed, and repaired in place -- the caller always receives the true
 // cost, and num_integrity_recoveries() counts the self-healing events.
+// Shape-cache entries store the full query and are verified against it on
+// every hit, so a 64-bit fingerprint collision is answered by fresh
+// computation, never by another query's shape.
 class WhatIfOptimizer {
  public:
   explicit WhatIfOptimizer(const catalog::Schema& schema,
@@ -96,33 +122,26 @@ class WhatIfOptimizer {
   common::StatusOr<double> TryWorkloadCost(
       const WorkloadT& w, const IndexConfig& config,
       const common::EvalContext& ctx = {}) const {
+    ScratchLease scratch;
+    BatchScratch& sc = *scratch;
     const size_t n = w.queries.size();
-    std::vector<double> costs(n);
-    std::vector<common::Status> statuses(
-        n, common::Status::Cancelled("skipped: evaluation cancelled"));
-    const uint64_t config_fp = config.Fingerprint();
-    obs::TraceSpan span(ctx, "whatif.batch",
-                        common::HashCombine(config_fp, n));
-    RecordBatchMetrics(n, {config_fp}, &span);
-    RunParallel(
-        ctx.pool, n,
-        [&](size_t i) {
-          statuses[i] = CachedCostStatus(w.queries[i].query, config_fp, config,
-                                         ctx, &costs[i]);
-        },
-        ctx.cancel);
-    double total = 0.0;
+    sc.query_ptrs.resize(n);
+    sc.weights.resize(n);
     for (size_t i = 0; i < n; ++i) {
-      TRAP_RETURN_IF_ERROR(statuses[i]);  // first error in input order
-      total += w.queries[i].weight * costs[i];
+      sc.query_ptrs[i] = &w.queries[i].query;
+      sc.weights[i] = w.queries[i].weight;
     }
+    double total = 0.0;
+    TRAP_RETURN_IF_ERROR(BatchCostCore(sc, n, &config, 1,
+                                       /*weighted=*/true,
+                                       BatchKind::kWorkloadCost, ctx, &total));
     return total;
   }
 
   // Batched candidate-benefit sweep: weighted workload cost under each of
-  // `configs`, all (query, config) pairs evaluated in parallel. Entry k of
-  // the result corresponds to configs[k]. Shim over TryWorkloadCosts:
-  // degrades errors to +infinity.
+  // `configs`, all unique (query, config) pairs evaluated in parallel.
+  // Entry k of the result corresponds to configs[k]. Shim over
+  // TryWorkloadCosts: degrades errors to +infinity.
   template <typename WorkloadT>
   std::vector<double> WorkloadCosts(const WorkloadT& w,
                                     const std::vector<IndexConfig>& configs,
@@ -137,33 +156,20 @@ class WhatIfOptimizer {
   common::StatusOr<std::vector<double>> TryWorkloadCosts(
       const WorkloadT& w, const std::vector<IndexConfig>& configs,
       const common::EvalContext& ctx = {}) const {
+    ScratchLease scratch;
+    BatchScratch& sc = *scratch;
     const size_t nq = w.queries.size();
-    const size_t nc = configs.size();
-    std::vector<uint64_t> config_fps(nc);
-    for (size_t c = 0; c < nc; ++c) config_fps[c] = configs[c].Fingerprint();
-    std::vector<double> costs(nq * nc);
-    std::vector<common::Status> statuses(
-        nq * nc, common::Status::Cancelled("skipped: evaluation cancelled"));
-    uint64_t batch_key = nq;
-    for (uint64_t fp : config_fps) batch_key = common::HashCombine(batch_key, fp);
-    obs::TraceSpan span(ctx, "whatif.batch", batch_key);
-    RecordBatchMetrics(nq * nc, config_fps, &span);
-    RunParallel(
-        ctx.pool, nq * nc,
-        [&](size_t k) {
-          const size_t c = k / nq;
-          const size_t i = k % nq;
-          statuses[k] = CachedCostStatus(w.queries[i].query, config_fps[c],
-                                         configs[c], ctx, &costs[k]);
-        },
-        ctx.cancel);
-    std::vector<double> totals(nc, 0.0);
-    for (size_t c = 0; c < nc; ++c) {
-      for (size_t i = 0; i < nq; ++i) {
-        TRAP_RETURN_IF_ERROR(statuses[c * nq + i]);
-        totals[c] += w.queries[i].weight * costs[c * nq + i];
-      }
+    sc.query_ptrs.resize(nq);
+    sc.weights.resize(nq);
+    for (size_t i = 0; i < nq; ++i) {
+      sc.query_ptrs[i] = &w.queries[i].query;
+      sc.weights[i] = w.queries[i].weight;
     }
+    std::vector<double> totals(configs.size(), 0.0);
+    TRAP_RETURN_IF_ERROR(BatchCostCore(sc, nq, configs.data(), configs.size(),
+                                       /*weighted=*/true,
+                                       BatchKind::kWorkloadCosts, ctx,
+                                       totals.data()));
     return totals;
   }
 
@@ -187,8 +193,9 @@ class WhatIfOptimizer {
   static constexpr double kInfiniteCost =
       std::numeric_limits<double>::infinity();
 
-  // Number of what-if calls answered (including cache hits) — the paper's
-  // efficiency discussions count optimizer invocations.
+  // Number of what-if calls answered (including cache hits and batch
+  // duplicates) — the paper's efficiency discussions count optimizer
+  // invocations.
   int64_t num_calls() const {
     return num_calls_.load(std::memory_order_relaxed);
   }
@@ -216,7 +223,13 @@ class WhatIfOptimizer {
   }
 
   size_t cache_size() const;
+  // Clears memoized *costs*. Precompiled query shapes are pure functions of
+  // (schema, query) — clearing them could only cause recomputation of the
+  // identical value, so they are retained.
   void ClearCache();
+
+  // Number of precompiled query shapes held (one per distinct query seen).
+  size_t shape_cache_size() const;
 
  private:
   // Both halves of the memo key are stored so a HashCombine collision is
@@ -229,42 +242,65 @@ class WhatIfOptimizer {
     double cost = 0.0;
     uint64_t checksum = 0;
   };
-  struct CacheShard {
+  // Cache-line aligned: a shard's mutex must not false-share with its
+  // neighbours when different threads hit different shards.
+  struct alignas(64) CacheShard {
     mutable std::mutex mu;
     std::unordered_map<uint64_t, CacheEntry> map;
   };
+  struct alignas(64) ShapeShard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::unique_ptr<QueryShape>> map;
+  };
   static constexpr size_t kNumShards = 16;  // power of two
 
-  static void RunParallel(common::ThreadPool* pool, size_t n,
-                          const std::function<void(size_t)>& fn,
-                          const common::CancelToken* cancel = nullptr) {
-    if (pool != nullptr) {
-      pool->ParallelFor(n, fn, cancel);
-    } else {
-      common::ParallelFor(n, fn, cancel);
-    }
-  }
+  // Which batched entry point a BatchCostCore call serves; selects the
+  // span-key derivation (kept bit-compatible with the pre-batched-core
+  // code so golden trace digests are unchanged).
+  enum class BatchKind { kWorkloadCost, kWorkloadCosts, kQueryCosts };
 
   static uint64_t EntryChecksum(uint64_t query_fp, uint64_t config_fp,
                                 double cost);
 
   // Records batch size / duplicate-config metrics for a batched call of
   // `items` what-if items over `config_fps`, and annotates `span`.
+  // `sort_scratch` is clobbered.
   static void RecordBatchMetrics(size_t items,
                                  const std::vector<uint64_t>& config_fps,
+                                 std::vector<uint64_t>* sort_scratch,
                                  obs::TraceSpan* span);
+
+  // The precompiled shape for (query_fp, q): served from the shape cache,
+  // computed and inserted on first sight. Returns nullptr on a verified
+  // fingerprint collision (caller must fall back to shape-free costing).
+  const QueryShape* ResolveShape(uint64_t query_fp, const sql::Query& q) const;
+
+  // The shared batched core behind TryWorkloadCost / TryWorkloadCosts /
+  // TryQueryCosts: fingerprints queries (sc.query_ptrs, size nq) and
+  // configs once, dedups identical (query_fp, config_fp) items, evaluates
+  // the unique set in parallel grains, and folds totals[0..nc) serially in
+  // input order (weights from sc.weights when `weighted`).
+  common::Status BatchCostCore(BatchScratch& sc, size_t nq,
+                               const IndexConfig* configs, size_t nc,
+                               bool weighted, BatchKind kind,
+                               const common::EvalContext& ctx,
+                               double* totals) const;
 
   // The fallible memoized core: charges one step against ctx, consults the
   // engine.whatif.* fault sites, validates computed costs (finite,
   // non-negative) and cache-entry checksums. On success writes the cost to
-  // *out; errors are never cached.
-  common::Status CachedCostStatus(const sql::Query& q, uint64_t config_fp,
+  // *out; errors are never cached. `shape` is the prefetched shape for `q`;
+  // nullptr means resolve on demand (and cost shape-free if resolution
+  // reports a fingerprint collision).
+  common::Status CachedCostStatus(const sql::Query& q, uint64_t query_fp,
+                                  const QueryShape* shape, uint64_t config_fp,
                                   const IndexConfig& config,
                                   const common::EvalContext& ctx,
                                   double* out) const;
 
   CostModel model_;
   mutable std::array<CacheShard, kNumShards> shards_;
+  mutable std::array<ShapeShard, kNumShards> shape_shards_;
   mutable std::atomic<int64_t> num_calls_{0};
   mutable std::atomic<int64_t> num_misses_{0};
   mutable std::atomic<int64_t> num_collisions_{0};

@@ -9,6 +9,7 @@
 #include "engine/cost_model.h"
 #include "engine/index.h"
 #include "engine/plan.h"
+#include "engine/scratch.h"
 #include "engine/selectivity.h"
 #include "engine/true_cost.h"
 #include "engine/what_if.h"
@@ -456,6 +457,148 @@ TEST_F(EngineTest, CacheSizeAndClear) {
   EXPECT_EQ(opt.num_cache_misses(), 3);
   EXPECT_EQ(before, opt.QueryCost(q, none));
   EXPECT_EQ(opt.num_collisions(), 0);
+}
+
+TEST_F(EngineTest, ScratchArenaReusedAcrossRepeatedBatches) {
+  WhatIfOptimizer opt(schema_);
+  MiniWorkload w;
+  for (int i = 0; i < 8; ++i) {
+    sql::Query q = LineitemQuery(CmpOp::kLt);
+    q.filters[0].value = Value::Int(10 + 20 * i);
+    w.queries.push_back({q, 1.0});
+  }
+  std::vector<IndexConfig> configs(3);
+  configs[1].Add(Index{{Col("lineitem", "l_shipdate")}});
+  configs[2].Add(Index{{Col("lineitem", "l_quantity")}});
+  common::EvalContext ctx;
+  const BatchScratch& arena = ScratchLease::ThreadLocalForTest();
+  (void)opt.WorkloadCosts(w, configs, ctx);
+  const uint64_t gen_after_first = arena.generation;
+  const size_t item_cap = arena.item_to_unique.capacity();
+  const size_t unique_cap = arena.uniques.capacity();
+  const size_t table_cap = arena.slot_keys.capacity();
+  std::vector<double> a = opt.WorkloadCosts(w, configs, ctx);
+  std::vector<double> b = opt.WorkloadCosts(w, configs, ctx);
+  EXPECT_EQ(a, b);
+  // Each batched call leased (and released) this thread's arena...
+  EXPECT_EQ(arena.generation, gen_after_first + 2);
+  EXPECT_FALSE(arena.in_use);
+  // ...and steady-state batches run inside the capacity the first batch
+  // grew: the generational-pool contract of zero reallocation on repeat.
+  EXPECT_EQ(arena.item_to_unique.capacity(), item_cap);
+  EXPECT_EQ(arena.uniques.capacity(), unique_cap);
+  EXPECT_EQ(arena.slot_keys.capacity(), table_cap);
+}
+
+TEST_F(EngineTest, ShapeCacheCoherentWithFreshComputation) {
+  WhatIfOptimizer warm(schema_);
+  Query q = LineitemQuery(CmpOp::kLt);
+  IndexConfig none;
+  IndexConfig with;
+  with.Add(Index{{Col("lineitem", "l_shipdate")}});
+  double first_none = warm.QueryCost(q, none);
+  double first_with = warm.QueryCost(q, with);
+  EXPECT_EQ(warm.shape_cache_size(), 1u);  // one shape serves both configs
+  // ClearCache drops cost entries but retains shapes: a shape is a pure
+  // function of (schema, query), so it can never go stale.
+  warm.ClearCache();
+  EXPECT_EQ(warm.cache_size(), 0u);
+  EXPECT_EQ(warm.shape_cache_size(), 1u);
+  // Costs recomputed through the retained shape match a fresh optimizer —
+  // and the raw kernel with no caching at all — bit for bit.
+  WhatIfOptimizer fresh(schema_);
+  EXPECT_EQ(warm.QueryCost(q, none), fresh.QueryCost(q, none));
+  EXPECT_EQ(warm.QueryCost(q, with), fresh.QueryCost(q, with));
+  CostModel model(schema_);
+  EXPECT_EQ(first_none, model.QueryCost(q, none));
+  EXPECT_EQ(first_with, model.QueryCost(q, with));
+}
+
+TEST_F(EngineTest, PlanCostMatchesShapeKernelBitForBit) {
+  // Plan() and the shape-based cost kernel share one arithmetic site per
+  // decision, so the plan root's cumulative cost must equal the kernel's
+  // scalar answer exactly — for scans, joins, aggregates, and sorts alike.
+  CostModel model(schema_);
+  std::vector<Query> queries;
+  queries.push_back(LineitemQuery(CmpOp::kEq));
+  queries.push_back(LineitemQuery(CmpOp::kLt));
+  {
+    Query q = LineitemQuery(CmpOp::kGt);
+    q.order_by = {Col("lineitem", "l_quantity")};
+    queries.push_back(q);
+  }
+  {
+    Query q;
+    q.select = {SelectItem{sql::AggFunc::kNone, Col("orders", "o_orderdate")}};
+    q.tables = {*schema_.FindTable("customer"), *schema_.FindTable("orders")};
+    std::sort(q.tables.begin(), q.tables.end());
+    q.joins = {sql::JoinPredicate{Col("orders", "o_custkey"),
+                                  Col("customer", "c_custkey")}};
+    q.filters = {Predicate{Col("customer", "c_custkey"), CmpOp::kEq,
+                           Value::Int(77)}};
+    queries.push_back(q);
+  }
+  std::vector<IndexConfig> configs(2);
+  configs[1].Add(Index{{Col("lineitem", "l_shipdate")}});
+  configs[1].Add(Index{{Col("orders", "o_orderdate")}});
+  IndexConfig join_cfg;
+  join_cfg.Add(Index{{Col("orders", "o_custkey")}});
+  join_cfg.Add(Index{{Col("customer", "c_custkey")}});
+  configs.push_back(join_cfg);
+  for (const Query& q : queries) {
+    const QueryShape shape = model.ComputeShape(q);
+    for (const IndexConfig& cfg : configs) {
+      EXPECT_EQ(model.Plan(shape, cfg)->cost, model.QueryCost(shape, cfg));
+      EXPECT_EQ(model.Plan(q, cfg)->cost, model.QueryCost(q, cfg));
+    }
+  }
+}
+
+TEST_F(EngineTest, BatchDedupMatchesSerialAndKeepsAccounting) {
+  // Every query appears twice (same fingerprint, different weights) and one
+  // config is duplicated outright: dedup must collapse the evaluations yet
+  // keep per-item call accounting and bit-identical weighted folds.
+  MiniWorkload w;
+  for (int i = 0; i < 5; ++i) {
+    sql::Query q = LineitemQuery(CmpOp::kEq);
+    q.filters[0].value = Value::Int(100 + 37 * i);
+    w.queries.push_back({q, 1.0 + 0.5 * i});
+    w.queries.push_back({q, 2.0});
+  }
+  std::vector<IndexConfig> configs(2);
+  configs[1].Add(Index{{Col("lineitem", "l_shipdate")}});
+  configs.push_back(configs[1]);
+
+  common::ThreadPool pool(4);
+  common::EvalContext ctx;
+  ctx.pool = &pool;
+  WhatIfOptimizer opt(schema_);
+  std::vector<double> swept = opt.WorkloadCosts(w, configs, ctx);
+  ASSERT_EQ(swept.size(), configs.size());
+  // Pre-dedup accounting: every (query, config) item charges one call...
+  EXPECT_EQ(opt.num_calls(),
+            static_cast<int64_t>(w.queries.size() * configs.size()));
+  // ...but only the distinct pairs were ever evaluated or cached.
+  EXPECT_EQ(opt.num_cache_misses(), 5 * 2);
+  EXPECT_EQ(opt.cache_size(), 10u);
+
+  WhatIfOptimizer ref(schema_);
+  for (size_t c = 0; c < configs.size(); ++c) {
+    double expected = 0.0;
+    for (const auto& wq : w.queries) {
+      expected += wq.weight * ref.QueryCost(wq.query, configs[c]);
+    }
+    EXPECT_EQ(swept[c], expected);
+  }
+
+  // A 1-thread pool folds the same batch to the same bits.
+  common::ThreadPool serial_pool(1);
+  common::EvalContext serial_ctx;
+  serial_ctx.pool = &serial_pool;
+  WhatIfOptimizer serial_opt(schema_);
+  EXPECT_EQ(serial_opt.WorkloadCosts(w, configs, serial_ctx), swept);
+  EXPECT_EQ(serial_opt.num_calls(), opt.num_calls());
+  EXPECT_EQ(serial_opt.num_cache_misses(), opt.num_cache_misses());
 }
 
 TEST_F(EngineTest, TrueCostDivergesButCorrelates) {

@@ -265,6 +265,56 @@ TEST(RuleTest, FloatAccumulationClean) {
                        "float-accumulation"));
 }
 
+// --- no-heap-on-hot-path -------------------------------------------------
+
+TEST(RuleTest, HeapOnHotPathViolation) {
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/engine/what_if.cc", "auto* e = new CacheEntry();\n"),
+      "no-heap-on-hot-path"));
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/engine/cost_model.cc",
+                  "auto n = std::make_unique<PlanNode>();\n"),
+      "no-heap-on-hot-path"));
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/engine/what_if.h",
+                  "auto s = std::make_shared<CacheShard>();\n"),
+      "no-heap-on-hot-path"));
+  EXPECT_TRUE(HasRule(
+      LintSnippet("src/engine/scratch.cc",
+                  "std::function<void(size_t)> fn = body;\n"),
+      "no-heap-on-hot-path"));
+}
+
+TEST(RuleTest, HeapOnHotPathClean) {
+  // Reusing arena capacity is the sanctioned idiom.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/engine/what_if.cc",
+                  "sc.unique_costs.assign(n, 0.0);\n"),
+      "no-heap-on-hot-path"));
+  // Cold engine files (the plan-tree module) and everything outside the
+  // cost kernels are out of scope.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/engine/plan.cc",
+                  "auto n = std::make_unique<PlanNode>();\n"),
+      "no-heap-on-hot-path"));
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/advisor/x.cc", "std::function<void()> fn;\n"),
+      "no-heap-on-hot-path"));
+  // Only std::function is the type-erasure ban; other namespaces' function
+  // identifiers are unrelated.
+  EXPECT_FALSE(HasRule(
+      LintSnippet("src/engine/what_if.cc", "util::function<void()> fn;\n"),
+      "no-heap-on-hot-path"));
+  // An audited suppression documents a cold path without tripping the
+  // mandatory-reason audit.
+  std::vector<Finding> f = LintSnippet(
+      "src/engine/cost_model.cc",
+      "auto n = std::make_unique<PlanNode>();  "
+      "// NOLINT(no-heap-on-hot-path): cold plan path\n");
+  EXPECT_FALSE(HasRule(f, "no-heap-on-hot-path"));
+  EXPECT_FALSE(HasRule(f, "nolint-reason"));
+}
+
 // --- metric-name-style ---------------------------------------------------
 
 TEST(RuleTest, MetricNameStyleViolation) {

@@ -286,6 +286,53 @@ void CheckFloatAccumulation(const SourceFile& f, std::vector<Finding>* out) {
   }
 }
 
+void CheckHeapOnHotPath(const SourceFile& f, std::vector<Finding>* out) {
+  // The batched what-if cost path promises zero steady-state heap
+  // allocations (DESIGN.md section 3f): per-item allocation and
+  // std::function type erasure there are throughput bugs, not style. Cold
+  // paths that legitimately allocate (plan-tree construction, one-time
+  // static init, once-per-distinct-query shape builds, the reentrant
+  // scratch fallback) carry audited suppression markers naming this rule.
+  static const char* kHotPrefixes[] = {
+      "src/engine/cost_model.",
+      "src/engine/selectivity.",
+      "src/engine/what_if.",
+      "src/engine/scratch.",
+  };
+  bool hot = false;
+  for (const char* prefix : kHotPrefixes) {
+    if (StartsWith(f.path, prefix)) {
+      hot = true;
+      break;
+    }
+  }
+  if (!hot) return;
+  for (size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (t.text == "new") {
+      const std::string& prev = At(f, i - 1).text;
+      if (prev == "." || prev == "->") continue;  // member access, not operator new
+      Add(f, "no-heap-on-hot-path", t.line,
+          "'new' in a what-if cost kernel; reuse BatchScratch capacity (or "
+          "justify a cold path with a NOLINT reason)",
+          out);
+    } else if (t.text == "make_unique" || t.text == "make_shared") {
+      Add(f, "no-heap-on-hot-path", t.line,
+          "'" + t.text + "' allocates in a what-if cost kernel; reuse "
+          "BatchScratch capacity (or justify a cold path with a NOLINT "
+          "reason)",
+          out);
+    } else if (t.text == "function" && IsStdQualified(f, i)) {
+      Add(f, "no-heap-on-hot-path", t.line,
+          "'std::function' type-erases with a per-capture heap allocation; "
+          "use a template parameter or a function pointer + context "
+          "(ThreadPool::ParallelForGrained)",
+          out);
+    }
+  }
+}
+
 void CheckAbortInLibrary(const SourceFile& f, std::vector<Finding>* out) {
   // Only the Status-converted evaluation paths: these files promised that
   // every externally-reachable failure is a trap::Status, so any process-
@@ -388,6 +435,7 @@ std::vector<Finding> Lint(const SourceFile& f) {
   CheckBannedFunctions(f, &raw);
   CheckHeaderHygiene(f, &raw);
   CheckFloatAccumulation(f, &raw);
+  CheckHeapOnHotPath(f, &raw);
   CheckAbortInLibrary(f, &raw);
   CheckMetricNameStyle(f, &raw);
 

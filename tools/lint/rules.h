@@ -45,6 +45,14 @@ struct Finding {
 //                           MetricRegistry::counter()/histogram() must
 //                           match trap.[a-z_]+(.[a-z_]+)+ -- the "trap."
 //                           root plus at least two lower-case segments.
+//   no-heap-on-hot-path     new / make_unique / make_shared /
+//                           std::function inside the what-if cost kernels
+//                           (src/engine/ cost_model, selectivity, what_if,
+//                           scratch) -- the batched cost path promises
+//                           zero steady-state heap allocations; cold paths
+//                           (plan construction, one-time static init,
+//                           once-per-query shape builds) carry audited
+//                           suppression markers.
 //   no-abort-in-library     abort()/exit()/_Exit()/quick_exit() and
 //                           TRAP_CHECK/TRAP_CHECK_MSG on the
 //                           Status-converted evaluation paths (what-if
@@ -60,6 +68,7 @@ void CheckWallClock(const SourceFile& f, std::vector<Finding>* out);
 void CheckBannedFunctions(const SourceFile& f, std::vector<Finding>* out);
 void CheckHeaderHygiene(const SourceFile& f, std::vector<Finding>* out);
 void CheckFloatAccumulation(const SourceFile& f, std::vector<Finding>* out);
+void CheckHeapOnHotPath(const SourceFile& f, std::vector<Finding>* out);
 void CheckAbortInLibrary(const SourceFile& f, std::vector<Finding>* out);
 void CheckMetricNameStyle(const SourceFile& f, std::vector<Finding>* out);
 

@@ -1,5 +1,13 @@
 #!/usr/bin/env bash
 # CI gate for the TRAP tree. Runs, in order:
+#   0. A fast-fail lint stage: builds only the trap_lint target and runs
+#      the whole-project analysis (include-graph layering against
+#      tools/lint/layers.txt, include cycles, Status-discipline,
+#      determinism, and the per-file rule catalog) over src/ tests/ bench/
+#      examples/ tools/ before any full build spends minutes compiling.
+#      Also diffs the NOLINT suppression inventory against the committed
+#      tools/lint/nolint_baseline.txt so a new escape hatch cannot land
+#      without showing up in review.
 #   1. Release build with TRAP_WERROR=ON (-Wall -Wextra -Wshadow -Werror)
 #      and the full test suite -- which includes the lint_src entry, so
 #      trap_lint runs over src/ tests/ bench/ examples/ tools/ here.
@@ -32,8 +40,9 @@
 #      through advisor::MakeAdvisor / MakeLearningAdvisor.
 #   9. An exemption audit: the property-testing trees (src/testing,
 #      tools/fuzz) must lint clean without a single NOLINT escape hatch.
-#  10. A clang-format check on tools/ only (skipped with a notice when
-#      clang-format is not installed; nothing outside tools/ is formatted).
+#  10. A clang-format check on src/ tests/ bench/ tools/ (skipped with a
+#      notice when clang-format is not installed; the lint_fixtures tree is
+#      excluded -- its files exist to be lexed, not formatted).
 #
 # Usage: scripts/check.sh [jobs]    (default: nproc)
 set -euo pipefail
@@ -124,6 +133,31 @@ perf_gate_stage() {
     bench/baselines/engine_micro_baseline.json
 }
 
+# Fast fail: build just the linter (in the plain flavor's build dir, so the
+# configure work is reused by run_suite below) and run the whole-project
+# analysis plus the suppression-baseline diff before the first full build.
+lint_stage() {
+  local dir="$1"
+  echo "==> configure ${dir} (lint fast-fail)"
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release -DTRAP_WERROR=ON
+  echo "==> build trap_lint"
+  cmake --build "${dir}" -j "${JOBS}" --target trap_lint
+  echo "==> trap_lint src tests bench examples tools"
+  "${dir}/tools/lint/trap_lint" --root . src tests bench examples tools
+  echo "==> NOLINT baseline diff"
+  "${dir}/tools/lint/trap_lint" --root . --list-suppressions \
+      src tests bench examples tools > "${dir}/nolint_inventory.txt"
+  if ! diff -u tools/lint/nolint_baseline.txt "${dir}/nolint_inventory.txt"
+  then
+    echo "error: NOLINT inventory drifted from tools/lint/nolint_baseline.txt" >&2
+    echo "       review the suppressions above, then regenerate with:" >&2
+    echo "       trap_lint --root . --list-suppressions src tests bench examples tools > tools/lint/nolint_baseline.txt" >&2
+    exit 1
+  fi
+}
+
+lint_stage build-check
+
 run_suite build-check 2000 -DTRAP_WERROR=ON
 fault_campaign_stage build-check "1 4 8"
 trace_digest_stage build-check "1 4 8"
@@ -153,8 +187,10 @@ if grep -rn "NOLINT" src/testing tools/fuzz; then
 fi
 
 if command -v clang-format > /dev/null 2>&1; then
-  echo "==> clang-format check (tools/ only)"
-  find tools -name '*.cc' -o -name '*.h' | xargs clang-format --dry-run -Werror
+  echo "==> clang-format check (src tests bench tools)"
+  find src tests bench tools \( -name '*.cc' -o -name '*.h' \) \
+      -not -path '*/lint_fixtures/*' |
+    xargs clang-format --dry-run -Werror
 else
   echo "==> clang-format not installed; skipping format check"
 fi

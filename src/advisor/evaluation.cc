@@ -145,8 +145,8 @@ double RobustnessEvaluator::IndexUtility(IndexAdvisor& advisor,
   if (baseline != nullptr) {
     base_config = baseline->Recommend(w, constraint);
   }
-  double with_cost = workload::ActualCost(w, *truth_, selected);
-  double base_cost = workload::ActualCost(w, *truth_, base_config);
+  double with_cost = engine::ActualCost(w, *truth_, selected);
+  double base_cost = engine::ActualCost(w, *truth_, base_config);
   if (base_cost <= 0.0) return 0.0;
   return 1.0 - with_cost / base_cost;
 }
@@ -176,8 +176,8 @@ common::StatusOr<double> RobustnessEvaluator::TryIndexUtility(
       return o->status;
     }
   }
-  double with_cost = workload::ActualCost(w, *truth_, selected.config);
-  double base_cost = workload::ActualCost(w, *truth_, base.config);
+  double with_cost = engine::ActualCost(w, *truth_, selected.config);
+  double base_cost = engine::ActualCost(w, *truth_, base.config);
   if (base_cost <= 0.0) return 0.0;
   return 1.0 - with_cost / base_cost;
 }

@@ -53,6 +53,9 @@ std::vector<TraceEvent> TraceSink::CanonicalEvents() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     snapshot.reserve(events_.size());
+    // Order-insensitive collection: every consumer sorts by the total
+    // (key, name-hash, id) order before anything digest-visible happens.
+    // NOLINTNEXTLINE(nondeterministic-iteration): sorted before use
     for (const auto& [id, event] : events_) snapshot.push_back(event);
   }
   // Children of each span, sorted by the logical ordering key. A parent id
@@ -65,6 +68,10 @@ std::vector<TraceEvent> TraceSink::CanonicalEvents() const {
     const uint64_t parent = known[e.parent] ? e.parent : 0;
     children[parent].push_back(&e);
   }
+  // Order-insensitive: each child list is sorted independently by the
+  // total (key, name-hash, id) order, and group visit order does not
+  // affect the canonical DFS below.
+  // NOLINTNEXTLINE(nondeterministic-iteration): each group sorted totally
   for (auto& [parent, kids] : children) {
     std::sort(kids.begin(), kids.end(),
               [](const TraceEvent* a, const TraceEvent* b) {

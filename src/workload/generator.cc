@@ -3,24 +3,7 @@
 #include <algorithm>
 #include <set>
 
-#include "common/thread_pool.h"
-
 namespace trap::workload {
-
-double ActualCost(const Workload& w, const engine::TrueCostModel& truth,
-                  const engine::IndexConfig& config) {
-  // Per-query costs land in pre-sized slots and are folded in query order,
-  // so the sum is bit-identical for any TRAP_THREADS setting.
-  std::vector<double> costs(w.queries.size());
-  common::ParallelFor(w.queries.size(), [&](size_t i) {
-    costs[i] = truth.QueryCost(w.queries[i].query, config);
-  });
-  double total = 0.0;
-  for (size_t i = 0; i < w.queries.size(); ++i) {
-    total += w.queries[i].weight * costs[i];
-  }
-  return total;
-}
 
 QueryGenerator::QueryGenerator(const sql::Vocabulary& vocab,
                                GeneratorOptions options, uint64_t seed)

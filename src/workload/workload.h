@@ -3,8 +3,6 @@
 
 #include <vector>
 
-#include "engine/true_cost.h"
-#include "engine/what_if.h"
 #include "sql/query.h"
 
 namespace trap::workload {
@@ -25,11 +23,11 @@ struct Workload {
 };
 
 // The weighted estimated cost c(W, d, I) is WhatIfOptimizer::WorkloadCost
-// (engine/what_if.h) -- the single definition of workload costing.
-
-// Weighted "actual runtime" cost via the true-cost oracle.
-double ActualCost(const Workload& w, const engine::TrueCostModel& truth,
-                  const engine::IndexConfig& config);
+// (engine/what_if.h) -- the single definition of workload costing -- and
+// the "actual runtime" counterpart is engine::ActualCost
+// (engine/true_cost.h). Both take the workload as a template parameter:
+// workload/ sits below engine/ in the layering DAG (tools/lint/layers.txt)
+// and must not include engine headers.
 
 }  // namespace trap::workload
 

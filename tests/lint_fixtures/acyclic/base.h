@@ -1,0 +1,5 @@
+// Leaf of the acyclic fixture tree (top.h -> base.h): the clean
+// counterpart to cycle/.
+#pragma once
+
+inline int FixtureBase() { return 0; }

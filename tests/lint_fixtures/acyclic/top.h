@@ -1,0 +1,7 @@
+// Root of the acyclic fixture tree (top.h -> base.h): the clean
+// counterpart to cycle/.
+#pragma once
+
+#include "base.h"
+
+inline int FixtureTop() { return FixtureBase() + 1; }

@@ -1,0 +1,7 @@
+// Part of the deliberate include cycle a -> b -> c -> a exercised by
+// lint_test's CycleTest. Never compiled; only lexed by the linter.
+#pragma once
+
+#include "c.h"
+
+inline int FixtureB() { return 2; }

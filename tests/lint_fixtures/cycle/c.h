@@ -1,0 +1,7 @@
+// Closes the deliberate include cycle a -> b -> c -> a exercised by
+// lint_test's CycleTest. Never compiled; only lexed by the linter.
+#pragma once
+
+#include "a.h"
+
+inline int FixtureC() { return 3; }

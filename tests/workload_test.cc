@@ -3,6 +3,7 @@
 #include <set>
 
 #include "catalog/datasets.h"
+#include "engine/what_if.h"
 #include "sql/tokenizer.h"
 #include "workload/generator.h"
 

@@ -1,0 +1,142 @@
+#include "lint/index.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace trap::lint {
+
+namespace {
+
+const Token& At(const SourceFile& f, size_t i) {
+  static const Token kNone{TokKind::kPunct, "", 0};
+  return i < f.tokens.size() ? f.tokens[i] : kNone;
+}
+
+bool IsIdent(const Token& t) { return t.kind == TokKind::kIdentifier; }
+
+// Extracts the include string from a directive token like
+// `#include "engine/what_if.h"`. Returns false for system includes and
+// non-include directives.
+bool QuotedInclude(const std::string& directive, std::string* target) {
+  size_t at = directive.find_first_not_of(" \t", 1);  // past '#'
+  if (at == std::string::npos) return false;
+  if (directive.compare(at, 7, "include") != 0) return false;
+  size_t open = directive.find('"', at + 7);
+  if (open == std::string::npos) return false;
+  size_t close = directive.find('"', open + 1);
+  if (close == std::string::npos) return false;
+  *target = directive.substr(open + 1, close - open - 1);
+  return !target->empty();
+}
+
+// Steps past the balanced `<...>` starting at the `<` at index i; returns
+// the index one past the matching `>`, or i when the angles never close
+// (the lexer found something the indexer cannot follow).
+size_t SkipAngles(const SourceFile& f, size_t i) {
+  int depth = 0;
+  for (size_t j = i; j < f.tokens.size(); ++j) {
+    const std::string& t = At(f, j).text;
+    if (t == "<") ++depth;
+    if (t == ">") {
+      if (--depth == 0) return j + 1;
+    }
+    // A ';' or '{' at angle depth means this was a comparison, not a
+    // template argument list.
+    if (t == ";" || t == "{") return i;
+  }
+  return i;
+}
+
+}  // namespace
+
+FileIndex IndexFile(const SourceFile& f) {
+  FileIndex out;
+  out.path = f.path;
+  for (size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind == TokKind::kPreprocessor) {
+      std::string target;
+      if (QuotedInclude(t.text, &target)) {
+        out.includes.push_back(IncludeEdge{target, t.line});
+      }
+      continue;
+    }
+    if (!IsIdent(t)) continue;
+    ReturnKind kind = ReturnKind::kOther;
+    size_t after = 0;  // first token past the return type
+    if (t.text == "Status" && At(f, i + 1).text != "<") {
+      kind = ReturnKind::kStatus;
+      after = i + 1;
+    } else if (t.text == "StatusOr" && At(f, i + 1).text == "<") {
+      size_t past = SkipAngles(f, i + 1);
+      if (past == i + 1) continue;  // unbalanced; not a declaration
+      kind = ReturnKind::kStatusOr;
+      after = past;
+    } else {
+      continue;
+    }
+    // `Status` used as a qualifier (Status::Ok) or constructed inline
+    // (Status(code, msg)) is not a return type.
+    if (At(f, after).text == "::" || At(f, after).text == "(") continue;
+    // Walk the declarator: identifier (:: identifier)* then '('. Anything
+    // else (a reference return `Status& name`, a variable `Status s = ...`)
+    // is skipped -- discarding a reference accessor is not this rule's
+    // target, and staying narrow keeps the index free of false functions.
+    size_t j = after;
+    if (!IsIdent(At(f, j))) continue;
+    while (IsIdent(At(f, j)) && At(f, j + 1).text == "::" &&
+           IsIdent(At(f, j + 2))) {
+      j += 2;
+    }
+    if (!IsIdent(At(f, j)) || At(f, j + 1).text != "(") continue;
+    out.functions.push_back(FunctionDecl{At(f, j).text, kind, At(f, j).line});
+  }
+  return out;
+}
+
+void ProjectIndex::Add(const SourceFile& f) {
+  FileIndex idx = IndexFile(f);
+  for (const FunctionDecl& fn : idx.functions) {
+    auto it = returns_.find(fn.name);
+    if (it == returns_.end()) {
+      returns_.emplace(fn.name, fn.kind);
+    } else if (it->second != fn.kind) {
+      it->second = ReturnKind::kOther;  // conflicting overloads: stand down
+    }
+  }
+  files_[idx.path] = std::move(idx);
+}
+
+std::string ProjectIndex::Resolve(const std::string& from,
+                                  const std::string& target) const {
+  if (files_.count(target) != 0) return target;
+  size_t slash = from.rfind('/');
+  if (slash != std::string::npos) {
+    std::string sibling = from.substr(0, slash + 1) + target;
+    if (files_.count(sibling) != 0) return sibling;
+  }
+  static const char* kRoots[] = {"src/", "tools/", "bench/", "tests/",
+                                 "examples/"};
+  for (const char* root : kRoots) {
+    std::string candidate = root + target;
+    if (files_.count(candidate) != 0) return candidate;
+  }
+  return "";
+}
+
+ReturnKind ProjectIndex::ReturnKindOf(const std::string& name) const {
+  auto it = returns_.find(name);
+  return it == returns_.end() ? ReturnKind::kOther : it->second;
+}
+
+std::string ModuleOf(const std::string& path) {
+  size_t first = path.find('/');
+  if (first == std::string::npos) return "";
+  std::string top = path.substr(0, first);
+  if (top != "src") return top;
+  size_t second = path.find('/', first + 1);
+  if (second == std::string::npos) return top;
+  return path.substr(first + 1, second - first - 1);
+}
+
+}  // namespace trap::lint

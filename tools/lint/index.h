@@ -1,0 +1,90 @@
+#ifndef TRAP_TOOLS_LINT_INDEX_H_
+#define TRAP_TOOLS_LINT_INDEX_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace trap::lint {
+
+// A lightweight whole-project declaration/include index built on the lexer.
+// Like the lexer it is deliberately approximate: it does not preprocess or
+// resolve overloads, it records what the token stream *looks like* -- which
+// is exactly enough for the project-level rules (include-graph layering,
+// include-cycle detection, Status-discipline) without making the linter
+// depend on the tree it audits compiling.
+
+// What a declared function returns, as far as the indexer can tell.
+enum class ReturnKind {
+  kOther = 0,
+  kStatus,    // trap::common::Status
+  kStatusOr,  // trap::common::StatusOr<T>
+};
+
+// One quoted `#include "..."` directive. System includes (<...>) are not
+// recorded; they can never participate in project layering or cycles.
+struct IncludeEdge {
+  std::string target;  // the include string exactly as written
+  int line = 0;
+};
+
+// One function declaration or definition, recorded by name only. The
+// project index is name-keyed: an overload set whose members disagree on
+// the return kind is demoted to kOther so the Status-discipline rule stays
+// conservative instead of guessing.
+struct FunctionDecl {
+  std::string name;
+  ReturnKind kind = ReturnKind::kOther;
+  int line = 0;
+};
+
+// The indexed form of one translation unit.
+struct FileIndex {
+  std::string path;
+  std::vector<IncludeEdge> includes;
+  std::vector<FunctionDecl> functions;
+};
+
+// Indexes one lexed file: its quoted #include edges and every declaration
+// shaped like `Status name(`, `StatusOr<...> name(`, or a class-qualified
+// variant (`Status Class::name(`), with any namespace qualifiers before the
+// return type.
+FileIndex IndexFile(const SourceFile& f);
+
+// The whole-project index: every lexed file plus the function-name return
+// table derived from them.
+class ProjectIndex {
+ public:
+  // Lexes nothing itself: callers Lex() once and hand both this index and
+  // the per-file rules the same SourceFile.
+  void Add(const SourceFile& f);
+
+  // Resolves the include string `target`, written in file `from`, to the
+  // repo-relative path of an indexed file, or "" when the include points
+  // outside the project (system headers, third-party). Tries, in order:
+  // the string itself, the including file's directory, and each project
+  // include root (src/, tools/, bench/, tests/, examples/).
+  std::string Resolve(const std::string& from, const std::string& target) const;
+
+  // The agreed return kind for every indexed declaration of `name`;
+  // kOther when unknown or when declarations disagree.
+  ReturnKind ReturnKindOf(const std::string& name) const;
+
+  // Indexed files keyed by repo-relative path (deterministic order).
+  const std::map<std::string, FileIndex>& files() const { return files_; }
+
+ private:
+  std::map<std::string, FileIndex> files_;
+  std::map<std::string, ReturnKind> returns_;  // kOther == conflicting/none
+};
+
+// The module a repo-relative path belongs to for layering purposes:
+// "src/engine/what_if.cc" -> "engine", "tools/lint/rules.cc" -> "tools",
+// "tests/lint_test.cc" -> "tests". Empty for paths with no directory.
+std::string ModuleOf(const std::string& path);
+
+}  // namespace trap::lint
+
+#endif  // TRAP_TOOLS_LINT_INDEX_H_

@@ -21,6 +21,9 @@ bool IsIdentChar(char c) {
 //   "NOLINT"                       -> rule "*", no reason
 //   "NOLINT(rule-a, rule-b)"       -> two markers, no reason
 //   "NOLINT(rule-id): free text"   -> marker with a reason
+//   "NOLINTNEXTLINE(rule-id): .."  -> same, but suppresses the line below
+//                                     (for statements too long to carry a
+//                                     trailing comment)
 // Anything after "):" (or after a bare marker followed by ':') counts as
 // the reason when it contains a non-space character.
 void ParseNolint(const std::string& comment, int line,
@@ -29,6 +32,17 @@ void ParseNolint(const std::string& comment, int line,
   if (at == std::string::npos) return;
   if (comment.compare(at, 6, "NOLINT") != 0) return;
   size_t pos = at + 6;  // past the marker keyword
+  if (comment.compare(pos, 8, "NEXTLINE") == 0) {
+    pos += 8;
+    ++line;  // the marker governs the line below the comment
+  }
+  // The keyword must stand alone: "NOLINT(", "NOLINT:", "NOLINT<eol>", or
+  // "NOLINT <prose>". Words like "NOLINT-suppressible" are prose, not
+  // markers.
+  if (pos < comment.size() && comment[pos] != '(' && comment[pos] != ':' &&
+      !std::isspace(static_cast<unsigned char>(comment[pos]))) {
+    return;
+  }
   std::vector<std::string> rules;
   if (pos < comment.size() && comment[pos] == '(') {
     size_t close = comment.find(')', pos);
@@ -49,16 +63,16 @@ void ParseNolint(const std::string& comment, int line,
   }
   if (rules.empty()) rules.push_back("*");
   bool has_reason = false;
+  std::string reason;
   if (pos < comment.size() && comment[pos] == ':') {
-    for (size_t i = pos + 1; i < comment.size(); ++i) {
-      if (!std::isspace(static_cast<unsigned char>(comment[i]))) {
-        has_reason = true;
-        break;
-      }
-    }
+    reason = comment.substr(pos + 1);
+    size_t b = reason.find_first_not_of(" \t");
+    size_t e = reason.find_last_not_of(" \t\r\n");
+    reason = b == std::string::npos ? "" : reason.substr(b, e - b + 1);
+    has_reason = !reason.empty();
   }
   for (const std::string& rule : rules) {
-    out->push_back(Suppression{rule, has_reason, line});
+    out->push_back(Suppression{rule, has_reason, reason, line});
   }
 }
 

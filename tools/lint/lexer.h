@@ -36,6 +36,7 @@ struct Token {
 struct Suppression {
   std::string rule;
   bool has_reason = false;
+  std::string reason;  // trimmed text after "):", empty when has_reason false
   int line = 0;
 };
 

@@ -1,0 +1,240 @@
+#include "lint/project_rules.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace trap::lint {
+
+namespace {
+
+const Token& At(const SourceFile& f, size_t i) {
+  static const Token kNone{TokKind::kPunct, "", 0};
+  return i < f.tokens.size() ? f.tokens[i] : kNone;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Index of the ')' matching the '(' at `open`, or npos.
+size_t MatchForward(const SourceFile& f, size_t open) {
+  int depth = 0;
+  for (size_t j = open; j < f.tokens.size(); ++j) {
+    const std::string& t = f.tokens[j].text;
+    if (t == "(") ++depth;
+    if (t == ")" && --depth == 0) return j;
+  }
+  return std::string::npos;
+}
+
+// Index of the '(' matching the ')' at `close`, or npos.
+size_t MatchBackward(const SourceFile& f, size_t close) {
+  int depth = 0;
+  for (size_t j = close + 1; j-- > 0;) {
+    const std::string& t = f.tokens[j].text;
+    if (t == ")") ++depth;
+    if (t == "(" && --depth == 0) return j;
+  }
+  return std::string::npos;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+bool ParseLayerConfig(const std::string& content, LayerConfig* config,
+                      std::string* error) {
+  config->allowed.clear();
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos <= content.size()) {
+    size_t eol = content.find('\n', pos);
+    std::string line = content.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? content.size() + 1 : eol + 1;
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      *error = "layers.txt:" + std::to_string(line_no) +
+               ": expected '<module>: <deps...>'";
+      return false;
+    }
+    std::string module = Trim(line.substr(0, colon));
+    if (module.empty() || module.find(' ') != std::string::npos) {
+      *error = "layers.txt:" + std::to_string(line_no) +
+               ": malformed module name";
+      return false;
+    }
+    if (config->allowed.count(module) != 0) {
+      *error = "layers.txt:" + std::to_string(line_no) +
+               ": duplicate entry for module '" + module + "'";
+      return false;
+    }
+    std::set<std::string>& deps = config->allowed[module];
+    std::string rest = line.substr(colon + 1);
+    std::string cur;
+    for (char c : rest + " ") {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!cur.empty()) deps.insert(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+  }
+  return true;
+}
+
+void CheckLayering(const ProjectIndex& project, const LayerConfig& config,
+                   std::vector<Finding>* out) {
+  for (const auto& [path, idx] : project.files()) {
+    if (!StartsWith(path, "src/")) continue;  // harnesses may reach anywhere
+    const std::string mod = ModuleOf(path);
+    const auto allowed = config.allowed.find(mod);
+    if (allowed == config.allowed.end()) {
+      out->push_back(Finding{
+          path, 1, "layering",
+          "module '" + mod + "' is not declared in tools/lint/layers.txt; "
+          "place new src/ modules in the committed DAG"});
+      continue;
+    }
+    for (const IncludeEdge& e : idx.includes) {
+      const std::string target = project.Resolve(path, e.target);
+      if (target.empty()) continue;  // system or external header
+      if (!StartsWith(target, "src/")) {
+        out->push_back(Finding{
+            path, e.line, "layering",
+            "src/ must not depend on '" + target +
+                "'; tools/bench/tests depend on the library, never the "
+                "reverse"});
+        continue;
+      }
+      const std::string tmod = ModuleOf(target);
+      if (tmod == mod) continue;
+      if (allowed->second.count(tmod) == 0) {
+        out->push_back(Finding{
+            path, e.line, "layering",
+            "forbidden include edge " + mod + " -> " + tmod + " ('" +
+                e.target + "'); tools/lint/layers.txt does not allow it"});
+      }
+    }
+  }
+}
+
+namespace {
+
+struct CycleWalk {
+  const ProjectIndex* project;
+  std::vector<Finding>* out;
+  // 0 = unvisited, 1 = on the current DFS path, 2 = done.
+  std::map<std::string, int> color;
+  std::vector<std::pair<std::string, int>> path;  // (file, include line)
+
+  void Visit(const std::string& file) {
+    color[file] = 1;
+    auto it = project->files().find(file);
+    if (it != project->files().end()) {
+      for (const IncludeEdge& e : it->second.includes) {
+        const std::string target = project->Resolve(file, e.target);
+        if (target.empty()) continue;
+        const int state = color[target];
+        if (state == 2) continue;
+        if (state == 1) {
+          // The edge file -> target closes a cycle: report it with the
+          // full path from target back around to file.
+          std::string msg = "include cycle: " + target;
+          size_t from = 0;
+          while (from < path.size() && path[from].first != target) ++from;
+          for (size_t j = from + 1; j < path.size(); ++j) {
+            msg += " -> " + path[j].first;
+          }
+          msg += " -> " + file + " -> " + target;
+          out->push_back(Finding{file, e.line, "include-cycle", msg});
+          continue;
+        }
+        path.emplace_back(file, e.line);
+        Visit(target);
+        path.pop_back();
+      }
+    }
+    color[file] = 2;
+  }
+};
+
+}  // namespace
+
+void CheckIncludeCycles(const ProjectIndex& project,
+                        std::vector<Finding>* out) {
+  CycleWalk walk{&project, out, {}, {}};
+  for (const auto& [path, idx] : project.files()) {
+    if (walk.color[path] == 0) walk.Visit(path);
+  }
+}
+
+void CheckStatusDiscipline(const SourceFile& f, const ProjectIndex& project,
+                           std::vector<Finding>* out) {
+  for (size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokKind::kIdentifier || At(f, i + 1).text != "(") continue;
+    const ReturnKind kind = project.ReturnKindOf(t.text);
+    if (kind == ReturnKind::kOther) continue;
+    const size_t close = MatchForward(f, i + 1);
+    if (close == std::string::npos) continue;
+    // A result consumed by an enclosing expression (assignment, return,
+    // macro argument, member access like .ok(), a condition) never has ';'
+    // directly after the call.
+    if (At(f, close + 1).text != ";") continue;
+    // Walk back over the callee expression -- qualifiers (ns::fn), member
+    // chains (obj->fn, obj.fn), and chained calls (Foo().fn) -- to the
+    // token just before the whole statement expression.
+    size_t start = i;
+    while (start >= 2) {
+      const std::string& prev = At(f, start - 1).text;
+      if (prev != "::" && prev != "." && prev != "->") break;
+      const Token& before = At(f, start - 2);
+      if (before.kind == TokKind::kIdentifier) {
+        start -= 2;
+        continue;
+      }
+      if (before.text == ")") {
+        const size_t open = MatchBackward(f, start - 2);
+        if (open == std::string::npos || open == 0) {
+          start = 0;
+          break;
+        }
+        if (At(f, open - 1).kind != TokKind::kIdentifier) break;
+        start = open - 1;
+        continue;
+      }
+      break;
+    }
+    bool discarded;
+    if (start == 0) {
+      discarded = true;  // the call opens the file: an expression statement
+    } else {
+      const Token& p = At(f, start - 1);
+      discarded = p.kind == TokKind::kPreprocessor || p.text == ";" ||
+                  p.text == "{" || p.text == "}" || p.text == ")" ||
+                  p.text == "else" || p.text == "do";
+    }
+    if (!discarded) continue;
+    const char* type =
+        kind == ReturnKind::kStatus ? "trap::Status" : "StatusOr";
+    out->push_back(Finding{
+        f.path, t.line, "status-discipline",
+        "result of '" + t.text + "()' (" + type + ") is silently discarded; "
+        "assign it, return it, wrap it in TRAP_RETURN_IF_ERROR / "
+        "TRAP_ASSIGN_OR_RETURN, or (void)-discard with a NOLINT reason"});
+  }
+}
+
+}  // namespace trap::lint

@@ -1,0 +1,68 @@
+#ifndef TRAP_TOOLS_LINT_PROJECT_RULES_H_
+#define TRAP_TOOLS_LINT_PROJECT_RULES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/index.h"
+#include "lint/rules.h"
+
+namespace trap::lint {
+
+// The committed module DAG (tools/lint/layers.txt). Each src/ module names
+// the modules it may include from; including itself is always allowed, and
+// the allow-list is written out transitively explicit (engine lists common
+// even though workload already implies it) so a reviewer can read one line
+// and know a module's full reach.
+struct LayerConfig {
+  // module -> modules it may depend on. A src/ module absent from this map
+  // is itself a layering finding: new modules must be placed in the DAG.
+  std::map<std::string, std::set<std::string>> allowed;
+};
+
+// Parses the layers.txt format:
+//   # comment
+//   <module>: <dep> <dep> ...
+// Returns false (with a message in *error) on a malformed line or a
+// duplicate module entry.
+bool ParseLayerConfig(const std::string& content, LayerConfig* config,
+                      std::string* error);
+
+// --- project rules -------------------------------------------------------
+//
+//   layering          a src/ module includes a module its layers.txt entry
+//                     does not allow, a src/ file includes tools/ bench/
+//                     tests/ examples/ (the library must never depend on
+//                     its harnesses), or a src/ module is missing from the
+//                     committed DAG entirely.
+//   include-cycle     the project-internal include graph has a cycle.
+//                     Reported once per cycle, at the edge that closes it,
+//                     with the full path in the message.
+//   status-discipline a call to a function the project index knows returns
+//                     trap::Status / StatusOr<T> is used as a bare
+//                     expression statement: neither assigned, returned,
+//                     passed to TRAP_RETURN_IF_ERROR /
+//                     TRAP_ASSIGN_OR_RETURN (or any enclosing expression),
+//                     nor (void)-discarded with a NOLINT reason. [[nodiscard]]
+//                     catches plain discards at compile time; this rule is
+//                     the analyzer backstop that also makes (void)-laundering
+//                     carry an audited reason.
+
+// Layering over every indexed file. Findings are attributed to the
+// including file at the offending #include's line.
+void CheckLayering(const ProjectIndex& project, const LayerConfig& config,
+                   std::vector<Finding>* out);
+
+// Include-cycle detection over the resolved project-internal include graph.
+void CheckIncludeCycles(const ProjectIndex& project,
+                        std::vector<Finding>* out);
+
+// Status-discipline for one file, using the project-wide return-kind table.
+void CheckStatusDiscipline(const SourceFile& f, const ProjectIndex& project,
+                           std::vector<Finding>* out);
+
+}  // namespace trap::lint
+
+#endif  // TRAP_TOOLS_LINT_PROJECT_RULES_H_

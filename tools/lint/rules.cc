@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <set>
 
 namespace trap::lint {
@@ -426,6 +427,171 @@ void CheckMetricNameStyle(const SourceFile& f, std::vector<Finding>* out) {
   }
 }
 
+namespace {
+
+// Steps past the balanced `<...>` whose `<` sits at index i; returns i when
+// the angles never close before a statement boundary (a comparison, not a
+// template argument list).
+size_t SkipAngles(const SourceFile& f, size_t i) {
+  int depth = 0;
+  for (size_t j = i; j < f.tokens.size(); ++j) {
+    const std::string& t = At(f, j).text;
+    if (t == "<") ++depth;
+    if (t == ">") {
+      if (--depth == 0) return j + 1;
+    }
+    if (t == ";" || t == "{") return i;
+  }
+  return i;
+}
+
+// True when the template argument list opening at `open` ('<') declares a
+// pointer key: a '*' at depth 1 before the first depth-1 ',' (map) or the
+// closing '>' (set).
+bool PointerKeyed(const SourceFile& f, size_t open) {
+  int depth = 0;
+  for (size_t j = open; j < f.tokens.size(); ++j) {
+    const std::string& t = At(f, j).text;
+    if (t == "<") ++depth;
+    if (t == ">" && --depth == 0) return false;
+    if (t == ";" || t == "{") return false;
+    if (depth == 1 && t == ",") return false;
+    if (depth == 1 && t == "*") return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> HashOrderedNames(const SourceFile& f) {
+  // Names declared with a hash-ordered type, or an ordered map/set keyed by
+  // pointer (address order varies run to run).
+  std::vector<std::string> names;
+  for (size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    const bool unordered =
+        t.text == "unordered_map" || t.text == "unordered_set";
+    const bool ordered = t.text == "map" || t.text == "set";
+    if (!unordered && !ordered) continue;
+    if (At(f, i + 1).text != "<") continue;
+    if (ordered && !PointerKeyed(f, i + 1)) continue;
+    size_t j = SkipAngles(f, i + 1);
+    if (j == i + 1) continue;
+    // Declarator: optional cv/ref tokens, then the declared name.
+    while (At(f, j).text == "&" || At(f, j).text == "*" ||
+           IsIdent(At(f, j), "const")) {
+      ++j;
+    }
+    if (At(f, j).kind == TokKind::kIdentifier) names.push_back(At(f, j).text);
+  }
+  return names;
+}
+
+void CheckNondeterministicIteration(
+    const SourceFile& f, const std::vector<std::string>& extra_tainted,
+    std::vector<Finding>* out) {
+  // Digest-feeding code: the metric/trace digests, the fault registry's
+  // work-item-keyed draws, the what-if fingerprint caches, the campaign
+  // digest, and the trace scenario all promise bit-identical output across
+  // runs and thread counts. Hash-order iteration there is a latent
+  // nondeterminism bug even when it happens to pass today.
+  static const char* kDigestPrefixes[] = {
+      "src/obs/",
+      "src/common/fault.",
+      "src/engine/what_if.",
+      "src/testing/fault_campaign.",
+      "src/testing/trace_scenario.",
+  };
+  bool scoped = false;
+  for (const char* prefix : kDigestPrefixes) {
+    if (StartsWith(f.path, prefix)) {
+      scoped = true;
+      break;
+    }
+  }
+  if (!scoped) return;
+
+  std::set<std::string> tainted(extra_tainted.begin(), extra_tainted.end());
+  for (const std::string& name : HashOrderedNames(f)) tainted.insert(name);
+  if (tainted.empty()) return;
+
+  // Pass 2: range-for statements whose range expression names a tainted
+  // container (or spells an unordered type inline).
+  for (size_t i = 0; i + 1 < f.tokens.size(); ++i) {
+    if (!IsIdent(f.tokens[i], "for") || At(f, i + 1).text != "(") continue;
+    int depth = 0;
+    size_t colon = 0;
+    size_t close = 0;
+    for (size_t j = i + 1; j < f.tokens.size(); ++j) {
+      const std::string& t = At(f, j).text;
+      if (t == "(") ++depth;
+      if (t == ")" && --depth == 0) {
+        close = j;
+        break;
+      }
+      if (depth == 1 && t == ";") break;  // classic for, not range-for
+      if (depth == 1 && t == ":" && colon == 0) colon = j;
+    }
+    if (colon == 0 || close == 0) continue;
+    for (size_t j = colon + 1; j < close; ++j) {
+      const Token& t = f.tokens[j];
+      if (t.kind != TokKind::kIdentifier) continue;
+      if (tainted.count(t.text) == 0 && t.text != "unordered_map" &&
+          t.text != "unordered_set") {
+        continue;
+      }
+      Add(f, "nondeterministic-iteration", f.tokens[i].line,
+          "range-for over hash-ordered container '" + t.text +
+              "' in digest-feeding code; iterate a sorted view, or annotate "
+              "an order-insensitive body with "
+              "'NOLINT(nondeterministic-iteration): <why>'",
+          out);
+      break;
+    }
+  }
+}
+
+std::string RenderFindingsJson(const std::vector<Finding>& findings,
+                               size_t files_scanned) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  };
+  std::string out = "{\n  \"version\": 1,\n  \"files_scanned\": ";
+  out += std::to_string(files_scanned);
+  out += ",\n  \"num_findings\": ";
+  out += std::to_string(findings.size());
+  out += ",\n  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"path\": \"" + escape(f.path) + "\", \"line\": " +
+           std::to_string(f.line) + ", \"rule\": \"" + escape(f.rule) +
+           "\", \"message\": \"" + escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
 std::vector<Finding> Lint(const SourceFile& f) {
   std::vector<Finding> raw;
   CheckUnseededRandomness(f, &raw);
@@ -438,6 +604,7 @@ std::vector<Finding> Lint(const SourceFile& f) {
   CheckHeapOnHotPath(f, &raw);
   CheckAbortInLibrary(f, &raw);
   CheckMetricNameStyle(f, &raw);
+  CheckNondeterministicIteration(f, {}, &raw);
 
   std::vector<Finding> kept;
   for (Finding& fi : raw) {

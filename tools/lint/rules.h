@@ -61,6 +61,20 @@ struct Finding {
 //                           trap::Status values, not process death.
 //                           Retained true invariants carry a suppression
 //                           marker naming this rule, with a reason.
+//   nondeterministic-iteration
+//                           range-for over std::unordered_map /
+//                           std::unordered_set (or a pointer-keyed ordered
+//                           map/set) in digest-feeding code (src/obs/, the
+//                           fault registry, the what-if fingerprint cache,
+//                           the fault campaign, the trace scenario) --
+//                           iteration order there feeds digests that must
+//                           be bit-identical across runs and thread
+//                           counts. A loop whose body is genuinely
+//                           order-insensitive carries the annotation
+//                           'NOLINT(nondeterministic-iteration): <why>'.
+//
+// Project-wide rules (layering, include-cycle, status-discipline) live in
+// project_rules.h; they need the whole-project index, not one file.
 void CheckUnseededRandomness(const SourceFile& f, std::vector<Finding>* out);
 void CheckRawThread(const SourceFile& f, std::vector<Finding>* out);
 void CheckManualLock(const SourceFile& f, std::vector<Finding>* out);
@@ -71,6 +85,17 @@ void CheckFloatAccumulation(const SourceFile& f, std::vector<Finding>* out);
 void CheckHeapOnHotPath(const SourceFile& f, std::vector<Finding>* out);
 void CheckAbortInLibrary(const SourceFile& f, std::vector<Finding>* out);
 void CheckMetricNameStyle(const SourceFile& f, std::vector<Finding>* out);
+// Names declared in `f` whose type iterates in hash (or pointer-address)
+// order: std::unordered_map / std::unordered_set, and ordered map/set
+// keyed by a pointer. Exposed so the driver can taint a .cc file with the
+// members its paired header declares.
+std::vector<std::string> HashOrderedNames(const SourceFile& f);
+
+// `extra_tainted` augments the names found in `f` itself (pass the paired
+// header's HashOrderedNames(); empty is fine).
+void CheckNondeterministicIteration(const SourceFile& f,
+                                    const std::vector<std::string>& extra_tainted,
+                                    std::vector<Finding>* out);
 
 // The include guard name header-hygiene expects for `path`, e.g.
 // "src/common/rng.h" -> "TRAP_COMMON_RNG_H_",
@@ -82,6 +107,14 @@ std::string ExpectedGuard(const std::string& path);
 // marker that lacks the mandatory ": reason" tail. nolint-reason itself is
 // not suppressible.
 std::vector<Finding> Lint(const SourceFile& f);
+
+// Renders findings as the stable-field-order JSON document behind
+// `trap_lint --format=json`: {"version", "files_scanned", "num_findings",
+// "findings": [{"path", "line", "rule", "message"}, ...]}. Field order and
+// the caller's finding order are preserved verbatim so two runs over the
+// same tree diff clean.
+std::string RenderFindingsJson(const std::vector<Finding>& findings,
+                               size_t files_scanned);
 
 }  // namespace trap::lint
 

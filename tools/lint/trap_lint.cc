@@ -1,16 +1,33 @@
 // trap_lint: the project's self-hosted static analyzer. Lexes every C++
-// source under the given paths and enforces TRAP's determinism and safety
-// invariants as named, NOLINT-suppressible rules (see rules.h for the
-// catalog). Exits nonzero on any finding so ctest's lint_src entry gates
-// the tree forever.
+// source under the given paths, builds a whole-project declaration/include
+// index, and enforces TRAP's determinism and safety invariants as named,
+// NOLINT-suppressible rules: the per-file catalog in rules.h plus the
+// project-wide passes in project_rules.h (include-graph layering against
+// tools/lint/layers.txt, include-cycle detection, Status-discipline).
 //
 // Usage:
-//   trap_lint [--root <repo-root>] <path>...
+//   trap_lint [--root <repo-root>] [--layers <file>] [--format=text|json]
+//             [--list-suppressions] <path>...
 //
 // Paths may be files or directories (recursed); they are interpreted
 // relative to --root, which defaults to the current directory. Rules that
 // scope by location (e.g. no-wall-clock only fires under src/) see the
 // root-relative path, so runs from any working directory agree.
+// Directories named "lint_fixtures" are skipped: they hold deliberately
+// violating inputs for lint_test.
+//
+// --layers defaults to <root>/tools/lint/layers.txt when that file exists;
+// the layering pass is skipped (with a notice) when no layer file is
+// available, so the linter still runs on partial checkouts.
+//
+// --list-suppressions prints the sorted inventory of every NOLINT marker
+// instead of findings ("path: NOLINT(rule): reason", line numbers omitted
+// so unrelated edits do not churn the committed baseline) and exits 0;
+// scripts/check.sh diffs it against tools/lint/nolint_baseline.txt.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error -- scripts can
+// tell a real finding from a missing file. Text mode always ends with a
+// "trap_lint: N findings in M files" summary line.
 
 #include <algorithm>
 #include <cstdio>
@@ -20,13 +37,19 @@
 #include <string>
 #include <vector>
 
+#include "lint/index.h"
 #include "lint/lexer.h"
+#include "lint/project_rules.h"
 #include "lint/rules.h"
 
 namespace trap::lint {
 namespace {
 
 namespace fs = std::filesystem;
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitError = 2;
 
 bool HasLintableExtension(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -55,6 +78,10 @@ bool CollectFiles(const fs::path& p, std::vector<fs::path>* out) {
     for (fs::recursive_directory_iterator it(p, ec), end; it != end;
          it.increment(ec)) {
       if (ec) break;
+      if (it->is_directory() && it->path().filename() == "lint_fixtures") {
+        it.disable_recursion_pending();  // deliberately violating inputs
+        continue;
+      }
       if (it->is_regular_file() && HasLintableExtension(it->path())) {
         out->push_back(it->path());
       }
@@ -65,62 +92,196 @@ bool CollectFiles(const fs::path& p, std::vector<fs::path>* out) {
   return true;
 }
 
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trap_lint [--root <repo-root>] [--layers <file>]\n"
+               "                 [--format=text|json] [--list-suppressions]\n"
+               "                 <path>...\n");
+  return kExitError;
+}
+
 int Run(int argc, char** argv) {
   fs::path root = fs::current_path();
+  fs::path layers_path;
+  bool layers_explicit = false;
+  bool list_suppressions = false;
+  bool json = false;
   std::vector<fs::path> inputs;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--root") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "trap_lint: --root needs a directory\n");
-        return 2;
+        return kExitError;
       }
       root = fs::path(argv[++i]);
+    } else if (arg == "--layers") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "trap_lint: --layers needs a file\n");
+        return kExitError;
+      }
+      layers_path = fs::path(argv[++i]);
+      layers_explicit = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--list-suppressions") {
+      list_suppressions = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr,
-                   "usage: trap_lint [--root <repo-root>] <path>...\n");
-      return 2;
+      return Usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "trap_lint: unknown flag: %s\n", arg.c_str());
+      return Usage();
     } else {
       fs::path p(arg);
       inputs.push_back(p.is_absolute() ? p : root / p);
     }
   }
-  if (inputs.empty()) {
-    std::fprintf(stderr, "usage: trap_lint [--root <repo-root>] <path>...\n");
-    return 2;
-  }
+  if (inputs.empty()) return Usage();
 
   std::vector<fs::path> files;
   for (const fs::path& p : inputs) {
-    if (!CollectFiles(p, &files)) return 2;
+    if (!CollectFiles(p, &files)) return kExitError;
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  size_t num_findings = 0;
+  // Phase 1: lex everything once; the same SourceFile feeds the per-file
+  // rules, the project index, and the suppression inventory.
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
   for (const fs::path& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
       std::fprintf(stderr, "trap_lint: cannot read %s\n",
                    file.string().c_str());
-      return 2;
+      return kExitError;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    SourceFile sf = Lex(RelativePath(file, root), buf.str());
-    for (const Finding& f : Lint(sf)) {
-      std::printf("%s:%d: %s: %s\n", f.path.c_str(), f.line, f.rule.c_str(),
-                  f.message.c_str());
-      ++num_findings;
+    sources.push_back(Lex(RelativePath(file, root), buf.str()));
+  }
+
+  if (list_suppressions) {
+    std::vector<std::string> lines;
+    for (const SourceFile& sf : sources) {
+      for (const Suppression& sup : sf.suppressions) {
+        lines.push_back(sf.path + ": NOLINT(" + sup.rule + "): " +
+                        (sup.has_reason ? sup.reason : "<missing reason>"));
+      }
+    }
+    std::sort(lines.begin(), lines.end());
+    for (const std::string& line : lines) {
+      std::printf("%s\n", line.c_str());
+    }
+    return kExitClean;
+  }
+
+  // Phase 2: the whole-project index and, when a layer file is available,
+  // the committed module DAG.
+  ProjectIndex project;
+  for (const SourceFile& sf : sources) project.Add(sf);
+
+  if (!layers_explicit) {
+    fs::path candidate = root / "tools" / "lint" / "layers.txt";
+    std::error_code ec;
+    if (fs::exists(candidate, ec)) layers_path = candidate;
+  }
+  LayerConfig layer_config;
+  bool have_layers = false;
+  if (!layers_path.empty()) {
+    std::ifstream in(layers_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "trap_lint: cannot read %s\n",
+                   layers_path.string().c_str());
+      return kExitError;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (!ParseLayerConfig(buf.str(), &layer_config, &error)) {
+      std::fprintf(stderr, "trap_lint: %s\n", error.c_str());
+      return kExitError;
+    }
+    have_layers = true;
+  } else {
+    std::fprintf(stderr,
+                 "trap_lint: no layers file; skipping the layering pass\n");
+  }
+
+  // Phase 3: rules. Per-file rules apply their own suppressions inside
+  // Lint(); project-rule findings are filtered here against the marker
+  // table of the file each finding is attributed to.
+  std::vector<Finding> findings;
+  for (const SourceFile& sf : sources) {
+    std::vector<Finding> per_file = Lint(sf);
+    findings.insert(findings.end(), per_file.begin(), per_file.end());
+    std::vector<Finding> raw;
+    CheckStatusDiscipline(sf, project, &raw);
+    // A .cc file iterates members its paired header declares: re-run the
+    // determinism rule with the header's hash-ordered names as taint.
+    // (Duplicates against the Lint() run are erased after the global sort.)
+    size_t dot = sf.path.rfind('.');
+    if (dot != std::string::npos && sf.path.compare(dot, 3, ".cc") == 0) {
+      const std::string header = sf.path.substr(0, dot) + ".h";
+      for (const SourceFile& other : sources) {
+        if (other.path == header) {
+          CheckNondeterministicIteration(sf, HashOrderedNames(other), &raw);
+          break;
+        }
+      }
+    }
+    for (Finding& fi : raw) {
+      if (!IsSuppressed(sf, fi.rule, fi.line)) {
+        findings.push_back(std::move(fi));
+      }
     }
   }
-  if (num_findings != 0) {
-    std::printf("trap_lint: %zu finding%s in %zu file%s\n", num_findings,
-                num_findings == 1 ? "" : "s", files.size(),
-                files.size() == 1 ? "" : "s");
-    return 1;
+  {
+    std::vector<Finding> raw;
+    if (have_layers) CheckLayering(project, layer_config, &raw);
+    CheckIncludeCycles(project, &raw);
+    for (Finding& fi : raw) {
+      const SourceFile* sf = nullptr;
+      for (const SourceFile& s : sources) {
+        if (s.path == fi.path) {
+          sf = &s;
+          break;
+        }
+      }
+      if (sf == nullptr || !IsSuppressed(*sf, fi.rule, fi.line)) {
+        findings.push_back(std::move(fi));
+      }
+    }
   }
-  return 0;
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.path == b.path && a.line == b.line &&
+                                      a.rule == b.rule &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
+
+  if (json) {
+    std::fputs(RenderFindingsJson(findings, files.size()).c_str(), stdout);
+  } else {
+    for (const Finding& f : findings) {
+      std::printf("%s:%d: %s: %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    std::printf("trap_lint: %zu finding%s in %zu file%s\n", findings.size(),
+                findings.size() == 1 ? "" : "s", files.size(),
+                files.size() == 1 ? "" : "s");
+  }
+  return findings.empty() ? kExitClean : kExitFindings;
 }
 
 }  // namespace

@@ -15,7 +15,7 @@
 #      vetting the parallel what-if paths.
 #   3. The same suite under ASan+UBSan (TRAP_SANITIZE=address,undefined)
 #      with sanitizer recovery disabled, so any UB aborts the run.
-#   4. A smoke-fuzz stage per build flavor: trap_fuzz sweeps all six oracle
+#   4. A smoke-fuzz stage per build flavor: trap_fuzz sweeps all nine oracle
 #      families at a fixed seed (smaller case counts under sanitizers so the
 #      stage stays near 30 seconds end to end), then replays the committed
 #      regression corpus.
@@ -29,6 +29,11 @@
 #      the deterministic trace scenario at TRAP_THREADS=1/4/8 and requires
 #      the metric and trace digest lines to be bit-identical across thread
 #      counts.
+#   6b. A drift stage per flavor (plain + TSan): trap_drift replays the
+#      canonical workload-drift scenario at TRAP_THREADS=1/4/8 and requires
+#      the regret/metric/trace digest lines to be bit-identical across
+#      thread counts, then diffs the scenario's JSON report against
+#      tests/golden/drift_scenario.json.
 #   7. A perf-gate stage (plain flavor only; sanitizers skew timings):
 #      bench_engine_micro's shared what-if throughput probe, compared
 #      against bench/baselines/engine_micro_baseline.json by
@@ -121,6 +126,32 @@ trace_digest_stage() {
   done
 }
 
+# Replays the canonical drift scenario across thread counts, requires the
+# regret/metric/trace digest lines to be bit-identical, then diffs the JSON
+# report against the committed golden.
+drift_digest_stage() {
+  local dir="$1"
+  local threads="$2"
+  echo "==> drift digests ${dir}"
+  local ref=""
+  local t
+  for t in ${threads}; do
+    local digest
+    digest="$(TRAP_THREADS="${t}" "${dir}/tools/drift/trap_drift" \
+        --schema tpch --advisor greedy --episodes 8 --seed 1 --digest)"
+    echo "    TRAP_THREADS=${t}: $(printf '%s' "${digest}" | tr '\n' ' ')"
+    if [ -z "${ref}" ]; then
+      ref="${digest}"
+    elif [ "${digest}" != "${ref}" ]; then
+      echo "error: drift digest differs across thread counts" >&2
+      exit 1
+    fi
+  done
+  "${dir}/tools/drift/trap_drift" --schema tpch --advisor greedy \
+      --episodes 8 --seed 1 --format=json \
+      --golden tests/golden/drift_scenario.json > /dev/null
+}
+
 # Runs the shared what-if throughput probe (median of 5, microbenches
 # filtered out) and ratchets the result against the committed baseline.
 perf_gate_stage() {
@@ -161,12 +192,14 @@ lint_stage build-check
 run_suite build-check 2000 -DTRAP_WERROR=ON
 fault_campaign_stage build-check "1 4 8"
 trace_digest_stage build-check "1 4 8"
+drift_digest_stage build-check "1 4 8"
 perf_gate_stage build-check
 
 TRAP_THREADS=4 run_suite build-check-tsan 600 -DTRAP_WERROR=ON \
   -DTRAP_SANITIZE=thread
 fault_campaign_stage build-check-tsan "4"
 trace_digest_stage build-check-tsan "1 4 8"
+drift_digest_stage build-check-tsan "1 4 8"
 
 run_suite build-check-asan-ubsan 600 -DTRAP_WERROR=ON \
   -DTRAP_SANITIZE=address,undefined

@@ -1,0 +1,106 @@
+#include "catalog/stats_overlay.h"
+
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace trap::catalog {
+namespace {
+
+uint64_t FoldDouble(uint64_t h, double v) {
+  return common::HashCombine(h, std::bit_cast<uint64_t>(v));
+}
+
+uint64_t FoldColumn(uint64_t h, const Column& c) {
+  h = common::HashCombine(h, obs::StringHash(c.name));
+  h = common::HashCombine(h, static_cast<uint64_t>(c.type));
+  h = common::HashCombine(h, static_cast<uint64_t>(c.width_bytes));
+  h = common::HashCombine(h, static_cast<uint64_t>(c.num_distinct));
+  h = FoldDouble(h, c.min_value);
+  h = FoldDouble(h, c.max_value);
+  return FoldDouble(h, c.skew);
+}
+
+}  // namespace
+
+ColumnStats StatsOf(const Column& column) {
+  return ColumnStats{column.num_distinct, column.min_value, column.max_value,
+                     column.skew};
+}
+
+void StatsOverlay::SetColumnStats(ColumnId id, const ColumnStats& stats) {
+  TRAP_CHECK(stats.num_distinct >= 1);
+  column_stats_[id] = stats;
+}
+
+void StatsOverlay::SetTableRows(int table, int64_t num_rows) {
+  TRAP_CHECK(num_rows >= 1);
+  table_rows_[table] = num_rows;
+}
+
+void StatsOverlay::AddTable(Table table) {
+  TRAP_CHECK(!table.columns.empty());
+  TRAP_CHECK(table.num_rows >= 1);
+  added_tables_.push_back(std::move(table));
+}
+
+uint64_t StatsOverlay::Fingerprint() const {
+  if (empty()) return 0;
+  uint64_t h = 0x5d1f7a2bc9e44d31ull;
+  for (const auto& [id, stats] : column_stats_) {
+    h = common::HashCombine(h, static_cast<uint64_t>(id.table));
+    h = common::HashCombine(h, static_cast<uint64_t>(id.column));
+    h = common::HashCombine(h, static_cast<uint64_t>(stats.num_distinct));
+    h = FoldDouble(h, stats.min_value);
+    h = FoldDouble(h, stats.max_value);
+    h = FoldDouble(h, stats.skew);
+  }
+  for (const auto& [table, rows] : table_rows_) {
+    h = common::HashCombine(h, 0x7b0a9c3d51e6f824ull);
+    h = common::HashCombine(h, static_cast<uint64_t>(table));
+    h = common::HashCombine(h, static_cast<uint64_t>(rows));
+  }
+  for (const Table& t : added_tables_) {
+    h = common::HashCombine(h, 0x13c8e55a9f0b6d72ull);
+    h = common::HashCombine(h, obs::StringHash(t.name));
+    h = common::HashCombine(h, static_cast<uint64_t>(t.num_rows));
+    for (const Column& c : t.columns) h = FoldColumn(h, c);
+  }
+  // Reserve 0 for the base epoch so a non-empty overlay can never alias it.
+  return h == 0 ? 1 : h;
+}
+
+Schema StatsOverlay::Apply(const Schema& base) const {
+  std::vector<Table> tables;
+  tables.reserve(static_cast<size_t>(base.num_tables()) +
+                 added_tables_.size());
+  for (int t = 0; t < base.num_tables(); ++t) tables.push_back(base.table(t));
+  for (const Table& t : added_tables_) tables.push_back(t);
+
+  const int num_tables = static_cast<int>(tables.size());
+  for (const auto& [table, rows] : table_rows_) {
+    TRAP_CHECK(table >= 0 && table < num_tables);
+    tables[static_cast<size_t>(table)].num_rows = rows;
+  }
+  for (const auto& [id, stats] : column_stats_) {
+    TRAP_CHECK(id.table >= 0 && id.table < num_tables);
+    Table& t = tables[static_cast<size_t>(id.table)];
+    TRAP_CHECK(id.column >= 0 &&
+               id.column < static_cast<int>(t.columns.size()));
+    Column& c = t.columns[static_cast<size_t>(id.column)];
+    c.num_distinct = stats.num_distinct;
+    c.min_value = stats.min_value;
+    c.max_value = stats.max_value;
+    c.skew = stats.skew;
+  }
+  // The Schema constructor recomputes column offsets, so appended tables
+  // slot into the global column index right after the base tables.
+  return Schema(base.name(), std::move(tables), base.join_edges());
+}
+
+}  // namespace trap::catalog

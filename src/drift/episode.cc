@@ -1,0 +1,220 @@
+#include "drift/episode.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sql/query.h"
+#include "workload/generator.h"
+
+namespace trap::drift {
+namespace {
+
+// Salt separating per-episode Rng streams from the stream seed itself.
+constexpr uint64_t kEpisodeSalt = 0xd21f0a7e33c85b19ull;
+
+uint64_t EpisodeSeed(uint64_t stream_seed, int step) {
+  return common::HashCombine(
+      stream_seed,
+      common::HashCombine(kEpisodeSalt, static_cast<uint64_t>(step)));
+}
+
+}  // namespace
+
+const char* EpisodeKindName(EpisodeKind kind) {
+  switch (kind) {
+    case EpisodeKind::kTemplateChurn:
+      return "template_churn";
+    case EpisodeKind::kSelectivityShift:
+      return "selectivity_shift";
+    case EpisodeKind::kFrequencyRotation:
+      return "frequency_rotation";
+    case EpisodeKind::kSchemaGrowth:
+      return "schema_growth";
+  }
+  return "unknown";
+}
+
+uint64_t EpisodeFingerprint(int step, EpisodeKind kind,
+                            const workload::Workload& w,
+                            const catalog::StatsOverlay& overlay) {
+  uint64_t h = 0x8c54f1d2a7b3960dull;
+  h = common::HashCombine(h, static_cast<uint64_t>(step));
+  h = common::HashCombine(h, static_cast<uint64_t>(kind));
+  for (const workload::WorkloadQuery& wq : w.queries) {
+    h = common::HashCombine(h, sql::Fingerprint(wq.query));
+    h = common::HashCombine(h, std::bit_cast<uint64_t>(wq.weight));
+  }
+  return common::HashCombine(h, overlay.Fingerprint());
+}
+
+EpisodeStream::EpisodeStream(const sql::Vocabulary& vocab,
+                             workload::Workload base, DriftSpec spec,
+                             uint64_t seed)
+    : vocab_(&vocab), base_(std::move(base)), spec_(std::move(spec)),
+      seed_(seed) {
+  TRAP_CHECK(!spec_.kinds.empty());
+  TRAP_CHECK(spec_.growth_columns >= 1);
+}
+
+Episode EpisodeStream::At(int step) const {
+  TRAP_CHECK(step >= 0);
+  Episode ep;
+  ep.step = step;
+  ep.workload = base_;
+  int num_grown = 0;
+  for (int s = 0; s <= step; ++s) {
+    Advance(s, &ep.workload, &ep.overlay, &num_grown);
+  }
+  ep.kind = spec_.kinds[static_cast<size_t>(step) % spec_.kinds.size()];
+  ep.fingerprint = EpisodeFingerprint(step, ep.kind, ep.workload, ep.overlay);
+  return ep;
+}
+
+void EpisodeStream::Advance(int step, workload::Workload* w,
+                            catalog::StatsOverlay* overlay,
+                            int* num_grown) const {
+  const EpisodeKind kind =
+      spec_.kinds[static_cast<size_t>(step) % spec_.kinds.size()];
+  const uint64_t episode_seed = EpisodeSeed(seed_, step);
+  switch (kind) {
+    case EpisodeKind::kTemplateChurn:
+      ApplyTemplateChurn(episode_seed, w);
+      break;
+    case EpisodeKind::kSelectivityShift:
+      ApplySelectivityShift(episode_seed, w, overlay);
+      break;
+    case EpisodeKind::kFrequencyRotation:
+      ApplyFrequencyRotation(step, w);
+      break;
+    case EpisodeKind::kSchemaGrowth:
+      ApplySchemaGrowth(episode_seed, w, overlay, num_grown);
+      break;
+  }
+}
+
+void EpisodeStream::ApplyTemplateChurn(uint64_t episode_seed,
+                                       workload::Workload* w) const {
+  // Churn is confined to the base workload's slots: queries appended by
+  // schema growth keep serving their grown tables.
+  const int n = std::min(base_.size(), w->size());
+  if (n == 0) return;
+  common::Rng rng(episode_seed);
+  workload::GeneratorOptions gopt;
+  gopt.max_tables = 3;
+  gopt.max_filters = 3;
+  workload::QueryGenerator qgen(*vocab_, gopt, rng.engine()());
+  const int replaced =
+      std::max(1, static_cast<int>(spec_.churn_fraction * n));
+  for (int k = 0; k < replaced; ++k) {
+    const int slot = static_cast<int>(rng.UniformInt(0, n - 1));
+    w->queries[static_cast<size_t>(slot)].query = qgen.Generate();
+  }
+}
+
+void EpisodeStream::ApplySelectivityShift(
+    uint64_t episode_seed, workload::Workload* w,
+    catalog::StatsOverlay* overlay) const {
+  const catalog::Schema& schema = vocab_->schema();
+  // Candidate columns: filter columns of the current workload that live in
+  // the base schema, deduplicated in first-use order (stable across runs).
+  std::vector<catalog::ColumnId> candidates;
+  for (const workload::WorkloadQuery& wq : w->queries) {
+    for (const sql::Predicate& p : wq.query.filters) {
+      if (p.column.table >= schema.num_tables()) continue;
+      if (std::find(candidates.begin(), candidates.end(), p.column) ==
+          candidates.end()) {
+        candidates.push_back(p.column);
+      }
+    }
+  }
+  if (candidates.empty()) return;
+  common::Rng rng(episode_seed);
+  const int shifts = std::max(1, static_cast<int>(candidates.size()) / 3);
+  const double factor = 1.0 + spec_.shift_magnitude;
+  for (int k = 0; k < shifts; ++k) {
+    const catalog::ColumnId id = rng.Choice(candidates);
+    auto it = overlay->column_stats().find(id);
+    catalog::ColumnStats cur = it != overlay->column_stats().end()
+                                   ? it->second
+                                   : catalog::StatsOf(schema.column(id));
+    const int64_t rows = std::max<int64_t>(
+        1, schema.table(id.table).num_rows);
+    const bool up = rng.Bernoulli(0.5);
+    int64_t ndv = up ? static_cast<int64_t>(
+                           std::ceil(static_cast<double>(cur.num_distinct) *
+                                     factor))
+                     : static_cast<int64_t>(
+                           std::floor(static_cast<double>(cur.num_distinct) /
+                                      factor));
+    ndv = std::clamp<int64_t>(ndv, 1, rows);
+    const double delta =
+        (rng.Bernoulli(0.5) ? 1.0 : -1.0) * 0.5 * spec_.shift_magnitude;
+    const double skew = std::clamp(cur.skew + delta, 0.0, 2.0);
+    overlay->SetColumnStats(
+        id, catalog::ColumnStats{ndv, cur.min_value, cur.max_value, skew});
+  }
+}
+
+void EpisodeStream::ApplyFrequencyRotation(int step,
+                                           workload::Workload* w) const {
+  // A pure function of (step, workload size): the hot block of size
+  // ~n/hot_denominator walks one slot per rotation episode. Total weight is
+  // conserved across rotations of the same workload size.
+  const int n = w->size();
+  if (n == 0) return;
+  const int hot = std::max(1, n / std::max(1, spec_.hot_denominator));
+  for (int i = 0; i < n; ++i) {
+    w->queries[static_cast<size_t>(i)].weight =
+        ((i + step) % n) < hot ? spec_.hot_weight : 1.0;
+  }
+}
+
+void EpisodeStream::ApplySchemaGrowth(uint64_t episode_seed,
+                                      workload::Workload* w,
+                                      catalog::StatsOverlay* overlay,
+                                      int* num_grown) const {
+  const catalog::Schema& schema = vocab_->schema();
+  const int table_index = schema.num_tables() + *num_grown;
+  ++*num_grown;
+  common::Rng rng(episode_seed);
+  catalog::Table t;
+  t.name = "drift_t" + std::to_string(*num_grown);
+  t.num_rows = rng.UniformInt(10000, 200000);
+  const int cols = spec_.growth_columns;
+  t.columns.reserve(static_cast<size_t>(cols));
+  for (int j = 0; j < cols; ++j) {
+    catalog::Column c;
+    c.name = "c" + std::to_string(j);
+    c.type = catalog::ColumnType::kInt;
+    c.width_bytes = 8;
+    c.num_distinct = rng.UniformInt(2, t.num_rows);
+    c.min_value = 0.0;
+    c.max_value = static_cast<double>(c.num_distinct - 1);
+    c.skew = rng.Uniform(0.0, 1.0);
+    t.columns.push_back(c);
+  }
+  // Appended queries reference the grown table, so they are only valid
+  // under the overlay-applied schema (see the class contract).
+  for (int q = 0; q < spec_.growth_queries; ++q) {
+    const int filter_col = q % cols;
+    const int select_col = cols > 1 ? (filter_col + 1) % cols : filter_col;
+    const catalog::Column& fc = t.columns[static_cast<size_t>(filter_col)];
+    sql::Query nq;
+    nq.tables = {table_index};
+    nq.select = {sql::SelectItem{
+        sql::AggFunc::kNone, catalog::ColumnId{table_index, select_col}}};
+    const int64_t literal = rng.UniformInt(0, fc.num_distinct - 1);
+    nq.filters = {sql::Predicate{catalog::ColumnId{table_index, filter_col},
+                                 sql::CmpOp::kLe, sql::Value::Int(literal)}};
+    w->queries.push_back(workload::WorkloadQuery{std::move(nq), 1.0});
+  }
+  overlay->AddTable(std::move(t));
+}
+
+}  // namespace trap::drift

@@ -1,0 +1,106 @@
+#ifndef TRAP_DRIFT_EPISODE_H_
+#define TRAP_DRIFT_EPISODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/stats_overlay.h"
+#include "sql/vocabulary.h"
+#include "workload/workload.h"
+
+namespace trap::drift {
+
+// The typed drift axes an EpisodeStream can walk. Template churn and
+// frequency rotation are workload drift ("Testing the Robustness of Learned
+// Index Structures" studies the data-shift axis; the ML-powered tuning
+// survey frames re-tuning under both); selectivity shift and schema growth
+// are data/schema drift expressed through the stats overlay.
+enum class EpisodeKind {
+  kTemplateChurn = 0,    // replace a seeded fraction of queries
+  kSelectivityShift,     // shift NDV/skew of referenced filter columns
+  kFrequencyRotation,    // rotate which block of queries is "hot"
+  kSchemaGrowth,         // append a table + queries targeting it
+};
+
+// Stable lower_snake_case name (used in reports and goldens).
+const char* EpisodeKindName(EpisodeKind kind);
+
+// The state of the world after `step` drift episodes: the evolved workload
+// plus the cumulative stats overlay episodes see in place of the frozen
+// base catalog. `fingerprint` folds the workload (queries + weights) and
+// the overlay content, so two equal episodes always fingerprint equally.
+struct Episode {
+  int step = 0;
+  EpisodeKind kind = EpisodeKind::kTemplateChurn;
+  workload::Workload workload;
+  catalog::StatsOverlay overlay;
+  uint64_t fingerprint = 0;
+};
+
+// Knobs for episode generation. Defaults give every kind visible but
+// bounded effect on a handful-of-queries workload.
+struct DriftSpec {
+  double churn_fraction = 0.25;   // of the base workload, per churn episode
+  double shift_magnitude = 0.5;   // NDV scale factor - 1, and skew delta
+  int hot_denominator = 4;        // hot block = max(1, n / hot_denominator)
+  double hot_weight = 4.0;        // weight of hot queries (others get 1.0)
+  int growth_columns = 3;         // columns per grown table
+  int growth_queries = 2;         // appended queries per grown table
+  // The episode-kind rotation; step s applies kinds[s % kinds.size()].
+  std::vector<EpisodeKind> kinds = {
+      EpisodeKind::kTemplateChurn, EpisodeKind::kSelectivityShift,
+      EpisodeKind::kFrequencyRotation, EpisodeKind::kSchemaGrowth};
+};
+
+// Seeded streaming generator of drift episodes over a base workload.
+// At(step) is a *pure function* of (base, spec, seed, step): it replays the
+// cumulative evolution from the base every call, each step drawing from an
+// Rng seeded by HashCombine(seed, step), so the same stream position is
+// bit-identical no matter when, how often, or on how many threads it is
+// asked for. Episodes never mutate the base workload or the vocabulary's
+// schema; data shift accumulates in the episode's StatsOverlay.
+//
+// Schema-growth contract: queries appended by kSchemaGrowth reference table
+// indices that only exist in the overlay-applied schema. They may only be
+// validated or costed under an epoch that has the episode's overlay
+// installed (drift::ReplayLoop does exactly that).
+class EpisodeStream {
+ public:
+  // `vocab` must outlive the stream; `base` is copied.
+  EpisodeStream(const sql::Vocabulary& vocab, workload::Workload base,
+                DriftSpec spec, uint64_t seed);
+
+  // The world after episodes 0..step (inclusive). step >= 0.
+  Episode At(int step) const;
+
+  uint64_t seed() const { return seed_; }
+  const workload::Workload& base() const { return base_; }
+  const DriftSpec& spec() const { return spec_; }
+
+ private:
+  // Applies episode `step`'s drift in place. `num_grown` counts tables the
+  // overlay has grown so far (fixes the next grown table's index).
+  void Advance(int step, workload::Workload* w, catalog::StatsOverlay* overlay,
+               int* num_grown) const;
+
+  void ApplyTemplateChurn(uint64_t episode_seed, workload::Workload* w) const;
+  void ApplySelectivityShift(uint64_t episode_seed, workload::Workload* w,
+                             catalog::StatsOverlay* overlay) const;
+  void ApplyFrequencyRotation(int step, workload::Workload* w) const;
+  void ApplySchemaGrowth(uint64_t episode_seed, workload::Workload* w,
+                         catalog::StatsOverlay* overlay, int* num_grown) const;
+
+  const sql::Vocabulary* vocab_;
+  workload::Workload base_;
+  DriftSpec spec_;
+  uint64_t seed_;
+};
+
+// Content fingerprint of an evolved workload + overlay (weights included).
+uint64_t EpisodeFingerprint(int step, EpisodeKind kind,
+                            const workload::Workload& w,
+                            const catalog::StatsOverlay& overlay);
+
+}  // namespace trap::drift
+
+#endif  // TRAP_DRIFT_EPISODE_H_

@@ -1,0 +1,125 @@
+#include "drift/replay.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace trap::drift {
+namespace {
+
+// Restores the optimizer to the base epoch on every exit path: a failed run
+// must not leave shifted statistics installed on the shared optimizer.
+struct EpochRestorer {
+  explicit EpochRestorer(engine::WhatIfOptimizer* optimizer)
+      : optimizer(optimizer) {}
+  ~EpochRestorer() { optimizer->ClearStatsOverlay(); }
+  EpochRestorer(const EpochRestorer&) = delete;
+  EpochRestorer& operator=(const EpochRestorer&) = delete;
+  engine::WhatIfOptimizer* optimizer;
+};
+
+constexpr uint64_t kSeriesSalt = 0x6f1d3b59c2a8e047ull;
+
+}  // namespace
+
+ReplayLoop::ReplayLoop(engine::WhatIfOptimizer* optimizer,
+                       ReplayOptions options)
+    : optimizer_(optimizer), options_(options) {
+  TRAP_CHECK(optimizer_ != nullptr);
+  TRAP_CHECK(options_.episodes >= 1);
+}
+
+common::StatusOr<ReplayResult> ReplayLoop::TryRun(
+    const EpisodeStream& stream, engine::IndexConfig initial,
+    const ReadviseFn& readvise, const common::EvalContext& ctx) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  obs::Counter* episodes_metric = registry.counter("trap.drift.episodes");
+  obs::Counter* adoptions_metric = registry.counter("trap.drift.adoptions");
+  obs::Counter* degradations_metric =
+      registry.counter("trap.drift.degradations");
+
+  obs::TraceSpan run_span(
+      ctx, "drift.replay",
+      common::HashCombine(stream.seed(),
+                          static_cast<uint64_t>(options_.episodes)));
+  const common::EvalContext& rctx = run_span.ctx();
+
+  EpochRestorer restore(optimizer_);
+  ReplayResult result;
+  result.series_fp = kSeriesSalt;
+  result.episodes.reserve(static_cast<size_t>(options_.episodes));
+  engine::IndexConfig stale = std::move(initial);
+
+  for (int s = 0; s < options_.episodes; ++s) {
+    TRAP_RETURN_IF_ERROR(rctx.CheckContinue());
+    const Episode ep = stream.At(s);
+    optimizer_->SetStatsOverlay(ep.overlay);
+
+    EpisodeResult er;
+    er.step = s;
+    er.kind = ep.kind;
+    er.episode_fp = ep.fingerprint;
+    er.stale_config = stale;
+
+    obs::TraceSpan episode_span(rctx, "drift.episode", ep.fingerprint);
+    episode_span.AddArg("step", s);
+    episode_span.AddArg("kind", static_cast<int64_t>(ep.kind));
+    const common::EvalContext& ectx = episode_span.ctx();
+
+    // The stale probe runs on the caller's budget: measuring the status quo
+    // is the loop's own bookkeeping, not re-advisement work.
+    TRAP_ASSIGN_OR_RETURN(
+        er.stale_cost, optimizer_->TryWorkloadCost(ep.workload, stale, ectx));
+
+    // Re-advisement (the advisor call + the fresh-cost probe) runs under
+    // the per-episode step budget when one is configured. Exhaustion — or
+    // any advisor failure — degrades deterministically to keeping the
+    // stale configuration.
+    common::CancelToken episode_budget(options_.episode_step_budget > 0
+                                           ? options_.episode_step_budget
+                                           : common::CancelToken::kUnbounded);
+    common::EvalContext budgeted = ectx;
+    if (options_.episode_step_budget > 0) budgeted.cancel = &episode_budget;
+
+    common::StatusOr<engine::IndexConfig> fresh =
+        readvise(ep.workload, budgeted);
+    common::StatusOr<double> fresh_cost =
+        fresh.ok() ? optimizer_->TryWorkloadCost(ep.workload, *fresh, budgeted)
+                   : common::StatusOr<double>(fresh.status());
+    if (fresh.ok() && fresh_cost.ok()) {
+      er.fresh_config = *std::move(fresh);
+      er.fresh_cost = *fresh_cost;
+      // Hysteresis: adopt only a strict improvement, so re-advisement that
+      // merely ties never churns the deployed configuration.
+      er.adopted = er.fresh_cost < er.stale_cost;
+    } else {
+      er.degraded = true;
+      er.fresh_config = er.stale_config;
+      er.fresh_cost = er.stale_cost;
+      degradations_metric->Add();
+    }
+    const double adopted_cost = er.adopted ? er.fresh_cost : er.stale_cost;
+    er.regret = er.stale_cost - adopted_cost;
+    if (er.adopted) {
+      stale = er.fresh_config;
+      adoptions_metric->Add();
+    }
+    episodes_metric->Add();
+    episode_span.AddArg("adopted", er.adopted ? 1 : 0);
+    episode_span.AddArg("degraded", er.degraded ? 1 : 0);
+
+    result.total_regret += er.regret;
+    result.series_fp = common::HashCombine(
+        result.series_fp, std::bit_cast<uint64_t>(er.regret));
+    result.episodes.push_back(std::move(er));
+  }
+  result.final_config = std::move(stale);
+  return result;
+}
+
+}  // namespace trap::drift

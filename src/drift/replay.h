@@ -1,0 +1,91 @@
+#ifndef TRAP_DRIFT_REPLAY_H_
+#define TRAP_DRIFT_REPLAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "drift/episode.h"
+#include "engine/index.h"
+#include "engine/what_if.h"
+
+namespace trap::drift {
+
+// Produces a fresh recommendation for an episode's workload. The drift
+// layer sits below advisor/ in the layering DAG, so re-advisement is
+// injected: callers wrap any advisor::Registry advisor's TryRecommend (the
+// advisor must share the loop's WhatIfOptimizer so it sees the episode's
+// shifted statistics through the active epoch).
+using ReadviseFn = std::function<common::StatusOr<engine::IndexConfig>(
+    const workload::Workload&, const common::EvalContext&)>;
+
+// Per-episode outcome of the online re-advisement loop.
+struct EpisodeResult {
+  int step = 0;
+  EpisodeKind kind = EpisodeKind::kTemplateChurn;
+  uint64_t episode_fp = 0;
+  double stale_cost = 0.0;  // episode workload under the carried-over config
+  double fresh_cost = 0.0;  // episode workload under the re-advised config
+  // regret = stale_cost - cost(adopted config) >= 0 by construction: the
+  // loop only adopts a fresh recommendation that costs strictly less than
+  // the stale one under the same overlay, so a negative value can only mean
+  // a stats-epoch/cache bug — exactly what the regret-sanity oracle hunts.
+  double regret = 0.0;
+  bool adopted = false;   // fresh config replaced the stale one
+  bool degraded = false;  // re-advisement failed; stale config kept
+  engine::IndexConfig stale_config;
+  engine::IndexConfig fresh_config;  // == stale_config when degraded
+};
+
+struct ReplayResult {
+  std::vector<EpisodeResult> episodes;
+  double total_regret = 0.0;
+  // Order-sensitive fold over the regret series; bit-identical across
+  // TRAP_THREADS settings.
+  uint64_t series_fp = 0;
+  engine::IndexConfig final_config;  // config carried out of the last episode
+};
+
+struct ReplayOptions {
+  int episodes = 8;
+  // Step budget for each episode's re-advisement (readvise + fresh-cost
+  // probe). 0 = unbounded. Exhaustion degrades that episode to keeping the
+  // stale configuration — deterministically, since step budgets count
+  // logical work, not time.
+  uint64_t episode_step_budget = 0;
+};
+
+// Online re-advisement loop: replays a drift EpisodeStream through a
+// re-advisement callback, measuring per-episode regret — what keeping the
+// stale recommendation costs over re-advising fresh under the episode's
+// workload and shifted statistics.
+//
+// Per episode s the loop installs the episode overlay on the shared
+// optimizer (advisors probing through it see the shifted world), costs the
+// carried-over configuration (stale), asks `readvise` for a fresh one,
+// costs it under the same overlay, and adopts the fresh configuration iff
+// it is strictly cheaper. Metrics land under trap.drift.* and each episode
+// records a drift.episode trace span keyed by the episode fingerprint, so
+// digests are bit-identical across thread counts. The base epoch is
+// restored on exit (including error paths).
+class ReplayLoop {
+ public:
+  // `optimizer` must outlive the loop and is epoch-swapped during Run.
+  explicit ReplayLoop(engine::WhatIfOptimizer* optimizer,
+                      ReplayOptions options = {});
+
+  common::StatusOr<ReplayResult> TryRun(const EpisodeStream& stream,
+                                        engine::IndexConfig initial,
+                                        const ReadviseFn& readvise,
+                                        const common::EvalContext& ctx = {});
+
+ private:
+  engine::WhatIfOptimizer* optimizer_;
+  ReplayOptions options_;
+};
+
+}  // namespace trap::drift
+
+#endif  // TRAP_DRIFT_REPLAY_H_

@@ -1,0 +1,47 @@
+#include "engine/stats_epoch.h"
+
+#include <memory>
+#include <utility>
+
+namespace trap::engine {
+
+StatsEpochRegistry::StatsEpochRegistry(const catalog::Schema& base,
+                                       const CostParams& params)
+    : base_(&base),
+      params_(params),
+      base_epoch_(std::make_shared<const StatsEpoch>(base, params)),
+      current_(base_epoch_) {}
+
+std::shared_ptr<const StatsEpoch> StatsEpochRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t StatsEpochRegistry::Install(const catalog::StatsOverlay& overlay) {
+  const uint64_t fp = overlay.Fingerprint();
+  if (fp == 0) {
+    Reset();
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = retained_.find(fp);
+  if (it == retained_.end()) {
+    // Cold path: materialize the shifted schema once per distinct overlay
+    // content. Costing itself never copies schemas.
+    auto schema = std::make_unique<const catalog::Schema>(
+        overlay.Apply(*base_));
+    it = retained_
+             .emplace(fp, std::make_shared<const StatsEpoch>(
+                              fp, std::move(schema), params_))
+             .first;
+  }
+  current_ = it->second;
+  return fp;
+}
+
+void StatsEpochRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = base_epoch_;
+}
+
+}  // namespace trap::engine

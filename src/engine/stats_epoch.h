@@ -1,0 +1,70 @@
+#ifndef TRAP_ENGINE_STATS_EPOCH_H_
+#define TRAP_ENGINE_STATS_EPOCH_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "catalog/stats_overlay.h"
+#include "engine/cost_model.h"
+
+namespace trap::engine {
+
+// One immutable statistics epoch of a WhatIfOptimizer: the schema as an
+// installed catalog::StatsOverlay sees it, a cost model compiled over that
+// schema, and the overlay's content fingerprint (0 = the base epoch, i.e.
+// the constructor-time schema with no overlay). Epochs are never mutated
+// after construction, so a batch that snapshotted one may keep costing
+// against it while another thread installs a different overlay.
+struct StatsEpoch {
+  // Base epoch over the caller-owned schema.
+  StatsEpoch(const catalog::Schema& base, const CostParams& params)
+      : model(base, params) {}
+  // Overlay epoch owning its materialized schema.
+  StatsEpoch(uint64_t fp, std::unique_ptr<const catalog::Schema> schema,
+             const CostParams& params)
+      : fingerprint(fp), owned(std::move(schema)), model(*owned, params) {}
+
+  uint64_t fingerprint = 0;
+  std::unique_ptr<const catalog::Schema> owned;  // null for the base epoch
+  CostModel model;
+};
+
+// Owns every statistics epoch a WhatIfOptimizer has ever installed, keyed by
+// overlay fingerprint. Epochs are retained for the registry's lifetime:
+// references handed out by Current() (and the schema()/cost_model() views
+// built on them) stay valid across any later Install/Reset, and
+// re-installing an overlay with the same content reuses the existing epoch
+// instead of materializing a new schema.
+//
+// Thread safety: Install/Reset/Current may race freely; Current() returns a
+// consistent snapshot. Callers that need one epoch across a whole batch
+// snapshot Current() once at batch entry.
+class StatsEpochRegistry {
+ public:
+  StatsEpochRegistry(const catalog::Schema& base, const CostParams& params);
+
+  // The active epoch; never null.
+  std::shared_ptr<const StatsEpoch> Current() const;
+
+  // Makes `overlay` the active epoch (materializing it on first sight) and
+  // returns its fingerprint. An empty overlay activates the base epoch.
+  uint64_t Install(const catalog::StatsOverlay& overlay);
+
+  // Returns to the base epoch. Retained overlay epochs stay alive.
+  void Reset();
+
+ private:
+  const catalog::Schema* base_;
+  CostParams params_;
+  std::shared_ptr<const StatsEpoch> base_epoch_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const StatsEpoch> current_;  // guarded by mu_
+  std::map<uint64_t, std::shared_ptr<const StatsEpoch>>
+      retained_;  // guarded by mu_
+};
+
+}  // namespace trap::engine
+
+#endif  // TRAP_ENGINE_STATS_EPOCH_H_

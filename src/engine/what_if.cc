@@ -51,53 +51,71 @@ const WhatIfMetrics& Metrics() {
 
 WhatIfOptimizer::WhatIfOptimizer(const catalog::Schema& schema,
                                  CostParams params)
-    : model_(schema, params) {}
+    : epochs_(schema, params) {}
 
 uint64_t WhatIfOptimizer::EntryChecksum(uint64_t query_fp, uint64_t config_fp,
-                                        double cost) {
-  return common::HashCombine(common::HashCombine(query_fp, config_fp),
-                             std::bit_cast<uint64_t>(cost));
+                                        uint64_t epoch_fp, double cost) {
+  return common::HashCombine(
+      common::HashCombine(common::HashCombine(query_fp, config_fp), epoch_fp),
+      std::bit_cast<uint64_t>(cost));
 }
 
-const QueryShape* WhatIfOptimizer::ResolveShape(uint64_t query_fp,
+const QueryShape* WhatIfOptimizer::ResolveShape(const StatsEpoch& epoch,
+                                                uint64_t query_fp,
                                                 const sql::Query& q) const {
-  ShapeShard& shard = shape_shards_[query_fp >> 60];
+  // Shapes bake in statistics-derived selectivities and cardinalities, so
+  // the cache key carries the stats epoch: a distribution shift recompiles
+  // rather than reuses.
+  const uint64_t shape_key = common::HashCombine(query_fp, epoch.fingerprint);
+  ShapeShard& shard = shape_shards_[shape_key >> 60];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(query_fp);
+    auto it = shard.map.find(shape_key);
     if (it != shard.map.end()) {
-      // The stored query is compared in full: a 64-bit fingerprint
-      // collision must never cost one query with another query's shape.
-      if (it->second->query == q) return it->second.get();
+      // The stored query and epoch are compared in full: a 64-bit
+      // fingerprint collision must never cost one query with another
+      // query's — or another distribution's — shape.
+      if (it->second.epoch_fp == epoch.fingerprint &&
+          it->second.shape->query == q) {
+        return it->second.shape.get();
+      }
       return nullptr;
     }
   }
-  // First sight of this query: precompile outside the shard lock (a shape
-  // build is much heavier than a map lookup), then publish. A racing thread
-  // computing the same shape loses the try_emplace and adopts the winner's
-  // entry; the miss is counted once, on insertion, so the count stays
-  // deterministic across thread counts.
+  // First sight of this (epoch, query): precompile outside the shard lock (a
+  // shape build is much heavier than a map lookup), then publish. A racing
+  // thread computing the same shape loses the try_emplace and adopts the
+  // winner's entry; the miss is counted once, on insertion, so the count
+  // stays deterministic across thread counts.
   auto shape = std::make_unique<QueryShape>(  // NOLINT(no-heap-on-hot-path): once per distinct query
-      model_.ComputeShape(q));
+      epoch.model.ComputeShape(q));
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto [it, inserted] = shard.map.try_emplace(query_fp, std::move(shape));
+  auto [it, inserted] = shard.map.try_emplace(
+      shape_key, ShapeEntry{epoch.fingerprint, std::move(shape)});
   if (inserted) Metrics().shape_misses->Add();
-  if (it->second->query == q) return it->second.get();
+  if (it->second.epoch_fp == epoch.fingerprint && it->second.shape->query == q) {
+    return it->second.shape.get();
+  }
   return nullptr;
 }
 
 common::Status WhatIfOptimizer::CachedCostStatus(
-    const sql::Query& q, uint64_t query_fp, const QueryShape* shape,
-    uint64_t config_fp, const IndexConfig& config,
+    const StatsEpoch& epoch, const sql::Query& q, uint64_t query_fp,
+    const QueryShape* shape, uint64_t config_fp, const IndexConfig& config,
     const common::EvalContext& ctx, double* out) const {
   TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
   num_calls_.fetch_add(1, std::memory_order_relaxed);
   Metrics().calls->Add();
-  const uint64_t key = common::HashCombine(query_fp, config_fp);
+  const uint64_t pair_key = common::HashCombine(query_fp, config_fp);
   // Fault draws key on the logical work item + the context's salt, so the
-  // same (query, config) pair draws identically on every run and thread
-  // count, while retry attempts (which re-salt) redraw.
-  const uint64_t draw_key = common::HashCombine(key, ctx.fault_salt);
+  // same (query, config) pair draws identically on every run, thread count,
+  // and stats epoch (drift must not reshuffle fault fates), while retry
+  // attempts (which re-salt) redraw.
+  const uint64_t draw_key = common::HashCombine(pair_key, ctx.fault_salt);
+  // The memo key additionally carries the stats epoch: an estimate computed
+  // under one data distribution must never answer a probe made under
+  // another (the ClearCache() staleness hazard the drift overlay exposed).
+  const uint64_t key = common::HashCombine(pair_key, epoch.fingerprint);
   if (common::FaultShouldFire(common::FaultSite::kWhatIfTimeout, draw_key)) {
     obs::CountFaultFire(
         common::FaultSiteName(common::FaultSite::kWhatIfTimeout));
@@ -110,9 +128,11 @@ common::Status WhatIfOptimizer::CachedCostStatus(
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       if (it->second.query_fp == query_fp &&
-          it->second.config_fp == config_fp) {
-        if (it->second.checksum ==
-            EntryChecksum(query_fp, config_fp, it->second.cost)) {
+          it->second.config_fp == config_fp &&
+          it->second.epoch_fp == epoch.fingerprint) {
+        if (it->second.checksum == EntryChecksum(query_fp, config_fp,
+                                                 epoch.fingerprint,
+                                                 it->second.cost)) {
           *out = it->second.cost;
           return common::Status::Ok();
         }
@@ -133,9 +153,9 @@ common::Status WhatIfOptimizer::CachedCostStatus(
   // on demand for unbatched calls, so cache hits never touch the shape
   // cache). The shape-free fallback only runs on a verified fingerprint
   // collision.
-  if (shape == nullptr) shape = ResolveShape(query_fp, q);
-  double cost = shape != nullptr ? model_.QueryCost(*shape, config)
-                                 : model_.QueryCost(q, config);
+  if (shape == nullptr) shape = ResolveShape(epoch, query_fp, q);
+  double cost = shape != nullptr ? epoch.model.QueryCost(*shape, config)
+                                 : epoch.model.QueryCost(q, config);
   if (common::FaultShouldFire(common::FaultSite::kWhatIfCostError, draw_key)) {
     obs::CountFaultFire(
         common::FaultSiteName(common::FaultSite::kWhatIfCostError));
@@ -149,8 +169,9 @@ common::Status WhatIfOptimizer::CachedCostStatus(
   }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    CacheEntry entry{query_fp, config_fp, cost,
-                     EntryChecksum(query_fp, config_fp, cost)};
+    CacheEntry entry{query_fp, config_fp, epoch.fingerprint, cost,
+                     EntryChecksum(query_fp, config_fp, epoch.fingerprint,
+                                   cost)};
     if (common::FaultShouldFire(common::FaultSite::kCacheShardPoison,
                                 draw_key)) {
       // Corrupt the stored cost but not the checksum: the next hit detects
@@ -199,6 +220,11 @@ common::Status WhatIfOptimizer::BatchCostCore(
     BatchScratch& sc, size_t nq, const IndexConfig* configs, size_t nc,
     bool weighted, BatchKind kind, const common::EvalContext& ctx,
     double* totals) const {
+  // One epoch snapshot per batch: a concurrent SetStatsOverlay can reorder
+  // against whole batches, but every item of this batch costs against the
+  // same statistics (the hammer tests assert exactly this all-or-nothing
+  // property).
+  const std::shared_ptr<const StatsEpoch> epoch = epochs_.Current();
   const size_t items = nq * nc;
   // Fingerprint every query and configuration exactly once per batch (the
   // pre-batched path refingerprinted the query on every item).
@@ -237,7 +263,7 @@ common::Status WhatIfOptimizer::BatchCostCore(
   // shape-free costing.
   sc.shapes.resize(nq);
   for (size_t i = 0; i < nq; ++i) {
-    sc.shapes[i] = ResolveShape(sc.query_fps[i], *sc.query_ptrs[i]);
+    sc.shapes[i] = ResolveShape(*epoch, sc.query_fps[i], *sc.query_ptrs[i]);
   }
 
   // Collapse identical (query_fp, config_fp) items: only the first
@@ -313,7 +339,7 @@ common::Status WhatIfOptimizer::BatchCostCore(
       [&](size_t u) {
         const BatchScratch::UniquePair p = sc.uniques[u];
         sc.unique_statuses[u] = CachedCostStatus(
-            *sc.query_ptrs[p.qi], sc.query_fps[p.qi], sc.shapes[p.qi],
+            *epoch, *sc.query_ptrs[p.qi], sc.query_fps[p.qi], sc.shapes[p.qi],
             sc.config_fps[p.ci], configs[p.ci], ctx, &sc.unique_costs[u]);
       },
       ctx.cancel);
@@ -345,8 +371,9 @@ common::Status WhatIfOptimizer::BatchCostCore(
 common::StatusOr<double> WhatIfOptimizer::TryQueryCost(
     const sql::Query& q, const IndexConfig& config,
     const common::EvalContext& ctx) const {
+  const std::shared_ptr<const StatsEpoch> epoch = epochs_.Current();
   double cost = 0.0;
-  TRAP_RETURN_IF_ERROR(CachedCostStatus(q, sql::Fingerprint(q),
+  TRAP_RETURN_IF_ERROR(CachedCostStatus(*epoch, q, sql::Fingerprint(q),
                                         /*shape=*/nullptr, config.Fingerprint(),
                                         config, ctx, &cost));
   return cost;
@@ -376,7 +403,7 @@ common::StatusOr<std::vector<double>> WhatIfOptimizer::TryQueryCosts(
 
 std::unique_ptr<PlanNode> WhatIfOptimizer::Plan(const sql::Query& q,
                                                 const IndexConfig& config) const {
-  return model_.Plan(q, config);
+  return epochs_.Current()->model.Plan(q, config);
 }
 
 size_t WhatIfOptimizer::cache_size() const {

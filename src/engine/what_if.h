@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "catalog/stats_overlay.h"
 #include "common/deadline.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -17,6 +18,7 @@
 #include "engine/cost_model.h"
 #include "engine/query_shape.h"
 #include "engine/scratch.h"
+#include "engine/stats_epoch.h"
 #include "obs/obs.h"
 
 namespace trap::engine {
@@ -73,14 +75,27 @@ namespace trap::engine {
 // determinism). With a trace sink in the context, each batched call records
 // a whatif.batch span.
 //
+// Statistics epochs: SetStatsOverlay installs a catalog::StatsOverlay as
+// the active *stats epoch* (drift scenarios shift per-column statistics or
+// grow the schema mid-run without mutating the shared catalog). Both memo
+// caches mix the epoch fingerprint into their keys and store it in their
+// entries, so an estimate computed under one data distribution can never
+// answer a probe made under another -- including after ClearStatsOverlay()
+// returns to the base epoch. Fault draws deliberately do NOT key on the
+// epoch: a (query, config) work item draws the same fate under every
+// distribution, keeping fault campaigns comparable across drift. Each
+// batched call snapshots the epoch once at entry, so a concurrent overlay
+// swap can reorder against whole batches but never splits one.
+//
 // Cache integrity: every cost-cache entry carries a checksum over
-// (query_fp, config_fp, cost). A hit whose entry fails the checksum (e.g.
-// the cache.shard.poison fault site corrupted it at insert) is detected,
-// recomputed, and repaired in place -- the caller always receives the true
-// cost, and num_integrity_recoveries() counts the self-healing events.
-// Shape-cache entries store the full query and are verified against it on
-// every hit, so a 64-bit fingerprint collision is answered by fresh
-// computation, never by another query's shape.
+// (query_fp, config_fp, epoch_fp, cost). A hit whose entry fails the
+// checksum (e.g. the cache.shard.poison fault site corrupted it at insert)
+// is detected, recomputed, and repaired in place -- the caller always
+// receives the true cost, and num_integrity_recoveries() counts the
+// self-healing events. Shape-cache entries store the full query plus their
+// epoch fingerprint and are verified against both on every hit, so a 64-bit
+// fingerprint collision is answered by fresh computation, never by another
+// query's (or another distribution's) shape.
 class WhatIfOptimizer {
  public:
   explicit WhatIfOptimizer(const catalog::Schema& schema,
@@ -184,8 +199,28 @@ class WhatIfOptimizer {
       const sql::Query& q, const std::vector<IndexConfig>& configs,
       const common::EvalContext& ctx = {}) const;
 
-  const catalog::Schema& schema() const { return model_.schema(); }
-  const CostModel& cost_model() const { return model_; }
+  // The schema and cost model of the *active* stats epoch (the base schema
+  // until SetStatsOverlay installs an overlay). Epochs are retained for the
+  // optimizer's lifetime, so returned references stay valid across later
+  // overlay swaps.
+  const catalog::Schema& schema() const {
+    return epochs_.Current()->model.schema();
+  }
+  const CostModel& cost_model() const { return epochs_.Current()->model; }
+
+  // Installs `overlay` as the active stats epoch: subsequent costing runs
+  // against the overlay-applied schema, and cache keys carry the epoch
+  // fingerprint so shifted statistics never serve (or pollute) base-epoch
+  // hits. Returns the epoch fingerprint (0 for an empty overlay = base).
+  // Entries cached under other epochs are retained: swapping back restores
+  // their hits bit-identically.
+  uint64_t SetStatsOverlay(const catalog::StatsOverlay& overlay) {
+    return epochs_.Install(overlay);
+  }
+  // Returns to the base epoch (the constructor-time schema and stats).
+  void ClearStatsOverlay() { epochs_.Reset(); }
+  // Fingerprint of the active stats epoch; 0 = base.
+  uint64_t stats_epoch() const { return epochs_.Current()->fingerprint; }
 
   // The sentinel cost returned by the legacy (non-Try) wrappers when the
   // underlying evaluation fails: +infinity never wins a cost comparison, so
@@ -223,22 +258,24 @@ class WhatIfOptimizer {
   }
 
   size_t cache_size() const;
-  // Clears memoized *costs*. Precompiled query shapes are pure functions of
-  // (schema, query) — clearing them could only cause recomputation of the
-  // identical value, so they are retained.
+  // Clears memoized *costs* (across every stats epoch). Precompiled query
+  // shapes are pure functions of (stats epoch, query) and their cache keys
+  // carry the epoch, so they can never go stale — they are retained.
   void ClearCache();
 
   // Number of precompiled query shapes held (one per distinct query seen).
   size_t shape_cache_size() const;
 
  private:
-  // Both halves of the memo key are stored so a HashCombine collision is
+  // Every component of the memo key is stored so a HashCombine collision is
   // detected (and answered by recomputation) instead of silently returning
-  // another pair's cost; `checksum` covers (query_fp, config_fp, cost) so a
-  // corrupted entry is detected on hit and repaired.
+  // another pair's — or another stats epoch's — cost; `checksum` covers
+  // (query_fp, config_fp, epoch_fp, cost) so a corrupted entry is detected
+  // on hit and repaired.
   struct CacheEntry {
     uint64_t query_fp = 0;
     uint64_t config_fp = 0;
+    uint64_t epoch_fp = 0;
     double cost = 0.0;
     uint64_t checksum = 0;
   };
@@ -248,9 +285,15 @@ class WhatIfOptimizer {
     mutable std::mutex mu;
     std::unordered_map<uint64_t, CacheEntry> map;
   };
+  // Shape entries record the epoch they were compiled under; a hit must
+  // match both the stored query and the probing epoch.
+  struct ShapeEntry {
+    uint64_t epoch_fp = 0;
+    std::unique_ptr<QueryShape> shape;
+  };
   struct alignas(64) ShapeShard {
     mutable std::mutex mu;
-    std::unordered_map<uint64_t, std::unique_ptr<QueryShape>> map;
+    std::unordered_map<uint64_t, ShapeEntry> map;
   };
   static constexpr size_t kNumShards = 16;  // power of two
 
@@ -260,7 +303,7 @@ class WhatIfOptimizer {
   enum class BatchKind { kWorkloadCost, kWorkloadCosts, kQueryCosts };
 
   static uint64_t EntryChecksum(uint64_t query_fp, uint64_t config_fp,
-                                double cost);
+                                uint64_t epoch_fp, double cost);
 
   // Records batch size / duplicate-config metrics for a batched call of
   // `items` what-if items over `config_fps`, and annotates `span`.
@@ -270,10 +313,12 @@ class WhatIfOptimizer {
                                  std::vector<uint64_t>* sort_scratch,
                                  obs::TraceSpan* span);
 
-  // The precompiled shape for (query_fp, q): served from the shape cache,
-  // computed and inserted on first sight. Returns nullptr on a verified
-  // fingerprint collision (caller must fall back to shape-free costing).
-  const QueryShape* ResolveShape(uint64_t query_fp, const sql::Query& q) const;
+  // The precompiled shape for (epoch, query_fp, q): served from the shape
+  // cache, computed against `epoch`'s cost model and inserted on first
+  // sight. Returns nullptr on a verified fingerprint collision (caller must
+  // fall back to shape-free costing).
+  const QueryShape* ResolveShape(const StatsEpoch& epoch, uint64_t query_fp,
+                                 const sql::Query& q) const;
 
   // The shared batched core behind TryWorkloadCost / TryWorkloadCosts /
   // TryQueryCosts: fingerprints queries (sc.query_ptrs, size nq) and
@@ -292,13 +337,13 @@ class WhatIfOptimizer {
   // *out; errors are never cached. `shape` is the prefetched shape for `q`;
   // nullptr means resolve on demand (and cost shape-free if resolution
   // reports a fingerprint collision).
-  common::Status CachedCostStatus(const sql::Query& q, uint64_t query_fp,
-                                  const QueryShape* shape, uint64_t config_fp,
-                                  const IndexConfig& config,
+  common::Status CachedCostStatus(const StatsEpoch& epoch, const sql::Query& q,
+                                  uint64_t query_fp, const QueryShape* shape,
+                                  uint64_t config_fp, const IndexConfig& config,
                                   const common::EvalContext& ctx,
                                   double* out) const;
 
-  CostModel model_;
+  StatsEpochRegistry epochs_;
   mutable std::array<CacheShard, kNumShards> shards_;
   mutable std::array<ShapeShard, kNumShards> shape_shards_;
   mutable std::atomic<int64_t> num_calls_{0};

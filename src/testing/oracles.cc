@@ -1,10 +1,16 @@
 #include "testing/oracles.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
+#include <utility>
 
 #include "advisor/registry.h"
+#include "catalog/stats_overlay.h"
 #include "common/string_util.h"
+#include "drift/episode.h"
+#include "drift/replay.h"
+#include "drift/stats_perturber.h"
 #include "engine/index.h"
 #include "sql/tokenizer.h"
 #include "trap/reference_tree.h"
@@ -299,6 +305,229 @@ std::optional<std::string> CheckAdvisorContract(OracleEnv& env,
   return std::nullopt;
 }
 
+// ---- Drift oracles ---------------------------------------------------------
+
+// Episode count for the drift replay oracles; kept tiny so the round-robin
+// fuzzing sweep stays fast (each episode runs an advisor re-advisement).
+int DriftEpisodes(const Reproducer& r) { return std::clamp(r.epsilon, 1, 4); }
+
+// Runs one drift replay over the reproducer's workload: a heuristic advisor
+// re-advising through `optimizer` (which the loop flips between statistics
+// epochs) on `pool`.
+common::StatusOr<drift::ReplayResult> RunDriftLoop(
+    OracleEnv& env, const Reproducer& r, engine::WhatIfOptimizer& optimizer,
+    common::ThreadPool* pool) {
+  std::unique_ptr<advisor::IndexAdvisor> adv =
+      MakeAdvisorById(r.advisor, optimizer);
+  advisor::TuningConstraint constraint;
+  constraint.storage_budget_bytes = r.storage_budget;
+  constraint.max_indexes = r.max_indexes;
+  common::EvalContext ctx;
+  ctx.pool = pool;
+  engine::IndexConfig initial = adv->TryRecommend(r.workload, constraint, ctx)
+                                    .value_or(engine::IndexConfig{});
+  drift::EpisodeStream stream(env.vocab, r.workload, drift::DriftSpec{},
+                              r.walk_seed);
+  drift::ReplayOptions ropt;
+  ropt.episodes = DriftEpisodes(r);
+  drift::ReplayLoop loop(&optimizer, ropt);
+  drift::ReadviseFn readvise = [&adv, &constraint](
+                                   const workload::Workload& w,
+                                   const common::EvalContext& rctx) {
+    return adv->TryRecommend(w, constraint, rctx);
+  };
+  return loop.TryRun(stream, std::move(initial), readvise, ctx);
+}
+
+// (g): the drift replay is bit-identical across 1/4/8-thread pools — same
+// episode fingerprints, same stale/fresh costs, same regret series.
+std::optional<std::string> CheckEpisodeDeterminism(OracleEnv& env,
+                                                   const Reproducer& r) {
+  common::ThreadPool* pools[] = {&env.pool1, &env.pool4, &env.pool8};
+  std::optional<drift::ReplayResult> want;
+  int want_threads = 0;
+  for (common::ThreadPool* pool : pools) {
+    engine::WhatIfOptimizer fresh(*env.schema);
+    common::StatusOr<drift::ReplayResult> got =
+        RunDriftLoop(env, r, fresh, pool);
+    if (!got.ok()) {
+      return common::StrFormat("drift replay failed on a %d-thread pool: %s",
+                               pool->num_threads(),
+                               got.status().ToString().c_str());
+    }
+    if (!want.has_value()) {
+      want = *std::move(got);
+      want_threads = pool->num_threads();
+      continue;
+    }
+    if (got->series_fp != want->series_fp) {
+      return common::StrFormat(
+          "regret series digest 0x%016llx on a %d-thread pool, 0x%016llx on "
+          "a %d-thread pool (must be bit-identical)",
+          static_cast<unsigned long long>(got->series_fp),
+          pool->num_threads(),
+          static_cast<unsigned long long>(want->series_fp), want_threads);
+    }
+    for (size_t e = 0; e < want->episodes.size(); ++e) {
+      const drift::EpisodeResult& a = want->episodes[e];
+      const drift::EpisodeResult& b = got->episodes[e];
+      if (a.episode_fp != b.episode_fp || a.stale_cost != b.stale_cost ||
+          a.fresh_cost != b.fresh_cost || a.regret != b.regret) {
+        return common::StrFormat(
+            "episode %zu diverged between %d- and %d-thread pools: "
+            "stale %.17g vs %.17g, fresh %.17g vs %.17g, regret %.17g vs "
+            "%.17g",
+            e, want_threads, pool->num_threads(), a.stale_cost, b.stale_cost,
+            a.fresh_cost, b.fresh_cost, a.regret, b.regret);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// (h): regret is finite and >= 0, and the loop's reported costs match an
+// independent recomputation through a fresh optimizer with the episode's
+// overlay installed — a stale epoch cache entry fails this bit-exactly.
+std::optional<std::string> CheckRegretSanity(OracleEnv& env,
+                                             const Reproducer& r) {
+  engine::WhatIfOptimizer fresh(*env.schema);
+  common::StatusOr<drift::ReplayResult> got =
+      RunDriftLoop(env, r, fresh, nullptr);
+  if (!got.ok()) {
+    return common::StrFormat("drift replay failed: %s",
+                             got.status().ToString().c_str());
+  }
+  drift::EpisodeStream stream(env.vocab, r.workload, drift::DriftSpec{},
+                              r.walk_seed);
+  engine::WhatIfOptimizer audit(*env.schema);
+  common::EvalContext ctx;
+  for (const drift::EpisodeResult& er : got->episodes) {
+    if (!std::isfinite(er.stale_cost) || !std::isfinite(er.fresh_cost) ||
+        !std::isfinite(er.regret)) {
+      return common::StrFormat(
+          "episode %d: non-finite costs (stale %.17g fresh %.17g regret "
+          "%.17g)",
+          er.step, er.stale_cost, er.fresh_cost, er.regret);
+    }
+    if (er.regret < 0.0) {
+      return common::StrFormat("episode %d: negative regret %.17g", er.step,
+                               er.regret);
+    }
+    if (er.degraded && er.regret != 0.0) {
+      return common::StrFormat(
+          "episode %d: degraded episode reported regret %.17g, want 0",
+          er.step, er.regret);
+    }
+    const drift::Episode ep = stream.At(er.step);
+    if (ep.fingerprint != er.episode_fp) {
+      return common::StrFormat(
+          "episode %d: reported fingerprint 0x%016llx but the stream "
+          "regenerates 0x%016llx",
+          er.step, static_cast<unsigned long long>(er.episode_fp),
+          static_cast<unsigned long long>(ep.fingerprint));
+    }
+    audit.SetStatsOverlay(ep.overlay);
+    common::StatusOr<double> stale =
+        audit.TryWorkloadCost(ep.workload, er.stale_config, ctx);
+    if (!stale.ok()) {
+      return common::StrFormat("episode %d: stale-cost recomputation: %s",
+                               er.step, stale.status().ToString().c_str());
+    }
+    if (*stale != er.stale_cost) {
+      return common::StrFormat(
+          "episode %d: loop reported stale cost %.17g, fresh recomputation "
+          "%.17g (stale epoch cache entry?)",
+          er.step, er.stale_cost, *stale);
+    }
+    if (!er.degraded) {
+      common::StatusOr<double> fresh_cost =
+          audit.TryWorkloadCost(ep.workload, er.fresh_config, ctx);
+      if (!fresh_cost.ok()) {
+        return common::StrFormat("episode %d: fresh-cost recomputation: %s",
+                                 er.step,
+                                 fresh_cost.status().ToString().c_str());
+      }
+      if (*fresh_cost != er.fresh_cost) {
+        return common::StrFormat(
+            "episode %d: loop reported fresh cost %.17g, fresh recomputation "
+            "%.17g (stale epoch cache entry?)",
+            er.step, er.fresh_cost, *fresh_cost);
+      }
+    }
+  }
+  audit.ClearStatsOverlay();
+  return std::nullopt;
+}
+
+// (i): StatsPerturber output honors its L1 budget and the stats domain, and
+// a zero budget is a bit-exact identity.
+std::optional<std::string> CheckStatsBudget(OracleEnv& env,
+                                            const Reproducer& r) {
+  const catalog::Schema& schema = *env.schema;
+  const double budget = 0.25 * r.epsilon;
+  drift::StatsPerturberOptions popt;
+  popt.l1_budget = budget;
+  drift::StatsPerturber perturber(schema, popt);
+  common::StatusOr<drift::StatsPerturbation> out =
+      perturber.TryPerturb(r.workload, r.config, common::EvalContext{});
+  if (!out.ok()) {
+    return common::StrFormat("stats perturbation failed: %s",
+                             out.status().ToString().c_str());
+  }
+  if (!std::isfinite(out->base_cost) || !std::isfinite(out->shifted_cost)) {
+    return common::StrFormat("non-finite costs: base %.17g shifted %.17g",
+                             out->base_cost, out->shifted_cost);
+  }
+  if (out->l1_spent > budget + 1e-9) {
+    return common::StrFormat("spent %.17g of an L1 budget of %.17g",
+                             out->l1_spent, budget);
+  }
+  if (out->shifted_cost < out->base_cost) {
+    return common::StrFormat(
+        "adversarial shift lowered the cost: base %.17g shifted %.17g",
+        out->base_cost, out->shifted_cost);
+  }
+  if (!out->overlay.table_rows().empty() ||
+      !out->overlay.added_tables().empty()) {
+    return "perturbation touched row counts or added tables";
+  }
+  for (const auto& [id, stats] : out->overlay.column_stats()) {
+    if (id.table < 0 || id.table >= schema.num_tables()) {
+      return common::StrFormat("overlay names out-of-schema table %d",
+                               id.table);
+    }
+    const catalog::ColumnStats base = catalog::StatsOf(schema.column(id));
+    const int64_t rows = std::max<int64_t>(1, schema.table(id.table).num_rows);
+    if (stats.num_distinct < 1 || stats.num_distinct > rows) {
+      return common::StrFormat(
+          "%s: NDV %lld outside [1, %lld]", schema.QualifiedName(id).c_str(),
+          static_cast<long long>(stats.num_distinct),
+          static_cast<long long>(rows));
+    }
+    if (stats.min_value != base.min_value ||
+        stats.max_value != base.max_value) {
+      return common::StrFormat("%s: perturbation moved the value domain",
+                               schema.QualifiedName(id).c_str());
+    }
+    if (stats.skew < 0.0 || stats.skew > 2.0) {
+      return common::StrFormat("%s: skew %.17g outside [0, 2]",
+                               schema.QualifiedName(id).c_str(), stats.skew);
+    }
+  }
+  if (r.epsilon == 0) {
+    if (!out->overlay.empty() || out->moves != 0 || out->l1_spent != 0.0) {
+      return "zero-budget perturbation was not the identity";
+    }
+    if (out->shifted_cost != out->base_cost) {
+      return common::StrFormat(
+          "zero-budget perturbation changed the cost: base %.17g shifted "
+          "%.17g",
+          out->base_cost, out->shifted_cost);
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 const char* OracleName(OracleId id) {
@@ -309,6 +538,9 @@ const char* OracleName(OracleId id) {
     case OracleId::kCacheCoherence: return "cache-coherence";
     case OracleId::kPerturbationBudget: return "perturbation-budget";
     case OracleId::kAdvisorContract: return "advisor-contract";
+    case OracleId::kEpisodeDeterminism: return "episode-determinism";
+    case OracleId::kRegretSanity: return "regret-sanity";
+    case OracleId::kStatsBudget: return "stats-budget";
   }
   return "?";
 }
@@ -360,6 +592,12 @@ std::optional<std::string> CheckReproducer(OracleId id, OracleEnv& env,
       return CheckPerturbationBudget(env, r);
     case OracleId::kAdvisorContract:
       return CheckAdvisorContract(env, r);
+    case OracleId::kEpisodeDeterminism:
+      return CheckEpisodeDeterminism(env, r);
+    case OracleId::kRegretSanity:
+      return CheckRegretSanity(env, r);
+    case OracleId::kStatsBudget:
+      return CheckStatsBudget(env, r);
   }
   return std::nullopt;
 }
@@ -419,6 +657,24 @@ std::optional<OracleFailure> RunOracle(OracleId id, OracleEnv& env,
                           : 0;
       break;
     }
+    case OracleId::kEpisodeDeterminism:
+    case OracleId::kRegretSanity: {
+      r.workload = gen.SmallWorkload(2, 3);
+      r.advisor = case_index % kNumAdvisors;
+      r.epsilon = static_cast<int>(gen.rng().UniformInt(1, 4));  // episodes
+      r.walk_seed = gen.rng().engine()();  // episode-stream seed
+      r.storage_budget = static_cast<int64_t>(
+          static_cast<double>(env.schema->DataSizeBytes()) *
+          gen.rng().Uniform(0.1, 0.6));
+      break;
+    }
+    case OracleId::kStatsBudget: {
+      r.workload = gen.SmallWorkload(2, 3);
+      r.config = gen.RandomConfigFor(r.workload, 3);
+      // L1 budget = 0.25 * epsilon; epsilon 0 probes the identity boundary.
+      r.epsilon = static_cast<int>(gen.rng().UniformInt(0, 4));
+      break;
+    }
   }
   std::optional<std::string> message = CheckReproducer(id, env, r);
   if (!message.has_value()) return std::nullopt;
@@ -454,6 +710,16 @@ std::string DescribeReproducer(OracleId id, const OracleEnv& env,
         "advisor: %s storage_budget=%lld max_indexes=%d\n",
         AdvisorShortName(r.advisor),
         static_cast<long long>(r.storage_budget), r.max_indexes);
+  }
+  if (id == OracleId::kEpisodeDeterminism || id == OracleId::kRegretSanity) {
+    out += common::StrFormat(
+        "advisor: %s episodes=%d stream_seed=%llu storage_budget=%lld\n",
+        AdvisorShortName(r.advisor), DriftEpisodes(r),
+        static_cast<unsigned long long>(r.walk_seed),
+        static_cast<long long>(r.storage_budget));
+  }
+  if (id == OracleId::kStatsBudget) {
+    out += common::StrFormat("stats l1_budget: %.17g\n", 0.25 * r.epsilon);
   }
   return out;
 }

@@ -18,9 +18,10 @@ namespace trap::proptest {
 
 using PerturbationConstraint = ::trap::trap::PerturbationConstraint;
 
-// The six metamorphic / differential oracle families. Each one states an
-// invariant the engine or an advisor must hold for *every* input, so the
-// harness can hammer them with generated cases instead of hand-picked ones:
+// The nine metamorphic / differential oracle families. Each one states an
+// invariant the engine, an advisor, or the drift runtime must hold for
+// *every* input, so the harness can hammer them with generated cases
+// instead of hand-picked ones:
 //
 //   add-index-monotone     adding one index never increases QueryCost;
 //   superset-monotone      cost under a configuration superset is never
@@ -38,7 +39,18 @@ using PerturbationConstraint = ::trap::trap::PerturbationConstraint;
 //                          constraints.h;
 //   advisor-contract       advisor recommendations respect the storage and
 //                          index-count budgets and contain only well-formed
-//                          candidate indexes over workload columns.
+//                          candidate indexes over workload columns;
+//   episode-determinism    a drift ReplayLoop on pools of 1, 4 and 8
+//                          threads yields bit-identical episode
+//                          fingerprints, costs, and regret series;
+//   regret-sanity          per-episode regret is finite and >= 0, and the
+//                          loop's reported stale/fresh costs match an
+//                          independent recomputation on a fresh optimizer
+//                          bit-exactly (catches stale epoch cache entries);
+//   stats-budget           drift::StatsPerturber output stays within its L1
+//                          budget, keeps NDV/skew in-domain, never touches
+//                          row counts or value domains, and a zero budget
+//                          is a bit-exact identity.
 enum class OracleId {
   kAddIndexMonotone = 0,
   kSupersetMonotone = 1,
@@ -46,9 +58,12 @@ enum class OracleId {
   kCacheCoherence = 3,
   kPerturbationBudget = 4,
   kAdvisorContract = 5,
+  kEpisodeDeterminism = 6,
+  kRegretSanity = 7,
+  kStatsBudget = 8,
 };
 
-inline constexpr int kNumOracles = 6;
+inline constexpr int kNumOracles = 9;
 
 const char* OracleName(OracleId id);
 std::optional<OracleId> OracleFromName(std::string_view name);
@@ -77,9 +92,11 @@ struct Reproducer {
   engine::IndexConfig config;         // base configuration
   std::vector<engine::Index> extra;   // indexes layered on top of `config`
   PerturbationConstraint constraint = PerturbationConstraint::kValueOnly;
-  int epsilon = 0;                    // perturbation-budget
-  uint64_t walk_seed = 0;             // RNG stream of the perturbation walk
-  int advisor = 0;                    // advisor-contract: advisor id in [0,6)
+  int epsilon = 0;        // perturbation-budget; drift oracles: episodes
+                          // (episode-determinism, regret-sanity) or L1
+                          // budget quarters (stats-budget)
+  uint64_t walk_seed = 0;  // perturbation walk / drift episode-stream seed
+  int advisor = 0;        // advisor-contract + drift: advisor id in [0,6)
   int64_t storage_budget = 0;
   int max_indexes = 0;                // 0 = unconstrained count
 };

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "catalog/datasets.h"
+#include "catalog/stats_overlay.h"
 #include "common/thread_pool.h"
 #include "engine/cost_model.h"
 #include "engine/index.h"
@@ -772,6 +773,97 @@ TEST_F(EngineTest, ClearCacheDuringConcurrentCostsIsSafe) {
   for (size_t i = 0; i < kIters; ++i) {
     if (i % 16 == 0) continue;
     ASSERT_EQ(got[i], want[i % 2][(i / 2) % 2]) << "iteration " << i;
+  }
+}
+
+// Statistics epochs: installing an overlay re-keys every cache, dropping it
+// restores baseline costs bit-exactly, and a warm cache never leaks entries
+// across epochs.
+TEST_F(EngineTest, StatsOverlayRekeysCachesAndRestoresBaseline) {
+  WhatIfOptimizer opt(schema_);
+  Query q = LineitemQuery(CmpOp::kEq);
+  IndexConfig with;
+  with.Add(Index{{Col("lineitem", "l_shipdate")}});
+  const double base = opt.QueryCost(q, with);
+  EXPECT_EQ(opt.stats_epoch(), 0u);
+
+  catalog::StatsOverlay overlay;
+  ColumnId ship = Col("lineitem", "l_shipdate");
+  catalog::ColumnStats stats = catalog::StatsOf(schema_.column(ship));
+  stats.num_distinct = std::max<int64_t>(1, stats.num_distinct / 64);
+  overlay.SetColumnStats(ship, stats);
+  const uint64_t fp = opt.SetStatsOverlay(overlay);
+  EXPECT_NE(fp, 0u);
+  EXPECT_EQ(opt.stats_epoch(), fp);
+
+  // Fewer distinct values -> the equality predicate matches more rows ->
+  // the indexed plan gets pricier. The exact value must match a fresh
+  // optimizer that never saw the base epoch: a warm cache entry keyed
+  // without the epoch would surface the stale base cost here.
+  const double shifted = opt.QueryCost(q, with);
+  EXPECT_NE(shifted, base);
+  WhatIfOptimizer fresh(schema_);
+  fresh.SetStatsOverlay(overlay);
+  EXPECT_EQ(fresh.QueryCost(q, with), shifted);
+
+  opt.ClearStatsOverlay();
+  EXPECT_EQ(opt.stats_epoch(), 0u);
+  EXPECT_EQ(opt.QueryCost(q, with), base);
+
+  // Reinstalling the same overlay reuses the retained epoch: same
+  // fingerprint, same costs.
+  EXPECT_EQ(opt.SetStatsOverlay(overlay), fp);
+  EXPECT_EQ(opt.QueryCost(q, with), shifted);
+
+  // An empty overlay is the base epoch, not a new one.
+  EXPECT_EQ(opt.SetStatsOverlay(catalog::StatsOverlay{}), 0u);
+  EXPECT_EQ(opt.QueryCost(q, with), base);
+}
+
+// Hammers overlay swaps against concurrent batched costs. Each batch
+// snapshots its epoch once at entry, so every result vector must be either
+// all-base or all-shifted -- never a torn mix.
+TEST_F(EngineTest, StatsOverlaySwapDuringConcurrentBatchedCostsIsAtomic) {
+  WhatIfOptimizer opt(schema_);
+  workload::Workload w;
+  w.queries.push_back(workload::WorkloadQuery{LineitemQuery(CmpOp::kEq), 1.0});
+  w.queries.push_back(workload::WorkloadQuery{LineitemQuery(CmpOp::kLt), 2.0});
+  std::vector<IndexConfig> configs(2);
+  configs[1].Add(Index{{Col("lineitem", "l_shipdate")}});
+
+  catalog::StatsOverlay overlay;
+  ColumnId ship = Col("lineitem", "l_shipdate");
+  catalog::ColumnStats stats = catalog::StatsOf(schema_.column(ship));
+  stats.num_distinct = std::max<int64_t>(1, stats.num_distinct / 64);
+  overlay.SetColumnStats(ship, stats);
+
+  WhatIfOptimizer ref_base(schema_);
+  WhatIfOptimizer ref_shift(schema_);
+  ref_shift.SetStatsOverlay(overlay);
+  const std::vector<double> want_base = ref_base.WorkloadCosts(w, configs);
+  const std::vector<double> want_shift = ref_shift.WorkloadCosts(w, configs);
+  ASSERT_NE(want_base, want_shift);
+
+  common::ThreadPool pool(8);
+  constexpr size_t kRounds = 256;
+  std::vector<std::vector<double>> got(kRounds);
+  pool.ParallelFor(kRounds, [&](size_t i) {
+    if (i % 8 == 0) {
+      if ((i / 8) % 2 == 0) {
+        opt.SetStatsOverlay(overlay);
+      } else {
+        opt.ClearStatsOverlay();
+      }
+      return;
+    }
+    common::EvalContext ctx;
+    ctx.pool = &pool;
+    got[i] = opt.WorkloadCosts(w, configs, ctx);
+  });
+  for (size_t i = 0; i < kRounds; ++i) {
+    if (i % 8 == 0) continue;
+    EXPECT_TRUE(got[i] == want_base || got[i] == want_shift)
+        << "round " << i << " returned a torn epoch mix";
   }
 }
 

@@ -1,7 +1,8 @@
 // trap_fuzz: metamorphic / differential fuzzing driver for the TRAP engine,
-// perturber and advisors. Runs seeded generated cases against the six oracle
-// families in src/testing/oracles.h, shrinks failures to minimal
-// reproducers, and replays the committed regression corpus.
+// perturber, advisors and drift runtime. Runs seeded generated cases
+// against the nine oracle families in src/testing/oracles.h, shrinks
+// failures to minimal reproducers, and replays the committed regression
+// corpus.
 //
 // Usage:
 //   trap_fuzz --cases 2000 --seed 1                      # fuzz all oracles

@@ -4,9 +4,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
 
 #include "advisor/registry.h"
+#include "common/file_util.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
@@ -295,9 +296,7 @@ std::string JsonEscape(const std::string& s) {
 
 std::string BenchReport::Write() const {
   const std::string path = "BENCH_" + name_ + ".json";
-  const std::string tmp_path = path + ".tmp";
-  std::ofstream out(tmp_path, std::ios::trunc);
-  if (!out) return "";
+  std::ostringstream out;
   out << "{\n  \"bench\": \"" << name_ << "\",\n";
   out << "  \"threads\": " << threads_ << ",\n";
   out << "  \"phases\": [";
@@ -344,16 +343,9 @@ std::string BenchReport::Write() const {
         << ", \"message\": \"" << JsonEscape(f.message) << "\"}";
   }
   out << (failures_.empty() ? "]\n}\n" : "\n  ]\n}\n");
-  out.close();
-  if (!out) {
-    std::remove(tmp_path.c_str());
-    return "";
-  }
-  // Atomic publish: a crash before this point leaves only the .tmp file.
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return "";
-  }
+  // Atomic publish (write .tmp, rename): a crash mid-write leaves only the
+  // .tmp file, never a torn BENCH_*.json.
+  if (!common::AtomicWriteFile(path, out.str()).ok()) return "";
   std::printf("[bench json] wrote %s (threads=%d)\n", path.c_str(), threads_);
   return path;
 }

@@ -1,0 +1,754 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include "campaign/wire.h"
+#include "common/file_util.h"
+#include "common/frame.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/subprocess.h"
+#include "testing/harness.h"
+
+namespace trap::campaign {
+
+namespace {
+
+using proptest::CampaignCase;
+using proptest::CampaignCaseSpec;
+using proptest::ShardSpec;
+
+constexpr int kDefaultShards = 8;
+
+// Identifies a (spec, shard plan) so a journal can refuse to resume a
+// different campaign. Deliberately excludes `workers`: the digest is
+// topology-independent, so a journal written under 4 workers may resume
+// under 1 (or in-process).
+std::uint64_t SpecFingerprint(const proptest::FaultCampaignOptions& o,
+                              int num_shards) {
+  std::uint64_t h = 0xca3b;
+  for (char c : o.schema) {
+    h = common::HashCombine(h, static_cast<unsigned char>(c));
+  }
+  h = common::HashCombine(h, o.seed);
+  h = common::HashCombine(h, o.step_budget);
+  h = common::HashCombine(h, static_cast<std::uint64_t>(o.workloads));
+  for (double p : o.probabilities) {
+    h = common::HashCombine(h, std::bit_cast<std::uint64_t>(p));
+  }
+  h = common::HashCombine(h, static_cast<std::uint64_t>(num_shards));
+  return h;
+}
+
+// Re-dispatch delay for a failed shard, measured in dispatch slots (how
+// many other pending units run first): exponential in the attempt number
+// plus seeded jitter, so repeated failures back off deterministically.
+int BackoffSlots(std::uint64_t seed, int shard, int attempt) {
+  const int base = 1 << std::min(attempt, 4);
+  const std::uint64_t jitter = common::HashCombine(
+      seed, common::HashCombine(0xb0ffu + static_cast<std::uint64_t>(shard),
+                                static_cast<std::uint64_t>(attempt)));
+  return base - 1 + static_cast<int>(jitter % static_cast<std::uint64_t>(base));
+}
+
+struct Attempt {
+  int shard = 0;
+  int attempt = 1;  // 1-based, like RetryPolicy
+};
+
+// Mutable state shared by the in-process and worker-mode runners.
+struct Run {
+  const CampaignOptions* opts = nullptr;
+  std::FILE* log = nullptr;
+  std::vector<CampaignCaseSpec> cases;
+  std::vector<ShardSpec> plan;
+  std::uint64_t spec_fp = 0;
+
+  std::map<int, std::vector<CampaignCase>> completed;  // by shard_id
+  std::vector<ShardFailure> failed;
+  std::deque<Attempt> pending;
+  int completed_this_run = 0;
+  int retries = 0;
+  int worker_restarts = 0;
+  int resumed_shards = 0;
+  bool interrupted = false;
+
+  bool StopRequested() const {
+    return opts->stop_after_shards >= 0 &&
+           completed_this_run >= opts->stop_after_shards;
+  }
+
+  std::string JournalContent() const {
+    std::string out = "{\"type\":\"campaign-journal\",\"spec_fp\":" +
+                      JsonHex(spec_fp) +
+                      common::StrFormat(",\"shards\":%zu,\"cases\":%zu}\n",
+                                        plan.size(), cases.size());
+    for (const auto& [shard, shard_cases] : completed) {
+      out += common::StrFormat("{\"type\":\"shard\",\"shard\":%d,\"cases\":[",
+                               shard);
+      for (size_t i = 0; i < shard_cases.size(); ++i) {
+        if (i > 0) out += ",";
+        out += EncodeCampaignCase(shard_cases[i]);
+      }
+      out += "]}\n";
+    }
+    return out;
+  }
+
+  // Records a completed shard and checkpoints the journal. The journal is
+  // rewritten whole and published atomically: an append could leave a torn
+  // tail after a crash, a rename cannot.
+  common::Status CompleteShard(int shard, std::vector<CampaignCase> results) {
+    completed[shard] = std::move(results);
+    ++completed_this_run;
+    if (!opts->journal_path.empty()) {
+      TRAP_RETURN_IF_ERROR(common::AtomicWriteFile(
+          opts->journal_path, JournalContent(), /*sync_to_disk=*/true));
+    }
+    return common::Status::Ok();
+  }
+
+  // One dispatch attempt of `a` failed with fault `site`. Bounded retry
+  // with seeded exponential backoff; exhaustion degrades to a structured
+  // ShardFailure instead of aborting the campaign.
+  void FailShardAttempt(const Attempt& a, const char* site,
+                        const std::string& why) {
+    const ShardSpec& shard = plan[static_cast<size_t>(a.shard)];
+    if (a.attempt >= opts->max_attempts) {
+      ShardFailure f;
+      f.shard_id = a.shard;
+      f.site = site;
+      f.attempts = a.attempt;
+      f.begin = shard.begin;
+      f.end = shard.end;
+      f.message = why;
+      failed.push_back(std::move(f));
+      if (log != nullptr) {
+        std::fprintf(log,
+                     "campaign shard %d abandoned after %d attempt(s): %s "
+                     "(%s); cases [%d, %d) lost\n",
+                     a.shard, a.attempt, site, why.c_str(), shard.begin,
+                     shard.end);
+      }
+      return;
+    }
+    ++retries;
+    const int slots = BackoffSlots(spec_fp, a.shard, a.attempt);
+    const size_t pos =
+        std::min(pending.size(), static_cast<size_t>(slots));
+    pending.insert(pending.begin() + static_cast<std::ptrdiff_t>(pos),
+                   Attempt{a.shard, a.attempt + 1});
+    if (log != nullptr) {
+      std::fprintf(log,
+                   "campaign shard %d attempt %d failed: %s (%s); "
+                   "re-dispatching after %d slot(s)\n",
+                   a.shard, a.attempt, site, why.c_str(), slots);
+    }
+  }
+};
+
+// --------------------------------------------------------------------------
+// Journal replay
+// --------------------------------------------------------------------------
+
+common::Status LoadJournal(Run* run) {
+  common::StatusOr<std::string> content =
+      common::ReadFileToString(run->opts->journal_path);
+  if (!content.ok()) {
+    // Missing journal = fresh run; --resume is idempotent over "nothing
+    // checkpointed yet".
+    if (content.status().code() == common::StatusCode::kUnavailable) {
+      return common::Status::Ok();
+    }
+    return content.status();
+  }
+  bool saw_header = false;
+  size_t start = 0;
+  const std::string& text = *content;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string_view line(text.data() + start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    common::StatusOr<JsonValue> parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      return common::Status::InvalidArgument(
+          "journal corrupt: " + parsed.status().message());
+    }
+    const std::optional<std::string> type = parsed->StringAt("type");
+    if (!saw_header) {
+      if (type != "campaign-journal") {
+        return common::Status::InvalidArgument(
+            "journal corrupt: missing header");
+      }
+      const std::optional<std::uint64_t> fp = parsed->HexAt("spec_fp");
+      const std::optional<std::int64_t> shards = parsed->IntAt("shards");
+      const std::optional<std::int64_t> num_cases = parsed->IntAt("cases");
+      if (!fp || !shards || !num_cases) {
+        return common::Status::InvalidArgument(
+            "journal corrupt: malformed header");
+      }
+      if (*fp != run->spec_fp ||
+          *shards != static_cast<std::int64_t>(run->plan.size()) ||
+          *num_cases != static_cast<std::int64_t>(run->cases.size())) {
+        return common::Status::InvalidArgument(
+            "journal was written for a different campaign spec; refusing "
+            "to resume (delete it or rerun without --resume)");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (type != "shard") {
+      return common::Status::InvalidArgument(
+          "journal corrupt: unexpected line type");
+    }
+    const std::optional<std::int64_t> shard = parsed->IntAt("shard");
+    const JsonValue* shard_cases = parsed->Find("cases");
+    if (!shard || *shard < 0 ||
+        *shard >= static_cast<std::int64_t>(run->plan.size()) ||
+        shard_cases == nullptr ||
+        shard_cases->kind != JsonValue::Kind::kArray) {
+      return common::Status::InvalidArgument(
+          "journal corrupt: malformed shard line");
+    }
+    const ShardSpec& spec = run->plan[static_cast<size_t>(*shard)];
+    if (static_cast<std::int64_t>(shard_cases->items.size()) !=
+        spec.end - spec.begin) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "journal corrupt: shard %lld has %zu case(s), want %d",
+          static_cast<long long>(*shard), shard_cases->items.size(),
+          spec.end - spec.begin));
+    }
+    std::vector<CampaignCase> decoded;
+    for (size_t i = 0; i < shard_cases->items.size(); ++i) {
+      std::optional<CampaignCase> c =
+          DecodeCampaignCase(shard_cases->items[i]);
+      if (!c.has_value() ||
+          c->case_index != spec.begin + static_cast<int>(i)) {
+        return common::Status::InvalidArgument(
+            "journal corrupt: malformed case record");
+      }
+      decoded.push_back(*std::move(c));
+    }
+    run->completed[static_cast<int>(*shard)] = std::move(decoded);
+  }
+  if (!saw_header && !text.empty()) {
+    return common::Status::InvalidArgument("journal corrupt: no header");
+  }
+  run->resumed_shards = static_cast<int>(run->completed.size());
+  if (run->log != nullptr && run->resumed_shards > 0) {
+    std::fprintf(run->log, "campaign resume: %d/%zu shard(s) from %s\n",
+                 run->resumed_shards, run->plan.size(),
+                 run->opts->journal_path.c_str());
+  }
+  return common::Status::Ok();
+}
+
+// --------------------------------------------------------------------------
+// In-process fallback
+// --------------------------------------------------------------------------
+
+common::Status RunInProcess(Run* run) {
+  TRAP_ASSIGN_OR_RETURN(proptest::CampaignEnv env,
+                        proptest::CampaignEnv::Make(run->opts->base));
+  while (!run->pending.empty()) {
+    if (run->StopRequested()) {
+      run->interrupted = true;
+      return common::Status::Ok();
+    }
+    const Attempt a = run->pending.front();
+    run->pending.pop_front();
+    const ShardSpec& shard = run->plan[static_cast<size_t>(a.shard)];
+    std::vector<CampaignCase> results;
+    results.reserve(static_cast<size_t>(shard.end - shard.begin));
+    for (int i = shard.begin; i < shard.end; ++i) {
+      results.push_back(env.RunCase(run->cases[static_cast<size_t>(i)]));
+    }
+    TRAP_RETURN_IF_ERROR(run->CompleteShard(a.shard, std::move(results)));
+  }
+  return common::Status::Ok();
+}
+
+// --------------------------------------------------------------------------
+// Worker-mode supervisor
+// --------------------------------------------------------------------------
+
+// Writing a unit to a worker that just died must not kill the coordinator.
+struct ScopedIgnoreSigpipe {
+  using Handler = void (*)(int);
+  Handler old;
+  ScopedIgnoreSigpipe() { old = signal(SIGPIPE, SIG_IGN); }
+  ~ScopedIgnoreSigpipe() { signal(SIGPIPE, old); }
+};
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string InitPayload(const CampaignOptions& opts) {
+  std::string out = "{\"type\":\"init\",\"schema\":" +
+                    JsonQuote(opts.base.schema) +
+                    ",\"seed\":" + JsonHex(opts.base.seed) +
+                    ",\"step_budget\":" + JsonHex(opts.base.step_budget) +
+                    common::StrFormat(",\"workloads\":%d",
+                                      opts.base.workloads) +
+                    ",\"probabilities\":[";
+  for (size_t i = 0; i < opts.base.probabilities.size(); ++i) {
+    if (i > 0) out += ",";
+    out += JsonDouble(opts.base.probabilities[i]);
+  }
+  out += "],\"fault_p\":[";
+  for (int i = 0; i < kNumWorkerFaults; ++i) {
+    if (i > 0) out += ",";
+    out += JsonDouble(opts.worker_faults.probability[i]);
+  }
+  out += "],\"fault_seed\":" + JsonHex(opts.worker_faults.seed) + "}";
+  return out;
+}
+
+struct Slot {
+  common::Subprocess proc;
+  common::FrameDecoder decoder;
+  enum class State { kDead, kIniting, kIdle, kBusy };
+  State state = State::kDead;
+  Attempt unit{};
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(Run* run) : run_(*run), opts_(*run->opts) {}
+
+  common::Status Execute() {
+    ScopedIgnoreSigpipe sigpipe;
+    slots_.resize(static_cast<size_t>(
+        std::min(opts_.workers,
+                 std::max(1, static_cast<int>(run_.pending.size())))));
+    // A generous backstop far above what bounded per-shard retries can
+    // consume; only a pathologically unspawnable worker exhausts it.
+    restart_budget_ = static_cast<int>(run_.plan.size()) *
+                          opts_.max_attempts +
+                      static_cast<int>(slots_.size()) * 2;
+    for (Slot& s : slots_) {
+      TRAP_RETURN_IF_ERROR(Spawn(s, /*is_restart=*/false));
+    }
+    common::Status status = Loop();
+    for (Slot& s : slots_) {
+      if (s.state != Slot::State::kDead) {
+        common::Kill(&s.proc);
+        common::ClosePipes(&s.proc);
+        common::Reap(&s.proc);
+      }
+    }
+    return status;
+  }
+
+ private:
+  static std::chrono::steady_clock::time_point Now() {
+    return std::chrono::steady_clock::now();
+  }
+
+  common::Status Spawn(Slot& s, bool is_restart) {
+    TRAP_ASSIGN_OR_RETURN(
+        s.proc, common::SpawnWithPipes({opts_.worker_binary, "--worker"}));
+    s.decoder = common::FrameDecoder{};
+    s.state = Slot::State::kIniting;
+    // Init builds the fault-free baselines -- real recommendation work,
+    // comparable to a few shards; give it a wide multiple.
+    s.deadline = Now() + std::chrono::milliseconds(
+                             static_cast<long>(opts_.unit_timeout_ms) * 6);
+    if (is_restart) ++run_.worker_restarts;
+    if (!WriteAll(s.proc.stdin_fd,
+                  common::EncodeFrame(InitPayload(opts_)))) {
+      FailSlot(s, "worker.crash", "init write failed");
+    }
+    return common::Status::Ok();
+  }
+
+  // Kills + reaps the worker; a busy unit goes back through the bounded
+  // retry path.
+  void FailSlot(Slot& s, const char* site, const std::string& why) {
+    common::Kill(&s.proc);
+    common::ClosePipes(&s.proc);
+    common::Reap(&s.proc);
+    if (s.state == Slot::State::kBusy) {
+      run_.FailShardAttempt(s.unit, site, why);
+    } else if (s.state == Slot::State::kIniting) {
+      // Worker faults only fire on units, so an init-time death is a real
+      // environment problem; repeated ones are fatal below.
+      ++init_deaths_;
+    }
+    s.state = Slot::State::kDead;
+  }
+
+  void Dispatch(Slot& s, const Attempt& a) {
+    const ShardSpec& shard = run_.plan[static_cast<size_t>(a.shard)];
+    // Salted per (spec, shard, attempt): every retry redraws the injected
+    // worker faults, so p<1 faults are survived by bounded retries.
+    const std::uint64_t salt = common::HashCombine(
+        run_.spec_fp,
+        common::HashCombine(static_cast<std::uint64_t>(a.shard) + 1,
+                            static_cast<std::uint64_t>(a.attempt)));
+    const std::string payload = common::StrFormat(
+        "{\"type\":\"unit\",\"shard\":%d,\"begin\":%d,\"end\":%d,"
+        "\"salt\":%s}",
+        a.shard, shard.begin, shard.end, JsonHex(salt).c_str());
+    s.unit = a;
+    s.state = Slot::State::kBusy;
+    s.deadline =
+        Now() + std::chrono::milliseconds(opts_.unit_timeout_ms);
+    if (!WriteAll(s.proc.stdin_fd, common::EncodeFrame(payload))) {
+      FailSlot(s, "worker.crash", "unit write failed (worker died)");
+    }
+  }
+
+  int CountAlive() const {
+    int n = 0;
+    for (const Slot& s : slots_) n += s.state != Slot::State::kDead ? 1 : 0;
+    return n;
+  }
+
+  int CountBusy() const {
+    int n = 0;
+    for (const Slot& s : slots_) n += s.state == Slot::State::kBusy ? 1 : 0;
+    return n;
+  }
+
+  // Respawns dead slots while work outstrips live workers.
+  common::Status EnsureCapacity() {
+    const int outstanding =
+        static_cast<int>(run_.pending.size()) + CountBusy();
+    for (Slot& s : slots_) {
+      if (CountAlive() >= std::min(static_cast<int>(slots_.size()),
+                                   outstanding)) {
+        break;
+      }
+      if (s.state != Slot::State::kDead) continue;
+      if (restart_budget_ <= 0) break;
+      --restart_budget_;
+      TRAP_RETURN_IF_ERROR(Spawn(s, /*is_restart=*/true));
+    }
+    return common::Status::Ok();
+  }
+
+  // One complete frame from `s`. Returns false when the worker was failed.
+  bool HandleFrame(Slot& s, const std::string& payload) {
+    common::StatusOr<JsonValue> msg = ParseJson(payload);
+    if (!msg.ok()) {
+      FailSlot(s, "worker.garbage_frame",
+               "unparseable frame: " + msg.status().message());
+      return false;
+    }
+    const std::optional<std::string> type = msg->StringAt("type");
+    if (type == "ready") {
+      if (s.state != Slot::State::kIniting) {
+        FailSlot(s, "worker.garbage_frame", "unexpected ready frame");
+        return false;
+      }
+      init_deaths_ = 0;
+      s.state = Slot::State::kIdle;
+      return true;
+    }
+    if (type == "error") {
+      // An init error (unknown schema etc.) would hit every worker alike:
+      // configuration, not a fault. Fail the campaign.
+      fatal_ = common::Status::Internal(
+          "worker rejected init: " +
+          msg->StringAt("message").value_or("(no message)"));
+      return true;
+    }
+    if (type == "result") {
+      if (s.state != Slot::State::kBusy) {
+        FailSlot(s, "worker.garbage_frame", "unsolicited result frame");
+        return false;
+      }
+      const Attempt a = s.unit;
+      const std::optional<std::int64_t> shard = msg->IntAt("shard");
+      const JsonValue* shard_cases = msg->Find("cases");
+      const ShardSpec& spec = run_.plan[static_cast<size_t>(a.shard)];
+      if (shard != a.shard || shard_cases == nullptr ||
+          shard_cases->kind != JsonValue::Kind::kArray ||
+          static_cast<int>(shard_cases->items.size()) !=
+              spec.end - spec.begin) {
+        FailSlot(s, "worker.garbage_frame", "result frame inconsistent");
+        return false;
+      }
+      std::vector<CampaignCase> decoded;
+      for (size_t i = 0; i < shard_cases->items.size(); ++i) {
+        std::optional<CampaignCase> c =
+            DecodeCampaignCase(shard_cases->items[i]);
+        if (!c.has_value() ||
+            c->case_index != spec.begin + static_cast<int>(i)) {
+          FailSlot(s, "worker.garbage_frame", "malformed case record");
+          return false;
+        }
+        decoded.push_back(*std::move(c));
+      }
+      s.state = Slot::State::kIdle;
+      if (run_.completed.count(a.shard) == 0) {
+        fatal_ = run_.CompleteShard(a.shard, std::move(decoded));
+        if (!fatal_.ok()) return true;
+        fatal_ = common::Status::Ok();
+      }
+      return true;
+    }
+    FailSlot(s, "worker.garbage_frame", "unknown frame type");
+    return false;
+  }
+
+  void ReadFromSlot(Slot& s) {
+    char buf[1 << 16];
+    const ssize_t n = read(s.proc.stdout_fd, buf, sizeof buf);
+    if (n <= 0) {
+      FailSlot(s, "worker.crash",
+               n == 0 ? "worker closed its pipe (crash or exit)"
+                      : std::string("read: ") + std::strerror(errno));
+      return;
+    }
+    s.decoder.Append(buf, static_cast<size_t>(n));
+    for (;;) {
+      std::string payload;
+      std::string error;
+      switch (s.decoder.Next(&payload, &error)) {
+        case common::FrameDecoder::Result::kFrame:
+          if (!HandleFrame(s, payload) || !fatal_.ok()) return;
+          break;
+        case common::FrameDecoder::Result::kMalformed:
+          FailSlot(s, "worker.garbage_frame", error);
+          return;
+        case common::FrameDecoder::Result::kNeedMore:
+          return;
+      }
+    }
+  }
+
+  common::Status Loop() {
+    while (fatal_.ok()) {
+      const bool work_remaining =
+          !run_.pending.empty() || CountBusy() > 0;
+      if (run_.StopRequested() && work_remaining) {
+        run_.interrupted = true;
+        break;
+      }
+      if (!work_remaining) break;
+      if (init_deaths_ > static_cast<int>(slots_.size()) + 2) {
+        return common::Status::Internal(
+            "workers repeatedly die during init (bad worker binary?)");
+      }
+      TRAP_RETURN_IF_ERROR(EnsureCapacity());
+      // Dispatch pending shards onto idle workers.
+      for (Slot& s : slots_) {
+        if (run_.pending.empty()) break;
+        if (s.state != Slot::State::kIdle) continue;
+        const Attempt a = run_.pending.front();
+        run_.pending.pop_front();
+        Dispatch(s, a);
+      }
+      if (CountAlive() == 0) {
+        // Restart budget exhausted and everything is dead: degrade the
+        // rest of the queue to failures instead of spinning.
+        while (!run_.pending.empty()) {
+          Attempt a = run_.pending.front();
+          run_.pending.pop_front();
+          a.attempt = opts_.max_attempts;
+          run_.FailShardAttempt(a, "worker.crash",
+                                "worker restart budget exhausted");
+        }
+        break;
+      }
+      // Wait for frames or deadlines.
+      std::vector<pollfd> fds;
+      std::vector<size_t> fd_slots;
+      auto next_deadline = Now() + std::chrono::milliseconds(1000);
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        Slot& s = slots_[i];
+        if (s.state == Slot::State::kDead) continue;
+        fds.push_back(pollfd{s.proc.stdout_fd, POLLIN, 0});
+        fd_slots.push_back(i);
+        if (s.state != Slot::State::kIdle && s.deadline < next_deadline) {
+          next_deadline = s.deadline;
+        }
+      }
+      const auto wait =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              next_deadline - Now())
+              .count();
+      const int timeout_ms =
+          static_cast<int>(std::clamp<long long>(wait, 10, 1000));
+      const int ready = poll(fds.data(), fds.size(), timeout_ms);
+      if (ready < 0 && errno != EINTR) {
+        return common::Status::Internal(std::string("poll: ") +
+                                        std::strerror(errno));
+      }
+      for (size_t i = 0; i < fds.size(); ++i) {
+        Slot& s = slots_[fd_slots[i]];
+        if (s.state == Slot::State::kDead) continue;
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          ReadFromSlot(s);
+          if (!fatal_.ok()) return fatal_;
+        }
+      }
+      // Deadline sweep: a busy worker past its deadline is hung (the
+      // injected worker.hang looks exactly like a real one); an initing
+      // worker past its deadline never came up.
+      const auto now = Now();
+      for (Slot& s : slots_) {
+        if (s.state == Slot::State::kIdle ||
+            s.state == Slot::State::kDead) {
+          continue;
+        }
+        if (s.deadline <= now) {
+          FailSlot(s, "worker.hang", "unit deadline exceeded");
+        }
+      }
+    }
+    return fatal_;
+  }
+
+  Run& run_;
+  const CampaignOptions& opts_;
+  std::vector<Slot> slots_;
+  int restart_budget_ = 0;
+  int init_deaths_ = 0;
+  common::Status fatal_ = common::Status::Ok();
+};
+
+CampaignReport FinishReport(Run* run) {
+  CampaignReport report;
+  report.total_cases = static_cast<int>(run->cases.size());
+  report.shards = static_cast<int>(run->plan.size());
+  report.retries = run->retries;
+  report.worker_restarts = run->worker_restarts;
+  report.resumed_shards = run->resumed_shards;
+  report.interrupted = run->interrupted;
+  for (const auto& [shard, shard_cases] : run->completed) {
+    for (const CampaignCase& c : shard_cases) {
+      report.digest ^= proptest::CampaignCaseHash(c);
+      if (!c.note.empty()) ++report.violations;
+      report.cases.push_back(c);
+    }
+  }
+  std::sort(report.cases.begin(), report.cases.end(),
+            [](const CampaignCase& a, const CampaignCase& b) {
+              return a.case_index < b.case_index;
+            });
+  report.completed_cases = static_cast<int>(report.cases.size());
+  report.failed_shards = run->failed;
+  std::sort(report.failed_shards.begin(), report.failed_shards.end(),
+            [](const ShardFailure& a, const ShardFailure& b) {
+              return a.shard_id < b.shard_id;
+            });
+  return report;
+}
+
+}  // namespace
+
+std::vector<advisor::FailureRecord> CampaignReport::FailureRecords() const {
+  std::vector<advisor::FailureRecord> out;
+  for (const ShardFailure& f : failed_shards) {
+    advisor::FailureRecord r;
+    r.advisor = common::StrFormat("shard-%d", f.shard_id);
+    r.site = f.site;
+    r.code = common::StatusCode::kResourceExhausted;  // retries spent
+    r.message = common::StrFormat("cases [%d, %d) lost: %s", f.begin, f.end,
+                                  f.message.c_str());
+    r.attempts = f.attempts;
+    r.degraded = true;  // the campaign degraded to partial coverage
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+common::StatusOr<CampaignReport> RunCampaign(const CampaignOptions& opts,
+                                             std::FILE* log) {
+  if (opts.workers < 0 || opts.shards < 0 || opts.max_attempts < 1 ||
+      opts.unit_timeout_ms < 1) {
+    return common::Status::InvalidArgument("bad campaign options");
+  }
+  if (opts.workers > 0 && opts.worker_binary.empty()) {
+    return common::Status::InvalidArgument(
+        "worker_binary is required when workers > 0");
+  }
+  if (opts.resume && opts.journal_path.empty()) {
+    return common::Status::InvalidArgument("--resume needs a journal path");
+  }
+  if (!proptest::MakeSchemaByName(opts.base.schema).has_value()) {
+    return common::Status::InvalidArgument("unknown schema: " +
+                                           opts.base.schema);
+  }
+
+  Run run;
+  run.opts = &opts;
+  run.log = log;
+  run.cases = proptest::EnumerateCampaignCases(opts.base);
+  const int shards_requested =
+      opts.shards > 0 ? opts.shards : kDefaultShards;
+  run.plan =
+      proptest::MakeShardPlan(static_cast<int>(run.cases.size()),
+                              shards_requested);
+  run.spec_fp = SpecFingerprint(opts.base,
+                                static_cast<int>(run.plan.size()));
+  if (run.cases.empty()) {
+    return common::Status::InvalidArgument("campaign case space is empty");
+  }
+  if (opts.resume) {
+    TRAP_RETURN_IF_ERROR(LoadJournal(&run));
+  }
+  for (const ShardSpec& shard : run.plan) {
+    if (run.completed.count(shard.shard_id) == 0) {
+      run.pending.push_back(Attempt{shard.shard_id, 1});
+    }
+  }
+
+  if (opts.workers == 0) {
+    TRAP_RETURN_IF_ERROR(RunInProcess(&run));
+  } else {
+    Supervisor supervisor(&run);
+    TRAP_RETURN_IF_ERROR(supervisor.Execute());
+  }
+
+  CampaignReport report = FinishReport(&run);
+  if (log != nullptr) {
+    for (const CampaignCase& c : report.cases) {
+      proptest::LogCampaignCase(log, c);
+    }
+    std::fprintf(log, "campaign digest: %016llx\n",
+                 static_cast<unsigned long long>(report.digest));
+    std::fprintf(log, "campaign: %d case(s), %d violation(s)\n",
+                 report.completed_cases, report.violations);
+    std::fprintf(log,
+                 "campaign coverage: %d/%d case(s), %zu/%d shard(s) "
+                 "complete, %zu failed, %d retries, %d restarts, %d "
+                 "resumed%s\n",
+                 report.completed_cases, report.total_cases,
+                 run.completed.size(), report.shards, run.failed.size(),
+                 report.retries, report.worker_restarts,
+                 report.resumed_shards,
+                 report.interrupted ? ", interrupted" : "");
+  }
+  return report;
+}
+
+}  // namespace trap::campaign

@@ -1,0 +1,107 @@
+#ifndef TRAP_CAMPAIGN_CAMPAIGN_H_
+#define TRAP_CAMPAIGN_CAMPAIGN_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "advisor/evaluation.h"
+#include "campaign/fault.h"
+#include "common/status.h"
+#include "testing/fault_campaign.h"
+
+namespace trap::campaign {
+
+// Crash-tolerant distributed runner for the fault campaign: shards the
+// deterministic case enumeration, fans the shards out to worker
+// subprocesses (trap_campaign --worker), supervises them (per-unit
+// deadlines, bounded seeded retries, re-dispatch of orphaned shards), and
+// merges the per-case results into the same order-independent digest the
+// single-process run produces. With workers == 0 the shards run in-process
+// through the identical shard/merge/checkpoint machinery, so the digest is
+// bit-identical across topologies by construction *and* asserted by
+// scripts/check.sh.
+struct CampaignOptions {
+  proptest::FaultCampaignOptions base;
+
+  int workers = 0;  // subprocess count; 0 = in-process fallback
+  // Shard count; 0 = auto (min(cases, 8), independent of `workers`, so a
+  // journal resumes correctly under a different worker count).
+  int shards = 0;
+  // Dispatch attempts per shard before it is abandoned as a ShardFailure.
+  int max_attempts = 4;
+  // Supervisor deadline for one unit (and, x6, for worker init -- init
+  // runs the fault-free baselines, roughly half a shard of real work).
+  int unit_timeout_ms = 10000;
+
+  // Checkpoint journal path; empty = no checkpointing. Written atomically
+  // (common::AtomicWriteFile, fsync'd) after every completed shard.
+  std::string journal_path;
+  // Replay completed shards from journal_path and run only the remainder.
+  // A missing journal file is a fresh run, not an error; a journal written
+  // under a different spec fingerprint is an error.
+  bool resume = false;
+
+  // Binary spawned for workers (with "--worker"); required when
+  // workers > 0. trap_campaign passes its own path.
+  std::string worker_binary;
+
+  // Injected process-level faults (see campaign/fault.h).
+  WorkerFaultPlan worker_faults;
+
+  // Test/drill hook: simulate a coordinator crash by stopping (killing all
+  // workers, abandoning in-flight shards) after this many shard
+  // completions in this run. Negative = run to completion.
+  int stop_after_shards = -1;
+};
+
+// A shard that exhausted its dispatch attempts. Never silent: the lost
+// case range is reported, coverage accounting includes it, and it maps to
+// a structured advisor::FailureRecord in report JSON.
+struct ShardFailure {
+  int shard_id = 0;
+  std::string site;  // worker.crash | worker.hang | worker.garbage_frame
+  int attempts = 0;
+  int begin = 0;  // case range lost
+  int end = 0;
+  std::string message;
+};
+
+struct CampaignReport {
+  // Completed cases, sorted by case_index. With failed shards this is a
+  // strict subset of the enumeration (partial coverage, never gaps that
+  // pretend to be coverage).
+  std::vector<proptest::CampaignCase> cases;
+  std::vector<ShardFailure> failed_shards;
+
+  int total_cases = 0;
+  int completed_cases = 0;
+  int violations = 0;          // cases with a non-empty note
+  std::uint64_t digest = 0;    // XOR of CampaignCaseHash over `cases`
+
+  int shards = 0;              // shard-plan size
+  int retries = 0;             // shard re-dispatches after a worker fault
+  int worker_restarts = 0;     // workers respawned after death
+  int resumed_shards = 0;      // shards replayed from the journal
+  bool interrupted = false;    // stop_after_shards fired
+
+  bool ok() const {
+    return violations == 0 && failed_shards.empty() && !interrupted &&
+           completed_cases == total_cases;
+  }
+
+  // Failed shards as structured failure records (for BenchReport JSON).
+  std::vector<advisor::FailureRecord> FailureRecords() const;
+};
+
+// Runs the campaign. Configuration errors (unknown schema, bad journal,
+// spawn failure) are a Status; worker faults are not -- they surface in
+// the report as retries, restarts, and at worst ShardFailures. Progress
+// goes to `log` when non-null.
+common::StatusOr<CampaignReport> RunCampaign(const CampaignOptions& opts,
+                                             std::FILE* log);
+
+}  // namespace trap::campaign
+
+#endif  // TRAP_CAMPAIGN_CAMPAIGN_H_

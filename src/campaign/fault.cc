@@ -1,0 +1,101 @@
+#include "campaign/fault.h"
+
+#include <cstdlib>
+#include <optional>
+
+#include "common/fault.h"
+#include "common/rng.h"
+
+namespace trap::campaign {
+
+namespace {
+
+// The common registry's site tags keep the draw streams of the three
+// worker sites disjoint from each other and from the in-process sites.
+common::FaultSite CommonSite(WorkerFault f) {
+  switch (f) {
+    case WorkerFault::kCrash:
+      return common::FaultSite::kCampaignWorkerCrash;
+    case WorkerFault::kHang:
+      return common::FaultSite::kCampaignWorkerHang;
+    case WorkerFault::kGarbageFrame:
+      return common::FaultSite::kCampaignWorkerGarbageFrame;
+  }
+  return common::FaultSite::kCampaignWorkerCrash;
+}
+
+std::optional<WorkerFault> FromCommonSite(common::FaultSite site) {
+  switch (site) {
+    case common::FaultSite::kCampaignWorkerCrash:
+      return WorkerFault::kCrash;
+    case common::FaultSite::kCampaignWorkerHang:
+      return WorkerFault::kHang;
+    case common::FaultSite::kCampaignWorkerGarbageFrame:
+      return WorkerFault::kGarbageFrame;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+const char* WorkerFaultName(WorkerFault f) {
+  return common::FaultSiteName(CommonSite(f));
+}
+
+common::StatusOr<WorkerFaultPlan> ParseWorkerFaultSpec(std::string_view spec,
+                                                       std::uint64_t seed) {
+  std::string error;
+  std::optional<common::FaultSpec> parsed =
+      common::ParseFaultSpec(spec, seed, &error);
+  if (!parsed.has_value()) {
+    return common::Status::InvalidArgument("campaign fault spec: " + error);
+  }
+  WorkerFaultPlan plan;
+  plan.seed = seed;
+  for (const common::FaultSiteConfig& cfg : parsed->sites) {
+    std::optional<WorkerFault> f = FromCommonSite(cfg.site);
+    if (!f.has_value()) {
+      return common::Status::InvalidArgument(
+          std::string("not a process-level site: ") +
+          common::FaultSiteName(cfg.site));
+    }
+    if (cfg.limit >= 0) {
+      return common::Status::InvalidArgument(
+          "@limit is not supported for worker faults (draws must stay pure "
+          "functions of the work item)");
+    }
+    plan.probability[static_cast<int>(*f)] = cfg.probability;
+  }
+  return plan;
+}
+
+common::StatusOr<WorkerFaultPlan> WorkerFaultPlanFromEnv() {
+  const char* spec = std::getenv("TRAP_CAMPAIGN_FAULTS");
+  if (spec == nullptr || *spec == '\0') return WorkerFaultPlan{};
+  std::uint64_t seed = 0;
+  if (const char* seed_env = std::getenv("TRAP_CAMPAIGN_FAULT_SEED");
+      seed_env != nullptr && *seed_env != '\0') {
+    char* end = nullptr;
+    seed = std::strtoull(seed_env, &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return common::Status::InvalidArgument(
+          std::string("bad TRAP_CAMPAIGN_FAULT_SEED: ") + seed_env);
+    }
+  }
+  return ParseWorkerFaultSpec(spec, seed);
+}
+
+bool WorkerFaultFires(const WorkerFaultPlan& plan, WorkerFault f,
+                      std::uint64_t key) {
+  const double p = plan.probability[static_cast<int>(f)];
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  const std::uint64_t tag =
+      static_cast<std::uint64_t>(CommonSite(f)) + 1;
+  const std::uint64_t h =
+      common::HashCombine(plan.seed, common::HashCombine(tag, key));
+  return common::HashToUnit(h) < p;
+}
+
+}  // namespace trap::campaign

@@ -1,0 +1,63 @@
+#ifndef TRAP_CAMPAIGN_FAULT_H_
+#define TRAP_CAMPAIGN_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace trap::campaign {
+
+// Process-level fault injection for the campaign runtime: where
+// common::FaultRegistry perturbs computations *inside* a process, this
+// plan perturbs the processes themselves -- a worker that crashes
+// mid-shard, hangs on a unit, or replies with a garbage frame. The three
+// sites share the common fault-spec grammar and site names
+// (worker.crash / worker.hang / worker.garbage_frame), but live in their
+// own plan struct rather than the global registry: campaign cases arm the
+// registry per-case via ScopedFaultSpec, which would clobber any
+// registry-held worker plan.
+enum class WorkerFault {
+  kCrash = 0,       // raise SIGKILL midway through the shard's cases
+  kHang,            // swallow the unit and never reply
+  kGarbageFrame,    // reply with bytes that are not a frame
+};
+
+inline constexpr int kNumWorkerFaults = 3;
+
+const char* WorkerFaultName(WorkerFault f);
+
+struct WorkerFaultPlan {
+  double probability[kNumWorkerFaults] = {0.0, 0.0, 0.0};
+  std::uint64_t seed = 0;
+
+  bool any() const {
+    for (double p : probability) {
+      if (p > 0.0) return true;
+    }
+    return false;
+  }
+};
+
+// Parses the common spec grammar restricted to worker.* sites, e.g.
+// "worker.crash@p=0.5,worker.hang@p=0.25". @limit is rejected: limits are
+// hit-counter state, and the whole point of this plan is draws that are
+// pure functions of (seed, site, work item) so retries redraw
+// deterministically.
+common::StatusOr<WorkerFaultPlan> ParseWorkerFaultSpec(std::string_view spec,
+                                                       std::uint64_t seed);
+
+// TRAP_CAMPAIGN_FAULTS / TRAP_CAMPAIGN_FAULT_SEED. Unset -> empty plan.
+common::StatusOr<WorkerFaultPlan> WorkerFaultPlanFromEnv();
+
+// Deterministic draw, same formula as FaultRegistry::ShouldFire: a pure
+// function of (plan seed, site, key). The coordinator derives `key` from
+// (spec fingerprint, shard, attempt), so every dispatch attempt of every
+// shard draws independently and reproducibly.
+bool WorkerFaultFires(const WorkerFaultPlan& plan, WorkerFault f,
+                      std::uint64_t key);
+
+}  // namespace trap::campaign
+
+#endif  // TRAP_CAMPAIGN_FAULT_H_

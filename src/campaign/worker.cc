@@ -1,0 +1,173 @@
+#include "campaign/worker.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+
+#include "campaign/fault.h"
+#include "campaign/wire.h"
+#include "common/frame.h"
+#include "common/string_util.h"
+#include "testing/fault_campaign.h"
+
+namespace trap::campaign {
+
+namespace {
+
+using proptest::CampaignCaseSpec;
+using proptest::CampaignEnv;
+using proptest::FaultCampaignOptions;
+
+struct WorkerState {
+  std::optional<CampaignEnv> env;
+  std::vector<CampaignCaseSpec> cases;
+  WorkerFaultPlan faults;
+};
+
+// Builds the environment from an init frame; replies ready or error.
+common::Status HandleInit(const JsonValue& msg, WorkerState* state,
+                          std::FILE* out) {
+  FaultCampaignOptions opts;
+  std::optional<std::string> schema = msg.StringAt("schema");
+  std::optional<std::uint64_t> seed = msg.HexAt("seed");
+  std::optional<std::uint64_t> step_budget = msg.HexAt("step_budget");
+  std::optional<std::int64_t> workloads = msg.IntAt("workloads");
+  const JsonValue* probabilities = msg.Find("probabilities");
+  const JsonValue* fault_p = msg.Find("fault_p");
+  std::optional<std::uint64_t> fault_seed = msg.HexAt("fault_seed");
+  if (!schema || !seed || !step_budget || !workloads ||
+      probabilities == nullptr ||
+      probabilities->kind != JsonValue::Kind::kArray || fault_p == nullptr ||
+      fault_p->kind != JsonValue::Kind::kArray ||
+      fault_p->items.size() != kNumWorkerFaults || !fault_seed) {
+    return common::WriteFrame(out,
+                      "{\"type\":\"error\",\"message\":\"malformed init\"}");
+  }
+  opts.schema = *schema;
+  opts.seed = *seed;
+  opts.step_budget = *step_budget;
+  opts.workloads = static_cast<int>(*workloads);
+  opts.probabilities.clear();
+  for (const JsonValue& p : probabilities->items) {
+    if (p.kind != JsonValue::Kind::kNumber) {
+      return common::WriteFrame(
+          out, "{\"type\":\"error\",\"message\":\"bad probability\"}");
+    }
+    opts.probabilities.push_back(p.number_value);
+  }
+  for (int i = 0; i < kNumWorkerFaults; ++i) {
+    const JsonValue& p = fault_p->items[static_cast<size_t>(i)];
+    state->faults.probability[i] =
+        p.kind == JsonValue::Kind::kNumber ? p.number_value : 0.0;
+  }
+  state->faults.seed = *fault_seed;
+  common::StatusOr<CampaignEnv> env = CampaignEnv::Make(opts);
+  if (!env.ok()) {
+    return common::WriteFrame(out, "{\"type\":\"error\",\"message\":" +
+                               JsonQuote(env.status().ToString()) + "}");
+  }
+  state->cases = proptest::EnumerateCampaignCases(opts);
+  state->env.emplace(*std::move(env));
+  return common::WriteFrame(
+      out, common::StrFormat("{\"type\":\"ready\",\"cases\":%zu}",
+                             state->cases.size()));
+}
+
+common::Status HandleUnit(const JsonValue& msg, const WorkerState& state,
+                          std::FILE* out) {
+  std::optional<std::int64_t> shard = msg.IntAt("shard");
+  std::optional<std::int64_t> begin = msg.IntAt("begin");
+  std::optional<std::int64_t> end = msg.IntAt("end");
+  std::optional<std::uint64_t> salt = msg.HexAt("salt");
+  const int n = static_cast<int>(state.cases.size());
+  if (!shard || !begin || !end || !salt || *begin < 0 || *end < *begin ||
+      *end > n || !state.env.has_value()) {
+    return common::WriteFrame(
+        out, "{\"type\":\"error\",\"message\":\"malformed unit\"}");
+  }
+  // Injected process-level faults, drawn per (shard, attempt) salt.
+  if (WorkerFaultFires(state.faults, WorkerFault::kHang, *salt)) {
+    std::fprintf(stderr, "worker: injected hang on shard %lld\n",
+                 static_cast<long long>(*shard));
+    return common::Status::Ok();  // swallow the unit; never reply
+  }
+  if (WorkerFaultFires(state.faults, WorkerFault::kGarbageFrame, *salt)) {
+    std::fprintf(stderr, "worker: injected garbage frame on shard %lld\n",
+                 static_cast<long long>(*shard));
+    const std::string garbage =
+        common::StrFormat("GARBAGE-%016llx-NOT-A-FRAME\n",
+                          static_cast<unsigned long long>(*salt));
+    if (std::fwrite(garbage.data(), 1, garbage.size(), out) !=
+            garbage.size() ||
+        std::fflush(out) != 0) {
+      return common::Status::Unavailable("stdout gone");
+    }
+    return common::Status::Ok();
+  }
+  const bool crash =
+      WorkerFaultFires(state.faults, WorkerFault::kCrash, *salt);
+  // Crash midway: some cases have already run (and their side effects on
+  // the in-process fault registry are real), but no result frame escapes.
+  const int crash_at =
+      crash ? static_cast<int>(*begin) + static_cast<int>(*end - *begin) / 2
+            : -1;
+  std::string payload = common::StrFormat(
+      "{\"type\":\"result\",\"shard\":%lld,\"cases\":[",
+      static_cast<long long>(*shard));
+  for (int i = static_cast<int>(*begin); i < static_cast<int>(*end); ++i) {
+    if (i == crash_at) {
+      std::fprintf(stderr, "worker: injected crash on shard %lld\n",
+                   static_cast<long long>(*shard));
+      raise(SIGKILL);
+    }
+    proptest::CampaignCase c =
+        state.env->RunCase(state.cases[static_cast<size_t>(i)]);
+    if (i != static_cast<int>(*begin)) payload += ",";
+    payload += EncodeCampaignCase(c);
+  }
+  payload += "]}";
+  return common::WriteFrame(out, payload);
+}
+
+}  // namespace
+
+int WorkerMain(std::FILE* in, std::FILE* out) {
+  common::FrameDecoder decoder;
+  WorkerState state;
+  for (;;) {
+    std::string payload;
+    common::Status read = common::ReadFrame(in, &decoder, &payload);
+    if (!read.ok()) {
+      // Clean EOF between frames is the coordinator closing our stdin --
+      // the polite shutdown. Anything else is a protocol failure.
+      if (read.code() == common::StatusCode::kUnavailable) return 0;
+      std::fprintf(stderr, "worker: %s\n", read.ToString().c_str());
+      return 3;
+    }
+    common::StatusOr<JsonValue> msg = ParseJson(payload);
+    if (!msg.ok()) {
+      std::fprintf(stderr, "worker: %s\n", msg.status().ToString().c_str());
+      return 3;
+    }
+    std::optional<std::string> type = msg->StringAt("type");
+    common::Status handled = common::Status::Ok();
+    if (type == "exit") {
+      return 0;
+    } else if (type == "init") {
+      handled = HandleInit(*msg, &state, out);
+    } else if (type == "unit") {
+      handled = HandleUnit(*msg, state, out);
+    } else {
+      std::fprintf(stderr, "worker: unknown frame type\n");
+      return 3;
+    }
+    if (!handled.ok()) {
+      std::fprintf(stderr, "worker: %s\n", handled.ToString().c_str());
+      return 3;
+    }
+  }
+}
+
+}  // namespace trap::campaign

@@ -1,0 +1,32 @@
+#ifndef TRAP_CAMPAIGN_WORKER_H_
+#define TRAP_CAMPAIGN_WORKER_H_
+
+#include <cstdio>
+
+namespace trap::campaign {
+
+// Runs the campaign worker protocol over (in, out) until the coordinator
+// sends an exit frame or closes the pipe; returns the process exit code.
+// trap_campaign --worker calls this with stdin/stdout.
+//
+// Frames (length-prefixed JSON, see common/frame.h):
+//   coordinator -> worker
+//     {"type":"init", "schema":..., "seed":"0x..", "step_budget":"0x..",
+//      "workloads":N, "probabilities":[...], "fault_p":[pc,ph,pg],
+//      "fault_seed":"0x.."}
+//     {"type":"unit", "shard":S, "begin":B, "end":E, "salt":"0x.."}
+//     {"type":"exit"}
+//   worker -> coordinator
+//     {"type":"ready", "cases":N}
+//     {"type":"error", "message":...}           (init failed; fatal)
+//     {"type":"result", "shard":S, "cases":[...]}
+//
+// stdout carries frames only; diagnostics go to stderr. The injected
+// worker faults (fault_p, drawn per unit salt) make this function
+// deliberately misbehave: raise SIGKILL mid-shard, swallow the unit, or
+// emit garbage bytes -- the failure modes the supervisor must survive.
+int WorkerMain(std::FILE* in, std::FILE* out);
+
+}  // namespace trap::campaign
+
+#endif  // TRAP_CAMPAIGN_WORKER_H_

@@ -24,6 +24,9 @@ constexpr SiteNameEntry kSiteNames[] = {
     {FaultSite::kCacheShardPoison, "cache.shard.poison"},
     {FaultSite::kPerturberInvalidTree, "perturber.invalid_tree"},
     {FaultSite::kWhatIfInvertBenefit, "engine.whatif.invert_benefit"},
+    {FaultSite::kCampaignWorkerCrash, "worker.crash"},
+    {FaultSite::kCampaignWorkerHang, "worker.hang"},
+    {FaultSite::kCampaignWorkerGarbageFrame, "worker.garbage_frame"},
 };
 static_assert(sizeof(kSiteNames) / sizeof(kSiteNames[0]) ==
               static_cast<size_t>(kNumFaultSites));

@@ -61,6 +61,19 @@ enum class FaultSite : int {
   // oracle; kept to prove the oracles still detect silent wrong answers.
   kWhatIfInvertBenefit,
 
+  // Process-level campaign faults (TRAP_CAMPAIGN_FAULTS). These share the
+  // site namespace and spec grammar so one parser serves both, but they are
+  // never armed in this in-process registry: the campaign keeps its own
+  // WorkerFaultPlan (src/campaign/fault.h), because the per-case
+  // ScopedFaultSpec arming below would clobber a registry-held plan.
+  //
+  // A campaign worker raises SIGKILL mid-shard.
+  kCampaignWorkerCrash,
+  // A campaign worker swallows its work unit and never replies.
+  kCampaignWorkerHang,
+  // A campaign worker replies with a garbage frame instead of a result.
+  kCampaignWorkerGarbageFrame,
+
   kNumFaultSites,
 };
 

@@ -1,0 +1,62 @@
+#include "common/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace trap::common {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view content,
+                       bool sync_to_disk) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Errno("cannot open", tmp);
+  if (!content.empty() &&
+      std::fwrite(content.data(), 1, content.size(), f) != content.size()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Errno("short write to", tmp);
+  }
+  if (std::fflush(f) != 0 || (sync_to_disk && fsync(fileno(f)) != 0)) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Errno("cannot flush", tmp);
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Errno("cannot close", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Errno("cannot publish", path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open " + path + ": " +
+                               std::strerror(errno));
+  }
+  std::string out;
+  char buf[1 << 14];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Errno("cannot read", path);
+  return out;
+}
+
+}  // namespace trap::common

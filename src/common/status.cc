@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kFaultInjected:
       return "FAULT_INJECTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal,           // an internal consistency check failed (e.g. a
                        // non-finite cost was produced or detected)
   kFaultInjected,      // a registered fault site fired (testing only)
+  kUnavailable,        // a peer or stream is gone (EOF, dead subprocess)
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -51,6 +52,9 @@ class [[nodiscard]] Status {
   }
   static Status FaultInjected(std::string msg) {
     return Status(StatusCode::kFaultInjected, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,44 @@
+#ifndef TRAP_COMMON_SUBPROCESS_H_
+#define TRAP_COMMON_SUBPROCESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace trap::common {
+
+// A spawned child process with pipes to its stdin/stdout (stderr passes
+// through to the parent's, so worker diagnostics stay visible). Plain POSIX
+// fork/exec -- the campaign coordinator owns the lifecycle: spawn, exchange
+// frames, and on any protocol violation Kill + Reap unconditionally.
+struct Subprocess {
+  int pid = -1;
+  int stdin_fd = -1;   // write end: parent -> child stdin
+  int stdout_fd = -1;  // read end: child stdout -> parent
+
+  bool running() const { return pid > 0; }
+};
+
+// Spawns argv[0] with the remaining argv entries as arguments. The child's
+// exec failure surfaces as exit code 127 (observed via Reap), matching
+// shell convention.
+StatusOr<Subprocess> SpawnWithPipes(const std::vector<std::string>& argv);
+
+// Closes the parent's pipe ends (idempotent). Closing stdin is also the
+// polite shutdown signal: a well-behaved worker exits on EOF.
+void ClosePipes(Subprocess* p);
+
+// SIGKILL; a no-op once reaped. Does not close pipes or wait.
+void Kill(Subprocess* p);
+
+// Non-blocking reap. Returns true once the child is gone, with *code set to
+// the exit code, or -signo when it died on a signal. After true, pid is -1.
+bool TryReap(Subprocess* p, int* code);
+
+// Blocking reap (call after Kill or stdin-EOF; always terminates).
+int Reap(Subprocess* p);
+
+}  // namespace trap::common
+
+#endif  // TRAP_COMMON_SUBPROCESS_H_

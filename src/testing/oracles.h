@@ -18,7 +18,7 @@ namespace trap::proptest {
 
 using PerturbationConstraint = ::trap::trap::PerturbationConstraint;
 
-// The nine metamorphic / differential oracle families. Each one states an
+// The ten metamorphic / differential oracle families. Each one states an
 // invariant the engine, an advisor, or the drift runtime must hold for
 // *every* input, so the harness can hammer them with generated cases
 // instead of hand-picked ones:
@@ -50,7 +50,13 @@ using PerturbationConstraint = ::trap::trap::PerturbationConstraint;
 //   stats-budget           drift::StatsPerturber output stays within its L1
 //                          budget, keeps NDV/skew in-domain, never touches
 //                          row counts or value domains, and a zero budget
-//                          is a bit-exact identity.
+//                          is a bit-exact identity;
+//   shard-partition        for random campaign specs and shard counts, the
+//                          campaign enumeration is duplicate-free with
+//                          positional case indexes, and MakeShardPlan's
+//                          shards exactly partition the case space -- no
+//                          case lost, none duplicated, no empty shard,
+//                          sizes balanced within one.
 enum class OracleId {
   kAddIndexMonotone = 0,
   kSupersetMonotone = 1,
@@ -61,9 +67,10 @@ enum class OracleId {
   kEpisodeDeterminism = 6,
   kRegretSanity = 7,
   kStatsBudget = 8,
+  kShardPartition = 9,
 };
 
-inline constexpr int kNumOracles = 9;
+inline constexpr int kNumOracles = 10;
 
 const char* OracleName(OracleId id);
 std::optional<OracleId> OracleFromName(std::string_view name);
@@ -94,11 +101,13 @@ struct Reproducer {
   PerturbationConstraint constraint = PerturbationConstraint::kValueOnly;
   int epsilon = 0;        // perturbation-budget; drift oracles: episodes
                           // (episode-determinism, regret-sanity) or L1
-                          // budget quarters (stats-budget)
+                          // budget quarters (stats-budget); shard-partition:
+                          // requested shard count
   uint64_t walk_seed = 0;  // perturbation walk / drift episode-stream seed
   int advisor = 0;        // advisor-contract + drift: advisor id in [0,6)
   int64_t storage_budget = 0;
-  int max_indexes = 0;                // 0 = unconstrained count
+  int max_indexes = 0;                // 0 = unconstrained count;
+                                      // shard-partition: campaign workloads
 };
 
 // Human-readable advisor name for Reproducer::advisor.

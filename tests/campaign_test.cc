@@ -1,0 +1,382 @@
+// Tests for the crash-tolerant distributed campaign runner (src/campaign):
+// shard planning, wire encoding, digest equality across topologies, every
+// injected process-level fault, and checkpoint-resume at every shard
+// boundary. Worker-mode tests spawn the real trap_campaign binary
+// (TRAP_CAMPAIGN_BIN, injected by CMake).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/fault.h"
+#include "campaign/wire.h"
+#include "common/file_util.h"
+#include "testing/fault_campaign.h"
+
+namespace trap::campaign {
+namespace {
+
+using proptest::CampaignCaseSpec;
+using proptest::FaultCampaignOptions;
+using proptest::ShardSpec;
+
+// Small spec (one workload, one probability) so each campaign run stays
+// fast; the digest-vs-trap_fuzz equality at the default spec is asserted by
+// scripts/check.sh against the real binaries.
+FaultCampaignOptions SmallSpec() {
+  FaultCampaignOptions opts;
+  opts.seed = 1;
+  opts.workloads = 1;
+  opts.probabilities = {1.0};
+  return opts;
+}
+
+CampaignOptions SmallCampaign() {
+  CampaignOptions opts;
+  opts.base = SmallSpec();
+  opts.shards = 4;
+  return opts;
+}
+
+std::string WorkerBinary() {
+#ifdef TRAP_CAMPAIGN_BIN
+  return TRAP_CAMPAIGN_BIN;
+#else
+  return "";
+#endif
+}
+
+TEST(ShardPlanTest, PartitionsExactly) {
+  struct Case {
+    int cases;
+    int shards;
+    int want_shards;
+  };
+  const Case table[] = {
+      {0, 8, 0},  {1, 8, 1},  {5, 8, 5},   {8, 8, 8},
+      {64, 8, 8}, {7, 3, 3},  {100, 7, 7}, {9, 1, 1},
+  };
+  for (const Case& c : table) {
+    const std::vector<ShardSpec> plan = proptest::MakeShardPlan(c.cases, c.shards);
+    ASSERT_EQ(static_cast<int>(plan.size()), c.want_shards)
+        << c.cases << "/" << c.shards;
+    int next = 0;
+    int min_size = c.cases + 1;
+    int max_size = 0;
+    for (size_t i = 0; i < plan.size(); ++i) {
+      EXPECT_EQ(plan[i].shard_id, static_cast<int>(i));
+      EXPECT_EQ(plan[i].begin, next);
+      EXPECT_LT(plan[i].begin, plan[i].end);  // never an empty shard
+      next = plan[i].end;
+      const int size = plan[i].end - plan[i].begin;
+      min_size = std::min(min_size, size);
+      max_size = std::max(max_size, size);
+    }
+    EXPECT_EQ(next, c.cases);  // exact partition, no gaps, no overlap
+    if (!plan.empty()) EXPECT_LE(max_size - min_size, 1);  // balanced
+  }
+}
+
+TEST(EnumerationTest, CaseIndexesArePositionalAndUnique) {
+  const std::vector<CampaignCaseSpec> cases =
+      proptest::EnumerateCampaignCases(SmallSpec());
+  ASSERT_FALSE(cases.empty());
+  std::set<std::tuple<std::string, std::string, int, int>> seen;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(cases[i].case_index, static_cast<int>(i));
+    EXPECT_TRUE(seen
+                    .insert({cases[i].site, cases[i].advisor,
+                             static_cast<int>(cases[i].probability * 1e6),
+                             cases[i].workload_index})
+                    .second)
+        << "duplicate case at " << i;
+  }
+}
+
+TEST(WireTest, ParseJsonHandlesNestingStringsAndNumbers) {
+  common::StatusOr<JsonValue> v = ParseJson(
+      "{\"a\": [1, 2.5, -3], \"b\": {\"c\": \"x\\\"y\\n\"}, "
+      "\"t\": true, \"n\": null, \"h\": \"0x00000000000000ff\"}");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_NE(v->Find("a"), nullptr);
+  EXPECT_EQ(v->Find("a")->items.size(), 3u);
+  EXPECT_EQ(v->Find("a")->items[1].number_value, 2.5);
+  EXPECT_EQ(v->Find("b")->Find("c")->string_value, "x\"y\n");
+  EXPECT_EQ(v->BoolAt("t"), true);
+  EXPECT_EQ(v->HexAt("h"), 255u);
+  EXPECT_FALSE(ParseJson("{\"unterminated\": ").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+}
+
+TEST(WireTest, CampaignCaseRoundTripsExactly) {
+  proptest::CampaignCase c;
+  c.case_index = 17;
+  c.site = "engine.whatif.cost_error";
+  c.probability = 0.05;  // must survive the double round-trip bit-exactly
+  c.advisor = "AutoAdmin";
+  c.workload_index = 1;
+  c.code = common::StatusCode::kFaultInjected;
+  c.attempts = 3;
+  c.degraded = true;
+  c.triggers = 7;
+  c.config_fp = 0xdeadbeefcafef00dULL;
+  c.note = "quote \" and\nnewline";
+  common::StatusOr<JsonValue> v = ParseJson(EncodeCampaignCase(c));
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  std::optional<proptest::CampaignCase> back = DecodeCampaignCase(*v);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->case_index, c.case_index);
+  EXPECT_EQ(back->site, c.site);
+  EXPECT_EQ(back->probability, c.probability);
+  EXPECT_EQ(back->advisor, c.advisor);
+  EXPECT_EQ(back->workload_index, c.workload_index);
+  EXPECT_EQ(back->code, c.code);
+  EXPECT_EQ(back->attempts, c.attempts);
+  EXPECT_EQ(back->degraded, c.degraded);
+  EXPECT_EQ(back->triggers, c.triggers);
+  EXPECT_EQ(back->config_fp, c.config_fp);
+  EXPECT_EQ(back->note, c.note);
+  EXPECT_EQ(proptest::CampaignCaseHash(*back), proptest::CampaignCaseHash(c));
+}
+
+TEST(WorkerFaultTest, SpecParsingAndDraws) {
+  common::StatusOr<WorkerFaultPlan> plan =
+      ParseWorkerFaultSpec("worker.crash@p=0.5,worker.hang@p=1", 9);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->probability[static_cast<int>(WorkerFault::kCrash)], 0.5);
+  EXPECT_EQ(plan->probability[static_cast<int>(WorkerFault::kHang)], 1.0);
+  EXPECT_TRUE(plan->any());
+  // p=1 always fires; p=0 never; p=0.5 is deterministic per key.
+  EXPECT_TRUE(WorkerFaultFires(*plan, WorkerFault::kHang, 123));
+  EXPECT_FALSE(WorkerFaultFires(*plan, WorkerFault::kGarbageFrame, 123));
+  EXPECT_EQ(WorkerFaultFires(*plan, WorkerFault::kCrash, 42),
+            WorkerFaultFires(*plan, WorkerFault::kCrash, 42));
+  // In-process sites are not process-level faults.
+  EXPECT_FALSE(ParseWorkerFaultSpec("engine.whatif.cost_error@p=1", 0).ok());
+  // @limit would make the draw stateful; the plan must stay a pure
+  // function of the work item.
+  EXPECT_FALSE(ParseWorkerFaultSpec("worker.crash@p=1@limit=2", 0).ok());
+}
+
+TEST(CampaignTest, InProcessMatchesSingleProcessDigest) {
+  const FaultCampaignOptions spec = SmallSpec();
+  const proptest::CampaignResult reference =
+      proptest::RunFaultCampaign(spec, nullptr);
+  CampaignOptions opts = SmallCampaign();
+  common::StatusOr<CampaignReport> report = RunCampaign(opts, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok());
+  EXPECT_EQ(report->digest, reference.digest);
+  EXPECT_EQ(report->completed_cases,
+            static_cast<int>(reference.cases.size()));
+  EXPECT_EQ(report->violations, reference.violations);
+}
+
+TEST(CampaignTest, RejectsBadConfigurations) {
+  CampaignOptions opts = SmallCampaign();
+  opts.base.schema = "nosuch";
+  EXPECT_FALSE(RunCampaign(opts, nullptr).ok());
+  opts = SmallCampaign();
+  opts.workers = 2;
+  opts.worker_binary.clear();
+  EXPECT_FALSE(RunCampaign(opts, nullptr).ok());
+  opts = SmallCampaign();
+  opts.resume = true;  // without a journal path
+  EXPECT_FALSE(RunCampaign(opts, nullptr).ok());
+}
+
+TEST(CampaignTest, WorkerTopologiesMatchInProcessDigest) {
+  const std::string bin = WorkerBinary();
+  ASSERT_FALSE(bin.empty());
+  CampaignOptions opts = SmallCampaign();
+  common::StatusOr<CampaignReport> reference = RunCampaign(opts, nullptr);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (int workers : {1, 4}) {
+    CampaignOptions wopts = SmallCampaign();
+    wopts.workers = workers;
+    wopts.worker_binary = bin;
+    common::StatusOr<CampaignReport> report = RunCampaign(wopts, nullptr);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->ok()) << workers << " worker(s)";
+    EXPECT_EQ(report->digest, reference->digest) << workers << " worker(s)";
+    EXPECT_EQ(report->completed_cases, reference->completed_cases);
+    EXPECT_TRUE(report->failed_shards.empty());
+  }
+}
+
+TEST(CampaignTest, CrashFaultIsSurvivedByRetries) {
+  const std::string bin = WorkerBinary();
+  ASSERT_FALSE(bin.empty());
+  CampaignOptions opts = SmallCampaign();
+  common::StatusOr<CampaignReport> reference = RunCampaign(opts, nullptr);
+  ASSERT_TRUE(reference.ok());
+  opts.workers = 2;
+  opts.worker_binary = bin;
+  opts.max_attempts = 8;  // p=0.5 per attempt: survival is near-certain
+  opts.worker_faults.probability[static_cast<int>(WorkerFault::kCrash)] = 0.5;
+  opts.worker_faults.seed = 7;
+  common::StatusOr<CampaignReport> report = RunCampaign(opts, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok());
+  EXPECT_EQ(report->digest, reference->digest);  // faults never skew results
+  EXPECT_GT(report->retries, 0);          // the faults actually fired
+  EXPECT_GT(report->worker_restarts, 0);  // and killed workers
+}
+
+TEST(CampaignTest, ExhaustedRetriesDegradeToFailureRecords) {
+  const std::string bin = WorkerBinary();
+  ASSERT_FALSE(bin.empty());
+  CampaignOptions opts = SmallCampaign();
+  opts.workers = 1;
+  opts.worker_binary = bin;
+  opts.max_attempts = 2;
+  opts.worker_faults.probability[static_cast<int>(WorkerFault::kCrash)] = 1.0;
+  common::StatusOr<CampaignReport> report = RunCampaign(opts, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->ok());
+  EXPECT_EQ(static_cast<int>(report->failed_shards.size()), report->shards);
+  EXPECT_EQ(report->completed_cases, 0);
+  int lost = 0;
+  for (const ShardFailure& f : report->failed_shards) {
+    EXPECT_EQ(f.site, "worker.crash");
+    EXPECT_EQ(f.attempts, opts.max_attempts);
+    lost += f.end - f.begin;
+  }
+  // Partial coverage is accounted exactly, never silently.
+  EXPECT_EQ(report->completed_cases + lost, report->total_cases);
+  const std::vector<advisor::FailureRecord> records =
+      report->FailureRecords();
+  ASSERT_EQ(records.size(), report->failed_shards.size());
+  for (const advisor::FailureRecord& r : records) {
+    EXPECT_EQ(r.site, "worker.crash");
+    EXPECT_EQ(r.code, common::StatusCode::kResourceExhausted);
+    EXPECT_TRUE(r.degraded);
+  }
+}
+
+TEST(CampaignTest, HangFaultTripsDeadlineAndExhausts) {
+  const std::string bin = WorkerBinary();
+  ASSERT_FALSE(bin.empty());
+  CampaignOptions opts = SmallCampaign();
+  opts.shards = 2;  // keep the timeout x attempts budget small
+  opts.workers = 1;
+  opts.worker_binary = bin;
+  opts.max_attempts = 2;
+  opts.unit_timeout_ms = 500;
+  opts.worker_faults.probability[static_cast<int>(WorkerFault::kHang)] = 1.0;
+  common::StatusOr<CampaignReport> report = RunCampaign(opts, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->ok());
+  ASSERT_EQ(static_cast<int>(report->failed_shards.size()), report->shards);
+  for (const ShardFailure& f : report->failed_shards) {
+    EXPECT_EQ(f.site, "worker.hang");
+  }
+}
+
+TEST(CampaignTest, GarbageFrameIsDetectedNotTrusted) {
+  const std::string bin = WorkerBinary();
+  ASSERT_FALSE(bin.empty());
+  CampaignOptions opts = SmallCampaign();
+  opts.shards = 2;
+  opts.workers = 1;
+  opts.worker_binary = bin;
+  opts.max_attempts = 2;
+  opts.worker_faults
+      .probability[static_cast<int>(WorkerFault::kGarbageFrame)] = 1.0;
+  common::StatusOr<CampaignReport> report = RunCampaign(opts, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->ok());
+  ASSERT_EQ(static_cast<int>(report->failed_shards.size()), report->shards);
+  for (const ShardFailure& f : report->failed_shards) {
+    EXPECT_EQ(f.site, "worker.garbage_frame");
+  }
+}
+
+// The crash-tolerance tentpole: kill the coordinator after every possible
+// number of completed shards; resuming from the journal must always land on
+// the bit-identical digest.
+TEST(CampaignTest, ResumeAtEveryCheckpointBoundaryIsBitIdentical) {
+  CampaignOptions opts = SmallCampaign();
+  common::StatusOr<CampaignReport> reference = RunCampaign(opts, nullptr);
+  ASSERT_TRUE(reference.ok());
+  const std::string journal =
+      ::testing::TempDir() + "/trap_campaign_resume.journal";
+  for (int k = 0; k <= reference->shards; ++k) {
+    std::remove(journal.c_str());
+    CampaignOptions first = SmallCampaign();
+    first.journal_path = journal;
+    first.stop_after_shards = k;
+    common::StatusOr<CampaignReport> partial = RunCampaign(first, nullptr);
+    ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+    if (k < reference->shards) {
+      EXPECT_TRUE(partial->interrupted) << "k=" << k;
+      EXPECT_FALSE(partial->ok()) << "k=" << k;
+    }
+    EXPECT_EQ(partial->completed_cases < reference->completed_cases,
+              k < reference->shards);
+    CampaignOptions second = SmallCampaign();
+    second.journal_path = journal;
+    second.resume = true;
+    common::StatusOr<CampaignReport> resumed = RunCampaign(second, nullptr);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    EXPECT_TRUE(resumed->ok()) << "k=" << k;
+    EXPECT_EQ(resumed->digest, reference->digest) << "k=" << k;
+    EXPECT_EQ(resumed->resumed_shards, std::min(k, reference->shards))
+        << "k=" << k;
+  }
+  std::remove(journal.c_str());
+}
+
+TEST(CampaignTest, ResumeRefusesForeignJournal) {
+  const std::string journal =
+      ::testing::TempDir() + "/trap_campaign_foreign.journal";
+  std::remove(journal.c_str());
+  CampaignOptions first = SmallCampaign();
+  first.journal_path = journal;
+  first.stop_after_shards = 1;
+  ASSERT_TRUE(RunCampaign(first, nullptr).ok());
+  CampaignOptions second = SmallCampaign();
+  second.base.seed = 2;  // different spec, same journal
+  second.journal_path = journal;
+  second.resume = true;
+  common::StatusOr<CampaignReport> r = RunCampaign(second, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kInvalidArgument);
+  std::remove(journal.c_str());
+}
+
+TEST(CampaignTest, ResumeTreatsMissingJournalAsFresh) {
+  CampaignOptions opts = SmallCampaign();
+  opts.journal_path =
+      ::testing::TempDir() + "/trap_campaign_never_written.journal";
+  opts.resume = true;
+  std::remove(opts.journal_path.c_str());
+  common::StatusOr<CampaignReport> report = RunCampaign(opts, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok());
+  EXPECT_EQ(report->resumed_shards, 0);
+  std::remove(opts.journal_path.c_str());
+}
+
+TEST(CampaignTest, CorruptJournalIsRejectedLoudly) {
+  const std::string journal =
+      ::testing::TempDir() + "/trap_campaign_corrupt.journal";
+  ASSERT_TRUE(common::AtomicWriteFile(journal, "not json\n").ok());
+  CampaignOptions opts = SmallCampaign();
+  opts.journal_path = journal;
+  opts.resume = true;
+  common::StatusOr<CampaignReport> r = RunCampaign(opts, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kInvalidArgument);
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace trap::campaign

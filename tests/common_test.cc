@@ -8,10 +8,16 @@
 #include <thread>
 #include <vector>
 
+#include <signal.h>
+#include <unistd.h>
+
 #include "common/deadline.h"
+#include "common/file_util.h"
+#include "common/frame.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/string_util.h"
+#include "common/subprocess.h"
 #include "common/thread_pool.h"
 
 namespace trap::common {
@@ -311,6 +317,120 @@ TEST(ThreadPoolTest, GlobalPoolIsUsableAndSized) {
   std::atomic<int> calls{0};
   common::ParallelFor(10, [&](size_t) { ++calls; });
   EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(FileUtilTest, AtomicWriteFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/trap_file_util.txt";
+  ASSERT_TRUE(AtomicWriteFile(path, "hello\nworld\n").ok());
+  StatusOr<std::string> back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "hello\nworld\n");
+  // Overwrite goes through the same tmp+rename path.
+  ASSERT_TRUE(AtomicWriteFile(path, "v2", /*sync_to_disk=*/true).ok());
+  back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "v2");
+  // No stray .tmp left behind after a successful publish.
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+}
+
+TEST(FileUtilTest, MissingFileIsUnavailable) {
+  StatusOr<std::string> r = ReadFileToString("/no/such/dir/trap.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FileUtilTest, UnwritablePathFails) {
+  EXPECT_FALSE(AtomicWriteFile("/no/such/dir/trap.txt", "x").ok());
+}
+
+TEST(FrameTest, EncodeDecodeRoundTrips) {
+  FrameDecoder decoder;
+  const std::string a = EncodeFrame("{\"x\":1}");
+  const std::string b = EncodeFrame("");
+  decoder.Append(a.data(), a.size());
+  decoder.Append(b.data(), b.size());
+  std::string payload;
+  EXPECT_EQ(decoder.Next(&payload, nullptr), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(payload, "{\"x\":1}");
+  EXPECT_EQ(decoder.Next(&payload, nullptr), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(payload, "");
+  EXPECT_EQ(decoder.Next(&payload, nullptr), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(FrameTest, ByteAtATimeDelivery) {
+  // Frames must reassemble regardless of how the pipe fragments them.
+  FrameDecoder decoder;
+  const std::string frame = EncodeFrame("payload with spaces");
+  std::string payload;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    decoder.Append(frame.data() + i, 1);
+    const FrameDecoder::Result r = decoder.Next(&payload, nullptr);
+    if (i + 1 < frame.size()) {
+      ASSERT_EQ(r, FrameDecoder::Result::kNeedMore) << "at byte " << i;
+    } else {
+      EXPECT_EQ(r, FrameDecoder::Result::kFrame);
+    }
+  }
+  EXPECT_EQ(payload, "payload with spaces");
+}
+
+TEST(FrameTest, GarbageIsMalformedAndSticky) {
+  FrameDecoder decoder;
+  const std::string garbage = "GARBAGE-NOT-A-FRAME\n";
+  decoder.Append(garbage.data(), garbage.size());
+  std::string payload;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&payload, &error), FrameDecoder::Result::kMalformed);
+  EXPECT_FALSE(error.empty());
+  // A corrupted stream is never resynchronized: even a valid frame after
+  // the garbage stays malformed.
+  const std::string frame = EncodeFrame("ok");
+  decoder.Append(frame.data(), frame.size());
+  EXPECT_EQ(decoder.Next(&payload, &error), FrameDecoder::Result::kMalformed);
+}
+
+TEST(FrameTest, RejectsOversizedAndNonNumericLengths) {
+  {
+    FrameDecoder decoder;
+    const std::string bad = "TRAPF 99999999999999\n";
+    decoder.Append(bad.data(), bad.size());
+    std::string payload;
+    EXPECT_EQ(decoder.Next(&payload, nullptr),
+              FrameDecoder::Result::kMalformed);
+  }
+  {
+    FrameDecoder decoder;
+    const std::string bad = "TRAPF 12x\n";
+    decoder.Append(bad.data(), bad.size());
+    std::string payload;
+    EXPECT_EQ(decoder.Next(&payload, nullptr),
+              FrameDecoder::Result::kMalformed);
+  }
+}
+
+TEST(SubprocessTest, EchoRoundTripAndReap) {
+  StatusOr<Subprocess> spawned = SpawnWithPipes({"/bin/cat"});
+  ASSERT_TRUE(spawned.ok()) << spawned.status().ToString();
+  Subprocess p = *spawned;
+  const std::string msg = "ping\n";
+  ASSERT_EQ(write(p.stdin_fd, msg.data(), msg.size()),
+            static_cast<ssize_t>(msg.size()));
+  char buf[64] = {};
+  ASSERT_EQ(read(p.stdout_fd, buf, sizeof buf),
+            static_cast<ssize_t>(msg.size()));
+  EXPECT_EQ(std::string(buf, msg.size()), msg);
+  ClosePipes(&p);  // EOF on stdin: cat exits 0
+  EXPECT_EQ(Reap(&p), 0);
+}
+
+TEST(SubprocessTest, KillIsReportedAsSignal) {
+  StatusOr<Subprocess> spawned = SpawnWithPipes({"/bin/cat"});
+  ASSERT_TRUE(spawned.ok()) << spawned.status().ToString();
+  Subprocess p = *spawned;
+  Kill(&p);
+  EXPECT_EQ(Reap(&p), -SIGKILL);
+  ClosePipes(&p);
 }
 
 }  // namespace

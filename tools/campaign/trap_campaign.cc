@@ -1,0 +1,243 @@
+// trap_campaign: crash-tolerant distributed runner for the fault-injection
+// campaign. Shards the deterministic campaign case space, fans the shards
+// out to worker subprocesses (re-invocations of this binary with --worker),
+// survives worker crashes/hangs/garbage with bounded seeded retries, and
+// merges the results into a digest bit-identical to the single-process
+// `trap_fuzz --fault-campaign` run. See DESIGN.md "Distributed campaigns".
+//
+// Usage:
+//   trap_campaign --workers 4                       # distributed
+//   trap_campaign --workers 0                       # in-process fallback
+//   trap_campaign --workers 4 --journal j.log       # checkpoint each shard
+//   trap_campaign --workers 4 --journal j.log --resume   # continue
+//   TRAP_CAMPAIGN_FAULTS='worker.crash@p=0.3' trap_campaign --workers 4
+//
+// Exit codes: 0 = full coverage, zero violations; 1 = violations, failed
+// shards, or interrupted; 2 = usage/config error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "bench/harness.h"
+#include "campaign/campaign.h"
+#include "campaign/fault.h"
+#include "campaign/worker.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace {
+
+using trap::campaign::CampaignOptions;
+using trap::campaign::CampaignReport;
+
+int Usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: trap_campaign [options]\n"
+      "  --worker               run as a campaign worker (stdin/stdout\n"
+      "                         frames; spawned by the coordinator)\n"
+      "  --schema NAME          tpch | tpcds | transaction (default tpch)\n"
+      "  --seed S               campaign seed (default 1)\n"
+      "  --workers N            worker subprocesses; 0 = in-process\n"
+      "                         (default 0)\n"
+      "  --shards N             shard count; 0 = auto (default 0)\n"
+      "  --max-attempts K       dispatch attempts per shard (default 4)\n"
+      "  --unit-timeout-ms T    per-shard worker deadline (default 10000)\n"
+      "  --journal PATH         checkpoint journal, written atomically\n"
+      "                         after every completed shard\n"
+      "  --resume               replay completed shards from --journal\n"
+      "  --faults SPEC          injected worker faults, e.g.\n"
+      "                         'worker.crash@p=0.3,worker.hang@p=0.1'\n"
+      "                         (default: $TRAP_CAMPAIGN_FAULTS)\n"
+      "  --fault-seed S         seed for worker-fault draws (default\n"
+      "                         $TRAP_CAMPAIGN_FAULT_SEED or 0)\n"
+      "  --stop-after-shards K  stop (simulating a coordinator crash)\n"
+      "                         after K shard completions this run\n"
+      "  --report NAME          write BENCH_NAME.json (cases/s, failed\n"
+      "                         shards as structured failure records)\n"
+      "  --digest               print only the final digest line\n");
+  return out == stdout ? 0 : 2;
+}
+
+bool ParseInt(const char* s, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(s, &end, 10);
+  return end != nullptr && *end == '\0' && end != s;
+}
+
+// The coordinator spawns workers by re-invoking itself; /proc/self/exe is
+// exact even when argv[0] is a bare name found via PATH.
+std::string SelfBinary(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--worker") == 0) {
+      return trap::campaign::WorkerMain(stdin, stdout);
+    }
+  }
+
+  CampaignOptions opts;
+  opts.worker_binary = SelfBinary(argv[0]);
+  std::string report_name;
+  std::string faults_spec;
+  long long fault_seed = -1;
+  bool digest_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "trap_campaign: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return Usage(stdout);
+    if (arg == "--resume") {
+      opts.resume = true;
+    } else if (arg == "--digest") {
+      digest_only = true;
+    } else if (arg == "--schema") {
+      const char* v = next();
+      if (v == nullptr) return Usage(stderr);
+      opts.base.schema = v;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      long long n;
+      if (v == nullptr || !ParseInt(v, &n) || n < 0) return Usage(stderr);
+      opts.base.seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      long long n;
+      if (v == nullptr || !ParseInt(v, &n) || n < 0 || n > 64) {
+        return Usage(stderr);
+      }
+      opts.workers = static_cast<int>(n);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      long long n;
+      if (v == nullptr || !ParseInt(v, &n) || n < 0) return Usage(stderr);
+      opts.shards = static_cast<int>(n);
+    } else if (arg == "--max-attempts") {
+      const char* v = next();
+      long long n;
+      if (v == nullptr || !ParseInt(v, &n) || n < 1) return Usage(stderr);
+      opts.max_attempts = static_cast<int>(n);
+    } else if (arg == "--unit-timeout-ms") {
+      const char* v = next();
+      long long n;
+      if (v == nullptr || !ParseInt(v, &n) || n < 1) return Usage(stderr);
+      opts.unit_timeout_ms = static_cast<int>(n);
+    } else if (arg == "--journal") {
+      const char* v = next();
+      if (v == nullptr) return Usage(stderr);
+      opts.journal_path = v;
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (v == nullptr) return Usage(stderr);
+      faults_spec = v;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt(v, &fault_seed) || fault_seed < 0) {
+        return Usage(stderr);
+      }
+    } else if (arg == "--stop-after-shards") {
+      const char* v = next();
+      long long n;
+      if (v == nullptr || !ParseInt(v, &n) || n < 0) return Usage(stderr);
+      opts.stop_after_shards = static_cast<int>(n);
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (v == nullptr) return Usage(stderr);
+      report_name = v;
+    } else {
+      std::fprintf(stderr, "trap_campaign: unknown option '%s'\n",
+                   arg.c_str());
+      return Usage(stderr);
+    }
+  }
+
+  if (!faults_spec.empty()) {
+    trap::common::StatusOr<trap::campaign::WorkerFaultPlan> plan =
+        trap::campaign::ParseWorkerFaultSpec(
+            faults_spec,
+            fault_seed >= 0 ? static_cast<std::uint64_t>(fault_seed) : 0);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "trap_campaign: %s\n",
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    opts.worker_faults = *plan;
+  } else {
+    // Same environment contract as the in-process registry's
+    // TRAP_FAULTS: the harness can arm faults without touching flags.
+    trap::common::StatusOr<trap::campaign::WorkerFaultPlan> plan =
+        trap::campaign::WorkerFaultPlanFromEnv();
+    if (!plan.ok()) {
+      std::fprintf(stderr, "trap_campaign: %s\n",
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    opts.worker_faults = *plan;
+    if (fault_seed >= 0) {
+      opts.worker_faults.seed = static_cast<std::uint64_t>(fault_seed);
+    }
+  }
+
+  std::FILE* log = digest_only ? nullptr : stdout;
+  trap::common::StatusOr<CampaignReport> report =
+      trap::common::Status::Internal("campaign did not run");
+  if (!report_name.empty()) {
+    trap::bench::BenchReport bench_report(report_name);
+    double seconds = bench_report.TimePhase(
+        "campaign",
+        [&] { report = trap::campaign::RunCampaign(opts, log); });
+    if (!report.ok()) {
+      std::fprintf(stderr, "trap_campaign: %s\n",
+                   report.status().ToString().c_str());
+      return 2;
+    }
+    bench_report.RecordMetric("campaign_cases", report->completed_cases);
+    bench_report.RecordMetric("campaign_violations", report->violations);
+    bench_report.RecordMetric("campaign_retries", report->retries);
+    bench_report.RecordMetric("campaign_worker_restarts",
+                              report->worker_restarts);
+    bench_report.RecordMetric("campaign_failed_shards",
+                              static_cast<double>(
+                                  report->failed_shards.size()));
+    if (seconds > 0.0) {
+      bench_report.RecordMetric("campaign_cases_per_sec",
+                                report->completed_cases / seconds);
+    }
+    for (const trap::advisor::FailureRecord& f : report->FailureRecords()) {
+      bench_report.RecordFailure(f);
+    }
+    std::fprintf(stdout, "report: %s\n", bench_report.Write().c_str());
+  } else {
+    report = trap::campaign::RunCampaign(opts, log);
+    if (!report.ok()) {
+      std::fprintf(stderr, "trap_campaign: %s\n",
+                   report.status().ToString().c_str());
+      return 2;
+    }
+  }
+  if (digest_only) {
+    std::fprintf(stdout, "campaign digest: %016llx\n",
+                 static_cast<unsigned long long>(report->digest));
+  }
+  return report->ok() ? 0 : 1;
+}

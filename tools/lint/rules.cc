@@ -343,6 +343,7 @@ void CheckAbortInLibrary(const SourceFile& f, std::vector<Finding>* out) {
       "src/engine/what_if.",   "src/advisor/advisor.",
       "src/advisor/evaluation.", "src/advisor/heuristic_advisors.",
       "src/trap/perturber.",   "src/testing/fault_campaign.",
+      "src/campaign/",
   };
   bool converted = false;
   for (const char* prefix : kConvertedPrefixes) {
@@ -499,6 +500,7 @@ void CheckNondeterministicIteration(
   static const char* kDigestPrefixes[] = {
       "src/obs/",
       "src/common/fault.",
+      "src/campaign/",
       "src/engine/what_if.",
       "src/testing/fault_campaign.",
       "src/testing/trace_scenario.",

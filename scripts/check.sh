@@ -41,6 +41,12 @@
 #      the regret/metric/trace digest lines to be bit-identical across
 #      thread counts, then diffs the scenario's JSON report against
 #      tests/golden/drift_scenario.json.
+#   6c. A serve stage per flavor (plain + TSan): trap_serve replays the
+#      canonical 4-connection session script (tests/golden/
+#      serve_session.script -- mixed methods, a mid-session snapshot
+#      publish, a reset) at TRAP_THREADS=1/4/8 and requires the session
+#      digest to be bit-identical across thread counts. The plain flavor
+#      also writes BENCH_serve.json with a serve_requests_per_sec counter.
 #   7. A perf-gate stage (plain flavor only; sanitizers skew timings):
 #      bench_engine_micro's shared what-if throughput probe, compared
 #      against bench/baselines/engine_micro_baseline.json by
@@ -211,6 +217,42 @@ drift_digest_stage() {
       --golden tests/golden/drift_scenario.json > /dev/null
 }
 
+# Replays the canonical 4-connection serve session (mixed methods, a
+# mid-session snapshot publish, a reset) across thread counts and requires
+# the session digest -- a fold over every response payload -- to be
+# bit-identical: the server executes admitted requests serially, so intra-
+# request parallelism must never leak into response bytes. The plain flavor
+# also writes BENCH_serve.json with a serve_requests_per_sec counter.
+serve_digest_stage() {
+  local dir="$1"
+  local threads="$2"
+  local with_report="$3"   # "report" to also write BENCH_serve.json
+  echo "==> serve session digests ${dir}"
+  local ref=""
+  local t
+  for t in ${threads}; do
+    local digest
+    digest="$(TRAP_THREADS="${t}" "${dir}/tools/serve/trap_serve" \
+        --script tests/golden/serve_session.script --connections 4 --digest)"
+    echo "    TRAP_THREADS=${t}: ${digest}"
+    if [ -z "${ref}" ]; then
+      ref="${digest}"
+    elif [ "${digest}" != "${ref}" ]; then
+      echo "error: serve session digest differs across thread counts" >&2
+      exit 1
+    fi
+  done
+  if [ "${with_report}" = "report" ]; then
+    (cd "${dir}" && ./tools/serve/trap_serve \
+        --script ../tests/golden/serve_session.script --connections 4 \
+        --digest --report serve > /dev/null)
+    if ! grep -q '"serve_requests_per_sec"' "${dir}/BENCH_serve.json"; then
+      echo "error: BENCH_serve.json lacks serve_requests_per_sec" >&2
+      exit 1
+    fi
+  fi
+}
+
 # Runs the shared what-if throughput probe (median of 5, microbenches
 # filtered out) and ratchets the result against the committed baseline.
 perf_gate_stage() {
@@ -253,6 +295,7 @@ fault_campaign_stage build-check "1 4 8"
 campaign_digest_stage build-check report
 trace_digest_stage build-check "1 4 8"
 drift_digest_stage build-check "1 4 8"
+serve_digest_stage build-check "1 4 8" report
 perf_gate_stage build-check
 
 TRAP_THREADS=4 run_suite build-check-tsan 600 -DTRAP_WERROR=ON \
@@ -261,6 +304,7 @@ fault_campaign_stage build-check-tsan "4"
 campaign_digest_stage build-check-tsan ""
 trace_digest_stage build-check-tsan "1 4 8"
 drift_digest_stage build-check-tsan "1 4 8"
+serve_digest_stage build-check-tsan "1 4 8" ""
 
 run_suite build-check-asan-ubsan 600 -DTRAP_WERROR=ON \
   -DTRAP_SANITIZE=address,undefined

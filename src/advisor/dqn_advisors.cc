@@ -98,14 +98,18 @@ class DqnAdvisorBase : public LearningAdvisor {
     }
     TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
     IndexSelectionEnv env(optimizer_, &actions_);
-    env.Reset(&w, constraint);
+    // The frozen policy is probed under the caller's stats epoch: the
+    // episode and the state encoding both carry ctx so drifted workloads
+    // are costed against the snapshot they arrived with.
+    env.Reset(&w, constraint, ctx);
     while (!env.Done()) {
       TRAP_RETURN_IF_ERROR(ctx.CheckContinue());
       std::vector<bool> valid = env.ValidActions(false);
       if (std::none_of(valid.begin(), valid.end(), [](bool b) { return b; })) {
         break;
       }
-      std::vector<double> state = encoder_->Encode(w, env.built(), constraint);
+      std::vector<double> state =
+          encoder_->Encode(w, env.built(), constraint, ctx);
       int a = GreedyAction(qnet_, state, valid);
       // Stop early when the best remaining Q-value predicts no improvement
       // (but always recommend at least one index).

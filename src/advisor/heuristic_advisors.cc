@@ -87,7 +87,7 @@ class ExtendAdvisor : public IndexAdvisor {
                                      const TuningConstraint& constraint,
                                      const EvalContext& ctx) override {
     TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
-    const catalog::Schema& schema = optimizer_->schema();
+    const catalog::Schema& schema = optimizer_->SchemaFor(ctx);
     std::vector<Index> singles =
         FeasibleCandidates(SingleColumnCandidates(w), constraint, schema);
     std::vector<IndexableColumn> columns = IndexableColumns(w);
@@ -230,7 +230,7 @@ class Db2Advisor : public IndexAdvisor {
                                      const TuningConstraint& constraint,
                                      const EvalContext& ctx) override {
     TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
-    const catalog::Schema& schema = optimizer_->schema();
+    const catalog::Schema& schema = optimizer_->SchemaFor(ctx);
     std::vector<Index> candidates = FeasibleCandidates(
         AllCandidates(w, schema, options_.multi_column,
                       options_.max_index_width),
@@ -268,7 +268,7 @@ class Db2Advisor : public IndexAdvisor {
             return;
           }
           std::unique_ptr<engine::PlanNode> plan =
-              optimizer_->Plan(wq.query, all);
+              optimizer_->Plan(wq.query, all, ctx);
           shares[qi].improvement =
               std::max(0.0, *base - plan->cost) * wq.weight;
           std::vector<const engine::PlanNode*> nodes;
@@ -324,7 +324,7 @@ class AutoAdminAdvisor : public IndexAdvisor {
                                      const TuningConstraint& constraint,
                                      const EvalContext& ctx) override {
     TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
-    const catalog::Schema& schema = optimizer_->schema();
+    const catalog::Schema& schema = optimizer_->SchemaFor(ctx);
     // Phase 1: candidate selection — the best configuration per query.
     std::set<Index> seeds;
     for (const workload::WorkloadQuery& wq : w.queries) {
@@ -421,7 +421,7 @@ class DropAdvisor : public IndexAdvisor {
                                      const TuningConstraint& constraint,
                                      const EvalContext& ctx) override {
     TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
-    const catalog::Schema& schema = optimizer_->schema();
+    const catalog::Schema& schema = optimizer_->SchemaFor(ctx);
     std::vector<Index> candidates = FeasibleCandidates(
         options_.multi_column
             ? AllCandidates(w, schema, true, options_.max_index_width)
@@ -534,7 +534,7 @@ class RelaxationAdvisor : public IndexAdvisor {
                                      const TuningConstraint& constraint,
                                      const EvalContext& ctx) override {
     TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
-    const catalog::Schema& schema = optimizer_->schema();
+    const catalog::Schema& schema = optimizer_->SchemaFor(ctx);
     // Start from the union of per-query best configurations.
     std::set<Index> seeds;
     for (const workload::WorkloadQuery& wq : w.queries) {
@@ -656,7 +656,7 @@ class DtaAdvisor : public IndexAdvisor {
                                      const TuningConstraint& constraint,
                                      const EvalContext& ctx) override {
     TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
-    const catalog::Schema& schema = optimizer_->schema();
+    const catalog::Schema& schema = optimizer_->SchemaFor(ctx);
     constexpr int kEvaluationBudget = 4000;  // anytime bound on what-if calls
     int evaluations = 0;
 

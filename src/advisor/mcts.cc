@@ -21,7 +21,11 @@ class MctsAdvisor : public IndexAdvisor {
       const workload::Workload& w, const TuningConstraint& constraint,
       const common::EvalContext& ctx) override {
     TRAP_RETURN_IF_ERROR(EnterRecommend(name(), w, ctx));
-    const catalog::Schema& schema = optimizer_->schema();
+    // Pinned once per recommend call: rollouts below must see the same
+    // snapshot-resolved schema (and stats epoch) as candidate generation.
+    schema_ = &optimizer_->SchemaFor(ctx);
+    ctx_ = ctx;
+    const catalog::Schema& schema = *schema_;
     candidates_ = AllCandidates(w, schema, options_.multi_column,
                                 options_.max_width);
     workload_ = &w;
@@ -71,15 +75,14 @@ class MctsAdvisor : public IndexAdvisor {
   };
 
   double Value(const engine::IndexConfig& config) {
-    double cost = optimizer_->WorkloadCost(*workload_, config);
+    double cost = optimizer_->WorkloadCost(*workload_, config, ctx_);
     return base_cost_ > 0.0 ? (base_cost_ - cost) / base_cost_ : 0.0;
   }
 
   std::vector<int> ValidActions(const engine::IndexConfig& config) {
     std::vector<int> out;
     for (size_t i = 0; i < candidates_.size(); ++i) {
-      if (FitsConstraint(config, candidates_[i], constraint_,
-                         optimizer_->schema())) {
+      if (FitsConstraint(config, candidates_[i], constraint_, *schema_)) {
         out.push_back(static_cast<int>(i));
       }
     }
@@ -147,6 +150,8 @@ class MctsAdvisor : public IndexAdvisor {
   common::Rng rng_;
 
   std::vector<engine::Index> candidates_;
+  const catalog::Schema* schema_ = nullptr;
+  common::EvalContext ctx_;
   const workload::Workload* workload_ = nullptr;
   TuningConstraint constraint_;
   double base_cost_ = 0.0;

@@ -9,6 +9,7 @@
 #include "advisor/dqn_advisors.h"
 #include "advisor/heuristic_advisors.h"
 #include "advisor/mcts.h"
+#include "advisor/remote.h"
 #include "advisor/swirl.h"
 
 namespace trap::advisor {
@@ -37,6 +38,10 @@ struct RegistryOptions {
   int rl_episodes = 0;
   int max_actions = 0;
   int mcts_iterations = 0;
+
+  // Out-of-process advisor ("Remote"): argv of the host process and the
+  // registry advisor it runs per request. Ignored by every other name.
+  RemoteAdvisorOptions remote;
 };
 
 // Builds the advisor registered under `name` (Table III names, e.g.

@@ -90,7 +90,8 @@ int StateEncoder::dim() const {
 
 std::vector<double> StateEncoder::Encode(
     const workload::Workload& w, const engine::IndexConfig& built,
-    const TuningConstraint& constraint) const {
+    const TuningConstraint& constraint,
+    const common::EvalContext& ctx) const {
   int k = actions_->size();
   std::vector<double> state;
   state.reserve(static_cast<size_t>(dim()));
@@ -100,7 +101,7 @@ std::vector<double> StateEncoder::Encode(
     double cost = 0.0;
     for (const workload::WorkloadQuery& wq : w.queries) {
       std::unique_ptr<engine::PlanNode> plan =
-          optimizer_->Plan(wq.query, built);
+          optimizer_->Plan(wq.query, built, ctx);
       std::vector<double> f = gbdt::ExtractPlanFeatures(*plan);
       for (int i = 0; i < gbdt::kPlanFeatureDim; ++i) {
         agg[static_cast<size_t>(i)] += wq.weight * f[static_cast<size_t>(i)];
@@ -109,7 +110,7 @@ std::vector<double> StateEncoder::Encode(
     }
     double norm = std::max(1.0, static_cast<double>(w.size()));
     for (double v : agg) state.push_back(v / norm);
-    double base = optimizer_->WorkloadCost(w, engine::IndexConfig());
+    double base = optimizer_->WorkloadCost(w, engine::IndexConfig(), ctx);
     state.push_back(std::log1p(cost) / 20.0);
     state.push_back(base > 0.0 ? 1.0 - cost / base : 0.0);
     double used = constraint.storage_budget_bytes > 0
@@ -156,11 +157,13 @@ IndexSelectionEnv::IndexSelectionEnv(const engine::WhatIfOptimizer* optimizer,
     : optimizer_(optimizer), actions_(actions) {}
 
 void IndexSelectionEnv::Reset(const workload::Workload* w,
-                              const TuningConstraint& constraint) {
+                              const TuningConstraint& constraint,
+                              const common::EvalContext& ctx) {
   workload_ = w;
   constraint_ = constraint;
+  ctx_ = ctx;
   built_ = engine::IndexConfig();
-  base_cost_ = optimizer_->WorkloadCost(*w, built_);
+  base_cost_ = optimizer_->WorkloadCost(*w, built_, ctx_);
   current_cost_ = base_cost_;
   steps_ = 0;
 }
@@ -183,7 +186,7 @@ std::vector<bool> IndexSelectionEnv::ValidActions(bool mask_irrelevant) const {
 double IndexSelectionEnv::Step(int a) {
   TRAP_CHECK(a >= 0 && a < actions_->size());
   built_.Add(actions_->candidates[static_cast<size_t>(a)]);
-  double new_cost = optimizer_->WorkloadCost(*workload_, built_);
+  double new_cost = optimizer_->WorkloadCost(*workload_, built_, ctx_);
   double reward =
       base_cost_ > 0.0 ? (current_cost_ - new_cost) / base_cost_ : 0.0;
   current_cost_ = new_cost;

@@ -57,9 +57,14 @@ class StateEncoder {
 
   int dim() const;
 
+  // `ctx` selects the stats epoch the fine-grained plan/cost features are
+  // computed against (the base epoch by default). Recommend-time callers
+  // must pass their evaluation context so drifted workloads are encoded
+  // under the snapshot they will be costed against.
   std::vector<double> Encode(const workload::Workload& w,
                              const engine::IndexConfig& built,
-                             const TuningConstraint& constraint) const;
+                             const TuningConstraint& constraint,
+                             const common::EvalContext& ctx = {}) const;
 
   StateGranularity granularity() const { return granularity_; }
 
@@ -77,7 +82,11 @@ class IndexSelectionEnv {
   IndexSelectionEnv(const engine::WhatIfOptimizer* optimizer,
                     const ActionSpace* actions);
 
-  void Reset(const workload::Workload* w, const TuningConstraint& constraint);
+  // `ctx` is pinned for the episode: every cost probe (the base cost here,
+  // each Step's what-if probe) runs against the epoch it carries. It must
+  // outlive the episode.
+  void Reset(const workload::Workload* w, const TuningConstraint& constraint,
+             const common::EvalContext& ctx = {});
 
   // Valid actions: not built, fits the constraint. If `mask_irrelevant`,
   // additionally requires positive syntactic relevance to the workload
@@ -99,6 +108,7 @@ class IndexSelectionEnv {
   const ActionSpace* actions_;
   const workload::Workload* workload_ = nullptr;
   TuningConstraint constraint_;
+  common::EvalContext ctx_;
   engine::IndexConfig built_;
   double base_cost_ = 0.0;
   double current_cost_ = 0.0;

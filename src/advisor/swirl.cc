@@ -71,9 +71,10 @@ struct SwirlAdvisor::Impl {
   // contributes to the policy-gradient update, otherwise greedy.
   engine::IndexConfig Rollout(const workload::Workload& w,
                               const TuningConstraint& constraint, bool sample,
-                              double* episode_return) {
+                              double* episode_return,
+                              const common::EvalContext& ctx = {}) {
     IndexSelectionEnv env(optimizer, &actions);
-    env.Reset(&w, constraint);
+    env.Reset(&w, constraint, ctx);
     int k = actions.size();
     struct StepRecord {
       std::vector<double> state;
@@ -88,7 +89,8 @@ struct SwirlAdvisor::Impl {
       // The stop action becomes available once at least one index is built
       // (an empty recommendation is never useful).
       valid.push_back(!env.built().empty());
-      std::vector<double> state = encoder->Encode(w, env.built(), constraint);
+      std::vector<double> state =
+          encoder->Encode(w, env.built(), constraint, ctx);
       // Forward pass outside the training graph for action selection.
       nn::Graph g;
       nn::Graph::VarId logits =
@@ -191,7 +193,7 @@ common::StatusOr<engine::IndexConfig> SwirlAdvisor::TryRecommend(
   // The greedy rollout is one bounded episode; engine errors inside degrade
   // through the legacy cost wrappers, and the entry bracket above accounts
   // for deadline/fault injection at recommend granularity.
-  return impl_->Rollout(w, constraint, /*sample=*/false, nullptr);
+  return impl_->Rollout(w, constraint, /*sample=*/false, nullptr, ctx);
 }
 
 }  // namespace trap::advisor

@@ -307,25 +307,28 @@ bool WriteAll(int fd, const std::string& data) {
   return true;
 }
 
-std::string InitPayload(const CampaignOptions& opts) {
-  std::string out = "{\"type\":\"init\",\"schema\":" +
-                    JsonQuote(opts.base.schema) +
-                    ",\"seed\":" + JsonHex(opts.base.seed) +
-                    ",\"step_budget\":" + JsonHex(opts.base.step_budget) +
-                    common::StrFormat(",\"workloads\":%d",
-                                      opts.base.workloads) +
-                    ",\"probabilities\":[";
-  for (size_t i = 0; i < opts.base.probabilities.size(); ++i) {
-    if (i > 0) out += ",";
-    out += JsonDouble(opts.base.probabilities[i]);
+std::string InitRequestPayload(const CampaignOptions& opts,
+                               std::uint64_t id) {
+  common::rpc::Request req;
+  req.id = id;
+  req.method = "init";
+  JsonValue& p = req.params;
+  p.Set("schema", JsonValue::Str(opts.base.schema));
+  p.Set("seed", JsonValue::Hex(opts.base.seed));
+  p.Set("step_budget", JsonValue::Hex(opts.base.step_budget));
+  p.Set("workloads", JsonValue::Number(opts.base.workloads));
+  JsonValue probabilities = JsonValue::Array();
+  for (double x : opts.base.probabilities) {
+    probabilities.Push(JsonValue::Number(x));
   }
-  out += "],\"fault_p\":[";
+  p.Set("probabilities", std::move(probabilities));
+  JsonValue fault_p = JsonValue::Array();
   for (int i = 0; i < kNumWorkerFaults; ++i) {
-    if (i > 0) out += ",";
-    out += JsonDouble(opts.worker_faults.probability[i]);
+    fault_p.Push(JsonValue::Number(opts.worker_faults.probability[i]));
   }
-  out += "],\"fault_seed\":" + JsonHex(opts.worker_faults.seed) + "}";
-  return out;
+  p.Set("fault_p", std::move(fault_p));
+  p.Set("fault_seed", JsonValue::Hex(opts.worker_faults.seed));
+  return common::rpc::EncodeRequest(req);
 }
 
 struct Slot {
@@ -335,6 +338,11 @@ struct Slot {
   State state = State::kDead;
   Attempt unit{};
   std::chrono::steady_clock::time_point deadline{};
+  // rpc envelope bookkeeping: the worker's hello must arrive before any
+  // response, and each response must echo the request id in flight.
+  bool saw_hello = false;
+  std::uint64_t next_id = 0;
+  std::uint64_t expect_id = 0;
 };
 
 class Supervisor {
@@ -375,13 +383,16 @@ class Supervisor {
         s.proc, common::SpawnWithPipes({opts_.worker_binary, "--worker"}));
     s.decoder = common::FrameDecoder{};
     s.state = Slot::State::kIniting;
+    s.saw_hello = false;
+    s.next_id = 1;
+    s.expect_id = 1;
     // Init builds the fault-free baselines -- real recommendation work,
     // comparable to a few shards; give it a wide multiple.
     s.deadline = Now() + std::chrono::milliseconds(
                              static_cast<long>(opts_.unit_timeout_ms) * 6);
     if (is_restart) ++run_.worker_restarts;
     if (!WriteAll(s.proc.stdin_fd,
-                  common::EncodeFrame(InitPayload(opts_)))) {
+                  common::EncodeFrame(InitRequestPayload(opts_, 1)))) {
       FailSlot(s, "worker.crash", "init write failed");
     }
     return common::Status::Ok();
@@ -411,11 +422,16 @@ class Supervisor {
         run_.spec_fp,
         common::HashCombine(static_cast<std::uint64_t>(a.shard) + 1,
                             static_cast<std::uint64_t>(a.attempt)));
-    const std::string payload = common::StrFormat(
-        "{\"type\":\"unit\",\"shard\":%d,\"begin\":%d,\"end\":%d,"
-        "\"salt\":%s}",
-        a.shard, shard.begin, shard.end, JsonHex(salt).c_str());
+    common::rpc::Request req;
+    req.id = ++s.next_id;
+    req.method = "run_shard";
+    req.params.Set("shard", JsonValue::Number(a.shard));
+    req.params.Set("begin", JsonValue::Number(shard.begin));
+    req.params.Set("end", JsonValue::Number(shard.end));
+    req.params.Set("salt", JsonValue::Hex(salt));
+    const std::string payload = common::rpc::EncodeRequest(req);
     s.unit = a;
+    s.expect_id = req.id;
     s.state = Slot::State::kBusy;
     s.deadline =
         Now() + std::chrono::milliseconds(opts_.unit_timeout_ms);
@@ -455,38 +471,48 @@ class Supervisor {
 
   // One complete frame from `s`. Returns false when the worker was failed.
   bool HandleFrame(Slot& s, const std::string& payload) {
-    common::StatusOr<JsonValue> msg = ParseJson(payload);
-    if (!msg.ok()) {
-      FailSlot(s, "worker.garbage_frame",
-               "unparseable frame: " + msg.status().message());
-      return false;
-    }
-    const std::optional<std::string> type = msg->StringAt("type");
-    if (type == "ready") {
-      if (s.state != Slot::State::kIniting) {
-        FailSlot(s, "worker.garbage_frame", "unexpected ready frame");
+    // The first frame out of any worker is the protocol handshake; a peer
+    // built against a different rpc version dies here, on frame one.
+    if (!s.saw_hello) {
+      const common::Status hello =
+          common::rpc::CheckHello(payload, "campaign-worker");
+      if (!hello.ok()) {
+        FailSlot(s, "worker.garbage_frame",
+                 "bad hello: " + hello.message());
         return false;
       }
+      s.saw_hello = true;
+      return true;
+    }
+    common::StatusOr<common::rpc::Response> resp =
+        common::rpc::DecodeResponse(payload);
+    if (!resp.ok()) {
+      FailSlot(s, "worker.garbage_frame",
+               "unparseable frame: " + resp.status().message());
+      return false;
+    }
+    if (resp->id != s.expect_id) {
+      FailSlot(s, "worker.garbage_frame", "response id mismatch");
+      return false;
+    }
+    if (!resp->ok()) {
+      // A structured rejection (unknown schema, malformed unit) would hit
+      // every worker alike: configuration, not a fault. Fail the campaign.
+      fatal_ = common::Status::Internal(
+          "worker rejected " +
+          std::string(s.state == Slot::State::kIniting ? "init" : "unit") +
+          ": " + resp->message);
+      return true;
+    }
+    if (s.state == Slot::State::kIniting) {
       init_deaths_ = 0;
       s.state = Slot::State::kIdle;
       return true;
     }
-    if (type == "error") {
-      // An init error (unknown schema etc.) would hit every worker alike:
-      // configuration, not a fault. Fail the campaign.
-      fatal_ = common::Status::Internal(
-          "worker rejected init: " +
-          msg->StringAt("message").value_or("(no message)"));
-      return true;
-    }
-    if (type == "result") {
-      if (s.state != Slot::State::kBusy) {
-        FailSlot(s, "worker.garbage_frame", "unsolicited result frame");
-        return false;
-      }
+    if (s.state == Slot::State::kBusy) {
       const Attempt a = s.unit;
-      const std::optional<std::int64_t> shard = msg->IntAt("shard");
-      const JsonValue* shard_cases = msg->Find("cases");
+      const std::optional<std::int64_t> shard = resp->result.IntAt("shard");
+      const JsonValue* shard_cases = resp->result.Find("cases");
       const ShardSpec& spec = run_.plan[static_cast<size_t>(a.shard)];
       if (shard != a.shard || shard_cases == nullptr ||
           shard_cases->kind != JsonValue::Kind::kArray ||
@@ -514,7 +540,7 @@ class Supervisor {
       }
       return true;
     }
-    FailSlot(s, "worker.garbage_frame", "unknown frame type");
+    FailSlot(s, "worker.garbage_frame", "unsolicited response");
     return false;
   }
 

@@ -1,52 +1,25 @@
 #ifndef TRAP_CAMPAIGN_WIRE_H_
 #define TRAP_CAMPAIGN_WIRE_H_
 
-#include <cstdint>
 #include <optional>
 #include <string>
-#include <string_view>
-#include <utility>
-#include <vector>
 
-#include "common/status.h"
+#include "common/json.h"
+#include "common/rpc.h"
 #include "testing/fault_campaign.h"
 
 namespace trap::campaign {
 
-// Minimal JSON document model for the coordinator/worker frames and the
-// checkpoint journal. Self-contained by design: the wire format crosses a
-// process boundary that the campaign deliberately distrusts (workers are
-// killed mid-write, fault injection emits garbage frames), so every frame
-// is parsed defensively into this tree and then field-checked, never
-// pointer-cast.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
-  Kind kind = Kind::kNull;
-  bool bool_value = false;
-  double number_value = 0.0;
-  std::string string_value;
-  std::vector<std::pair<std::string, JsonValue>> members;  // kObject, in order
-  std::vector<JsonValue> items;                            // kArray
-
-  // Object member lookup; nullptr when absent or not an object.
-  const JsonValue* Find(std::string_view key) const;
-  std::optional<double> NumberAt(std::string_view key) const;
-  std::optional<std::int64_t> IntAt(std::string_view key) const;
-  std::optional<bool> BoolAt(std::string_view key) const;
-  std::optional<std::string> StringAt(std::string_view key) const;
-  // 64-bit values ride as "0x..." strings: a JSON number is a double and
-  // cannot carry a full uint64 (fingerprints, seeds, salts) exactly.
-  std::optional<std::uint64_t> HexAt(std::string_view key) const;
-};
-
-common::StatusOr<JsonValue> ParseJson(std::string_view text);
-
-// Writer helpers. JsonDouble uses %.17g so strtod round-trips the exact
-// bits -- campaign digests hash the probability, so a lossy round-trip
-// would silently fork the digest across process topologies.
-std::string JsonQuote(std::string_view s);
-std::string JsonHex(std::uint64_t v);
-std::string JsonDouble(double v);
+// The campaign wire format is the shared common::rpc envelope over
+// common::json documents; these aliases keep the (large) campaign
+// call-surface readable. The only campaign-specific codec left here is
+// CampaignCase, the unit of both worker result frames and the checkpoint
+// journal.
+using JsonValue = common::JsonValue;
+using common::JsonDouble;
+using common::JsonHex;
+using common::JsonQuote;
+using common::ParseJson;
 
 // One executed campaign case as a JSON object -- the unit of both the
 // worker result frames and the checkpoint journal.

@@ -9,6 +9,7 @@
 #include "campaign/fault.h"
 #include "campaign/wire.h"
 #include "common/frame.h"
+#include "common/rpc.h"
 #include "common/string_util.h"
 #include "testing/fault_campaign.h"
 
@@ -20,15 +21,24 @@ using proptest::CampaignCaseSpec;
 using proptest::CampaignEnv;
 using proptest::FaultCampaignOptions;
 
+namespace rpc = common::rpc;
+
 struct WorkerState {
   std::optional<CampaignEnv> env;
   std::vector<CampaignCaseSpec> cases;
   WorkerFaultPlan faults;
 };
 
-// Builds the environment from an init frame; replies ready or error.
-common::Status HandleInit(const JsonValue& msg, WorkerState* state,
+common::Status WriteError(std::FILE* out, std::uint64_t id,
+                          const common::Status& why) {
+  return common::WriteFrame(out,
+                            rpc::EncodeResponse(rpc::ErrorResponse(id, why)));
+}
+
+// Builds the environment from an init request; replies ok or error.
+common::Status HandleInit(const rpc::Request& req, WorkerState* state,
                           std::FILE* out) {
+  const JsonValue& msg = req.params;
   FaultCampaignOptions opts;
   std::optional<std::string> schema = msg.StringAt("schema");
   std::optional<std::uint64_t> seed = msg.HexAt("seed");
@@ -42,8 +52,8 @@ common::Status HandleInit(const JsonValue& msg, WorkerState* state,
       probabilities->kind != JsonValue::Kind::kArray || fault_p == nullptr ||
       fault_p->kind != JsonValue::Kind::kArray ||
       fault_p->items.size() != kNumWorkerFaults || !fault_seed) {
-    return common::WriteFrame(out,
-                      "{\"type\":\"error\",\"message\":\"malformed init\"}");
+    return WriteError(out, req.id,
+                      common::Status::InvalidArgument("malformed init"));
   }
   opts.schema = *schema;
   opts.seed = *seed;
@@ -52,8 +62,8 @@ common::Status HandleInit(const JsonValue& msg, WorkerState* state,
   opts.probabilities.clear();
   for (const JsonValue& p : probabilities->items) {
     if (p.kind != JsonValue::Kind::kNumber) {
-      return common::WriteFrame(
-          out, "{\"type\":\"error\",\"message\":\"bad probability\"}");
+      return WriteError(out, req.id,
+                        common::Status::InvalidArgument("bad probability"));
     }
     opts.probabilities.push_back(p.number_value);
   }
@@ -65,18 +75,20 @@ common::Status HandleInit(const JsonValue& msg, WorkerState* state,
   state->faults.seed = *fault_seed;
   common::StatusOr<CampaignEnv> env = CampaignEnv::Make(opts);
   if (!env.ok()) {
-    return common::WriteFrame(out, "{\"type\":\"error\",\"message\":" +
-                               JsonQuote(env.status().ToString()) + "}");
+    return WriteError(out, req.id, env.status());
   }
   state->cases = proptest::EnumerateCampaignCases(opts);
   state->env.emplace(*std::move(env));
+  JsonValue result = JsonValue::Object();
+  result.Set("cases",
+             JsonValue::Number(static_cast<double>(state->cases.size())));
   return common::WriteFrame(
-      out, common::StrFormat("{\"type\":\"ready\",\"cases\":%zu}",
-                             state->cases.size()));
+      out, rpc::EncodeResponse(rpc::OkResponse(req.id, std::move(result))));
 }
 
-common::Status HandleUnit(const JsonValue& msg, const WorkerState& state,
+common::Status HandleUnit(const rpc::Request& req, const WorkerState& state,
                           std::FILE* out) {
+  const JsonValue& msg = req.params;
   std::optional<std::int64_t> shard = msg.IntAt("shard");
   std::optional<std::int64_t> begin = msg.IntAt("begin");
   std::optional<std::int64_t> end = msg.IntAt("end");
@@ -84,8 +96,8 @@ common::Status HandleUnit(const JsonValue& msg, const WorkerState& state,
   const int n = static_cast<int>(state.cases.size());
   if (!shard || !begin || !end || !salt || *begin < 0 || *end < *begin ||
       *end > n || !state.env.has_value()) {
-    return common::WriteFrame(
-        out, "{\"type\":\"error\",\"message\":\"malformed unit\"}");
+    return WriteError(out, req.id,
+                      common::Status::InvalidArgument("malformed unit"));
   }
   // Injected process-level faults, drawn per (shard, attempt) salt.
   if (WorkerFaultFires(state.faults, WorkerFault::kHang, *salt)) {
@@ -113,8 +125,14 @@ common::Status HandleUnit(const JsonValue& msg, const WorkerState& state,
   const int crash_at =
       crash ? static_cast<int>(*begin) + static_cast<int>(*end - *begin) / 2
             : -1;
+  // The case array is built by string concatenation (EncodeCampaignCase
+  // emits JSON text); the surrounding envelope matches rpc::EncodeResponse
+  // byte-for-byte in field order so the coordinator's DecodeResponse sees
+  // one dialect.
   std::string payload = common::StrFormat(
-      "{\"type\":\"result\",\"shard\":%lld,\"cases\":[",
+      "{\"rpc\":%d,\"id\":%s,\"status\":\"OK\","
+      "\"result\":{\"shard\":%lld,\"cases\":[",
+      rpc::kProtocolVersion, JsonHex(req.id).c_str(),
       static_cast<long long>(*shard));
   for (int i = static_cast<int>(*begin); i < static_cast<int>(*end); ++i) {
     if (i == crash_at) {
@@ -127,7 +145,7 @@ common::Status HandleUnit(const JsonValue& msg, const WorkerState& state,
     if (i != static_cast<int>(*begin)) payload += ",";
     payload += EncodeCampaignCase(c);
   }
-  payload += "]}";
+  payload += "]}}";
   return common::WriteFrame(out, payload);
 }
 
@@ -136,6 +154,14 @@ common::Status HandleUnit(const JsonValue& msg, const WorkerState& state,
 int WorkerMain(std::FILE* in, std::FILE* out) {
   common::FrameDecoder decoder;
   WorkerState state;
+  // The handshake: version + role, before any response. The coordinator
+  // rejects the whole worker on a mismatched first frame.
+  if (common::Status hello =
+          common::WriteFrame(out, rpc::EncodeHello("campaign-worker"));
+      !hello.ok()) {
+    std::fprintf(stderr, "worker: %s\n", hello.ToString().c_str());
+    return 3;
+  }
   for (;;) {
     std::string payload;
     common::Status read = common::ReadFrame(in, &decoder, &payload);
@@ -146,21 +172,21 @@ int WorkerMain(std::FILE* in, std::FILE* out) {
       std::fprintf(stderr, "worker: %s\n", read.ToString().c_str());
       return 3;
     }
-    common::StatusOr<JsonValue> msg = ParseJson(payload);
-    if (!msg.ok()) {
-      std::fprintf(stderr, "worker: %s\n", msg.status().ToString().c_str());
+    common::StatusOr<rpc::Request> req = rpc::DecodeRequest(payload);
+    if (!req.ok()) {
+      std::fprintf(stderr, "worker: %s\n", req.status().ToString().c_str());
       return 3;
     }
-    std::optional<std::string> type = msg->StringAt("type");
     common::Status handled = common::Status::Ok();
-    if (type == "exit") {
+    if (req->method == "exit") {
       return 0;
-    } else if (type == "init") {
-      handled = HandleInit(*msg, &state, out);
-    } else if (type == "unit") {
-      handled = HandleUnit(*msg, state, out);
+    } else if (req->method == "init") {
+      handled = HandleInit(*req, &state, out);
+    } else if (req->method == "run_shard") {
+      handled = HandleUnit(*req, state, out);
     } else {
-      std::fprintf(stderr, "worker: unknown frame type\n");
+      std::fprintf(stderr, "worker: unknown method '%s'\n",
+                   req->method.c_str());
       return 3;
     }
     if (!handled.ok()) {

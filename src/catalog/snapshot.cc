@@ -1,0 +1,39 @@
+#include "catalog/snapshot.h"
+
+namespace trap::catalog {
+
+SnapshotManager::SnapshotManager(const Schema& base)
+    : base_(&base),
+      base_snapshot_(std::make_shared<const Snapshot>(base)),
+      current_(base_snapshot_) {}
+
+std::shared_ptr<const Snapshot> SnapshotManager::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::shared_ptr<const Snapshot> SnapshotManager::Publish(
+    StatsOverlay overlay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++publications_;
+  if (overlay.empty()) {
+    current_ = base_snapshot_;
+  } else {
+    current_ = std::make_shared<const Snapshot>(*base_, std::move(overlay));
+  }
+  return current_;
+}
+
+std::shared_ptr<const Snapshot> SnapshotManager::ResetToBase() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++publications_;
+  current_ = base_snapshot_;
+  return current_;
+}
+
+uint64_t SnapshotManager::publications() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return publications_;
+}
+
+}  // namespace trap::catalog

@@ -10,6 +10,10 @@ namespace trap::obs {
 struct ObsSink;
 }  // namespace trap::obs
 
+namespace trap::catalog {
+class Snapshot;
+}  // namespace trap::catalog
+
 namespace trap::common {
 
 class ThreadPool;
@@ -93,6 +97,15 @@ struct EvalContext {
   // Mixed into fault-draw keys so that retry attempts of the same logical
   // operation redraw their probabilistic faults (see common/fault.h).
   std::uint64_t fault_salt = 0;
+
+  // Immutable catalog snapshot (schema + stats overlay + epoch) this
+  // evaluation reads from; see catalog/snapshot.h. Not owned; nullptr means
+  // the base epoch (the engine's constructor-time schema, unshifted). The
+  // snapshot must stay alive for the duration of the call -- long-running
+  // hosts pin it via SnapshotManager::Current(). Forward-declared only:
+  // common sits below catalog in the layering DAG, and this field is a
+  // pure carrier the common layer never dereferences.
+  const ::trap::catalog::Snapshot* snapshot = nullptr;
 
   // Charges one step and reports why evaluation must stop, if it must.
   Status CheckContinue(std::uint64_t steps = 1) const;

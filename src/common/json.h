@@ -1,0 +1,70 @@
+#ifndef TRAP_COMMON_JSON_H_
+#define TRAP_COMMON_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace trap::common {
+
+// Minimal JSON document model shared by every frame dialect in the tree
+// (campaign coordinator/worker, the serve runtime, remote advisors) and by
+// the checkpoint journal. Self-contained by design: each of those wire
+// formats crosses a process boundary the system deliberately distrusts
+// (workers are killed mid-write, fault injection emits garbage frames,
+// serve clients are arbitrary), so every frame is parsed defensively into
+// this tree and then field-checked, never pointer-cast.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject, in order
+  std::vector<JsonValue> items;                            // kArray
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  std::optional<double> NumberAt(std::string_view key) const;
+  std::optional<std::int64_t> IntAt(std::string_view key) const;
+  std::optional<bool> BoolAt(std::string_view key) const;
+  std::optional<std::string> StringAt(std::string_view key) const;
+  // 64-bit values ride as "0x..." strings: a JSON number is a double and
+  // cannot carry a full uint64 (fingerprints, seeds, salts) exactly.
+  std::optional<std::uint64_t> HexAt(std::string_view key) const;
+
+  // Tree builders, for code that assembles a document instead of string
+  // concatenation. Set replaces an existing member of the same key so a
+  // document can never carry duplicates.
+  static JsonValue Object();
+  static JsonValue Array();
+  static JsonValue Null();
+  static JsonValue Bool(bool v);
+  static JsonValue Number(double v);
+  static JsonValue Str(std::string v);
+  static JsonValue Hex(std::uint64_t v);  // kString, "0x%016x" form
+  JsonValue& Set(std::string_view key, JsonValue v);   // object member
+  JsonValue& Push(JsonValue v);                        // array element
+};
+
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+// Serializes a tree in member/item order, with no whitespace. Numbers use
+// %.17g (see JsonDouble) so a parse/write round-trip is bit-exact.
+std::string WriteJson(const JsonValue& v);
+
+// Writer helpers. JsonDouble uses %.17g so strtod round-trips the exact
+// bits -- campaign digests hash the probability, so a lossy round-trip
+// would silently fork the digest across process topologies.
+std::string JsonQuote(std::string_view s);
+std::string JsonHex(std::uint64_t v);
+std::string JsonDouble(double v);
+
+}  // namespace trap::common
+
+#endif  // TRAP_COMMON_JSON_H_

@@ -1,0 +1,71 @@
+#ifndef TRAP_COMMON_RPC_H_
+#define TRAP_COMMON_RPC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace trap::common::rpc {
+
+// One versioned request/response envelope for every frame dialect in the
+// tree: the campaign coordinator/worker link, the serve runtime's client
+// sessions, and remote out-of-process advisors. Frames are length-prefixed
+// (common/frame.*); the payload is a JSON object that always carries the
+// protocol version under "rpc", so a peer built against a different
+// protocol is rejected on the very first frame instead of misparsing
+// fields. 64-bit ids ride as "0x..." strings (see JsonValue::HexAt).
+//
+//   request:  {"rpc":1,"id":"0x..","method":"...","params":{...}}
+//   response: {"rpc":1,"id":"0x..","status":"OK","result":{...}}
+//             {"rpc":1,"id":"0x..","status":"RESOURCE_EXHAUSTED",
+//              "message":"...","result":{...}}
+//   hello:    {"rpc":1,"hello":"<role>"}
+//
+// The hello frame is the handshake: the accepting side of a connection
+// sends it first, the dialing side validates version and role before
+// issuing requests. Decoders reject a missing or mismatched version with
+// kInvalidArgument ("rpc: version mismatch") so peers can distinguish
+// protocol skew from garbage.
+inline constexpr int kProtocolVersion = 1;
+
+struct Request {
+  std::uint64_t id = 0;
+  std::string method;
+  JsonValue params;  // kObject or kNull
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  StatusCode status = StatusCode::kOk;
+  std::string message;  // populated when status != kOk
+  JsonValue result;     // kObject or kNull
+
+  bool ok() const { return status == StatusCode::kOk; }
+  // The carried status as a Status (kOk -> OkStatus).
+  Status ToStatus() const;
+};
+
+std::string EncodeRequest(const Request& req);
+std::string EncodeResponse(const Response& resp);
+std::string EncodeHello(std::string_view role);
+
+StatusOr<Request> DecodeRequest(std::string_view payload);
+StatusOr<Response> DecodeResponse(std::string_view payload);
+// Validates version + role of a hello payload.
+Status CheckHello(std::string_view payload, std::string_view want_role);
+
+// Response builders.
+Response OkResponse(std::uint64_t id, JsonValue result);
+Response ErrorResponse(std::uint64_t id, const Status& status);
+
+// StatusCode <-> wire name ("OK", "RESOURCE_EXHAUSTED", ...). Parsing an
+// unknown name yields kInternal: a peer reporting a code this build does
+// not know is an internal-consistency problem, not caller error.
+StatusCode ParseStatusCode(std::string_view name);
+
+}  // namespace trap::common::rpc
+
+#endif  // TRAP_COMMON_RPC_H_

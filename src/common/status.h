@@ -123,15 +123,21 @@ class [[nodiscard]] StatusOr {
 
 }  // namespace trap::common
 
-// Propagates a non-OK Status to the caller. `expr` is evaluated once.
-#define TRAP_RETURN_IF_ERROR(expr)                       \
-  do {                                                   \
-    ::trap::common::Status trap_status_ = (expr);        \
-    if (!trap_status_.ok()) return trap_status_;         \
-  } while (0)
-
 #define TRAP_STATUS_CONCAT_INNER_(a, b) a##b
 #define TRAP_STATUS_CONCAT_(a, b) TRAP_STATUS_CONCAT_INNER_(a, b)
+
+// Propagates a non-OK Status to the caller. `expr` is evaluated once. The
+// temporary gets a unique name so nested uses (for example a macro-bearing
+// lambda passed as `expr`) do not shadow each other under -Wshadow.
+#define TRAP_RETURN_IF_ERROR(expr) \
+  TRAP_RETURN_IF_ERROR_IMPL_(TRAP_STATUS_CONCAT_(trap_status_, __COUNTER__), \
+                             expr)
+
+#define TRAP_RETURN_IF_ERROR_IMPL_(tmp, expr)  \
+  do {                                         \
+    ::trap::common::Status tmp = (expr);       \
+    if (!tmp.ok()) return tmp;                 \
+  } while (0)
 
 // Evaluates `expr` (a StatusOr<T>); on error returns the Status, otherwise
 // moves the value into `lhs` (which may be a declaration).

@@ -4,6 +4,7 @@
 #include <bit>
 #include <utility>
 
+#include "catalog/snapshot.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
@@ -11,17 +12,6 @@
 
 namespace trap::drift {
 namespace {
-
-// Restores the optimizer to the base epoch on every exit path: a failed run
-// must not leave shifted statistics installed on the shared optimizer.
-struct EpochRestorer {
-  explicit EpochRestorer(engine::WhatIfOptimizer* optimizer)
-      : optimizer(optimizer) {}
-  ~EpochRestorer() { optimizer->ClearStatsOverlay(); }
-  EpochRestorer(const EpochRestorer&) = delete;
-  EpochRestorer& operator=(const EpochRestorer&) = delete;
-  engine::WhatIfOptimizer* optimizer;
-};
 
 constexpr uint64_t kSeriesSalt = 0x6f1d3b59c2a8e047ull;
 
@@ -49,7 +39,6 @@ common::StatusOr<ReplayResult> ReplayLoop::TryRun(
                           static_cast<uint64_t>(options_.episodes)));
   const common::EvalContext& rctx = run_span.ctx();
 
-  EpochRestorer restore(optimizer_);
   ReplayResult result;
   result.series_fp = kSeriesSalt;
   result.episodes.reserve(static_cast<size_t>(options_.episodes));
@@ -58,7 +47,11 @@ common::StatusOr<ReplayResult> ReplayLoop::TryRun(
   for (int s = 0; s < options_.episodes; ++s) {
     TRAP_RETURN_IF_ERROR(rctx.CheckContinue());
     const Episode ep = stream.At(s);
-    optimizer_->SetStatsOverlay(ep.overlay);
+    // The episode's catalog state, as an immutable snapshot carried on the
+    // context: every probe and the re-advisement below read the shifted
+    // statistics through it, and the shared optimizer is never mutated --
+    // there is nothing to restore on any exit path.
+    const catalog::Snapshot snapshot(optimizer_->schema(), ep.overlay);
 
     EpisodeResult er;
     er.step = s;
@@ -69,7 +62,8 @@ common::StatusOr<ReplayResult> ReplayLoop::TryRun(
     obs::TraceSpan episode_span(rctx, "drift.episode", ep.fingerprint);
     episode_span.AddArg("step", s);
     episode_span.AddArg("kind", static_cast<int64_t>(ep.kind));
-    const common::EvalContext& ectx = episode_span.ctx();
+    common::EvalContext ectx = episode_span.ctx();
+    ectx.snapshot = &snapshot;
 
     // The stale probe runs on the caller's budget: measuring the status quo
     // is the loop's own bookkeeping, not re-advisement work.

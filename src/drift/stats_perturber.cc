@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "catalog/snapshot.h"
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "sql/query.h"
@@ -91,9 +92,12 @@ common::StatusOr<StatsPerturbation> StatsPerturber::TryPerturb(
       obs::MetricRegistry::Global().counter("trap.drift.stats.moves");
 
   StatsPerturbation result;
-  optimizer_.ClearStatsOverlay();
+  // The private optimizer's base epoch is the unshifted schema; the search
+  // never reads whatever snapshot the caller's context carries.
+  common::EvalContext base_ctx = ctx;
+  base_ctx.snapshot = nullptr;
   TRAP_ASSIGN_OR_RETURN(result.base_cost,
-                        optimizer_.TryWorkloadCost(w, fixed, ctx));
+                        optimizer_.TryWorkloadCost(w, fixed, base_ctx));
   result.shifted_cost = result.base_cost;
 
   const std::vector<catalog::ColumnId> candidates =
@@ -126,9 +130,13 @@ common::StatusOr<StatsPerturbation> StatsPerturber::TryPerturb(
         if (!ApplyMove(move, step, rows, &next)) continue;
         catalog::StatsOverlay trial = result.overlay;
         trial.SetColumnStats(id, next);
-        optimizer_.SetStatsOverlay(trial);
+        // Each trial is an immutable snapshot on the context; nothing is
+        // installed, so there is nothing to clear on any exit path.
+        const catalog::Snapshot trial_snapshot(*schema_, trial);
+        common::EvalContext trial_ctx = ctx;
+        trial_ctx.snapshot = &trial_snapshot;
         TRAP_ASSIGN_OR_RETURN(const double cost,
-                              optimizer_.TryWorkloadCost(w, fixed, ctx));
+                              optimizer_.TryWorkloadCost(w, fixed, trial_ctx));
         // Strict improvement keeps the search deterministic under ties:
         // the earliest (column, move) candidate wins.
         if (cost > best_cost) {
@@ -147,7 +155,6 @@ common::StatusOr<StatsPerturbation> StatsPerturber::TryPerturb(
   }
 
   result.shifted_cost = current_cost;
-  optimizer_.ClearStatsOverlay();
   return result;
 }
 
@@ -156,7 +163,6 @@ StatsPerturbation StatsPerturber::Perturb(const workload::Workload& w,
                                           const common::EvalContext& ctx) {
   common::StatusOr<StatsPerturbation> result = TryPerturb(w, fixed, ctx);
   if (result.ok()) return *std::move(result);
-  optimizer_.ClearStatsOverlay();
   return StatsPerturbation{};
 }
 

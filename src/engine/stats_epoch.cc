@@ -3,45 +3,36 @@
 #include <memory>
 #include <utility>
 
+#include "common/check.h"
+
 namespace trap::engine {
 
 StatsEpochRegistry::StatsEpochRegistry(const catalog::Schema& base,
                                        const CostParams& params)
     : base_(&base),
       params_(params),
-      base_epoch_(std::make_shared<const StatsEpoch>(base, params)),
-      current_(base_epoch_) {}
+      base_epoch_(std::make_shared<const StatsEpoch>(base, params)) {}
 
-std::shared_ptr<const StatsEpoch> StatsEpochRegistry::Current() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return current_;
-}
-
-uint64_t StatsEpochRegistry::Install(const catalog::StatsOverlay& overlay) {
-  const uint64_t fp = overlay.Fingerprint();
-  if (fp == 0) {
-    Reset();
-    return 0;
-  }
+std::shared_ptr<const StatsEpoch> StatsEpochRegistry::Resolve(
+    const catalog::Snapshot* snapshot) const {
+  if (snapshot == nullptr || snapshot->is_base()) return base_epoch_;
+  TRAP_CHECK_MSG(&snapshot->base_schema() == base_,
+                 "catalog::Snapshot built over a different base schema than "
+                 "this optimizer");
+  const uint64_t fp = snapshot->epoch();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = retained_.find(fp);
   if (it == retained_.end()) {
     // Cold path: materialize the shifted schema once per distinct overlay
     // content. Costing itself never copies schemas.
     auto schema = std::make_unique<const catalog::Schema>(
-        overlay.Apply(*base_));
+        snapshot->overlay().Apply(*base_));
     it = retained_
              .emplace(fp, std::make_shared<const StatsEpoch>(
                               fp, std::move(schema), params_))
              .first;
   }
-  current_ = it->second;
-  return fp;
-}
-
-void StatsEpochRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  current_ = base_epoch_;
+  return it->second;
 }
 
 }  // namespace trap::engine

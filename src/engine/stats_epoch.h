@@ -6,17 +6,18 @@
 #include <memory>
 #include <mutex>
 
+#include "catalog/snapshot.h"
 #include "catalog/stats_overlay.h"
 #include "engine/cost_model.h"
 
 namespace trap::engine {
 
-// One immutable statistics epoch of a WhatIfOptimizer: the schema as an
-// installed catalog::StatsOverlay sees it, a cost model compiled over that
-// schema, and the overlay's content fingerprint (0 = the base epoch, i.e.
+// One immutable statistics epoch of a WhatIfOptimizer: the schema as a
+// catalog::Snapshot's overlay sees it, a cost model compiled over that
+// schema, and the snapshot's epoch fingerprint (0 = the base epoch, i.e.
 // the constructor-time schema with no overlay). Epochs are never mutated
-// after construction, so a batch that snapshotted one may keep costing
-// against it while another thread installs a different overlay.
+// after construction, so a batch that resolved one may keep costing
+// against it while other requests evaluate under different snapshots.
 struct StatsEpoch {
   // Base epoch over the caller-owned schema.
   StatsEpoch(const catalog::Schema& base, const CostParams& params)
@@ -31,37 +32,39 @@ struct StatsEpoch {
   CostModel model;
 };
 
-// Owns every statistics epoch a WhatIfOptimizer has ever installed, keyed by
-// overlay fingerprint. Epochs are retained for the registry's lifetime:
-// references handed out by Current() (and the schema()/cost_model() views
-// built on them) stay valid across any later Install/Reset, and
-// re-installing an overlay with the same content reuses the existing epoch
-// instead of materializing a new schema.
+// Owns every statistics epoch a WhatIfOptimizer has ever evaluated under,
+// keyed by epoch fingerprint. There is no "active" epoch and no installer:
+// each evaluation resolves the epoch for the catalog::Snapshot on its
+// EvalContext, materializing the shifted schema on first sight of a new
+// fingerprint. Epochs are retained for the registry's lifetime, so
+// references handed out by Resolve() (and the SchemaFor()/cost_model()
+// views built on them) stay valid for as long as the optimizer does, and
+// re-encountering an overlay with the same content reuses the existing
+// epoch instead of materializing a new schema.
 //
-// Thread safety: Install/Reset/Current may race freely; Current() returns a
-// consistent snapshot. Callers that need one epoch across a whole batch
-// snapshot Current() once at batch entry.
+// Thread safety: Resolve() calls may race freely.
 class StatsEpochRegistry {
  public:
   StatsEpochRegistry(const catalog::Schema& base, const CostParams& params);
 
-  // The active epoch; never null.
-  std::shared_ptr<const StatsEpoch> Current() const;
+  // The epoch `snapshot` evaluates under; nullptr and base snapshots
+  // resolve to the base epoch. Never null. Aborts (programming error) when
+  // the snapshot was built over a different base schema object than this
+  // registry.
+  std::shared_ptr<const StatsEpoch> Resolve(
+      const catalog::Snapshot* snapshot) const;
 
-  // Makes `overlay` the active epoch (materializing it on first sight) and
-  // returns its fingerprint. An empty overlay activates the base epoch.
-  uint64_t Install(const catalog::StatsOverlay& overlay);
-
-  // Returns to the base epoch. Retained overlay epochs stay alive.
-  void Reset();
+  // The base epoch; never null.
+  const std::shared_ptr<const StatsEpoch>& Base() const {
+    return base_epoch_;
+  }
 
  private:
   const catalog::Schema* base_;
   CostParams params_;
   std::shared_ptr<const StatsEpoch> base_epoch_;
   mutable std::mutex mu_;
-  std::shared_ptr<const StatsEpoch> current_;  // guarded by mu_
-  std::map<uint64_t, std::shared_ptr<const StatsEpoch>>
+  mutable std::map<uint64_t, std::shared_ptr<const StatsEpoch>>
       retained_;  // guarded by mu_
 };
 

@@ -220,11 +220,10 @@ common::Status WhatIfOptimizer::BatchCostCore(
     BatchScratch& sc, size_t nq, const IndexConfig* configs, size_t nc,
     bool weighted, BatchKind kind, const common::EvalContext& ctx,
     double* totals) const {
-  // One epoch snapshot per batch: a concurrent SetStatsOverlay can reorder
-  // against whole batches, but every item of this batch costs against the
-  // same statistics (the hammer tests assert exactly this all-or-nothing
-  // property).
-  const std::shared_ptr<const StatsEpoch> epoch = epochs_.Current();
+  // One epoch resolution per batch: every item of this batch costs against
+  // ctx.snapshot's statistics, whatever other snapshots concurrent callers
+  // carry (the hammer tests assert exactly this all-or-nothing property).
+  const std::shared_ptr<const StatsEpoch> epoch = epochs_.Resolve(ctx.snapshot);
   const size_t items = nq * nc;
   // Fingerprint every query and configuration exactly once per batch (the
   // pre-batched path refingerprinted the query on every item).
@@ -371,7 +370,7 @@ common::Status WhatIfOptimizer::BatchCostCore(
 common::StatusOr<double> WhatIfOptimizer::TryQueryCost(
     const sql::Query& q, const IndexConfig& config,
     const common::EvalContext& ctx) const {
-  const std::shared_ptr<const StatsEpoch> epoch = epochs_.Current();
+  const std::shared_ptr<const StatsEpoch> epoch = epochs_.Resolve(ctx.snapshot);
   double cost = 0.0;
   TRAP_RETURN_IF_ERROR(CachedCostStatus(*epoch, q, sql::Fingerprint(q),
                                         /*shape=*/nullptr, config.Fingerprint(),
@@ -401,9 +400,10 @@ common::StatusOr<std::vector<double>> WhatIfOptimizer::TryQueryCosts(
   return costs;
 }
 
-std::unique_ptr<PlanNode> WhatIfOptimizer::Plan(const sql::Query& q,
-                                                const IndexConfig& config) const {
-  return epochs_.Current()->model.Plan(q, config);
+std::unique_ptr<PlanNode> WhatIfOptimizer::Plan(
+    const sql::Query& q, const IndexConfig& config,
+    const common::EvalContext& ctx) const {
+  return epochs_.Resolve(ctx.snapshot)->model.Plan(q, config);
 }
 
 size_t WhatIfOptimizer::cache_size() const {

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "catalog/snapshot.h"
 #include "catalog/stats_overlay.h"
 #include "common/deadline.h"
 #include "common/rng.h"
@@ -75,17 +76,20 @@ namespace trap::engine {
 // determinism). With a trace sink in the context, each batched call records
 // a whatif.batch span.
 //
-// Statistics epochs: SetStatsOverlay installs a catalog::StatsOverlay as
-// the active *stats epoch* (drift scenarios shift per-column statistics or
-// grow the schema mid-run without mutating the shared catalog). Both memo
-// caches mix the epoch fingerprint into their keys and store it in their
-// entries, so an estimate computed under one data distribution can never
-// answer a probe made under another -- including after ClearStatsOverlay()
-// returns to the base epoch. Fault draws deliberately do NOT key on the
-// epoch: a (query, config) work item draws the same fate under every
-// distribution, keeping fault campaigns comparable across drift. Each
-// batched call snapshots the epoch once at entry, so a concurrent overlay
-// swap can reorder against whole batches but never splits one.
+// Statistics epochs: every evaluation reads its catalog state from the
+// immutable catalog::Snapshot on ctx.snapshot (nullptr = the base epoch;
+// drift scenarios and the serve runtime build snapshots to shift
+// per-column statistics or grow the schema mid-run without mutating any
+// shared state). The optimizer holds no "active" epoch at all -- two
+// concurrent calls under different snapshots each resolve, and cost
+// against, their own epoch. Both memo caches mix the epoch fingerprint
+// into their keys and store it in their entries, so an estimate computed
+// under one data distribution can never answer a probe made under another.
+// Fault draws deliberately do NOT key on the epoch: a (query, config) work
+// item draws the same fate under every distribution, keeping fault
+// campaigns comparable across drift. Each batched call resolves its epoch
+// once at entry, so however the caller swaps snapshots between calls, one
+// batch is never split across epochs.
 //
 // Cache integrity: every cost-cache entry carries a checksum over
 // (query_fp, config_fp, epoch_fp, cost). A hit whose entry fails the
@@ -115,10 +119,12 @@ class WhatIfOptimizer {
                                         const common::EvalContext& ctx = {})
       const;
 
-  // The plan behind the estimate (uncached). PlanNode::index pointers borrow
-  // from `config`, which must outlive the returned plan.
+  // The plan behind the estimate (uncached), under ctx.snapshot's epoch.
+  // PlanNode::index pointers borrow from `config`, which must outlive the
+  // returned plan.
   std::unique_ptr<PlanNode> Plan(const sql::Query& q,
-                                 const IndexConfig& config) const;
+                                 const IndexConfig& config,
+                                 const common::EvalContext& ctx = {}) const;
 
   // Batched: weighted workload cost, with per-query what-if calls evaluated
   // in parallel on ctx.pool (global pool when null). `WorkloadT` is any
@@ -199,28 +205,27 @@ class WhatIfOptimizer {
       const sql::Query& q, const std::vector<IndexConfig>& configs,
       const common::EvalContext& ctx = {}) const;
 
-  // The schema and cost model of the *active* stats epoch (the base schema
-  // until SetStatsOverlay installs an overlay). Epochs are retained for the
-  // optimizer's lifetime, so returned references stay valid across later
-  // overlay swaps.
+  // The base schema and cost model (the constructor-time catalog, no
+  // overlay). Snapshot-carrying callers should use SchemaFor(ctx) instead.
   const catalog::Schema& schema() const {
-    return epochs_.Current()->model.schema();
+    return epochs_.Base()->model.schema();
   }
-  const CostModel& cost_model() const { return epochs_.Current()->model; }
+  const CostModel& cost_model() const { return epochs_.Base()->model; }
 
-  // Installs `overlay` as the active stats epoch: subsequent costing runs
-  // against the overlay-applied schema, and cache keys carry the epoch
-  // fingerprint so shifted statistics never serve (or pollute) base-epoch
-  // hits. Returns the epoch fingerprint (0 for an empty overlay = base).
-  // Entries cached under other epochs are retained: swapping back restores
-  // their hits bit-identically.
-  uint64_t SetStatsOverlay(const catalog::StatsOverlay& overlay) {
-    return epochs_.Install(overlay);
+  // The schema ctx.snapshot's epoch evaluates under: the base schema for a
+  // null or base snapshot, the overlay-applied schema otherwise
+  // (materialized once per distinct epoch, retained for the optimizer's
+  // lifetime -- the reference stays valid across any later snapshots).
+  // Advisors call this at TryRecommend entry so candidate generation sees
+  // the same catalog the costing below it does.
+  const catalog::Schema& SchemaFor(const common::EvalContext& ctx) const {
+    return epochs_.Resolve(ctx.snapshot)->model.schema();
   }
-  // Returns to the base epoch (the constructor-time schema and stats).
-  void ClearStatsOverlay() { epochs_.Reset(); }
-  // Fingerprint of the active stats epoch; 0 = base.
-  uint64_t stats_epoch() const { return epochs_.Current()->fingerprint; }
+
+  // Fingerprint of the epoch ctx.snapshot evaluates under; 0 = base.
+  uint64_t EpochOf(const common::EvalContext& ctx) const {
+    return ctx.snapshot == nullptr ? 0 : ctx.snapshot->epoch();
+  }
 
   // The sentinel cost returned by the legacy (non-Try) wrappers when the
   // underlying evaluation fails: +infinity never wins a cost comparison, so

@@ -55,7 +55,7 @@ std::string MetricSegment(std::string_view label) {
       out.push_back('_');
     }
   }
-  if (out.empty()) out = "_";
+  if (out.empty()) out.push_back('_');
   return out;
 }
 

@@ -1,0 +1,116 @@
+#ifndef TRAP_SERVE_SERVICE_H_
+#define TRAP_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "catalog/schema.h"
+#include "catalog/snapshot.h"
+#include "common/rpc.h"
+#include "common/status.h"
+#include "engine/true_cost.h"
+#include "engine/what_if.h"
+#include "sql/vocabulary.h"
+#include "workload/workload.h"
+
+namespace trap::serve {
+
+// Configuration for one long-running advisor service: the evaluation schema
+// it hosts and the defaults for server-generated workloads (mirroring
+// trap_drift's scenario generator, so a served session and the offline tool
+// agree on what "workload seed S" means).
+struct ServiceOptions {
+  std::string schema = "tpch";  // tpch | tpcds | transaction
+  uint64_t seed = 1;            // default workload seed
+  int pool_size = 12;           // generator pool behind server-side workloads
+  int workload_size = 6;
+};
+
+// The session API: one Handle() per request, every method a pure function
+// of (request, pinned snapshot) plus the service's frozen construction-time
+// state. The service owns the schema, the what-if optimizer, the true-cost
+// oracle and the SnapshotManager; it holds NO per-session mutable catalog
+// state -- catalog changes happen only by publishing a whole new immutable
+// catalog::Snapshot, and each request evaluates under the snapshot its
+// caller pinned at admission, however many epochs are published meanwhile.
+//
+// Methods (params/result are JSON objects inside the common::rpc envelope):
+//   health         -> {schema, epoch, publications, requests_handled}
+//   snapshot_stats -> inspect the pinned epoch; params {"publish": overlay}
+//                     publishes a new epoch, {"reset": true} re-publishes
+//                     the base (the published epoch is reported, but the
+//                     *pinned* epoch keeps governing this request)
+//   advise         -> one recommendation from a registry advisor
+//   assess         -> index utility (and IUDR against a perturbed workload)
+//   whatif_batch   -> batched workload cost under N configurations
+//   drift_replay   -> the drift ReplayLoop's regret series (always from the
+//                     base epoch: episodes build their own overlays)
+//
+// Common params: {"workload": {...}} ships an explicit workload through the
+// advisor codec; otherwise {"workload_seed", "workload_size"} generate one
+// server-side. {"step_budget": N} bounds the request with a CancelToken
+// step budget (deterministic deadline; exhaustion -> DEADLINE_EXCEEDED).
+// Every result carries "epoch" (the pinned epoch it evaluated under) and
+// "trace" (the request's trace digest, from a per-request TraceSink).
+//
+// Error contract: Handle never aborts on caller input -- malformed params,
+// unknown methods, unservable advisors, and workloads that do not validate
+// against the pinned epoch's schema all come back as error Responses.
+//
+// Thread safety: Handle is NOT safe for concurrent calls (the server
+// executes admitted requests serially, in admission order); the
+// SnapshotManager it exposes is itself thread-safe.
+class ServeService {
+ public:
+  // Builds the service state for options.schema; kInvalidArgument on an
+  // unknown schema name.
+  static common::StatusOr<std::unique_ptr<ServeService>> Create(
+      ServiceOptions options);
+
+  // Handles one admitted request under the snapshot its connection pinned
+  // at admission time. `snapshot` must be non-null (typically
+  // snapshots().Current() taken when the frame was decoded).
+  common::rpc::Response Handle(
+      const common::rpc::Request& req,
+      const std::shared_ptr<const catalog::Snapshot>& snapshot);
+
+  catalog::SnapshotManager& snapshots() { return snapshots_; }
+  const catalog::Schema& schema() const { return schema_; }
+  uint64_t requests_handled() const { return requests_handled_; }
+
+ private:
+  ServeService(ServiceOptions options, catalog::Schema schema);
+
+  common::StatusOr<common::JsonValue> Route(const common::rpc::Request& req,
+                                            const catalog::Snapshot& snapshot);
+
+  common::StatusOr<common::JsonValue> Health(const catalog::Snapshot& snap);
+  common::StatusOr<common::JsonValue> SnapshotStats(
+      const common::JsonValue& params, const catalog::Snapshot& snap);
+  common::StatusOr<common::JsonValue> Advise(const common::JsonValue& params,
+                                             const catalog::Snapshot& snap);
+  common::StatusOr<common::JsonValue> Assess(const common::JsonValue& params,
+                                             const catalog::Snapshot& snap);
+  common::StatusOr<common::JsonValue> WhatIfBatch(
+      const common::JsonValue& params, const catalog::Snapshot& snap);
+  common::StatusOr<common::JsonValue> DriftReplay(
+      const common::JsonValue& params);
+
+  // Ships or generates the request's workload and validates every query
+  // against `schema` (the pinned epoch's view).
+  common::StatusOr<workload::Workload> ResolveWorkload(
+      const common::JsonValue& params, const catalog::Schema& schema) const;
+
+  ServiceOptions options_;
+  catalog::Schema schema_;  // owned; everything below borrows it
+  sql::Vocabulary vocab_;
+  engine::WhatIfOptimizer optimizer_;
+  engine::TrueCostModel truth_;
+  catalog::SnapshotManager snapshots_;
+  uint64_t requests_handled_ = 0;
+};
+
+}  // namespace trap::serve
+
+#endif  // TRAP_SERVE_SERVICE_H_

@@ -1,0 +1,174 @@
+#include "serve/wire.h"
+
+#include <utility>
+
+namespace trap::serve {
+namespace {
+
+using common::JsonValue;
+using common::Status;
+using common::StatusOr;
+
+JsonValue EncodeColumnStats(const catalog::ColumnStats& stats) {
+  JsonValue v = JsonValue::Object();
+  v.Set("ndv", JsonValue::Number(static_cast<double>(stats.num_distinct)));
+  v.Set("min", JsonValue::Number(stats.min_value));
+  v.Set("max", JsonValue::Number(stats.max_value));
+  v.Set("skew", JsonValue::Number(stats.skew));
+  return v;
+}
+
+StatusOr<catalog::ColumnStats> DecodeColumnStats(const JsonValue& v) {
+  std::optional<std::int64_t> ndv = v.IntAt("ndv");
+  std::optional<double> min = v.NumberAt("min");
+  std::optional<double> max = v.NumberAt("max");
+  std::optional<double> skew = v.NumberAt("skew");
+  if (!ndv.has_value() || !min.has_value() || !max.has_value() ||
+      !skew.has_value() || *ndv < 1) {
+    return Status::InvalidArgument("column stats: bad fields");
+  }
+  catalog::ColumnStats stats;
+  stats.num_distinct = *ndv;
+  stats.min_value = *min;
+  stats.max_value = *max;
+  stats.skew = *skew;
+  return stats;
+}
+
+JsonValue EncodeTable(const catalog::Table& table) {
+  JsonValue v = JsonValue::Object();
+  v.Set("name", JsonValue::Str(table.name));
+  v.Set("rows", JsonValue::Number(static_cast<double>(table.num_rows)));
+  JsonValue columns = JsonValue::Array();
+  for (const catalog::Column& c : table.columns) {
+    JsonValue col = JsonValue::Object();
+    col.Set("name", JsonValue::Str(c.name));
+    col.Set("type", JsonValue::Number(static_cast<int>(c.type)));
+    col.Set("width", JsonValue::Number(c.width_bytes));
+    col.Set("ndv", JsonValue::Number(static_cast<double>(c.num_distinct)));
+    col.Set("min", JsonValue::Number(c.min_value));
+    col.Set("max", JsonValue::Number(c.max_value));
+    col.Set("skew", JsonValue::Number(c.skew));
+    columns.Push(std::move(col));
+  }
+  v.Set("columns", std::move(columns));
+  return v;
+}
+
+StatusOr<catalog::Table> DecodeTable(const JsonValue& v) {
+  catalog::Table table;
+  std::optional<std::string> name = v.StringAt("name");
+  std::optional<std::int64_t> rows = v.IntAt("rows");
+  const JsonValue* columns = v.Find("columns");
+  if (!name.has_value() || !rows.has_value() || *rows < 0 ||
+      columns == nullptr || columns->kind != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("table: bad fields");
+  }
+  table.name = *std::move(name);
+  table.num_rows = *rows;
+  for (const JsonValue& cv : columns->items) {
+    catalog::Column c;
+    std::optional<std::string> cname = cv.StringAt("name");
+    std::optional<std::int64_t> type = cv.IntAt("type");
+    std::optional<std::int64_t> width = cv.IntAt("width");
+    std::optional<std::int64_t> ndv = cv.IntAt("ndv");
+    std::optional<double> min = cv.NumberAt("min");
+    std::optional<double> max = cv.NumberAt("max");
+    std::optional<double> skew = cv.NumberAt("skew");
+    if (!cname.has_value() || !type.has_value() || *type < 0 ||
+        *type > static_cast<int>(catalog::ColumnType::kString) ||
+        !width.has_value() || *width < 1 || !ndv.has_value() || *ndv < 1 ||
+        !min.has_value() || !max.has_value() || !skew.has_value()) {
+      return Status::InvalidArgument("table column: bad fields");
+    }
+    c.name = *std::move(cname);
+    c.type = static_cast<catalog::ColumnType>(*type);
+    c.width_bytes = static_cast<int>(*width);
+    c.num_distinct = *ndv;
+    c.min_value = *min;
+    c.max_value = *max;
+    c.skew = *skew;
+    table.columns.push_back(std::move(c));
+  }
+  return table;
+}
+
+}  // namespace
+
+JsonValue EncodeStatsOverlay(const catalog::StatsOverlay& overlay) {
+  JsonValue v = JsonValue::Object();
+  JsonValue column_stats = JsonValue::Array();
+  for (const auto& [id, stats] : overlay.column_stats()) {
+    JsonValue entry = JsonValue::Object();
+    JsonValue col = JsonValue::Array();
+    col.Push(JsonValue::Number(id.table));
+    col.Push(JsonValue::Number(id.column));
+    entry.Set("col", std::move(col));
+    entry.Set("stats", EncodeColumnStats(stats));
+    column_stats.Push(std::move(entry));
+  }
+  v.Set("column_stats", std::move(column_stats));
+  JsonValue table_rows = JsonValue::Array();
+  for (const auto& [table, rows] : overlay.table_rows()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("table", JsonValue::Number(table));
+    entry.Set("rows", JsonValue::Number(static_cast<double>(rows)));
+    table_rows.Push(std::move(entry));
+  }
+  v.Set("table_rows", std::move(table_rows));
+  JsonValue added_tables = JsonValue::Array();
+  for (const catalog::Table& t : overlay.added_tables()) {
+    added_tables.Push(EncodeTable(t));
+  }
+  v.Set("added_tables", std::move(added_tables));
+  return v;
+}
+
+StatusOr<catalog::StatsOverlay> DecodeStatsOverlay(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("stats overlay: want an object");
+  }
+  catalog::StatsOverlay overlay;
+  const JsonValue* column_stats = v.Find("column_stats");
+  const JsonValue* table_rows = v.Find("table_rows");
+  const JsonValue* added_tables = v.Find("added_tables");
+  if (column_stats == nullptr ||
+      column_stats->kind != JsonValue::Kind::kArray ||
+      table_rows == nullptr || table_rows->kind != JsonValue::Kind::kArray ||
+      added_tables == nullptr ||
+      added_tables->kind != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("stats overlay: missing sections");
+  }
+  // Added tables first: column overrides may target them, and AddTable
+  // assigns indices in insertion order.
+  for (const JsonValue& tv : added_tables->items) {
+    TRAP_ASSIGN_OR_RETURN(catalog::Table table, DecodeTable(tv));
+    overlay.AddTable(std::move(table));
+  }
+  for (const JsonValue& entry : column_stats->items) {
+    const JsonValue* col = entry.Find("col");
+    const JsonValue* stats = entry.Find("stats");
+    if (col == nullptr || col->kind != JsonValue::Kind::kArray ||
+        col->items.size() != 2 ||
+        col->items[0].kind != JsonValue::Kind::kNumber ||
+        col->items[1].kind != JsonValue::Kind::kNumber || stats == nullptr) {
+      return Status::InvalidArgument("stats overlay: bad column entry");
+    }
+    catalog::ColumnId id;
+    id.table = static_cast<int>(col->items[0].number_value);
+    id.column = static_cast<int>(col->items[1].number_value);
+    TRAP_ASSIGN_OR_RETURN(catalog::ColumnStats cs, DecodeColumnStats(*stats));
+    overlay.SetColumnStats(id, cs);
+  }
+  for (const JsonValue& entry : table_rows->items) {
+    std::optional<std::int64_t> table = entry.IntAt("table");
+    std::optional<std::int64_t> rows = entry.IntAt("rows");
+    if (!table.has_value() || *table < 0 || !rows.has_value() || *rows < 0) {
+      return Status::InvalidArgument("stats overlay: bad table rows entry");
+    }
+    overlay.SetTableRows(static_cast<int>(*table), *rows);
+  }
+  return overlay;
+}
+
+}  // namespace trap::serve

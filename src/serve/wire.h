@@ -1,0 +1,21 @@
+#ifndef TRAP_SERVE_WIRE_H_
+#define TRAP_SERVE_WIRE_H_
+
+#include "catalog/stats_overlay.h"
+#include "common/json.h"
+
+namespace trap::serve {
+
+// Catalog-overlay codec for the session API's snapshot_stats method: a
+// client publishes a new stats epoch by shipping the overlay content, the
+// server rebuilds it and hands it to catalog::SnapshotManager::Publish.
+// Round-trips preserve the overlay fingerprint bit-for-bit (doubles ride
+// through %.17g), so the epoch a client computes locally matches the epoch
+// the server publishes.
+common::JsonValue EncodeStatsOverlay(const catalog::StatsOverlay& overlay);
+common::StatusOr<catalog::StatsOverlay> DecodeStatsOverlay(
+    const common::JsonValue& v);
+
+}  // namespace trap::serve
+
+#endif  // TRAP_SERVE_WIRE_H_

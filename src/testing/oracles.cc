@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "advisor/registry.h"
+#include "catalog/snapshot.h"
 #include "catalog/stats_overlay.h"
 #include "common/string_util.h"
 #include "testing/fault_campaign.h"
@@ -429,7 +430,8 @@ std::optional<std::string> CheckRegretSanity(OracleEnv& env,
           er.step, static_cast<unsigned long long>(er.episode_fp),
           static_cast<unsigned long long>(ep.fingerprint));
     }
-    audit.SetStatsOverlay(ep.overlay);
+    const catalog::Snapshot episode_snapshot(*env.schema, ep.overlay);
+    ctx.snapshot = &episode_snapshot;
     common::StatusOr<double> stale =
         audit.TryWorkloadCost(ep.workload, er.stale_config, ctx);
     if (!stale.ok()) {
@@ -458,7 +460,6 @@ std::optional<std::string> CheckRegretSanity(OracleEnv& env,
       }
     }
   }
-  audit.ClearStatsOverlay();
   return std::nullopt;
 }
 

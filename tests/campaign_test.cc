@@ -80,7 +80,9 @@ TEST(ShardPlanTest, PartitionsExactly) {
       max_size = std::max(max_size, size);
     }
     EXPECT_EQ(next, c.cases);  // exact partition, no gaps, no overlap
-    if (!plan.empty()) EXPECT_LE(max_size - min_size, 1);  // balanced
+    if (!plan.empty()) {
+      EXPECT_LE(max_size - min_size, 1);  // balanced
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "catalog/datasets.h"
+#include "catalog/snapshot.h"
 #include "catalog/stats_overlay.h"
 #include "common/status.h"
 #include "drift/episode.h"
@@ -123,17 +124,18 @@ TEST_F(DriftTest, SchemaGrowthKeepsPriorQueryCostsBitIdentical) {
   for (const workload::WorkloadQuery& wq : base_.queries) {
     want.push_back(opt.QueryCost(wq.query, none));
   }
-  opt.SetStatsOverlay(ep.overlay);
+  const catalog::Snapshot grown(schema_, ep.overlay);
+  common::EvalContext grown_ctx;
+  grown_ctx.snapshot = &grown;
   for (size_t i = 0; i < base_.queries.size(); ++i) {
-    EXPECT_EQ(opt.QueryCost(base_.queries[i].query, none), want[i])
+    EXPECT_EQ(opt.QueryCost(base_.queries[i].query, none, grown_ctx), want[i])
         << "query " << i;
   }
   // The appended queries are costable under the grown epoch.
   for (size_t i = base_.queries.size(); i < ep.workload.queries.size(); ++i) {
-    EXPECT_TRUE(
-        std::isfinite(opt.QueryCost(ep.workload.queries[i].query, none)));
+    EXPECT_TRUE(std::isfinite(
+        opt.QueryCost(ep.workload.queries[i].query, none, grown_ctx)));
   }
-  opt.ClearStatsOverlay();
 }
 
 TEST_F(DriftTest, ZeroBudgetPerturbationIsIdentity) {
@@ -176,8 +178,9 @@ TEST_F(DriftTest, PerturberRespectsBudgetAndDomain) {
 }
 
 // The replay loop is deterministic, regret is never negative, and the
-// optimizer is restored to the base epoch afterwards.
-TEST_F(DriftTest, ReplayDeterministicRegretNonNegativeEpochRestored) {
+// shared optimizer's base epoch is untouched afterwards (episodes carry
+// their catalog state as snapshots; nothing is ever installed).
+TEST_F(DriftTest, ReplayDeterministicRegretNonNegativeBaseUntouched) {
   engine::WhatIfOptimizer opt(schema_);
   const double before =
       opt.WorkloadCost(base_, engine::IndexConfig{}, common::EvalContext{});
@@ -203,9 +206,9 @@ TEST_F(DriftTest, ReplayDeterministicRegretNonNegativeEpochRestored) {
     EXPECT_FALSE(er.degraded);
   }
 
-  // EpochRestorer: the loop leaves the shared optimizer on the base epoch,
-  // with baseline costs restored bit-exactly.
-  EXPECT_EQ(opt.stats_epoch(), 0u);
+  // The loop never mutates the shared optimizer: snapshot-free probes read
+  // baseline costs bit-exactly, warm.
+  EXPECT_EQ(opt.EpochOf({}), 0u);
   EXPECT_EQ(
       opt.WorkloadCost(base_, engine::IndexConfig{}, common::EvalContext{}),
       before);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "catalog/datasets.h"
+#include "catalog/snapshot.h"
 #include "catalog/stats_overlay.h"
 #include "common/thread_pool.h"
 #include "engine/cost_model.h"
@@ -776,54 +777,61 @@ TEST_F(EngineTest, ClearCacheDuringConcurrentCostsIsSafe) {
   }
 }
 
-// Statistics epochs: installing an overlay re-keys every cache, dropping it
-// restores baseline costs bit-exactly, and a warm cache never leaks entries
-// across epochs.
-TEST_F(EngineTest, StatsOverlayRekeysCachesAndRestoresBaseline) {
+// Statistics epochs: a snapshot on the context re-keys every cache, a null
+// (or base) snapshot reads baseline costs bit-exactly, and a warm cache
+// never leaks entries across epochs. The optimizer itself is never mutated.
+TEST_F(EngineTest, SnapshotOnContextRekeysCachesAndPreservesBaseline) {
   WhatIfOptimizer opt(schema_);
   Query q = LineitemQuery(CmpOp::kEq);
   IndexConfig with;
   with.Add(Index{{Col("lineitem", "l_shipdate")}});
   const double base = opt.QueryCost(q, with);
-  EXPECT_EQ(opt.stats_epoch(), 0u);
+  EXPECT_EQ(opt.EpochOf({}), 0u);
 
   catalog::StatsOverlay overlay;
   ColumnId ship = Col("lineitem", "l_shipdate");
   catalog::ColumnStats stats = catalog::StatsOf(schema_.column(ship));
   stats.num_distinct = std::max<int64_t>(1, stats.num_distinct / 64);
   overlay.SetColumnStats(ship, stats);
-  const uint64_t fp = opt.SetStatsOverlay(overlay);
-  EXPECT_NE(fp, 0u);
-  EXPECT_EQ(opt.stats_epoch(), fp);
+  const catalog::Snapshot shifted_snapshot(schema_, overlay);
+  ASSERT_NE(shifted_snapshot.epoch(), 0u);
+  common::EvalContext shifted_ctx;
+  shifted_ctx.snapshot = &shifted_snapshot;
+  EXPECT_EQ(opt.EpochOf(shifted_ctx), shifted_snapshot.epoch());
+  EXPECT_EQ(&opt.SchemaFor({}), &schema_);
+  EXPECT_NE(&opt.SchemaFor(shifted_ctx), &schema_);
 
   // Fewer distinct values -> the equality predicate matches more rows ->
   // the indexed plan gets pricier. The exact value must match a fresh
   // optimizer that never saw the base epoch: a warm cache entry keyed
   // without the epoch would surface the stale base cost here.
-  const double shifted = opt.QueryCost(q, with);
+  const double shifted = opt.QueryCost(q, with, shifted_ctx);
   EXPECT_NE(shifted, base);
   WhatIfOptimizer fresh(schema_);
-  fresh.SetStatsOverlay(overlay);
-  EXPECT_EQ(fresh.QueryCost(q, with), shifted);
+  EXPECT_EQ(fresh.QueryCost(q, with, shifted_ctx), shifted);
 
-  opt.ClearStatsOverlay();
-  EXPECT_EQ(opt.stats_epoch(), 0u);
+  // The base epoch was never touched: a snapshot-free probe (and an
+  // explicit base snapshot) still see baseline costs, warm.
   EXPECT_EQ(opt.QueryCost(q, with), base);
+  const catalog::Snapshot base_snapshot(schema_);
+  common::EvalContext base_ctx;
+  base_ctx.snapshot = &base_snapshot;
+  EXPECT_EQ(base_snapshot.epoch(), 0u);
+  EXPECT_EQ(opt.QueryCost(q, with, base_ctx), base);
 
-  // Reinstalling the same overlay reuses the retained epoch: same
-  // fingerprint, same costs.
-  EXPECT_EQ(opt.SetStatsOverlay(overlay), fp);
-  EXPECT_EQ(opt.QueryCost(q, with), shifted);
-
-  // An empty overlay is the base epoch, not a new one.
-  EXPECT_EQ(opt.SetStatsOverlay(catalog::StatsOverlay{}), 0u);
-  EXPECT_EQ(opt.QueryCost(q, with), base);
+  // A snapshot rebuilt from the same overlay content lands in the same
+  // epoch and is served from the retained epoch's warm cache.
+  const catalog::Snapshot again(schema_, overlay);
+  EXPECT_EQ(again.epoch(), shifted_snapshot.epoch());
+  common::EvalContext again_ctx;
+  again_ctx.snapshot = &again;
+  EXPECT_EQ(opt.QueryCost(q, with, again_ctx), shifted);
 }
 
-// Hammers overlay swaps against concurrent batched costs. Each batch
-// snapshots its epoch once at entry, so every result vector must be either
-// all-base or all-shifted -- never a torn mix.
-TEST_F(EngineTest, StatsOverlaySwapDuringConcurrentBatchedCostsIsAtomic) {
+// Hammers SnapshotManager::Publish against concurrent batched costs. Each
+// batch pins one snapshot at entry and resolves its epoch once, so every
+// result vector must be either all-base or all-shifted -- never a torn mix.
+TEST_F(EngineTest, SnapshotPublishDuringConcurrentBatchedCostsIsAtomic) {
   WhatIfOptimizer opt(schema_);
   workload::Workload w;
   w.queries.push_back(workload::WorkloadQuery{LineitemQuery(CmpOp::kEq), 1.0});
@@ -839,25 +847,33 @@ TEST_F(EngineTest, StatsOverlaySwapDuringConcurrentBatchedCostsIsAtomic) {
 
   WhatIfOptimizer ref_base(schema_);
   WhatIfOptimizer ref_shift(schema_);
-  ref_shift.SetStatsOverlay(overlay);
+  const catalog::Snapshot ref_snapshot(schema_, overlay);
+  common::EvalContext ref_ctx;
+  ref_ctx.snapshot = &ref_snapshot;
   const std::vector<double> want_base = ref_base.WorkloadCosts(w, configs);
-  const std::vector<double> want_shift = ref_shift.WorkloadCosts(w, configs);
+  const std::vector<double> want_shift =
+      ref_shift.WorkloadCosts(w, configs, ref_ctx);
   ASSERT_NE(want_base, want_shift);
 
+  catalog::SnapshotManager manager(schema_);
   common::ThreadPool pool(8);
   constexpr size_t kRounds = 256;
   std::vector<std::vector<double>> got(kRounds);
   pool.ParallelFor(kRounds, [&](size_t i) {
     if (i % 8 == 0) {
       if ((i / 8) % 2 == 0) {
-        opt.SetStatsOverlay(overlay);
+        manager.Publish(overlay);
       } else {
-        opt.ClearStatsOverlay();
+        manager.ResetToBase();
       }
       return;
     }
+    // Pin the published snapshot for the whole batch, exactly as a serve
+    // request does at admission.
+    const std::shared_ptr<const catalog::Snapshot> pinned = manager.Current();
     common::EvalContext ctx;
     ctx.pool = &pool;
+    ctx.snapshot = pinned.get();
     got[i] = opt.WorkloadCosts(w, configs, ctx);
   });
   for (size_t i = 0; i < kRounds; ++i) {

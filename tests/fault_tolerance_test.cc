@@ -274,9 +274,9 @@ INSTANTIATE_TEST_SUITE_P(
         // A hang consumes the whole step budget -> kDeadlineExceeded.
         SiteCase{"advisor.recommend.hang@p=1", StatusCode::kDeadlineExceeded,
                  1}),
-    [](const ::testing::TestParamInfo<SiteCase>& info) {
+    [](const ::testing::TestParamInfo<SiteCase>& site) {
       // "engine.whatif.cost_error@p=1" -> "engine_whatif_cost_error"
-      std::string name(info.param.spec);
+      std::string name(site.param.spec);
       name.resize(name.find('@'));
       for (char& ch : name) {
         if (ch == '.') ch = '_';

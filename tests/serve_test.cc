@@ -1,0 +1,565 @@
+// Tests for the advisor-as-a-service runtime (src/serve): the overlay wire
+// codec, the session API's epoch-pinning and deadline contracts (direct
+// ServeService::Handle calls), and the socket server's admission control,
+// malformed-frame isolation, and scripted-session determinism (spawning the
+// real trap_serve binary, TRAP_SERVE_BIN, injected by CMake).
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "advisor/registry.h"
+#include "catalog/datasets.h"
+#include "catalog/snapshot.h"
+#include "catalog/stats_overlay.h"
+#include "common/deadline.h"
+#include "common/frame.h"
+#include "common/json.h"
+#include "common/rpc.h"
+#include "common/subprocess.h"
+#include "engine/what_if.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+#include "sql/vocabulary.h"
+#include "workload/generator.h"
+
+namespace trap::serve {
+namespace {
+
+using common::JsonValue;
+using common::StatusCode;
+namespace rpc = common::rpc;
+
+// ---------------------------------------------------------------------------
+// Overlay wire codec.
+
+catalog::StatsOverlay SampleOverlay() {
+  catalog::StatsOverlay overlay;
+  catalog::ColumnStats stats;
+  stats.num_distinct = 500;
+  stats.min_value = -2.5;
+  stats.max_value = 1e9;
+  stats.skew = 0.75;
+  overlay.SetColumnStats(catalog::ColumnId{0, 1}, stats);
+  overlay.SetTableRows(2, 900000);
+  catalog::Table added;
+  added.name = "audit_log";
+  added.num_rows = 12345;
+  catalog::Column c;
+  c.name = "event_id";
+  c.type = catalog::ColumnType::kInt;
+  c.width_bytes = 8;
+  c.num_distinct = 12345;
+  c.min_value = 0.0;
+  c.max_value = 12344.0;
+  c.skew = 0.1;
+  added.columns.push_back(c);
+  overlay.AddTable(added);
+  return overlay;
+}
+
+TEST(WireTest, OverlayRoundTripPreservesFingerprint) {
+  const catalog::StatsOverlay overlay = SampleOverlay();
+  ASSERT_NE(overlay.Fingerprint(), 0u);
+
+  // Through the full wire: encode, serialize, reparse, decode.
+  const std::string text = common::WriteJson(EncodeStatsOverlay(overlay));
+  common::StatusOr<JsonValue> parsed = common::ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  common::StatusOr<catalog::StatsOverlay> decoded =
+      DecodeStatsOverlay(*parsed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->Fingerprint(), overlay.Fingerprint());
+
+  // The empty overlay is the base epoch on both sides of the wire.
+  common::StatusOr<catalog::StatsOverlay> empty =
+      DecodeStatsOverlay(EncodeStatsOverlay(catalog::StatsOverlay{}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->Fingerprint(), 0u);
+}
+
+TEST(WireTest, DecodeRejectsMalformedOverlays) {
+  const char* bad[] = {
+      "{}",                                                   // no sections
+      "[1,2]",                                                // not an object
+      "{\"column_stats\":[{\"col\":[0],\"stats\":{}}],"       // 1-entry col
+      "\"table_rows\":[],\"added_tables\":[]}",
+      "{\"column_stats\":[{\"col\":[0,0],"
+      "\"stats\":{\"ndv\":0,\"min\":0,\"max\":1,\"skew\":0}}],"  // ndv < 1
+      "\"table_rows\":[],\"added_tables\":[]}",
+      "{\"column_stats\":[],\"table_rows\":[{\"table\":-1,\"rows\":5}],"
+      "\"added_tables\":[]}",                                 // bad table
+      "{\"column_stats\":[],\"table_rows\":[],"
+      "\"added_tables\":[{\"name\":\"t\",\"rows\":1}]}",      // no columns
+  };
+  for (const char* text : bad) {
+    common::StatusOr<JsonValue> parsed = common::ParseJson(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    common::StatusOr<catalog::StatsOverlay> decoded =
+        DecodeStatsOverlay(*parsed);
+    EXPECT_FALSE(decoded.ok()) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session API (direct Handle calls -- no socket).
+
+JsonValue Params(const std::string& text) {
+  common::StatusOr<JsonValue> v = common::ParseJson(text);
+  TRAP_CHECK(v.ok());
+  return *std::move(v);
+}
+
+rpc::Response Call(ServeService* svc,
+                   const std::shared_ptr<const catalog::Snapshot>& snap,
+                   std::uint64_t id, const std::string& method,
+                   const std::string& params_text = "") {
+  rpc::Request req;
+  req.id = id;
+  req.method = method;
+  if (!params_text.empty()) req.params = Params(params_text);
+  return svc->Handle(req, snap);
+}
+
+std::unique_ptr<ServeService> MakeService() {
+  ServiceOptions options;
+  common::StatusOr<std::unique_ptr<ServeService>> svc =
+      ServeService::Create(options);
+  TRAP_CHECK(svc.ok());
+  return *std::move(svc);
+}
+
+TEST(ServiceTest, HealthReportsPinnedEpoch) {
+  std::unique_ptr<ServeService> svc = MakeService();
+  rpc::Response resp =
+      Call(svc.get(), svc->snapshots().Current(), 1, "health");
+  ASSERT_TRUE(resp.ok()) << resp.message;
+  EXPECT_EQ(resp.result.StringAt("schema"), "tpch");
+  EXPECT_EQ(resp.result.HexAt("epoch"), 0u);
+  EXPECT_EQ(resp.result.IntAt("publications"), 0);
+  EXPECT_EQ(resp.result.IntAt("requests_handled"), 1);
+}
+
+TEST(ServiceTest, CreateRejectsUnknownSchema) {
+  ServiceOptions options;
+  options.schema = "nosuch";
+  EXPECT_FALSE(ServeService::Create(options).ok());
+}
+
+// The core snapshot-isolation contract: a request that pinned its epoch
+// before a publish keeps evaluating under that epoch, bit-for-bit, however
+// many epochs are published meanwhile.
+TEST(ServiceTest, PinnedEpochSurvivesMidSessionPublish) {
+  std::unique_ptr<ServeService> svc = MakeService();
+  const std::string whatif =
+      "{\"workload_seed\":1,\"workload_size\":4,"
+      "\"configs\":[{\"indexes\":[]}]}";
+
+  std::shared_ptr<const catalog::Snapshot> pinned =
+      svc->snapshots().Current();
+  rpc::Response before = Call(svc.get(), pinned, 1, "whatif_batch", whatif);
+  ASSERT_TRUE(before.ok()) << before.message;
+  const double base_cost = before.result.Find("costs")->items[0].number_value;
+
+  // Publish a shifted epoch *while the old pin is still held*. The
+  // publishing request itself was admitted under the base pin: its reported
+  // evaluation epoch stays base even though it published a new one.
+  const std::string publish =
+      "{\"publish\":" + common::WriteJson(EncodeStatsOverlay(SampleOverlay())) +
+      "}";
+  rpc::Response pub = Call(svc.get(), pinned, 2, "snapshot_stats", publish);
+  ASSERT_TRUE(pub.ok()) << pub.message;
+  EXPECT_EQ(pub.result.HexAt("epoch"), 0u);
+  EXPECT_EQ(pub.result.HexAt("published_epoch"), SampleOverlay().Fingerprint());
+  EXPECT_EQ(svc->snapshots().Current()->epoch(), SampleOverlay().Fingerprint());
+
+  // The old pin still answers under the base epoch, identically.
+  rpc::Response after = Call(svc.get(), pinned, 3, "whatif_batch", whatif);
+  ASSERT_TRUE(after.ok()) << after.message;
+  EXPECT_EQ(after.result.Find("costs")->items[0].number_value, base_cost);
+  EXPECT_EQ(after.result.HexAt("epoch"), 0u);
+
+  // A request pinning the new epoch sees shifted statistics.
+  rpc::Response shifted = Call(svc.get(), svc->snapshots().Current(), 4,
+                               "whatif_batch", whatif);
+  ASSERT_TRUE(shifted.ok()) << shifted.message;
+  EXPECT_NE(shifted.result.Find("costs")->items[0].number_value, base_cost);
+  EXPECT_EQ(shifted.result.HexAt("epoch"), SampleOverlay().Fingerprint());
+
+  // Reset re-publishes the base; a fresh pin evaluates like the first call.
+  rpc::Response reset =
+      Call(svc.get(), svc->snapshots().Current(), 5, "snapshot_stats",
+           "{\"reset\":true}");
+  ASSERT_TRUE(reset.ok()) << reset.message;
+  rpc::Response again = Call(svc.get(), svc->snapshots().Current(), 6,
+                             "whatif_batch", whatif);
+  ASSERT_TRUE(again.ok()) << again.message;
+  EXPECT_EQ(again.result.Find("costs")->items[0].number_value, base_cost);
+}
+
+TEST(ServiceTest, StepBudgetDeadlineSurfacesAsErrorResponse) {
+  std::unique_ptr<ServeService> svc = MakeService();
+  rpc::Response resp =
+      Call(svc.get(), svc->snapshots().Current(), 1, "whatif_batch",
+           "{\"workload_seed\":1,\"workload_size\":4,"
+           "\"configs\":[{\"indexes\":[]}],\"step_budget\":1}");
+  EXPECT_EQ(resp.status, StatusCode::kDeadlineExceeded) << resp.message;
+}
+
+TEST(ServiceTest, RejectsUnservableInputWithoutAborting) {
+  std::unique_ptr<ServeService> svc = MakeService();
+  std::shared_ptr<const catalog::Snapshot> snap = svc->snapshots().Current();
+
+  EXPECT_EQ(Call(svc.get(), snap, 1, "nosuch_method").status,
+            StatusCode::kInvalidArgument);
+  // Learning advisors need training state a stateless service cannot hold.
+  EXPECT_EQ(Call(svc.get(), snap, 2, "advise", "{\"advisor\":\"SWIRL\"}")
+                .status,
+            StatusCode::kInvalidArgument);
+  // whatif_batch without configurations has nothing to cost.
+  EXPECT_EQ(Call(svc.get(), snap, 3, "whatif_batch",
+                 "{\"workload_seed\":1,\"workload_size\":2,\"configs\":[]}")
+                .status,
+            StatusCode::kInvalidArgument);
+  // A publish naming a column outside the base schema must be rejected
+  // before SnapshotManager ever sees it (overlay Apply aborts on it).
+  EXPECT_EQ(Call(svc.get(), snap, 4, "snapshot_stats",
+                 "{\"publish\":{\"column_stats\":[{\"col\":[99,0],"
+                 "\"stats\":{\"ndv\":5,\"min\":0,\"max\":1,\"skew\":0}}],"
+                 "\"table_rows\":[],\"added_tables\":[]}}")
+                .status,
+            StatusCode::kInvalidArgument);
+  // All four were answered, none published, and the service still serves.
+  EXPECT_EQ(svc->snapshots().publications(), 0u);
+  EXPECT_TRUE(Call(svc.get(), snap, 5, "health").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Socket server (spawns the real trap_serve binary).
+
+std::string ServeBinary() {
+#ifdef TRAP_SERVE_BIN
+  return TRAP_SERVE_BIN;
+#else
+  return "";
+#endif
+}
+
+std::string GoldenDir() {
+#ifdef TRAP_GOLDEN_DIR
+  return TRAP_GOLDEN_DIR;
+#else
+  return "";
+#endif
+}
+
+void SleepMs(int ms) {
+  timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+  nanosleep(&ts, nullptr);
+}
+
+// A raw frame-speaking client over a Unix-domain socket.
+struct TestClient {
+  int fd = -1;
+  common::FrameDecoder decoder;
+
+  ~TestClient() {
+    if (fd >= 0) close(fd);
+  }
+
+  bool ReadFrame(std::string* payload) {
+    std::string error;
+    while (true) {
+      switch (decoder.Next(payload, &error)) {
+        case common::FrameDecoder::Result::kFrame:
+          return true;
+        case common::FrameDecoder::Result::kMalformed:
+          return false;
+        case common::FrameDecoder::Result::kNeedMore:
+          break;
+      }
+      char buf[4096];
+      const ssize_t n = read(fd, buf, sizeof buf);
+      if (n <= 0) return false;
+      decoder.Append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  bool SendRaw(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool SendRequest(std::uint64_t id, const std::string& method,
+                   const std::string& params_text = "") {
+    rpc::Request req;
+    req.id = id;
+    req.method = method;
+    if (!params_text.empty()) req.params = Params(params_text);
+    return SendRaw(common::EncodeFrame(rpc::EncodeRequest(req)));
+  }
+};
+
+// Connects to `path`, retrying while the spawned server binds, and
+// validates the trap-serve hello frame.
+bool ConnectClient(const std::string& path, TestClient* client) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+      close(fd);
+      return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+      client->fd = fd;
+      std::string hello;
+      return client->ReadFrame(&hello) &&
+             rpc::CheckHello(hello, "trap-serve").ok();
+    }
+    close(fd);
+    SleepMs(20);
+  }
+  return false;
+}
+
+struct SpawnedServer {
+  common::Subprocess proc;
+  std::string socket_path;
+
+  ~SpawnedServer() {
+    if (proc.running()) {
+      common::Kill(&proc);
+      common::Reap(&proc);
+    }
+    common::ClosePipes(&proc);
+    unlink(socket_path.c_str());
+  }
+};
+
+bool SpawnServer(const std::string& extra_flag, const std::string& extra_value,
+                 SpawnedServer* server) {
+  server->socket_path = "/tmp/trap_serve_test." +
+                        std::to_string(getpid()) + "." + extra_value + ".sock";
+  std::vector<std::string> argv = {ServeBinary(), "--listen",
+                                   server->socket_path, "--seed", "1"};
+  if (!extra_flag.empty()) {
+    argv.push_back(extra_flag);
+    argv.push_back(extra_value);
+  }
+  common::StatusOr<common::Subprocess> proc = common::SpawnWithPipes(argv);
+  if (!proc.ok()) return false;
+  server->proc = *proc;
+  return true;
+}
+
+void ShutdownServer(SpawnedServer* server, TestClient* client,
+                    std::uint64_t id) {
+  ASSERT_TRUE(client->SendRequest(id, "shutdown"));
+  std::string payload;
+  ASSERT_TRUE(client->ReadFrame(&payload));
+  const int code = common::Reap(&server->proc);
+  EXPECT_EQ(code, 0);
+}
+
+// Admission control: a burst past --max-inflight is shed with
+// RESOURCE_EXHAUSTED and a retry hint, never silently dropped -- and the
+// shed requests succeed when resent after the queue drains. How the kernel
+// chunks the burst across reads decides the exact shed count, so the test
+// asserts the semantic invariants, not a count.
+TEST(ServerTest, ShedsPastAdmissionBoundAndRetrySucceeds) {
+  ASSERT_FALSE(ServeBinary().empty());
+  SpawnedServer server;
+  ASSERT_TRUE(SpawnServer("--max-inflight", "1", &server));
+  TestClient client;
+  ASSERT_TRUE(ConnectClient(server.socket_path, &client));
+
+  int shed = 0;
+  int ok = 0;
+  std::vector<std::uint64_t> shed_ids;
+  constexpr int kBurst = 16;
+  std::uint64_t next_id = 1;
+  // A few attempts: the burst is one send(), so the server almost always
+  // decodes several frames from one read and must shed past the bound; if
+  // the kernel happens to trickle the bytes, try again.
+  for (int attempt = 0; attempt < 8 && shed == 0; ++attempt) {
+    // An advise first keeps the server busy while the rest of the burst
+    // accumulates in the socket buffer.
+    std::string burst;
+    {
+      rpc::Request req;
+      req.id = next_id++;
+      req.method = "advise";
+      req.params = Params("{\"workload_seed\":1,\"workload_size\":4}");
+      burst += common::EncodeFrame(rpc::EncodeRequest(req));
+    }
+    for (int i = 1; i < kBurst; ++i) {
+      rpc::Request req;
+      req.id = next_id++;
+      req.method = "health";
+      burst += common::EncodeFrame(rpc::EncodeRequest(req));
+    }
+    ASSERT_TRUE(client.SendRaw(burst));
+    for (int i = 0; i < kBurst; ++i) {
+      std::string payload;
+      ASSERT_TRUE(client.ReadFrame(&payload));
+      common::StatusOr<rpc::Response> resp = rpc::DecodeResponse(payload);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      if (resp->status == StatusCode::kResourceExhausted) {
+        ++shed;
+        shed_ids.push_back(resp->id);
+        // Every shed carries the retry hint.
+        EXPECT_TRUE(resp->result.IntAt("retry_after_requests").has_value());
+      } else {
+        ASSERT_TRUE(resp->ok()) << resp->message;
+        ++ok;
+      }
+    }
+    ASSERT_EQ(shed + ok, kBurst * (attempt + 1));
+  }
+  ASSERT_GE(shed, 1);
+  ASSERT_GE(ok, 1);
+
+  // Shed work is retryable: resent one at a time, every request succeeds.
+  for (std::uint64_t id : shed_ids) {
+    ASSERT_TRUE(client.SendRequest(id, "health"));
+    std::string payload;
+    ASSERT_TRUE(client.ReadFrame(&payload));
+    common::StatusOr<rpc::Response> resp = rpc::DecodeResponse(payload);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->id, id);
+    EXPECT_TRUE(resp->ok()) << resp->message;
+  }
+  ShutdownServer(&server, &client, next_id);
+}
+
+// A malformed frame poisons only its own connection: the server answers
+// id 0 / INVALID_ARGUMENT, closes that connection, and keeps serving
+// others.
+TEST(ServerTest, MalformedFrameGetsErrorThenCloseWithoutKillingServer) {
+  ASSERT_FALSE(ServeBinary().empty());
+  SpawnedServer server;
+  ASSERT_TRUE(SpawnServer("", "malformed", &server));
+  TestClient bad;
+  ASSERT_TRUE(ConnectClient(server.socket_path, &bad));
+  ASSERT_TRUE(bad.SendRaw("this is not a frame\n"));
+  std::string payload;
+  ASSERT_TRUE(bad.ReadFrame(&payload));
+  common::StatusOr<rpc::Response> resp = rpc::DecodeResponse(payload);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->id, 0u);
+  EXPECT_EQ(resp->status, StatusCode::kInvalidArgument);
+  // The poisoned connection is closed...
+  char byte;
+  EXPECT_EQ(read(bad.fd, &byte, 1), 0);
+
+  // ...and a fresh connection still gets service.
+  TestClient good;
+  ASSERT_TRUE(ConnectClient(server.socket_path, &good));
+  ASSERT_TRUE(good.SendRequest(1, "health"));
+  ASSERT_TRUE(good.ReadFrame(&payload));
+  common::StatusOr<rpc::Response> health = rpc::DecodeResponse(payload);
+  ASSERT_TRUE(health.ok());
+  EXPECT_TRUE(health->ok()) << health->message;
+  ShutdownServer(&server, &good, 2);
+}
+
+// Runs the scripted multi-connection client (which spawns its own server)
+// and returns the "serve digest:" line from its stdout.
+std::string RunScriptedSession() {
+  const std::string script = GoldenDir() + "/serve_session.script";
+  common::StatusOr<common::Subprocess> proc = common::SpawnWithPipes(
+      {ServeBinary(), "--script", script, "--connections", "4", "--digest"});
+  TRAP_CHECK(proc.ok());
+  common::Subprocess p = *proc;
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(p.stdout_fd, buf, sizeof buf)) > 0) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  common::ClosePipes(&p);
+  const int code = common::Reap(&p);
+  TRAP_CHECK(code == 0);
+  const std::size_t at = out.find("serve digest:");
+  TRAP_CHECK(at != std::string::npos);
+  return out.substr(at, out.find('\n', at) - at);
+}
+
+// The canonical 4-connection session is deterministic run-over-run: same
+// script, same digest. (check.sh additionally pins it across TRAP_THREADS
+// values and under TSan.)
+TEST(ServerTest, ScriptedSessionDigestIsStable) {
+  ASSERT_FALSE(ServeBinary().empty());
+  const std::string first = RunScriptedSession();
+  EXPECT_EQ(RunScriptedSession(), first);
+  EXPECT_NE(first.find("0x"), std::string::npos) << first;
+}
+
+// The registry's "Remote" advisor proxies TryRecommend to a trap_serve
+// --stdio child over the frame protocol; for the same workload and
+// constraint it must land on exactly the configuration the in-process
+// advisor it hosts (Extend) computes locally.
+TEST(ServerTest, RemoteAdvisorMatchesLocalExtend) {
+  ASSERT_FALSE(ServeBinary().empty());
+  const catalog::Schema schema = catalog::MakeTpcH();
+  sql::Vocabulary vocab(schema, 8);
+  engine::WhatIfOptimizer optimizer(schema);
+  workload::GeneratorOptions gopt;
+  gopt.max_tables = 3;
+  gopt.max_filters = 3;
+  workload::QueryGenerator gen(vocab, gopt, 1);
+  workload::Workload w;
+  std::vector<sql::Query> pool = gen.GeneratePool(12);
+  for (int i = 0; i < 6; ++i) {
+    w.queries.push_back(workload::WorkloadQuery{std::move(pool[i]), 1.0});
+  }
+  const advisor::TuningConstraint constraint =
+      advisor::TuningConstraint::Storage(schema.DataSizeBytes() / 2);
+  common::EvalContext ctx;
+
+  advisor::RegistryOptions options;
+  options.remote.argv = {ServeBinary(), "--stdio"};
+  common::StatusOr<std::unique_ptr<advisor::IndexAdvisor>> remote =
+      advisor::MakeAdvisor("Remote", optimizer, options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  common::StatusOr<engine::IndexConfig> via_wire =
+      (*remote)->TryRecommend(w, constraint, ctx);
+  ASSERT_TRUE(via_wire.ok()) << via_wire.status().ToString();
+
+  common::StatusOr<std::unique_ptr<advisor::IndexAdvisor>> local =
+      advisor::MakeAdvisor("Extend", optimizer);
+  ASSERT_TRUE(local.ok());
+  common::StatusOr<engine::IndexConfig> direct =
+      (*local)->TryRecommend(w, constraint, ctx);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(*via_wire, *direct);
+  EXPECT_FALSE(direct->indexes().empty());
+}
+
+}  // namespace
+}  // namespace trap::serve

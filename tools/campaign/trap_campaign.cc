@@ -16,7 +16,6 @@
 // shards, or interrupted; 2 = usage/config error.
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -28,6 +27,7 @@
 #include "campaign/worker.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "tools/common/cli.h"
 
 namespace {
 
@@ -63,12 +63,6 @@ int Usage(std::FILE* out) {
   return out == stdout ? 0 : 2;
 }
 
-bool ParseInt(const char* s, long long* out) {
-  char* end = nullptr;
-  *out = std::strtoll(s, &end, 10);
-  return end != nullptr && *end == '\0' && end != s;
-}
-
 // The coordinator spawns workers by re-invoking itself; /proc/self/exe is
 // exact even when argv[0] is a bare name found via PATH.
 std::string SelfBinary(const char* argv0) {
@@ -97,79 +91,62 @@ int main(int argc, char** argv) {
   long long fault_seed = -1;
   bool digest_only = false;
 
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "trap_campaign: %s needs a value\n", arg.c_str());
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (arg == "--help" || arg == "-h") return Usage(stdout);
-    if (arg == "--resume") {
+  // --worker was handled above, so the parser only ever sees coordinator
+  // flags here.
+  trap::cli::FlagParser flags(argc, argv, "trap_campaign");
+  while (flags.Next()) {
+    if (flags.Switch("--help") || flags.Switch("-h")) return Usage(stdout);
+    if (flags.Switch("--resume")) {
       opts.resume = true;
-    } else if (arg == "--digest") {
-      digest_only = true;
-    } else if (arg == "--schema") {
-      const char* v = next();
-      if (v == nullptr) return Usage(stderr);
-      opts.base.schema = v;
-    } else if (arg == "--seed") {
-      const char* v = next();
-      long long n;
-      if (v == nullptr || !ParseInt(v, &n) || n < 0) return Usage(stderr);
-      opts.base.seed = static_cast<std::uint64_t>(n);
-    } else if (arg == "--workers") {
-      const char* v = next();
-      long long n;
-      if (v == nullptr || !ParseInt(v, &n) || n < 0 || n > 64) {
-        return Usage(stderr);
-      }
-      opts.workers = static_cast<int>(n);
-    } else if (arg == "--shards") {
-      const char* v = next();
-      long long n;
-      if (v == nullptr || !ParseInt(v, &n) || n < 0) return Usage(stderr);
-      opts.shards = static_cast<int>(n);
-    } else if (arg == "--max-attempts") {
-      const char* v = next();
-      long long n;
-      if (v == nullptr || !ParseInt(v, &n) || n < 1) return Usage(stderr);
-      opts.max_attempts = static_cast<int>(n);
-    } else if (arg == "--unit-timeout-ms") {
-      const char* v = next();
-      long long n;
-      if (v == nullptr || !ParseInt(v, &n) || n < 1) return Usage(stderr);
-      opts.unit_timeout_ms = static_cast<int>(n);
-    } else if (arg == "--journal") {
-      const char* v = next();
-      if (v == nullptr) return Usage(stderr);
-      opts.journal_path = v;
-    } else if (arg == "--faults") {
-      const char* v = next();
-      if (v == nullptr) return Usage(stderr);
-      faults_spec = v;
-    } else if (arg == "--fault-seed") {
-      const char* v = next();
-      if (v == nullptr || !ParseInt(v, &fault_seed) || fault_seed < 0) {
-        return Usage(stderr);
-      }
-    } else if (arg == "--stop-after-shards") {
-      const char* v = next();
-      long long n;
-      if (v == nullptr || !ParseInt(v, &n) || n < 0) return Usage(stderr);
-      opts.stop_after_shards = static_cast<int>(n);
-    } else if (arg == "--report") {
-      const char* v = next();
-      if (v == nullptr) return Usage(stderr);
-      report_name = v;
-    } else {
-      std::fprintf(stderr, "trap_campaign: unknown option '%s'\n",
-                   arg.c_str());
-      return Usage(stderr);
+      continue;
     }
+    if (flags.Switch("--digest")) {
+      digest_only = true;
+      continue;
+    }
+    long long n = 0;
+    if (flags.IntFlag("--seed", &n)) {
+      if (flags.failed() || n < 0) return Usage(stderr);
+      opts.base.seed = static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (flags.IntFlag("--workers", &n)) {
+      if (flags.failed() || n < 0 || n > 64) return Usage(stderr);
+      opts.workers = static_cast<int>(n);
+      continue;
+    }
+    if (flags.IntFlag("--shards", &n)) {
+      if (flags.failed() || n < 0) return Usage(stderr);
+      opts.shards = static_cast<int>(n);
+      continue;
+    }
+    if (flags.IntFlag("--max-attempts", &n)) {
+      if (flags.failed() || n < 1) return Usage(stderr);
+      opts.max_attempts = static_cast<int>(n);
+      continue;
+    }
+    if (flags.IntFlag("--unit-timeout-ms", &n)) {
+      if (flags.failed() || n < 1) return Usage(stderr);
+      opts.unit_timeout_ms = static_cast<int>(n);
+      continue;
+    }
+    if (flags.IntFlag("--stop-after-shards", &n)) {
+      if (flags.failed() || n < 0) return Usage(stderr);
+      opts.stop_after_shards = static_cast<int>(n);
+      continue;
+    }
+    if (flags.IntFlag("--fault-seed", &fault_seed)) {
+      if (flags.failed() || fault_seed < 0) return Usage(stderr);
+      continue;
+    }
+    if (flags.StringFlag("--schema", &opts.base.schema)) continue;
+    if (flags.StringFlag("--journal", &opts.journal_path)) continue;
+    if (flags.StringFlag("--faults", &faults_spec)) continue;
+    if (flags.StringFlag("--report", &report_name)) continue;
+    flags.Unknown();
+    return Usage(stderr);
   }
+  if (flags.failed()) return Usage(stderr);
 
   if (!faults_spec.empty()) {
     trap::common::StatusOr<trap::campaign::WorkerFaultPlan> plan =

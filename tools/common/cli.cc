@@ -1,0 +1,118 @@
+#include "tools/common/cli.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace trap::cli {
+namespace {
+
+// Whole-string numeric parses: empty strings, trailing garbage, and range
+// overflow (errno from strto*) are all rejected.
+bool ParseLongLong(const std::string& s, long long* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 0);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseUint64(const std::string& s, unsigned long long* out) {
+  if (s.empty() || s[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+FlagParser::FlagParser(int argc, char** argv, std::string tool)
+    : argc_(argc), argv_(argv), tool_(std::move(tool)) {}
+
+bool FlagParser::Next() {
+  if (failed_ || index_ + 1 >= argc_) return false;
+  arg_ = argv_[++index_];
+  return true;
+}
+
+bool FlagParser::MatchRaw(const char* name, std::string* raw) {
+  if (arg_ == name) {
+    if (index_ + 1 >= argc_) {
+      Fail(std::string(name) + " needs a value");
+      raw->clear();
+      return true;
+    }
+    *raw = argv_[++index_];
+    return true;
+  }
+  const std::size_t len = std::strlen(name);
+  if (arg_.size() > len + 1 && arg_.compare(0, len, name) == 0 &&
+      arg_[len] == '=') {
+    *raw = arg_.substr(len + 1);
+    return true;
+  }
+  return false;
+}
+
+bool FlagParser::StringFlag(const char* name, std::string* out) {
+  std::string raw;
+  if (!MatchRaw(name, &raw)) return false;
+  if (!failed_) *out = std::move(raw);
+  return true;
+}
+
+bool FlagParser::IntFlag(const char* name, long long* out) {
+  std::string raw;
+  if (!MatchRaw(name, &raw)) return false;
+  if (!failed_ && !ParseLongLong(raw, out)) {
+    Fail("bad " + std::string(name) + " value '" + raw + "'");
+  }
+  return true;
+}
+
+bool FlagParser::Uint64Flag(const char* name, unsigned long long* out) {
+  std::string raw;
+  if (!MatchRaw(name, &raw)) return false;
+  if (!failed_ && !ParseUint64(raw, out)) {
+    Fail("bad " + std::string(name) + " value '" + raw + "'");
+  }
+  return true;
+}
+
+bool FlagParser::DoubleFlag(const char* name, double* out) {
+  std::string raw;
+  if (!MatchRaw(name, &raw)) return false;
+  if (!failed_ && !ParseDouble(raw, out)) {
+    Fail("bad " + std::string(name) + " value '" + raw + "'");
+  }
+  return true;
+}
+
+void FlagParser::Unknown() const {
+  std::fprintf(stderr, "%s: unknown option '%s'\n", tool_.c_str(),
+               arg_.c_str());
+}
+
+void FlagParser::Fail(const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", tool_.c_str(), message.c_str());
+  failed_ = true;
+}
+
+}  // namespace trap::cli

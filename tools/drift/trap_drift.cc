@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -38,6 +37,7 @@
 #include "obs/trace.h"
 #include "sql/vocabulary.h"
 #include "testing/harness.h"
+#include "tools/common/cli.h"
 #include "workload/generator.h"
 
 namespace {
@@ -215,55 +215,32 @@ int main(int argc, char** argv) {
   std::string report_name;
   bool digest_only = false;
 
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "trap_drift: %s needs a value\n", flag);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--help" || arg == "-h") return Usage(stdout);
-    if (arg == "--digest") {
+  long long episodes = options.episodes;
+  unsigned long long seed = options.seed;
+  unsigned long long step_budget = options.step_budget;
+  trap::cli::FlagParser flags(argc, argv, "trap_drift");
+  while (flags.Next()) {
+    if (flags.Switch("--help") || flags.Switch("-h")) return Usage(stdout);
+    if (flags.Switch("--digest")) {
       digest_only = true;
-    } else if (arg == "--schema" || arg.rfind("--schema=", 0) == 0) {
-      options.schema = arg == "--schema" ? value("--schema") : arg.substr(9);
-    } else if (arg == "--advisor" || arg.rfind("--advisor=", 0) == 0) {
-      options.advisor =
-          arg == "--advisor" ? value("--advisor") : arg.substr(10);
-    } else if (arg == "--episodes" || arg.rfind("--episodes=", 0) == 0) {
-      const std::string v =
-          arg == "--episodes" ? value("--episodes") : arg.substr(11);
-      char* end = nullptr;
-      options.episodes = static_cast<int>(std::strtol(v.c_str(), &end, 10));
-      if (end == v.c_str() || *end != '\0') {
-        std::fprintf(stderr, "trap_drift: bad --episodes value '%s'\n",
-                     v.c_str());
-        return 2;
-      }
-    } else if (arg == "--seed" || arg.rfind("--seed=", 0) == 0) {
-      options.seed = std::strtoull(
-          arg == "--seed" ? value("--seed") : arg.substr(7).c_str(), nullptr,
-          0);
-    } else if (arg == "--step-budget" || arg.rfind("--step-budget=", 0) == 0) {
-      options.step_budget = std::strtoull(
-          arg == "--step-budget" ? value("--step-budget")
-                                 : arg.substr(14).c_str(),
-          nullptr, 0);
-    } else if (arg == "--format" || arg.rfind("--format=", 0) == 0) {
-      format = arg == "--format" ? value("--format") : arg.substr(9);
-    } else if (arg == "--out" || arg.rfind("--out=", 0) == 0) {
-      out_path = arg == "--out" ? value("--out") : arg.substr(6);
-    } else if (arg == "--golden" || arg.rfind("--golden=", 0) == 0) {
-      golden_path = arg == "--golden" ? value("--golden") : arg.substr(9);
-    } else if (arg == "--report" || arg.rfind("--report=", 0) == 0) {
-      report_name = arg == "--report" ? value("--report") : arg.substr(9);
-    } else {
-      std::fprintf(stderr, "trap_drift: unknown option '%s'\n", arg.c_str());
-      return Usage(stderr);
+      continue;
     }
+    if (flags.StringFlag("--schema", &options.schema)) continue;
+    if (flags.StringFlag("--advisor", &options.advisor)) continue;
+    if (flags.IntFlag("--episodes", &episodes)) continue;
+    if (flags.Uint64Flag("--seed", &seed)) continue;
+    if (flags.Uint64Flag("--step-budget", &step_budget)) continue;
+    if (flags.StringFlag("--format", &format)) continue;
+    if (flags.StringFlag("--out", &out_path)) continue;
+    if (flags.StringFlag("--golden", &golden_path)) continue;
+    if (flags.StringFlag("--report", &report_name)) continue;
+    flags.Unknown();
+    return Usage(stderr);
   }
+  if (flags.failed()) return Usage(stderr);
+  options.episodes = static_cast<int>(episodes);
+  options.seed = seed;
+  options.step_budget = step_budget;
   if (format != "text" && format != "json") {
     std::fprintf(stderr, "trap_drift: unknown format '%s'\n", format.c_str());
     return Usage(stderr);

@@ -27,6 +27,7 @@
 #include "common/fault.h"
 #include "testing/fault_campaign.h"
 #include "testing/harness.h"
+#include "tools/common/cli.h"
 
 namespace {
 
@@ -63,12 +64,6 @@ int Usage(std::FILE* out) {
       "  --minimize FILE    print the minimal reproducer for FILE\n"
       "  --list-oracles     print the oracle names and exit\n");
   return out == stdout ? 0 : 2;
-}
-
-bool ParseInt(const char* s, long long* out) {
-  char* end = nullptr;
-  *out = std::strtoll(s, &end, 10);
-  return end != nullptr && *end == '\0' && end != s;
 }
 
 std::optional<std::vector<OracleId>> ParseOracleList(const std::string& arg) {
@@ -206,98 +201,80 @@ int main(int argc, char** argv) {
   bool expect_failure = false;
   bool fault_campaign = false;
 
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "trap_fuzz: %s needs a value\n", arg.c_str());
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (arg == "--help" || arg == "-h") return Usage(stdout);
-    if (arg == "--list-oracles") {
+  trap::cli::FlagParser flags(argc, argv, "trap_fuzz");
+  while (flags.Next()) {
+    if (flags.Switch("--help") || flags.Switch("-h")) return Usage(stdout);
+    if (flags.Switch("--list-oracles")) {
       for (OracleId id : trap::proptest::AllOracles()) {
         std::fprintf(stdout, "%s\n", trap::proptest::OracleName(id));
       }
       return 0;
     }
-    if (arg == "--no-shrink") {
+    if (flags.Switch("--no-shrink")) {
       opts.shrink = false;
-    } else if (arg == "--expect-failure") {
+      continue;
+    }
+    if (flags.Switch("--expect-failure")) {
       expect_failure = true;
-    } else if (arg == "--cases") {
-      const char* v = next();
-      long long n;
-      if (v == nullptr || !ParseInt(v, &n) || n <= 0) return Usage(stderr);
+      continue;
+    }
+    if (flags.Switch("--fault-campaign")) {
+      fault_campaign = true;
+      continue;
+    }
+    long long n = 0;
+    if (flags.IntFlag("--cases", &n)) {
+      if (flags.failed() || n <= 0) return Usage(stderr);
       opts.cases = static_cast<int>(n);
-    } else if (arg == "--seed") {
-      const char* v = next();
-      long long n;
-      if (v == nullptr || !ParseInt(v, &n) || n < 0) return Usage(stderr);
+      continue;
+    }
+    if (flags.IntFlag("--seed", &n)) {
+      if (flags.failed() || n < 0) return Usage(stderr);
       opts.seed = static_cast<uint64_t>(n);
-    } else if (arg == "--case") {
-      const char* v = next();
-      if (v == nullptr || !ParseInt(v, &only_case) || only_case < 0) {
-        return Usage(stderr);
-      }
-    } else if (arg == "--schema") {
-      const char* v = next();
-      if (v == nullptr) return Usage(stderr);
-      opts.schema = v;
-    } else if (arg == "--max-failures") {
-      const char* v = next();
-      long long n;
-      if (v == nullptr || !ParseInt(v, &n) || n <= 0) return Usage(stderr);
+      continue;
+    }
+    if (flags.IntFlag("--case", &only_case)) {
+      if (flags.failed() || only_case < 0) return Usage(stderr);
+      continue;
+    }
+    if (flags.IntFlag("--max-failures", &n)) {
+      if (flags.failed() || n <= 0) return Usage(stderr);
       opts.max_failures = static_cast<int>(n);
-    } else if (arg == "--oracle") {
-      const char* v = next();
-      if (v == nullptr) return Usage(stderr);
-      std::optional<std::vector<OracleId>> ids = ParseOracleList(v);
+      continue;
+    }
+    if (flags.IntFlag("--fault-seed", &fault_seed)) {
+      if (flags.failed() || fault_seed < 0) return Usage(stderr);
+      continue;
+    }
+    std::string value;
+    if (flags.StringFlag("--oracle", &value)) {
+      if (flags.failed()) return Usage(stderr);
+      std::optional<std::vector<OracleId>> ids = ParseOracleList(value);
       if (!ids.has_value()) return 2;
       opts.oracles = *std::move(ids);
-    } else if (arg == "--fault") {
-      const char* v = next();
-      if (v == nullptr) return Usage(stderr);
+      continue;
+    }
+    if (flags.StringFlag("--fault", &value)) {
+      if (flags.failed()) return Usage(stderr);
       std::optional<trap::common::InjectedFault> fault =
-          trap::common::FaultFromName(v);
+          trap::common::FaultFromName(value);
       if (!fault.has_value()) {
-        std::fprintf(stderr, "trap_fuzz: unknown fault '%s'\n", v);
+        std::fprintf(stderr, "trap_fuzz: unknown fault '%s'\n", value.c_str());
         return 2;
       }
       trap::common::SetInjectedFault(*fault);
-    } else if (arg == "--faults") {
-      const char* v = next();
-      if (v == nullptr) return Usage(stderr);
-      faults_spec = v;
-    } else if (arg == "--fault-seed") {
-      const char* v = next();
-      if (v == nullptr || !ParseInt(v, &fault_seed) || fault_seed < 0) {
-        return Usage(stderr);
-      }
-    } else if (arg == "--fault-campaign") {
-      fault_campaign = true;
-    } else if (arg == "--corpus") {
-      const char* v = next();
-      if (v == nullptr) return Usage(stderr);
-      corpus_dir = v;
-    } else if (arg == "--report") {
-      const char* v = next();
-      if (v == nullptr) return Usage(stderr);
-      report_name = v;
-    } else if (arg == "--replay") {
-      const char* v = next();
-      if (v == nullptr) return Usage(stderr);
-      replay_path = v;
-    } else if (arg == "--minimize") {
-      const char* v = next();
-      if (v == nullptr) return Usage(stderr);
-      minimize_path = v;
-    } else {
-      std::fprintf(stderr, "trap_fuzz: unknown option '%s'\n", arg.c_str());
-      return Usage(stderr);
+      continue;
     }
+    if (flags.StringFlag("--schema", &opts.schema)) continue;
+    if (flags.StringFlag("--faults", &faults_spec)) continue;
+    if (flags.StringFlag("--corpus", &corpus_dir)) continue;
+    if (flags.StringFlag("--report", &report_name)) continue;
+    if (flags.StringFlag("--replay", &replay_path)) continue;
+    if (flags.StringFlag("--minimize", &minimize_path)) continue;
+    flags.Unknown();
+    return Usage(stderr);
   }
+  if (flags.failed()) return Usage(stderr);
 
   if (!faults_spec.empty()) {
     std::string error;

@@ -13,14 +13,13 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "testing/trace_scenario.h"
+#include "tools/common/cli.h"
 
 namespace {
 
@@ -45,35 +44,24 @@ int main(int argc, char** argv) {
   std::string out_path;
   bool digest_only = false;
 
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "trap_trace: %s needs a value\n", flag);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--help" || arg == "-h") return Usage(stdout);
-    if (arg == "--digest") {
+  unsigned long long seed = options.seed;
+  trap::cli::FlagParser flags(argc, argv, "trap_trace");
+  while (flags.Next()) {
+    if (flags.Switch("--help") || flags.Switch("-h")) return Usage(stdout);
+    if (flags.Switch("--digest")) {
       digest_only = true;
-    } else if (arg == "--schema" || arg.rfind("--schema=", 0) == 0) {
-      options.schema = arg == "--schema" ? value("--schema") : arg.substr(9);
-    } else if (arg == "--advisor" || arg.rfind("--advisor=", 0) == 0) {
-      options.advisor = arg == "--advisor" ? value("--advisor") : arg.substr(10);
-    } else if (arg == "--seed" || arg.rfind("--seed=", 0) == 0) {
-      options.seed = std::strtoull(
-          arg == "--seed" ? value("--seed") : arg.substr(7).c_str(), nullptr,
-          0);
-    } else if (arg == "--format" || arg.rfind("--format=", 0) == 0) {
-      format = arg == "--format" ? value("--format") : arg.substr(9);
-    } else if (arg == "--out" || arg.rfind("--out=", 0) == 0) {
-      out_path = arg == "--out" ? value("--out") : arg.substr(6);
-    } else {
-      std::fprintf(stderr, "trap_trace: unknown option '%s'\n", arg.c_str());
-      return Usage(stderr);
+      continue;
     }
+    if (flags.StringFlag("--schema", &options.schema)) continue;
+    if (flags.StringFlag("--advisor", &options.advisor)) continue;
+    if (flags.Uint64Flag("--seed", &seed)) continue;
+    if (flags.StringFlag("--format", &format)) continue;
+    if (flags.StringFlag("--out", &out_path)) continue;
+    flags.Unknown();
+    return Usage(stderr);
   }
+  if (flags.failed()) return Usage(stderr);
+  options.seed = seed;
   if (format != "chrome" && format != "jsonl") {
     std::fprintf(stderr, "trap_trace: unknown format '%s'\n", format.c_str());
     return Usage(stderr);
